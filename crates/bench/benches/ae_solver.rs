@@ -1,0 +1,55 @@
+//! Criterion benches for the Adaptive Estimator's numerical core: the
+//! fixed-point residual and the full solve, for the exact-binomial and
+//! exponential-approximation equation forms, across spectrum shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dve_core::ae::{AdaptiveEstimator, AeForm};
+use dve_core::estimator::DistinctEstimator;
+use dve_core::profile::FrequencyProfile;
+use dve_sample::{sample_profile, SamplingScheme};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn profile_for(z: f64, dup: u64, r: u64) -> FrequencyProfile {
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let (col, _) = dve_datagen::paper_column(1_000_000 / dup, z, dup, &mut rng);
+    sample_profile(&col, r, SamplingScheme::WithoutReplacement, &mut rng).unwrap()
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let cases = [
+        ("uniform_r8k", profile_for(0.0, 100, 8_000)),
+        ("uniform_r64k", profile_for(0.0, 100, 64_000)),
+        ("zipf2_r8k", profile_for(2.0, 100, 8_000)),
+        ("zipf2_r64k", profile_for(2.0, 100, 64_000)),
+    ];
+    let mut group = c.benchmark_group("ae_solver");
+    for (name, profile) in &cases {
+        let exact = AdaptiveEstimator::with_form(AeForm::ExactBinomial);
+        let approx = AdaptiveEstimator::with_form(AeForm::ExpApprox);
+        group.bench_with_input(BenchmarkId::new("exact", name), profile, |b, p| {
+            b.iter(|| black_box(exact.estimate(black_box(p))))
+        });
+        group.bench_with_input(BenchmarkId::new("exp_approx", name), profile, |b, p| {
+            b.iter(|| black_box(approx.estimate(black_box(p))))
+        });
+        // The residual alone — the unit cost the root finder pays per
+        // iteration.
+        let mid = (profile.f(1) + profile.f(2)).max(2) as f64 * 3.0;
+        group.bench_with_input(BenchmarkId::new("residual", name), profile, |b, p| {
+            b.iter(|| black_box(exact.residual(black_box(p), black_box(mid))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_solver
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion throughput benches: every registry estimator on frequency
+//! profiles of realistic shapes and sizes.
+//!
+//! The paper's cost argument is that sampling-based estimation must be
+//! cheap next to the scan it replaces; these benches quantify the
+//! estimation step itself (profile → D̂) for spectra arising from
+//! uniform, Zipfian, and near-unique columns at the paper's largest
+//! sampling fraction (6.4% of 1M rows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dve_core::profile::FrequencyProfile;
+use dve_core::registry;
+use dve_sample::{sample_profile, SamplingScheme};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+/// Builds a profile by actually sampling a generated column, so spectra
+/// are realistic rather than synthetic.
+fn profile_for(z: f64, dup: u64) -> FrequencyProfile {
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let (col, _) = dve_datagen::paper_column(1_000_000 / dup, z, dup, &mut rng);
+    sample_profile(&col, 64_000, SamplingScheme::WithoutReplacement, &mut rng).unwrap()
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let shapes = [
+        ("uniform_dup100", profile_for(0.0, 100)),
+        ("zipf2_dup100", profile_for(2.0, 100)),
+        ("all_distinct", profile_for(0.0, 1)),
+    ];
+    let mut group = c.benchmark_group("estimators");
+    for (shape, profile) in &shapes {
+        for name in registry::ALL_ESTIMATORS {
+            // Goodman's factorial weights are constant-time in spectrum
+            // size but wildly overflow-prone; it is included like the rest.
+            let est = registry::by_name(name).unwrap();
+            group.bench_with_input(BenchmarkId::new(*name, shape), profile, |b, p| {
+                b.iter(|| black_box(est.estimate(black_box(p))))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_confidence_interval(c: &mut Criterion) {
+    let profile = profile_for(0.0, 100);
+    c.bench_function("gee_confidence_interval", |b| {
+        b.iter(|| {
+            black_box(dve_core::bounds::gee_confidence_interval(black_box(
+                &profile,
+            )))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_estimators, bench_confidence_interval
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! `cargo bench -p dve-bench --bench figures` — regenerates every table
+//! and figure of the paper (the accuracy artifacts, not timings).
+//!
+//! Runs at smoke scale by default so `cargo bench --workspace` stays
+//! quick; set `DVE_FULL=1` for the full paper-scale sweep (identical to
+//! `cargo run --release -p dve-experiments --bin repro -- all`).
+
+use dve_experiments::{all_experiments, ExperimentCtx};
+
+fn main() {
+    // Respect `cargo bench -- --test` style filter args minimally: any
+    // positional argument restricts to experiments whose id contains it.
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let full = std::env::var("DVE_FULL").is_ok_and(|v| v != "0");
+    let ctx = if full {
+        ExperimentCtx::full()
+    } else {
+        ExperimentCtx::fast()
+    };
+    println!(
+        "regenerating paper artifacts at {} scale\n",
+        if full {
+            "FULL (paper)"
+        } else {
+            "smoke (set DVE_FULL=1 for paper scale)"
+        }
+    );
+    for def in all_experiments() {
+        if !filters.is_empty() && !filters.iter().any(|f| def.id.contains(f.as_str())) {
+            continue;
+        }
+        let start = std::time::Instant::now();
+        let report = (def.run)(&ctx);
+        println!("{}", report.to_text());
+        println!("({} in {:.1?})\n", def.id, start.elapsed());
+    }
+}

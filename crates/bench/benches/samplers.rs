@@ -1,0 +1,95 @@
+//! Criterion benches for the sampling substrate: the cost of drawing the
+//! paper's samples (0.2%–6.4% of a 1M-row column) under each scheme,
+//! plus profile construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dve_sample::{
+    bernoulli, profile::profile_of_values, reservoir, sample_profile, sequential, with_replacement,
+    without_replacement, SamplingScheme,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn column() -> Vec<u64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    dve_datagen::paper_column(10_000, 1.0, 100, &mut rng).0
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let col = column();
+    let n = col.len() as u64;
+    let mut group = c.benchmark_group("samplers");
+    for &r in &[2_000u64, 64_000] {
+        group.throughput(Throughput::Elements(r));
+        group.bench_with_input(BenchmarkId::new("fisher_yates_wor", r), &r, |b, &r| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| black_box(without_replacement::sample_values(&col, r, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("floyd_wor", r), &r, |b, &r| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            b.iter(|| black_box(without_replacement::floyd_sample_indices(n, r, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("with_replacement", r), &r, |b, &r| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            b.iter(|| black_box(with_replacement::sample_values(&col, r, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("reservoir_r", r), &r, |b, &r| {
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            b.iter(|| {
+                black_box(reservoir::algorithm_r(
+                    col.iter().copied(),
+                    r as usize,
+                    &mut rng,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reservoir_l", r), &r, |b, &r| {
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            b.iter(|| {
+                black_box(reservoir::algorithm_l(
+                    col.iter().copied(),
+                    r as usize,
+                    &mut rng,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("vitter_sequential", r), &r, |b, &r| {
+            let mut rng = ChaCha8Rng::seed_from_u64(6);
+            b.iter(|| black_box(sequential::select_values(&col, r, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("bernoulli", r), &r, |b, &r| {
+            let q = r as f64 / n as f64;
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            b.iter(|| black_box(bernoulli::sample_values(&col, q, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_profile_build(c: &mut Criterion) {
+    let col = column();
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let sample = without_replacement::sample_values(&col, 64_000, &mut rng);
+    c.bench_function("profile_of_values_64k", |b| {
+        b.iter(|| black_box(profile_of_values(col.len() as u64, black_box(&sample))))
+    });
+    c.bench_function("sample_profile_end_to_end_64k", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        b.iter(|| {
+            black_box(
+                sample_profile(&col, 64_000, SamplingScheme::WithoutReplacement, &mut rng).unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_schemes, bench_profile_build
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion benches for the full-scan sketch family and the
+//! estimate-driven GROUP BY planner.
+//!
+//! * sketch insert throughput (the full-scan cost the paper's related
+//!   work warns about) and estimate cost;
+//! * GROUP BY under both strategies, quantifying what the planner's
+//!   distinct-estimate-driven choice is worth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dve_sketch::{
+    exact::ExactCounter, fm::FlajoletMartin, hash_value, hll::HyperLogLog, linear::LinearCounting,
+    DistinctSketch,
+};
+use dve_storage::planner::{execute_group_by, GroupByStrategy};
+use dve_storage::table::Table;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn column(distinct: u64, rows: u64) -> Vec<u64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let (col, _) = dve_datagen::paper_column(rows / 100, 1.0, 100, &mut rng);
+    // Remap to the requested cardinality ballpark by modulo (benchmark
+    // load shape only).
+    col.into_iter().map(|v| v % distinct.max(1)).collect()
+}
+
+fn bench_sketch_insert(c: &mut Criterion) {
+    let col = column(100_000, 1_000_000);
+    let hashes: Vec<u64> = col.iter().map(|&v| hash_value(v)).collect();
+    let mut group = c.benchmark_group("sketch_scan");
+    group.throughput(Throughput::Elements(hashes.len() as u64));
+    group.bench_function("fm_pcsa_m64", |b| {
+        b.iter(|| {
+            let mut s = FlajoletMartin::new(64);
+            for &h in &hashes {
+                s.insert(h);
+            }
+            black_box(s.estimate())
+        })
+    });
+    group.bench_function("linear_128ki", |b| {
+        b.iter(|| {
+            let mut s = LinearCounting::new(1 << 17);
+            for &h in &hashes {
+                s.insert(h);
+            }
+            black_box(s.estimate())
+        })
+    });
+    group.bench_function("hll_p12", |b| {
+        b.iter(|| {
+            let mut s = HyperLogLog::new(12);
+            for &h in &hashes {
+                s.insert(h);
+            }
+            black_box(s.estimate())
+        })
+    });
+    group.bench_function("exact_hashset", |b| {
+        b.iter(|| {
+            let mut s = ExactCounter::new();
+            for &h in &hashes {
+                s.insert(h);
+            }
+            black_box(s.estimate())
+        })
+    });
+    group.finish();
+}
+
+fn bench_group_by_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_by");
+    for (label, distinct) in [("lowcard_500", 500u64), ("highcard_500k", 500_000)] {
+        let table = Table::from_generated("k", &column(distinct, 1_000_000));
+        group.bench_with_input(BenchmarkId::new("hash_agg", label), &table, |b, t| {
+            b.iter(|| black_box(execute_group_by(t, "k", GroupByStrategy::HashAggregate)))
+        });
+        group.bench_with_input(BenchmarkId::new("sort_agg", label), &table, |b, t| {
+            b.iter(|| black_box(execute_group_by(t, "k", GroupByStrategy::SortAggregate)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_sketch_insert, bench_group_by_strategies
+}
+criterion_main!(benches);

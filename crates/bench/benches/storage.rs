@@ -1,0 +1,73 @@
+//! Criterion benches for the column-store substrate: encoding, point
+//! access under each encoding, and end-to-end ANALYZE.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dve_storage::analyze::{analyze_table, AnalyzeOptions};
+use dve_storage::encoding::IntEncoding;
+use dve_storage::table::Table;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_encoding(c: &mut Criterion) {
+    let clustered: Vec<i64> = (0..65_536).map(|i| i / 8_192).collect();
+    let shuffled_low_card: Vec<i64> = (0..65_536).map(|i| (i * 2654435761i64) % 16).collect();
+    let unique: Vec<i64> = (0..65_536).collect();
+    let mut group = c.benchmark_group("encoding");
+    group.throughput(Throughput::Elements(65_536));
+    for (name, data) in [
+        ("clustered_rle", &clustered),
+        ("shuffled_dict", &shuffled_low_card),
+        ("unique_plain", &unique),
+    ] {
+        group.bench_with_input(BenchmarkId::new("encode", name), data, |b, d| {
+            b.iter(|| black_box(IntEncoding::encode(black_box(d))))
+        });
+        let encoded = IntEncoding::encode(data);
+        group.bench_with_input(BenchmarkId::new("point_get", name), &encoded, |b, e| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for i in (0..65_536usize).step_by(97) {
+                    acc = acc.wrapping_add(e.get(i));
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("decode", name), &encoded, |b, e| {
+            b.iter(|| black_box(e.decode()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let (col, _) = dve_datagen::paper_column(10_000, 1.0, 100, &mut rng);
+    let table = Table::from_generated("v", &col);
+    let mut group = c.benchmark_group("analyze");
+    for q in [0.002f64, 0.064] {
+        group.bench_with_input(
+            BenchmarkId::new("analyze_1m_rows", format!("{}pct", q * 100.0)),
+            &q,
+            |b, &q| {
+                let opts = AnalyzeOptions {
+                    sampling_fraction: q,
+                    estimator: "AE".into(),
+                };
+                let mut rng = ChaCha8Rng::seed_from_u64(32);
+                b.iter(|| black_box(analyze_table(&table, &opts, &mut rng).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_encoding, bench_analyze
+}
+criterion_main!(benches);

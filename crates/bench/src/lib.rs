@@ -1,0 +1,4 @@
+//! # dve-bench — benchmark-only crate
+//!
+//! This crate carries the Criterion benchmark targets (see `benches/`);
+//! it exports nothing. Run them with `cargo bench -p dve-bench`.

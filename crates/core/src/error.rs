@@ -1,0 +1,115 @@
+//! Error metrics for distinct-value estimates.
+//!
+//! The paper evaluates estimators by the **ratio error**
+//! `error(D̂) = max(D / D̂, D̂ / D) ≥ 1` (§2), arguing it treats over- and
+//! under-estimates symmetrically where relative error does not. Both
+//! metrics are provided; the experiment harness reports ratio error.
+
+/// Multiplicative ("ratio") error of an estimate against the truth:
+/// `max(truth/estimate, estimate/truth)`, always ≥ 1, with 1 meaning an
+/// exact estimate.
+///
+/// # Panics
+///
+/// Panics unless both arguments are finite and strictly positive — a
+/// clamped estimate is always ≥ `d ≥ 1` and the truth is ≥ 1 for a
+/// non-empty column, so non-positive inputs indicate a harness bug.
+pub fn ratio_error(estimate: f64, truth: f64) -> f64 {
+    assert!(
+        estimate.is_finite() && estimate > 0.0,
+        "estimate must be finite and positive, got {estimate}"
+    );
+    assert!(
+        truth.is_finite() && truth > 0.0,
+        "truth must be finite and positive, got {truth}"
+    );
+    if truth >= estimate {
+        truth / estimate
+    } else {
+        estimate / truth
+    }
+}
+
+/// Signed relative error `(estimate - truth) / truth`, the additive metric
+/// used by Haas et al. (1995). Negative means underestimate.
+///
+/// # Panics
+///
+/// Panics if `truth` is not finite-positive or `estimate` is not finite.
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    assert!(estimate.is_finite(), "estimate must be finite");
+    assert!(
+        truth.is_finite() && truth > 0.0,
+        "truth must be finite and positive, got {truth}"
+    );
+    (estimate - truth) / truth
+}
+
+/// Converts a ratio error and a direction into the equivalent relative
+/// error: overestimates map to `ratio - 1`, underestimates to
+/// `1/ratio - 1`. Useful when comparing against papers that report
+/// relative error.
+pub fn ratio_to_relative(ratio: f64, overestimate: bool) -> f64 {
+    assert!(ratio >= 1.0, "ratio error is always >= 1, got {ratio}");
+    if overestimate {
+        ratio - 1.0
+    } else {
+        1.0 / ratio - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_estimate_has_unit_ratio() {
+        assert_eq!(ratio_error(42.0, 42.0), 1.0);
+    }
+
+    #[test]
+    fn ratio_error_is_symmetric_under_inversion() {
+        // Overestimating by 2x and underestimating by 2x read the same.
+        assert_eq!(ratio_error(200.0, 100.0), 2.0);
+        assert_eq!(ratio_error(50.0, 100.0), 2.0);
+    }
+
+    #[test]
+    fn ratio_error_at_least_one() {
+        for (e, t) in [(1.0, 1e6), (1e6, 1.0), (3.0, 3.0), (2.9, 3.0)] {
+            assert!(ratio_error(e, t) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn equivalence_with_bound_characterisation() {
+        // error(D̂) ≤ α ⟺ D/α ≤ D̂ ≤ αD (paper §2).
+        let d = 1000.0;
+        let alpha = 1.5;
+        for est in [d / alpha, d, alpha * d] {
+            assert!(ratio_error(est, d) <= alpha + 1e-12);
+        }
+        assert!(ratio_error(d / alpha - 1.0, d) > alpha);
+        assert!(ratio_error(alpha * d + 1.0, d) > alpha);
+    }
+
+    #[test]
+    fn relative_error_signs() {
+        assert_eq!(relative_error(150.0, 100.0), 0.5);
+        assert_eq!(relative_error(50.0, 100.0), -0.5);
+        assert_eq!(relative_error(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn ratio_relative_translation() {
+        assert_eq!(ratio_to_relative(2.0, true), 1.0);
+        assert_eq!(ratio_to_relative(2.0, false), -0.5);
+        assert_eq!(ratio_to_relative(1.0, true), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn ratio_error_rejects_zero_estimate() {
+        ratio_error(0.0, 10.0);
+    }
+}

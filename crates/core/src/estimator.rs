@@ -1,0 +1,122 @@
+//! The estimator abstraction and the paper's universal sanity clamp.
+//!
+//! Every estimator maps a [`FrequencyProfile`] to an estimate `D̂` of the
+//! number of distinct values in the underlying column. Per §2 of the paper,
+//! *all* estimators are post-processed with the sanity bounds
+//! `d ≤ D̂ ≤ n`: an estimate below the number of distinct values already
+//! seen, or above the number of rows, is certainly wrong.
+
+use crate::profile::FrequencyProfile;
+
+/// Clamps a raw estimate into the feasible interval `[d, n]` (paper §2).
+///
+/// Non-finite raw values (which some baselines produce on degenerate
+/// spectra, e.g. Goodman's alternating series) are mapped to the nearest
+/// bound: `+∞`/NaN-high to `n`, everything else to `d`.
+pub fn sanity_clamp(raw: f64, distinct_in_sample: u64, table_size: u64) -> f64 {
+    let d = distinct_in_sample as f64;
+    let n = table_size as f64;
+    if raw.is_nan() {
+        // No information either way; return the only certain lower bound.
+        return d;
+    }
+    raw.clamp(d, n)
+}
+
+/// A distinct-values estimator.
+///
+/// Implementors provide [`estimate_raw`](DistinctEstimator::estimate_raw);
+/// callers should almost always use [`estimate`](DistinctEstimator::estimate),
+/// which applies the sanity clamp exactly as the paper's experiments do.
+///
+/// Estimators are cheap value objects (usually zero-sized or a couple of
+/// parameters); the registry in [`crate::registry`] hands them out as
+/// `Box<dyn DistinctEstimator>`.
+pub trait DistinctEstimator: Send + Sync {
+    /// A short stable identifier, e.g. `"GEE"`, `"HYBSKEW"`. Used by the
+    /// experiment harness for table headers and by the registry for
+    /// lookup.
+    fn name(&self) -> &'static str;
+
+    /// The estimator's formula applied verbatim, **without** the sanity
+    /// clamp. May legitimately return values outside `[d, n]` or even
+    /// non-finite values for degenerate inputs.
+    fn estimate_raw(&self, profile: &FrequencyProfile) -> f64;
+
+    /// The estimate with the paper's sanity bounds applied:
+    /// `d ≤ D̂ ≤ n`.
+    fn estimate(&self, profile: &FrequencyProfile) -> f64 {
+        sanity_clamp(
+            self.estimate_raw(profile),
+            profile.distinct_in_sample(),
+            profile.table_size(),
+        )
+    }
+}
+
+impl<T: DistinctEstimator + ?Sized> DistinctEstimator for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn estimate_raw(&self, profile: &FrequencyProfile) -> f64 {
+        (**self).estimate_raw(profile)
+    }
+}
+
+impl<T: DistinctEstimator + ?Sized> DistinctEstimator for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn estimate_raw(&self, profile: &FrequencyProfile) -> f64 {
+        (**self).estimate_raw(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(f64);
+    impl DistinctEstimator for Fixed {
+        fn name(&self) -> &'static str {
+            "FIXED"
+        }
+        fn estimate_raw(&self, _p: &FrequencyProfile) -> f64 {
+            self.0
+        }
+    }
+
+    fn profile() -> FrequencyProfile {
+        // d = 3, n = 100.
+        FrequencyProfile::from_sample_counts(100, [1, 1, 2]).unwrap()
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        assert_eq!(sanity_clamp(50.0, 3, 100), 50.0);
+        assert_eq!(sanity_clamp(1.0, 3, 100), 3.0);
+        assert_eq!(sanity_clamp(1e9, 3, 100), 100.0);
+        assert_eq!(sanity_clamp(f64::INFINITY, 3, 100), 100.0);
+        assert_eq!(sanity_clamp(f64::NEG_INFINITY, 3, 100), 3.0);
+        assert_eq!(sanity_clamp(f64::NAN, 3, 100), 3.0);
+    }
+
+    #[test]
+    fn trait_applies_clamp() {
+        let p = profile();
+        assert_eq!(Fixed(1e12).estimate(&p), 100.0);
+        assert_eq!(Fixed(0.0).estimate(&p), 3.0);
+        assert_eq!(Fixed(42.0).estimate(&p), 42.0);
+        assert_eq!(Fixed(42.0).estimate_raw(&p), 42.0);
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let p = profile();
+        let boxed: Box<dyn DistinctEstimator> = Box::new(Fixed(7.0));
+        assert_eq!(boxed.name(), "FIXED");
+        assert_eq!(boxed.estimate(&p), 7.0);
+        let by_ref: &dyn DistinctEstimator = &Fixed(7.0);
+        assert_eq!(by_ref.estimate(&p), 7.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Name-based estimator registry.
+//!
+//! The experiment harness, `ANALYZE` command, and CLI all refer to
+//! estimators by the names the paper uses (`"GEE"`, `"AE"`, `"HYBGEE"`,
+//! `"HYBSKEW"`, `"DUJ2A"`, `"HYBVAR"`, …). This module maps those names to
+//! boxed trait objects.
+
+use crate::ae::{AdaptiveEstimator, AeForm};
+use crate::bootstrap::{Bootstrap, CoverageScaleUp};
+use crate::chao::{Chao, ChaoLee};
+use crate::estimator::DistinctEstimator;
+use crate::gee::Gee;
+use crate::goodman::Goodman;
+use crate::hybrid::{HybGee, HybSkew, HybVar};
+use crate::jackknife::{
+    Duj2a, FirstOrderJackknife, SecondOrderJackknife, SmoothedJackknife, UnsmoothedJackknife1,
+    UnsmoothedJackknife2,
+};
+use crate::mom::{MethodOfMoments, MethodOfMomentsInfinite};
+use crate::naive::{LinearScaleUp, SampleDistinct};
+use crate::shlosser::{ModifiedShlosser, Shlosser};
+
+/// All estimator names the registry understands, in the paper's order
+/// (new estimators first, then the published baselines, then classical
+/// statistics-literature estimators).
+pub const ALL_ESTIMATORS: &[&str] = &[
+    "GEE",
+    "AE",
+    "AE-EXP",
+    "HYBGEE",
+    "HYBSKEW",
+    "DUJ2A",
+    "HYBVAR",
+    "SHLOSSER",
+    "SHLOSSER3",
+    "SJACK",
+    "JACK1",
+    "JACK2",
+    "DUJ1",
+    "DUJ2",
+    "CHAO",
+    "CHAOLEE",
+    "BOOT",
+    "COVERAGE",
+    "GOODMAN",
+    "MOM",
+    "MOM-INF",
+    "SAMPLE-D",
+    "SCALEUP",
+];
+
+/// The six estimators the paper's §6 experiments plot.
+pub const PAPER_ESTIMATORS: &[&str] = &["GEE", "AE", "HYBGEE", "HYBSKEW", "DUJ2A", "HYBVAR"];
+
+/// Creates an estimator by name (case-insensitive). Returns `None` for an
+/// unknown name.
+///
+/// ```
+/// use dve_core::registry::by_name;
+/// assert!(by_name("gee").is_some());
+/// assert!(by_name("HYBGEE").is_some());
+/// assert!(by_name("no-such-estimator").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<Box<dyn DistinctEstimator>> {
+    let canonical = name.to_ascii_uppercase();
+    Some(match canonical.as_str() {
+        "GEE" => Box::new(Gee::default()),
+        "AE" => Box::new(AdaptiveEstimator::new()),
+        "AE-EXP" => Box::new(AdaptiveEstimator::with_form(AeForm::ExpApprox)),
+        "HYBGEE" => Box::new(HybGee::new()),
+        "HYBSKEW" => Box::new(HybSkew::new()),
+        "DUJ2A" => Box::new(Duj2a::default()),
+        "HYBVAR" => Box::new(HybVar::new()),
+        "SHLOSSER" => Box::new(Shlosser),
+        "SHLOSSER3" => Box::new(ModifiedShlosser),
+        "SJACK" => Box::new(SmoothedJackknife),
+        "JACK1" => Box::new(FirstOrderJackknife),
+        "JACK2" => Box::new(SecondOrderJackknife),
+        "DUJ1" => Box::new(UnsmoothedJackknife1),
+        "DUJ2" => Box::new(UnsmoothedJackknife2),
+        "CHAO" => Box::new(Chao),
+        "CHAOLEE" => Box::new(ChaoLee),
+        "BOOT" => Box::new(Bootstrap),
+        "COVERAGE" => Box::new(CoverageScaleUp),
+        "GOODMAN" => Box::new(Goodman),
+        "MOM" => Box::new(MethodOfMoments),
+        "MOM-INF" => Box::new(MethodOfMomentsInfinite),
+        "SAMPLE-D" => Box::new(SampleDistinct),
+        "SCALEUP" => Box::new(LinearScaleUp),
+        _ => return None,
+    })
+}
+
+/// Instantiates every estimator named in `names`.
+///
+/// # Panics
+///
+/// Panics on an unknown name — harness configuration is static and a typo
+/// should fail loudly.
+pub fn by_names(names: &[&str]) -> Vec<Box<dyn DistinctEstimator>> {
+    names
+        .iter()
+        .map(|n| by_name(n).unwrap_or_else(|| panic!("unknown estimator name: {n}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::FrequencyProfile;
+
+    #[test]
+    fn every_registered_name_resolves() {
+        for name in ALL_ESTIMATORS {
+            let est = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(&est.name(), name, "registry name mismatch for {name}");
+        }
+    }
+
+    #[test]
+    fn paper_set_is_subset_of_all() {
+        for name in PAPER_ESTIMATORS {
+            assert!(ALL_ESTIMATORS.contains(name));
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert_eq!(by_name("gee").unwrap().name(), "GEE");
+        assert_eq!(by_name("HyBgEe").unwrap().name(), "HYBGEE");
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("HLL").is_none());
+        assert!(by_name("").is_none());
+    }
+
+    #[test]
+    fn every_estimator_is_sane_on_a_generic_profile() {
+        let p = FrequencyProfile::from_spectrum(100_000, vec![30, 12, 4, 1]).unwrap();
+        let d = p.distinct_in_sample() as f64;
+        let n = p.table_size() as f64;
+        for name in ALL_ESTIMATORS {
+            let est = by_name(name).unwrap();
+            let v = est.estimate(&p);
+            assert!(
+                v.is_finite() && v >= d && v <= n,
+                "{name} returned {v} outside [{d}, {n}]"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown estimator")]
+    fn by_names_panics_on_typo() {
+        by_names(&["GEE", "GE"]);
+    }
+}

@@ -1,0 +1,58 @@
+//! The paper's duplication-factor transform (§6, item 3).
+//!
+//! *"For example, to generate a column with n = 1,000,000, Z = 2 and 100
+//! duplicates, we generate Zipfian data for n = 10,000, and made 100
+//! copies of each value."* — i.e. every row of the base column is
+//! replicated `factor` times. The number of distinct values is unchanged;
+//! every class size is multiplied by `factor`.
+
+/// Multiplies every per-value count by `factor`. The resulting column has
+/// `factor · n` rows and the same distinct count.
+///
+/// # Panics
+///
+/// Panics if `factor == 0`.
+pub fn duplicate_counts(counts: &[u64], factor: u64) -> Vec<u64> {
+    assert!(factor >= 1, "duplication factor must be at least 1");
+    counts.iter().map(|&c| c * factor).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zipf::{distinct_of_counts, zipf_counts};
+
+    #[test]
+    fn scales_rows_not_distinct() {
+        let base = zipf_counts(10_000, 2.0);
+        let d = distinct_of_counts(&base);
+        let dup = duplicate_counts(&base, 100);
+        assert_eq!(dup.iter().sum::<u64>(), 1_000_000);
+        assert_eq!(distinct_of_counts(&dup), d);
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let base = zipf_counts(1_000, 1.0);
+        assert_eq!(duplicate_counts(&base, 1), base);
+    }
+
+    #[test]
+    fn paper_fig9_construction() {
+        // Base: Z = 2, n = 1000 (≈49 distinct). Scale to 100K..1M rows by
+        // duplication; D stays fixed.
+        let base = zipf_counts(1_000, 2.0);
+        let d = distinct_of_counts(&base);
+        for factor in [100u64, 500, 1000] {
+            let scaled = duplicate_counts(&base, factor);
+            assert_eq!(scaled.iter().sum::<u64>(), factor * 1_000);
+            assert_eq!(distinct_of_counts(&scaled), d);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_zero_factor() {
+        duplicate_counts(&[1, 2], 0);
+    }
+}

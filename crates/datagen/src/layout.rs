@@ -1,0 +1,99 @@
+//! Physical row layout transforms.
+//!
+//! The paper randomizes tuple placement ("we achieved this by clustering
+//! the data on tuple-ids that were generated at random") so that any
+//! sampling scheme sees an exchangeable row order. [`shuffle`] reproduces
+//! that; [`cluster_by_value`] produces the opposite — a value-clustered
+//! layout — which the block-sampling example uses to demonstrate layout
+//! bias.
+
+use rand::Rng;
+
+/// Uniform Fisher–Yates shuffle in place.
+pub fn shuffle<T, R: Rng + ?Sized>(data: &mut [T], rng: &mut R) {
+    for i in (1..data.len()).rev() {
+        let j = rng.random_range(0..=i);
+        data.swap(i, j);
+    }
+}
+
+/// Sorts rows by value — the fully clustered layout (an index-organized
+/// or freshly bulk-loaded table).
+pub fn cluster_by_value(data: &mut [u64]) {
+    data.sort_unstable();
+}
+
+/// Interleaves values round-robin by class: `[a, b, c, a, b, c, …]`.
+/// The layout most favorable to block sampling, included to bracket the
+/// clustered worst case in the layout experiments.
+pub fn round_robin_by_value(counts: &[u64]) -> Vec<u64> {
+    let total: u64 = counts.iter().sum();
+    let mut remaining: Vec<u64> = counts.to_vec();
+    let mut out = Vec::with_capacity(total as usize);
+    while out.len() < total as usize {
+        for (value, rem) in remaining.iter_mut().enumerate() {
+            if *rem > 0 {
+                out.push(value as u64);
+                *rem -= 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut data: Vec<u64> = (0..1000).collect();
+        shuffle(&mut data, &mut rng);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<_>>());
+        // And it actually moved things (probability of identity ~ 0).
+        assert_ne!(data, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_positions_are_uniform() {
+        // Element 0 should land in each quartile about equally often.
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut quartiles = [0u32; 4];
+        for _ in 0..4000 {
+            let mut data: Vec<u64> = (0..16).collect();
+            shuffle(&mut data, &mut rng);
+            let pos = data.iter().position(|&v| v == 0).unwrap();
+            quartiles[pos / 4] += 1;
+        }
+        for (i, &c) in quartiles.iter().enumerate() {
+            assert!(
+                (c as i64 - 1000).abs() < 165,
+                "quartile {i} hit {c} times (expected ~1000)"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_sorts() {
+        let mut data = vec![3u64, 1, 2, 1];
+        cluster_by_value(&mut data);
+        assert_eq!(data, vec![1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let out = round_robin_by_value(&[2, 3, 1]);
+        assert_eq!(out, vec![0, 1, 2, 0, 1, 1]);
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn round_robin_empty() {
+        assert!(round_robin_by_value(&[]).is_empty());
+    }
+}

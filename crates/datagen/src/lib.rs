@@ -1,0 +1,78 @@
+//! # dve-datagen — workload generators for the evaluation
+//!
+//! Reproduces the data-generation machinery of the paper's §6:
+//!
+//! * [`zipf`] — the generalized Zipfian column generator (`Z ∈ 0..=4`),
+//!   calibrated so `Z = 2, n = 1000` yields ≈49 distinct values as the
+//!   paper states;
+//! * [`dup`] — the duplication-factor transform (`{1, 10, 100, 1000}`
+//!   copies of each value);
+//! * [`layout`] — random tuple placement (and adversarial clustered
+//!   layouts for the block-sampling demonstrations);
+//! * [`spec`] — declarative column/dataset shapes;
+//! * [`realworld`] — synthetic stand-ins for Census, CoverType, and
+//!   MSSales with matched row counts, column counts, and per-column
+//!   cardinality shapes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dup;
+pub mod layout;
+pub mod realworld;
+pub mod spec;
+pub mod zipf;
+
+pub use dup::duplicate_counts;
+pub use spec::{ColumnShape, ColumnSpec, DatasetSpec};
+pub use zipf::{distinct_of_counts, expand_counts, zipf_counts};
+
+use rand::Rng;
+
+/// One-call generator for the paper's synthetic grid: a column of
+/// `base_rows · dup_factor` rows with Zipf parameter `z`, duplication
+/// factor `dup_factor`, and random layout. Returns `(column, true_D)`.
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let (col, d) = dve_datagen::paper_column(1_000, 2.0, 10, &mut rng);
+/// assert_eq!(col.len(), 10_000);
+/// assert!(d >= 45 && d <= 53); // Z=2, n=1000 → ~49 distinct
+/// ```
+pub fn paper_column<R: Rng + ?Sized>(
+    base_rows: u64,
+    z: f64,
+    dup_factor: u64,
+    rng: &mut R,
+) -> (Vec<u64>, u64) {
+    let base = zipf_counts(base_rows, z);
+    let counts = duplicate_counts(&base, dup_factor);
+    let d = distinct_of_counts(&counts);
+    let mut col = expand_counts(&counts);
+    layout::shuffle(&mut col, rng);
+    (col, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn paper_column_dimensions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let (col, d) = paper_column(10_000, 0.0, 100, &mut rng);
+        assert_eq!(col.len(), 1_000_000);
+        assert_eq!(d, 10_000);
+    }
+
+    #[test]
+    fn paper_column_distinct_matches_data() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let (col, d) = paper_column(1_000, 2.0, 10, &mut rng);
+        let actual: std::collections::HashSet<_> = col.iter().collect();
+        assert_eq!(actual.len() as u64, d);
+    }
+}

@@ -1,0 +1,209 @@
+//! Synthetic stand-ins for the paper's real-world datasets.
+//!
+//! The paper evaluates on three real datasets we cannot ship:
+//!
+//! * **Census** — the UCI "Adult" extract (32,561 rows, 15 columns);
+//! * **CoverType** — UCI forest cover (581,012 rows; the paper uses 11
+//!   columns);
+//! * **MSSales** — a Microsoft-internal sales table (1,996,290 rows, 20
+//!   columns) that was never public.
+//!
+//! Per the substitution policy in DESIGN.md we synthesize datasets with
+//! the same row counts, column counts, and — column by column — the
+//! distinct-count magnitudes and frequency shapes of the originals
+//! (published UCI statistics for Census/CoverType; the paper's §6 prose
+//! for MSSales). The estimators consume only sampled frequency spectra,
+//! so matching `n`, per-column `D`, and skew shape reproduces the
+//! estimation problem the paper's Figures 11–16 pose.
+
+use crate::spec::{ColumnShape, ColumnSpec, DatasetSpec};
+
+/// Synthetic Census ("Adult") dataset: 32,561 rows, 15 columns.
+///
+/// Distinct counts follow the published UCI summary (e.g. `age` has 73
+/// distinct values, `fnlwgt` ≈ 21,648 nearly unique, `sex` has 2).
+pub fn census() -> DatasetSpec {
+    use ColumnShape::*;
+    DatasetSpec {
+        name: "Census".into(),
+        rows: 32_561,
+        columns: vec![
+            ColumnSpec::new("age", Bell { distinct: 73 }),
+            ColumnSpec::new("workclass", Zipf { z: 1.6 }),
+            ColumnSpec::new(
+                "fnlwgt",
+                MostlyUnique {
+                    unique_fraction: 0.55,
+                    hot_values: 6_000,
+                },
+            ),
+            ColumnSpec::new("education", Zipf { z: 1.1 }),
+            ColumnSpec::new("education_num", Bell { distinct: 16 }),
+            ColumnSpec::new("marital_status", Zipf { z: 1.2 }),
+            ColumnSpec::new("occupation", UniformCategorical { distinct: 15 }),
+            ColumnSpec::new("relationship", Zipf { z: 1.0 }),
+            ColumnSpec::new("race", Zipf { z: 2.0 }),
+            ColumnSpec::new("sex", UniformCategorical { distinct: 2 }),
+            ColumnSpec::new(
+                "capital_gain",
+                MostlyUnique {
+                    unique_fraction: 0.003,
+                    hot_values: 118,
+                },
+            ),
+            ColumnSpec::new(
+                "capital_loss",
+                MostlyUnique {
+                    unique_fraction: 0.002,
+                    hot_values: 91,
+                },
+            ),
+            ColumnSpec::new("hours_per_week", Bell { distinct: 94 }),
+            ColumnSpec::new("native_country", Zipf { z: 2.2 }),
+            ColumnSpec::new("income", UniformCategorical { distinct: 2 }),
+        ],
+    }
+}
+
+/// Synthetic CoverType dataset: 581,012 rows, 11 columns (the paper's
+/// column count — the quantitative terrain attributes plus the class
+/// label).
+pub fn covertype() -> DatasetSpec {
+    use ColumnShape::*;
+    DatasetSpec {
+        name: "CoverType".into(),
+        rows: 581_012,
+        columns: vec![
+            ColumnSpec::new("elevation", Bell { distinct: 1_978 }),
+            ColumnSpec::new("aspect", UniformCategorical { distinct: 361 }),
+            ColumnSpec::new("slope", Bell { distinct: 67 }),
+            ColumnSpec::new("horiz_dist_hydrology", Bell { distinct: 551 }),
+            ColumnSpec::new("vert_dist_hydrology", Bell { distinct: 700 }),
+            ColumnSpec::new("horiz_dist_roadways", Bell { distinct: 5_785 }),
+            ColumnSpec::new("hillshade_9am", Bell { distinct: 207 }),
+            ColumnSpec::new("hillshade_noon", Bell { distinct: 185 }),
+            ColumnSpec::new("hillshade_3pm", Bell { distinct: 255 }),
+            ColumnSpec::new("horiz_dist_fire_points", Bell { distinct: 5_827 }),
+            ColumnSpec::new("cover_type", Zipf { z: 1.3 }),
+        ],
+    }
+}
+
+/// Synthetic MSSales dataset: 1,996,290 rows, 20 columns.
+///
+/// The original is a Microsoft-internal fiscal-year sales table; the
+/// paper names Product, Division, LicenseNumber, and Revenue. We model a
+/// star-schema fact table: low-cardinality dimensions, Zipf-heavy
+/// customer/product references, near-unique identifiers, and a
+/// high-cardinality measure.
+pub fn mssales() -> DatasetSpec {
+    use ColumnShape::*;
+    DatasetSpec {
+        name: "MSSales".into(),
+        rows: 1_996_290,
+        columns: vec![
+            ColumnSpec::new("product", Zipf { z: 1.1 }),
+            ColumnSpec::new("division", UniformCategorical { distinct: 23 }),
+            ColumnSpec::new(
+                "license_number",
+                MostlyUnique {
+                    unique_fraction: 0.92,
+                    hot_values: 40_000,
+                },
+            ),
+            ColumnSpec::new(
+                "revenue",
+                MostlyUnique {
+                    unique_fraction: 0.18,
+                    hot_values: 60_000,
+                },
+            ),
+            ColumnSpec::new("customer", Zipf { z: 1.0 }),
+            ColumnSpec::new("reseller", Zipf { z: 1.4 }),
+            ColumnSpec::new("order_date", UniformCategorical { distinct: 366 }),
+            ColumnSpec::new("ship_date", UniformCategorical { distinct: 366 }),
+            ColumnSpec::new("fiscal_quarter", UniformCategorical { distinct: 4 }),
+            ColumnSpec::new("fiscal_month", UniformCategorical { distinct: 12 }),
+            ColumnSpec::new("country", Zipf { z: 1.8 }),
+            ColumnSpec::new("region", Zipf { z: 1.3 }),
+            ColumnSpec::new("sales_rep", Zipf { z: 1.2 }),
+            ColumnSpec::new("channel", Zipf { z: 2.0 }),
+            ColumnSpec::new("quantity", Zipf { z: 2.4 }),
+            ColumnSpec::new("discount_pct", Zipf { z: 2.8 }),
+            ColumnSpec::new("currency", Zipf { z: 2.5 }),
+            ColumnSpec::new("product_family", Zipf { z: 1.5 }),
+            ColumnSpec::new("support_tier", UniformCategorical { distinct: 5 }),
+            ColumnSpec::new("is_renewal", UniformCategorical { distinct: 2 }),
+        ],
+    }
+}
+
+/// All three synthetic real-world datasets, in the paper's order.
+pub fn all_datasets() -> Vec<DatasetSpec> {
+    vec![census(), covertype(), mssales()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn row_and_column_counts_match_paper() {
+        let c = census();
+        assert_eq!(c.rows, 32_561);
+        assert_eq!(c.columns.len(), 15);
+        let ct = covertype();
+        assert_eq!(ct.rows, 581_012);
+        assert_eq!(ct.columns.len(), 11);
+        let ms = mssales();
+        assert_eq!(ms.rows, 1_996_290);
+        assert_eq!(ms.columns.len(), 20);
+    }
+
+    #[test]
+    fn census_column_cardinalities_are_plausible() {
+        let c = census();
+        let by_name = |name: &str| {
+            let idx = c.columns.iter().position(|s| s.name == name).unwrap();
+            c.true_distinct(idx)
+        };
+        assert_eq!(by_name("sex"), 2);
+        assert!(by_name("age") >= 60 && by_name("age") <= 73);
+        assert!(by_name("fnlwgt") > 15_000, "fnlwgt mostly unique");
+        assert_eq!(by_name("occupation"), 15);
+    }
+
+    #[test]
+    fn all_columns_generate_without_panic() {
+        // Use a reduced row count via per-column specs to keep the test
+        // fast, but verify the real specs at full size are well-formed by
+        // checking count vectors only (no expansion).
+        for ds in all_datasets() {
+            for (i, col) in ds.columns.iter().enumerate() {
+                let counts = col.shape.counts(ds.rows);
+                assert_eq!(
+                    counts.iter().sum::<u64>(),
+                    ds.rows,
+                    "{}.{} counts must cover every row",
+                    ds.name,
+                    col.name
+                );
+                assert!(ds.true_distinct(i) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn small_scale_generation_roundtrip() {
+        let ds = census();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        // Generate the two smallest columns for real.
+        let sex_idx = ds.columns.iter().position(|c| c.name == "sex").unwrap();
+        let col = ds.generate_column(sex_idx, &mut rng);
+        assert_eq!(col.len(), 32_561);
+        let distinct: std::collections::HashSet<_> = col.iter().collect();
+        assert_eq!(distinct.len(), 2);
+    }
+}

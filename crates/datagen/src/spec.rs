@@ -1,0 +1,344 @@
+//! Declarative column and dataset specifications.
+//!
+//! The experiment harness and the synthetic real-world datasets describe
+//! columns by *shape* (how many distinct values, how skewed) and generate
+//! concrete `Vec<u64>` columns on demand. Generation is deterministic
+//! given the RNG: counts are computed exactly, then the rows are laid out
+//! randomly (the paper's random tuple-id clustering).
+
+use crate::layout::shuffle;
+use crate::zipf::{distinct_of_counts, expand_counts, zipf_counts};
+use rand::Rng;
+
+/// The frequency shape of a synthetic column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnShape {
+    /// The paper's generalized Zipfian generator at parameter `z`
+    /// (distinct count emerges from `z` and the row count).
+    Zipf {
+        /// Skew parameter; 0 = uniform.
+        z: f64,
+    },
+    /// Exactly `distinct` values with equal frequencies (remainder rows go
+    /// to the first values).
+    UniformCategorical {
+        /// Number of distinct values.
+        distinct: u64,
+    },
+    /// A quantized symmetric bell over `distinct` values — the shape of
+    /// rounded physical measurements (ages, elevations, hillshade).
+    Bell {
+        /// Number of distinct values.
+        distinct: u64,
+    },
+    /// `unique_fraction` of rows hold globally unique values; the rest
+    /// are drawn Zipf(1) from `hot_values` hot values. The shape of
+    /// key-like columns with a default value (capital-gain, license ids).
+    MostlyUnique {
+        /// Fraction of rows carrying a unique value, in `[0, 1]`.
+        unique_fraction: f64,
+        /// Number of non-unique hot values (≥ 1).
+        hot_values: u64,
+    },
+    /// A single constant value.
+    Constant,
+    /// Explicit per-value counts (must sum to the dataset's row count).
+    Counts(
+        /// `counts[i]` rows hold value `i`.
+        Vec<u64>,
+    ),
+}
+
+impl ColumnShape {
+    /// Per-value counts for a column of `rows` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (zero distinct, fraction outside
+    /// `[0,1]`, explicit counts not summing to `rows`, or more distinct
+    /// values than rows).
+    pub fn counts(&self, rows: u64) -> Vec<u64> {
+        assert!(rows > 0, "column must have at least one row");
+        match self {
+            ColumnShape::Zipf { z } => zipf_counts(rows, *z),
+            ColumnShape::UniformCategorical { distinct } => {
+                assert!(*distinct >= 1, "need at least one distinct value");
+                assert!(
+                    *distinct <= rows,
+                    "cannot fit {distinct} distinct values in {rows} rows"
+                );
+                let base = rows / distinct;
+                let extra = rows % distinct;
+                (0..*distinct)
+                    .map(|i| base + u64::from(i < extra))
+                    .collect()
+            }
+            ColumnShape::Bell { distinct } => {
+                assert!(*distinct >= 1, "need at least one distinct value");
+                assert!(
+                    *distinct <= rows,
+                    "cannot fit {distinct} distinct values in {rows} rows"
+                );
+                bell_counts(rows, *distinct)
+            }
+            ColumnShape::MostlyUnique {
+                unique_fraction,
+                hot_values,
+            } => {
+                assert!(
+                    (0.0..=1.0).contains(unique_fraction),
+                    "unique_fraction must be in [0,1]"
+                );
+                assert!(*hot_values >= 1, "need at least one hot value");
+                let unique_rows = ((rows as f64) * unique_fraction).round() as u64;
+                let hot_rows = rows - unique_rows;
+                let mut counts = if hot_rows > 0 {
+                    let mut hot = zipf_counts(hot_rows, 1.0);
+                    hot.truncate(*hot_values as usize);
+                    // Re-normalize whatever was truncated into the head.
+                    let assigned: u64 = hot.iter().sum();
+                    if let Some(first) = hot.first_mut() {
+                        *first += hot_rows - assigned;
+                    }
+                    hot
+                } else {
+                    Vec::new()
+                };
+                counts.extend(std::iter::repeat_n(1u64, unique_rows as usize));
+                counts
+            }
+            ColumnShape::Constant => vec![rows],
+            ColumnShape::Counts(counts) => {
+                assert_eq!(
+                    counts.iter().sum::<u64>(),
+                    rows,
+                    "explicit counts must sum to the row count"
+                );
+                counts.clone()
+            }
+        }
+    }
+
+    /// Number of distinct values this shape produces for `rows` rows.
+    pub fn distinct(&self, rows: u64) -> u64 {
+        distinct_of_counts(&self.counts(rows))
+    }
+}
+
+/// Quantized symmetric bell: value `i`'s probability follows a parabolic
+/// (Beta(2,2)-like) density over `0..distinct`, quantized by the
+/// cumulative-floor rule so the counts sum to `rows` exactly. The
+/// parabola keeps the whole support populated when `rows ≫ distinct`
+/// (unlike a binomial bell, whose tails vanish below one row), matching
+/// real measurement columns whose extreme values are rare but present.
+/// Tail values still drop out when `rows` is small relative to
+/// `distinct`, so the realized distinct count can fall below the nominal
+/// one.
+fn bell_counts(rows: u64, distinct: u64) -> Vec<u64> {
+    if distinct == 1 {
+        return vec![rows];
+    }
+    let m = distinct as f64;
+    // pmf_i ∝ (i + 0.5)·(m − i − 0.5): zero-free parabola over 0..m-1.
+    let pmf: Vec<f64> = (0..distinct)
+        .map(|i| {
+            let x = i as f64;
+            (x + 0.5) * (m - x - 0.5)
+        })
+        .collect();
+    let total: f64 = pmf.iter().sum();
+    let mut counts = Vec::with_capacity(distinct as usize);
+    let mut cum = 0.0;
+    let mut prev = 0u64;
+    for p in &pmf {
+        cum += p / total;
+        let boundary = ((rows as f64) * cum).floor().min(rows as f64) as u64;
+        counts.push(boundary.saturating_sub(prev));
+        prev = boundary.max(prev);
+    }
+    if prev < rows {
+        // Float shortfall goes to the modal value.
+        let mid = counts.len() / 2;
+        counts[mid] += rows - prev;
+    }
+    counts.retain(|&c| c > 0);
+    counts
+}
+
+/// A named column with a shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSpec {
+    /// Column name (for reports).
+    pub name: String,
+    /// Frequency shape.
+    pub shape: ColumnShape,
+}
+
+impl ColumnSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, shape: ColumnShape) -> Self {
+        Self {
+            name: name.into(),
+            shape,
+        }
+    }
+
+    /// Generates the column: exact counts, expanded, randomly laid out.
+    pub fn generate<R: Rng + ?Sized>(&self, rows: u64, rng: &mut R) -> Vec<u64> {
+        let counts = self.shape.counts(rows);
+        let mut col = expand_counts(&counts);
+        shuffle(&mut col, rng);
+        col
+    }
+
+    /// The exact number of distinct values the generated column contains.
+    pub fn true_distinct(&self, rows: u64) -> u64 {
+        self.shape.distinct(rows)
+    }
+}
+
+/// A named multi-column dataset: the unit the real-world experiments
+/// iterate over. Columns are generated one at a time to bound memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Dataset name (e.g. `"Census"`).
+    pub name: String,
+    /// Row count shared by every column.
+    pub rows: u64,
+    /// Column specifications.
+    pub columns: Vec<ColumnSpec>,
+}
+
+impl DatasetSpec {
+    /// Generates column `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn generate_column<R: Rng + ?Sized>(&self, idx: usize, rng: &mut R) -> Vec<u64> {
+        self.columns[idx].generate(self.rows, rng)
+    }
+
+    /// True distinct count of column `idx`.
+    pub fn true_distinct(&self, idx: usize) -> u64 {
+        self.columns[idx].true_distinct(self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn uniform_categorical_counts() {
+        let c = ColumnShape::UniformCategorical { distinct: 3 }.counts(10);
+        assert_eq!(c, vec![4, 3, 3]);
+        assert_eq!(c.iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn bell_is_unimodal_and_exact() {
+        let c = ColumnShape::Bell { distinct: 21 }.counts(100_000);
+        assert_eq!(c.iter().sum::<u64>(), 100_000);
+        // Mode near the middle, tails smaller.
+        let max_idx = c
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(
+            (c.len() / 3..=2 * c.len() / 3).contains(&max_idx),
+            "mode at {max_idx} of {}",
+            c.len()
+        );
+        assert!(c[0] < c[max_idx]);
+    }
+
+    #[test]
+    fn bell_single_value() {
+        assert_eq!(ColumnShape::Bell { distinct: 1 }.counts(50), vec![50]);
+    }
+
+    #[test]
+    fn mostly_unique_splits_rows() {
+        let shape = ColumnShape::MostlyUnique {
+            unique_fraction: 0.9,
+            hot_values: 5,
+        };
+        let c = shape.counts(1_000);
+        assert_eq!(c.iter().sum::<u64>(), 1_000);
+        let singles = c.iter().filter(|&&x| x == 1).count();
+        assert!(singles >= 900, "expected ≥900 unique rows, got {singles}");
+        assert!(shape.distinct(1_000) >= 901);
+    }
+
+    #[test]
+    fn mostly_unique_extremes() {
+        let all_unique = ColumnShape::MostlyUnique {
+            unique_fraction: 1.0,
+            hot_values: 3,
+        };
+        assert_eq!(all_unique.distinct(100), 100);
+        let no_unique = ColumnShape::MostlyUnique {
+            unique_fraction: 0.0,
+            hot_values: 3,
+        };
+        assert!(no_unique.distinct(100) <= 3);
+    }
+
+    #[test]
+    fn constant_column() {
+        assert_eq!(ColumnShape::Constant.counts(42), vec![42]);
+        assert_eq!(ColumnShape::Constant.distinct(42), 1);
+    }
+
+    #[test]
+    fn explicit_counts_validated() {
+        let c = ColumnShape::Counts(vec![5, 5]).counts(10);
+        assert_eq!(c, vec![5, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to the row count")]
+    fn explicit_counts_mismatch_rejected() {
+        ColumnShape::Counts(vec![5, 5]).counts(11);
+    }
+
+    #[test]
+    fn generated_column_matches_spec() {
+        let spec = ColumnSpec::new("city", ColumnShape::UniformCategorical { distinct: 10 });
+        let col = spec.generate(1_000, &mut rng());
+        assert_eq!(col.len(), 1_000);
+        let distinct: std::collections::HashSet<_> = col.iter().collect();
+        assert_eq!(distinct.len() as u64, spec.true_distinct(1_000));
+    }
+
+    #[test]
+    fn dataset_spec_generates_columns() {
+        let ds = DatasetSpec {
+            name: "tiny".into(),
+            rows: 100,
+            columns: vec![
+                ColumnSpec::new("a", ColumnShape::Zipf { z: 1.0 }),
+                ColumnSpec::new("b", ColumnShape::Constant),
+            ],
+        };
+        let a = ds.generate_column(0, &mut rng());
+        assert_eq!(a.len(), 100);
+        assert_eq!(ds.true_distinct(1), 1);
+        let b = ds.generate_column(1, &mut rng());
+        assert!(b.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn zipf_shape_delegates_to_paper_generator() {
+        assert_eq!(ColumnShape::Zipf { z: 0.0 }.distinct(5_000), 5_000);
+    }
+}

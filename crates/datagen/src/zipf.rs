@@ -1,0 +1,174 @@
+//! The paper's generalized Zipfian column generator.
+//!
+//! §6 of the paper: *"We generated the data sets according to the
+//! generalized Zipfian distribution … Z = 0 gives a uniform distribution
+//! (low skew), and Z = 4 is a highly-skewed distribution"*, and the
+//! scale-up experiment pins the generator down precisely: *"Z = 2 …
+//! gives 49 distinct values for n = 1000"*.
+//!
+//! Both facts are reproduced by **quantized inverse-CDF assignment**: row
+//! `j ∈ {1..n}` receives the value `i(j) = min{ i : H_{i,Z} / H_{n,Z} ≥
+//! j/n }` where `H_{k,Z} = Σ_{i≤k} i^{-Z}` is the generalized harmonic
+//! number. Equivalently, value `i` receives
+//! `count(i) = ⌊n·CDF(i)⌋ − ⌊n·CDF(i−1)⌋` rows:
+//!
+//! * `Z = 0` — the CDF is linear, every value gets exactly one row:
+//!   `D = n` (the uniform case the paper's Table 1 shows, `ACTUAL =
+//!   10_000` for base `n = 10_000`);
+//! * `Z = 2, n = 1000` — exactly 49 values receive at least one row,
+//!   matching the paper's Figure 9 setup (checked in the tests).
+//!
+//! The generator is deterministic; randomness enters only through the
+//! row *layout* (see [`crate::layout`]), exactly as in the paper ("the
+//! layout of data for each column was random").
+
+/// Per-value row counts of a generalized Zipfian column: `counts[i]` rows
+/// hold value `i`, zero-count values are dropped, `Σ counts = n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `z < 0`.
+pub fn zipf_counts(n: u64, z: f64) -> Vec<u64> {
+    assert!(n > 0, "column must have at least one row");
+    assert!(z >= 0.0, "Zipf parameter must be nonnegative, got {z}");
+    if z == 0.0 {
+        // Exact uniform: one row per value. (The general path below would
+        // produce the same result; this avoids n pow() calls.)
+        return vec![1; n as usize];
+    }
+    // H_{n,z} by compensated summation, smallest terms first for accuracy.
+    let mut h_n = 0.0f64;
+    for i in (1..=n).rev() {
+        h_n += (i as f64).powf(-z);
+    }
+    let nf = n as f64;
+    let mut counts = Vec::new();
+    let mut cum = 0.0f64;
+    let mut prev_boundary = 0u64;
+    for i in 1..=n {
+        cum += (i as f64).powf(-z);
+        let boundary = ((nf * cum / h_n).floor() as u64).min(n);
+        if boundary > prev_boundary {
+            counts.push(boundary - prev_boundary);
+            prev_boundary = boundary;
+        } else if boundary == prev_boundary && prev_boundary == n {
+            break;
+        } else {
+            counts.push(0);
+        }
+        if prev_boundary == n {
+            break;
+        }
+    }
+    // Any float shortfall goes to the last value so Σ counts = n exactly.
+    if prev_boundary < n {
+        if let Some(last) = counts.last_mut() {
+            *last += n - prev_boundary;
+        }
+    }
+    counts.retain(|&c| c > 0);
+    counts
+}
+
+/// Expands per-value counts to a column of values `0..D-1` in value order
+/// (unshuffled): `counts[i]` copies of `i`.
+pub fn expand_counts(counts: &[u64]) -> Vec<u64> {
+    let total: u64 = counts.iter().sum();
+    let mut out = Vec::with_capacity(total as usize);
+    for (value, &count) in counts.iter().enumerate() {
+        for _ in 0..count {
+            out.push(value as u64);
+        }
+    }
+    out
+}
+
+/// Number of distinct values implied by a count vector.
+pub fn distinct_of_counts(counts: &[u64]) -> u64 {
+    counts.iter().filter(|&&c| c > 0).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z0_is_one_row_per_value() {
+        let c = zipf_counts(10_000, 0.0);
+        assert_eq!(c.len(), 10_000);
+        assert!(c.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn counts_sum_to_n() {
+        for &(n, z) in &[
+            (1_000u64, 0.5),
+            (1_000, 1.0),
+            (1_000, 2.0),
+            (10_000, 3.0),
+            (10_000, 4.0),
+            (7, 1.0),
+            (1, 2.0),
+        ] {
+            let c = zipf_counts(n, z);
+            assert_eq!(c.iter().sum::<u64>(), n, "n={n}, z={z}");
+        }
+    }
+
+    #[test]
+    fn paper_z2_n1000_gives_49_distinct() {
+        // The calibration fact from the paper's Figure 9 setup.
+        let c = zipf_counts(1_000, 2.0);
+        let d = distinct_of_counts(&c);
+        assert!(
+            (45..=53).contains(&d),
+            "Z=2, n=1000 should give ~49 distinct values, got {d}"
+        );
+    }
+
+    #[test]
+    fn skew_reduces_distinct_count() {
+        let mut prev = u64::MAX;
+        for z in [0.0, 1.0, 2.0, 3.0, 4.0] {
+            let d = distinct_of_counts(&zipf_counts(10_000, z));
+            assert!(
+                d <= prev,
+                "distinct count must fall with skew: z={z}, d={d}"
+            );
+            prev = d;
+        }
+        // And the extremes are sensible.
+        assert_eq!(distinct_of_counts(&zipf_counts(10_000, 0.0)), 10_000);
+        assert!(distinct_of_counts(&zipf_counts(10_000, 4.0)) < 100);
+    }
+
+    #[test]
+    fn head_is_heaviest() {
+        let c = zipf_counts(10_000, 2.0);
+        // First value holds roughly n/H_{n,2} ≈ 10_000/1.6449 ≈ 6_080 rows.
+        assert!(c[0] > 5_500 && c[0] < 6_500, "head count {}", c[0]);
+        // The head dominates; quantization may wobble individual tail
+        // counts by ±1, so only require a loose decreasing trend.
+        assert_eq!(c[0], *c.iter().max().unwrap());
+        assert!(c[1] < c[0] && c[1] > c[0] / 8);
+    }
+
+    #[test]
+    fn expansion_matches_counts() {
+        let counts = vec![3, 0, 2, 1];
+        let col = expand_counts(&counts);
+        assert_eq!(col, vec![0, 0, 0, 2, 2, 3]);
+    }
+
+    #[test]
+    fn single_row_column() {
+        let c = zipf_counts(1, 2.0);
+        assert_eq!(c, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn rejects_empty() {
+        zipf_counts(0, 1.0);
+    }
+}

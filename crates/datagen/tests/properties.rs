@@ -1,0 +1,91 @@
+//! Property-based tests for the workload generators.
+
+use dve_datagen::spec::{ColumnShape, ColumnSpec};
+use dve_datagen::{distinct_of_counts, duplicate_counts, expand_counts, zipf_counts};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Zipf counts always cover every row exactly once, head is maximal,
+    /// and distinct count is monotone nonincreasing in z.
+    #[test]
+    fn zipf_invariants(n in 1u64..20_000, z in 0.0f64..4.0) {
+        let counts = zipf_counts(n, z);
+        prop_assert_eq!(counts.iter().sum::<u64>(), n);
+        prop_assert!(counts.iter().all(|&c| c > 0));
+        if z > 0.0 && counts.len() > 1 {
+            // Quantization wobbles individual counts by ±1, which can
+            // outweigh the Zipf decay when z is tiny — allow that slack.
+            prop_assert!(counts[0] + 1 >= *counts.iter().max().unwrap());
+        }
+        // Monotonicity in z (compare against a higher skew).
+        let steeper = zipf_counts(n, z + 0.5);
+        prop_assert!(distinct_of_counts(&steeper) <= distinct_of_counts(&counts));
+    }
+
+    /// Duplication multiplies rows, preserves distinct count, preserves
+    /// relative frequencies.
+    #[test]
+    fn duplication_invariants(
+        counts in proptest::collection::vec(1u64..100, 1..50),
+        factor in 1u64..50,
+    ) {
+        let dup = duplicate_counts(&counts, factor);
+        let n: u64 = counts.iter().sum();
+        prop_assert_eq!(dup.iter().sum::<u64>(), n * factor);
+        prop_assert_eq!(distinct_of_counts(&dup), distinct_of_counts(&counts));
+        for (a, b) in counts.iter().zip(&dup) {
+            prop_assert_eq!(a * factor, *b);
+        }
+    }
+
+    /// Expansion inverts counting: counting the expanded column recovers
+    /// the counts.
+    #[test]
+    fn expansion_roundtrip(counts in proptest::collection::vec(0u64..50, 1..60)) {
+        let col = expand_counts(&counts);
+        prop_assert_eq!(col.len() as u64, counts.iter().sum::<u64>());
+        let mut recount = vec![0u64; counts.len()];
+        for &v in &col {
+            recount[v as usize] += 1;
+        }
+        prop_assert_eq!(recount, counts);
+    }
+
+    /// Every shape generates a column with exactly the predicted distinct
+    /// count and row count, for any row count that fits it.
+    #[test]
+    fn shapes_match_their_predictions(rows in 100u64..5_000, seed in 0u64..1_000, pick in 0usize..5) {
+        let shape = match pick {
+            0 => ColumnShape::Zipf { z: 1.5 },
+            1 => ColumnShape::UniformCategorical { distinct: 1 + rows / 10 },
+            2 => ColumnShape::Bell { distinct: 1 + rows / 20 },
+            3 => ColumnShape::MostlyUnique { unique_fraction: 0.5, hot_values: 7 },
+            _ => ColumnShape::Constant,
+        };
+        let spec = ColumnSpec::new("c", shape);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let col = spec.generate(rows, &mut rng);
+        prop_assert_eq!(col.len() as u64, rows);
+        let distinct: std::collections::HashSet<u64> = col.iter().copied().collect();
+        prop_assert_eq!(distinct.len() as u64, spec.true_distinct(rows));
+    }
+
+    /// paper_column is deterministic per seed and its reported D is the
+    /// column's true distinct count.
+    #[test]
+    fn paper_column_reports_truth(base in 10u64..2_000, dup in 1u64..20, seed in 0u64..500) {
+        let mut rng1 = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(seed);
+        let (col1, d1) = dve_datagen::paper_column(base, 1.0, dup, &mut rng1);
+        let (col2, d2) = dve_datagen::paper_column(base, 1.0, dup, &mut rng2);
+        prop_assert_eq!(&col1, &col2, "same seed, same column");
+        prop_assert_eq!(d1, d2);
+        let distinct: std::collections::HashSet<u64> = col1.iter().copied().collect();
+        prop_assert_eq!(distinct.len() as u64, d1);
+        prop_assert_eq!(col1.len() as u64, base * dup);
+    }
+}

@@ -1,0 +1,117 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list                 # show every experiment id
+//! repro all                  # run everything at paper scale
+//! repro fig1 fig2 tab1       # run a subset
+//! repro all --fast           # smoke-scale run (rows/20, 3 trials)
+//! repro fig1 --csv out/      # also write CSV per experiment
+//! repro fig1 --json out/     # also write JSON per experiment
+//! ```
+
+use dve_experiments::{all_experiments, experiment_by_id, ExperimentCtx};
+use std::io::Write;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage_and_exit(0);
+    }
+
+    let mut fast = false;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut json_dir: Option<PathBuf> = None;
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--csv" => {
+                csv_dir = Some(PathBuf::from(expect_value(&mut it, "--csv")));
+            }
+            "--json" => {
+                json_dir = Some(PathBuf::from(expect_value(&mut it, "--json")));
+            }
+            "--help" | "-h" => usage_and_exit(0),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag: {other}");
+                usage_and_exit(2);
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+
+    if ids.iter().any(|i| i == "list") {
+        for def in all_experiments() {
+            println!("{:6}  {}", def.id, def.title);
+        }
+        return;
+    }
+
+    let ctx = if fast {
+        ExperimentCtx::fast()
+    } else {
+        ExperimentCtx::full()
+    };
+
+    let defs: Vec<_> = if ids.iter().any(|i| i == "all") {
+        all_experiments()
+    } else {
+        ids.iter()
+            .map(|id| {
+                experiment_by_id(id).unwrap_or_else(|| {
+                    eprintln!("unknown experiment id: {id} (try `repro list`)");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    for (dir, _) in [(&csv_dir, "csv"), (&json_dir, "json")] {
+        if let Some(d) = dir {
+            std::fs::create_dir_all(d).unwrap_or_else(|e| {
+                eprintln!("cannot create {}: {e}", d.display());
+                std::process::exit(1);
+            });
+        }
+    }
+
+    for def in defs {
+        let start = std::time::Instant::now();
+        let report = (def.run)(&ctx);
+        let elapsed = start.elapsed();
+        println!("{}", report.to_text());
+        println!("({} completed in {:.1?})\n", def.id, elapsed);
+        if let Some(dir) = &csv_dir {
+            write_file(&dir.join(format!("{}.csv", def.id)), &report.to_csv());
+        }
+        if let Some(dir) = &json_dir {
+            write_file(&dir.join(format!("{}.json", def.id)), &report.to_json());
+        }
+    }
+}
+
+fn expect_value(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    it.next().unwrap_or_else(|| {
+        eprintln!("{flag} requires a directory argument");
+        std::process::exit(2);
+    })
+}
+
+fn write_file(path: &PathBuf, contents: &str) {
+    let mut f = std::fs::File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    f.write_all(contents.as_bytes()).expect("write succeeds");
+}
+
+fn usage_and_exit(code: i32) -> ! {
+    println!(
+        "usage: repro <ids...|all|list> [--fast] [--csv DIR] [--json DIR]\n\
+         ids: fig1..fig16, tab1, tab2, lb, scan, thm2, bias"
+    );
+    std::process::exit(code);
+}

@@ -1,0 +1,33 @@
+//! Shared experiment constants — the paper's §6 grid.
+
+/// The six sampling fractions the paper sweeps: 0.2%–6.4%.
+pub const SAMPLING_FRACTIONS: [f64; 6] = [0.002, 0.004, 0.008, 0.016, 0.032, 0.064];
+
+/// Independent samples per data point ("we collect ten independent
+/// samples, and report the average error").
+pub const TRIALS: u32 = 10;
+
+/// The six estimators the paper's figures plot.
+pub const ESTIMATORS: [&str; 6] = ["GEE", "AE", "HYBGEE", "HYBSKEW", "DUJ2A", "HYBVAR"];
+
+/// Zipf skews swept in Figures 5–6.
+pub const SKEWS: [f64; 5] = [0.0, 1.0, 2.0, 3.0, 4.0];
+
+/// Duplication factors swept in Figures 7–8.
+pub const DUP_FACTORS: [u64; 4] = [1, 10, 100, 1000];
+
+/// Row counts swept in the scale-up experiments (Figures 9–10).
+pub const SCALEUP_ROWS: [u64; 10] = [
+    100_000, 200_000, 300_000, 400_000, 500_000, 600_000, 700_000, 800_000, 900_000, 1_000_000,
+];
+
+/// Default base seed; every experiment derives per-point seeds from it so
+/// reruns are bit-identical.
+pub const BASE_SEED: u64 = 0x05EE_DD15_C711_1C75;
+
+/// Scale factors for `--fast` smoke runs: rows divided by this, trials
+/// halved (min 3).
+pub const FAST_DIVISOR: u64 = 20;
+
+/// Reduced trial count used by `--fast`.
+pub const FAST_TRIALS: u32 = 3;

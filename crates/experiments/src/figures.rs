@@ -1,0 +1,891 @@
+//! One function per table/figure in the paper's §6 evaluation, plus the
+//! §3 lower-bound demonstration.
+//!
+//! Every function returns an [`ExperimentReport`] whose rows are the
+//! series the paper plots. The `repro` binary prints them; EXPERIMENTS.md
+//! records paper-vs-measured values.
+
+use crate::config::{
+    BASE_SEED, DUP_FACTORS, ESTIMATORS, FAST_DIVISOR, FAST_TRIALS, SAMPLING_FRACTIONS,
+    SCALEUP_ROWS, SKEWS, TRIALS,
+};
+use crate::report::ExperimentReport;
+use crate::runner::{run_interval_point, run_point};
+use dve_datagen::realworld;
+use dve_datagen::spec::DatasetSpec;
+use dve_lowerbound::game::play_random_probe;
+use dve_numeric::stats::RunningMoments;
+use dve_sample::SamplingScheme;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Execution context: full paper scale or a fast smoke-scale run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentCtx {
+    /// When set, row counts are divided by [`FAST_DIVISOR`] and trials
+    /// reduced to [`FAST_TRIALS`] — same code paths, minutes → seconds.
+    pub fast: bool,
+}
+
+impl ExperimentCtx {
+    /// Full paper-scale context.
+    pub fn full() -> Self {
+        Self { fast: false }
+    }
+
+    /// Reduced smoke-scale context.
+    pub fn fast() -> Self {
+        Self { fast: true }
+    }
+
+    fn trials(&self) -> u32 {
+        if self.fast {
+            FAST_TRIALS
+        } else {
+            TRIALS
+        }
+    }
+
+    fn rows(&self, n: u64) -> u64 {
+        if self.fast {
+            (n / FAST_DIVISOR).max(1_000)
+        } else {
+            n
+        }
+    }
+}
+
+/// Stable per-experiment seed derived from the experiment id.
+fn seed_for(id: &str, point: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in id.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    BASE_SEED ^ h ^ point.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// The paper's standard synthetic column: Zipf `z`, duplication factor
+/// `dup`, base rows chosen so the final column has `rows` rows.
+fn standard_column(ctx: &ExperimentCtx, id: &str, z: f64, dup: u64, rows: u64) -> (Vec<u64>, u64) {
+    let rows = ctx.rows(rows);
+    let base = rows / dup;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed_for(id, 0xDA7A));
+    dve_datagen::paper_column(base, z, dup, &mut rng)
+}
+
+fn fraction_label(q: f64) -> String {
+    format!("{:.1}%", q * 100.0)
+}
+
+/// Figures 1–2: mean ratio error vs sampling rate (Z ∈ {0, 2}, dup=100,
+/// n = 1M).
+pub fn fig_error_vs_rate(ctx: &ExperimentCtx, id: &str, z: f64) -> ExperimentReport {
+    let (col, d) = standard_column(ctx, id, z, 100, 1_000_000);
+    let mut report = ExperimentReport::new(
+        id,
+        format!("Variation of error with sampling rate (Z={z}, Dup=100)"),
+        "sampling",
+        ESTIMATORS.iter().map(|s| s.to_string()).collect(),
+    );
+    report.note(format!(
+        "n = {}, true D = {d}, {} trials",
+        col.len(),
+        ctx.trials()
+    ));
+    for (i, &q) in SAMPLING_FRACTIONS.iter().enumerate() {
+        let r = ((col.len() as f64) * q).round() as u64;
+        let points = run_point(
+            &col,
+            d,
+            r,
+            &ESTIMATORS,
+            ctx.trials(),
+            SamplingScheme::WithoutReplacement,
+            seed_for(id, i as u64),
+        );
+        report.push_row(
+            fraction_label(q),
+            points.iter().map(|p| p.mean_ratio_error).collect(),
+        );
+    }
+    report
+}
+
+/// Figures 3–4: standard deviation (as a fraction of D) vs sampling rate.
+pub fn fig_stddev_vs_rate(ctx: &ExperimentCtx, id: &str, z: f64) -> ExperimentReport {
+    let (col, d) = standard_column(ctx, id, z, 100, 1_000_000);
+    let mut report = ExperimentReport::new(
+        id,
+        format!("Variance of estimators vs sampling rate (Z={z}, Dup=100)"),
+        "sampling",
+        ESTIMATORS.iter().map(|s| s.to_string()).collect(),
+    );
+    report.note(format!(
+        "n = {}, true D = {d}; values are stddev(D̂)/D",
+        col.len()
+    ));
+    for (i, &q) in SAMPLING_FRACTIONS.iter().enumerate() {
+        let r = ((col.len() as f64) * q).round() as u64;
+        let points = run_point(
+            &col,
+            d,
+            r,
+            &ESTIMATORS,
+            ctx.trials(),
+            SamplingScheme::WithoutReplacement,
+            seed_for(id, i as u64),
+        );
+        report.push_row(
+            fraction_label(q),
+            points.iter().map(|p| p.std_dev_fraction).collect(),
+        );
+    }
+    report
+}
+
+/// Tables 1–2: GEE's `[LOWER, UPPER]` interval vs sampling rate.
+pub fn tab_interval(ctx: &ExperimentCtx, id: &str, z: f64) -> ExperimentReport {
+    let (col, d) = standard_column(ctx, id, z, 100, 1_000_000);
+    let mut report = ExperimentReport::new(
+        id,
+        format!("Error guarantee for GEE (Z={z}, Dup=100, N=1 million)"),
+        "sampling",
+        vec![
+            "LOWER".into(),
+            "ACTUAL".into(),
+            "UPPER".into(),
+            "coverage".into(),
+        ],
+    );
+    report.note(format!(
+        "n = {}, {} trials; LOWER/UPPER are trial means",
+        col.len(),
+        ctx.trials()
+    ));
+    for (i, &q) in SAMPLING_FRACTIONS.iter().enumerate() {
+        let r = ((col.len() as f64) * q).round() as u64;
+        let ip = run_interval_point(
+            &col,
+            d,
+            r,
+            ctx.trials(),
+            SamplingScheme::WithoutReplacement,
+            seed_for(id, i as u64),
+        );
+        report.push_row(
+            fraction_label(q),
+            vec![ip.lower, ip.actual, ip.upper, ip.coverage],
+        );
+    }
+    report
+}
+
+/// Figures 5–6: error vs skew at a fixed sampling rate (dup=100, n=1M).
+pub fn fig_error_vs_skew(ctx: &ExperimentCtx, id: &str, q: f64) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        id,
+        format!(
+            "Variation of error with skew (Sampling Rate={}, Dup=100)",
+            fraction_label(q)
+        ),
+        "Z",
+        ESTIMATORS.iter().map(|s| s.to_string()).collect(),
+    );
+    report.note(format!(
+        "n = 1M (scaled in fast mode), {} trials",
+        ctx.trials()
+    ));
+    for (i, &z) in SKEWS.iter().enumerate() {
+        let (col, d) = standard_column(ctx, id, z, 100, 1_000_000);
+        let r = ((col.len() as f64) * q).round() as u64;
+        let points = run_point(
+            &col,
+            d,
+            r,
+            &ESTIMATORS,
+            ctx.trials(),
+            SamplingScheme::WithoutReplacement,
+            seed_for(id, i as u64),
+        );
+        report.push_row(
+            format!("{z}"),
+            points.iter().map(|p| p.mean_ratio_error).collect(),
+        );
+    }
+    report
+}
+
+/// Figures 7–8: error vs duplication factor (Z=1, n=1M).
+pub fn fig_error_vs_dup(ctx: &ExperimentCtx, id: &str, q: f64) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        id,
+        format!(
+            "Variation of error with duplication factor (Z=1, Sampling rate={})",
+            fraction_label(q)
+        ),
+        "dup",
+        ESTIMATORS.iter().map(|s| s.to_string()).collect(),
+    );
+    report.note(format!(
+        "n = 1M (scaled in fast mode), {} trials",
+        ctx.trials()
+    ));
+    for (i, &dup) in DUP_FACTORS.iter().enumerate() {
+        let (col, d) = standard_column(ctx, id, 1.0, dup, 1_000_000);
+        let r = ((col.len() as f64) * q).round() as u64;
+        let points = run_point(
+            &col,
+            d,
+            r,
+            &ESTIMATORS,
+            ctx.trials(),
+            SamplingScheme::WithoutReplacement,
+            seed_for(id, i as u64),
+        );
+        report.push_row(
+            format!("{dup}"),
+            points.iter().map(|p| p.mean_ratio_error).collect(),
+        );
+    }
+    report
+}
+
+/// Figure 9: bounded-domain scale-up — D fixed (Z=2 base n=1000, ≈49
+/// distinct), n grows by duplication, sample fixed at 10K rows.
+pub fn fig_scaleup_bounded(ctx: &ExperimentCtx, id: &str) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        id,
+        "Scaleup when number of distinct values is kept constant",
+        "n",
+        ESTIMATORS.iter().map(|s| s.to_string()).collect(),
+    );
+    let base_rows = 1_000u64;
+    report.note("base: Z=2, n=1000 (≈49 distinct); sample fixed at 10K rows".to_string());
+    for (i, &n) in SCALEUP_ROWS.iter().enumerate() {
+        let n = ctx.rows(n);
+        let dup = (n / base_rows).max(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed_for(id, 0xDA7A + i as u64));
+        let (col, d) = dve_datagen::paper_column(base_rows, 2.0, dup, &mut rng);
+        let r = 10_000u64.min(col.len() as u64 / 2).max(100);
+        let points = run_point(
+            &col,
+            d,
+            r,
+            &ESTIMATORS,
+            ctx.trials(),
+            SamplingScheme::WithoutReplacement,
+            seed_for(id, i as u64),
+        );
+        report.push_row(
+            format!("{}", col.len()),
+            points.iter().map(|p| p.mean_ratio_error).collect(),
+        );
+    }
+    report
+}
+
+/// Figure 10: unbounded-domain scale-up — Z=2, dup=100, sampling fraction
+/// fixed at 1.6%, D grows with n.
+pub fn fig_scaleup_unbounded(ctx: &ExperimentCtx, id: &str) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        id,
+        "Scaleup when number of distinct values is increased with number of rows",
+        "n",
+        ESTIMATORS.iter().map(|s| s.to_string()).collect(),
+    );
+    report.note("Z=2, dup=100, sampling fraction fixed at 1.6%".to_string());
+    for (i, &n) in SCALEUP_ROWS.iter().enumerate() {
+        let n = ctx.rows(n);
+        let base = (n / 100).max(10);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed_for(id, 0xDA7A + i as u64));
+        let (col, d) = dve_datagen::paper_column(base, 2.0, 100, &mut rng);
+        let r = ((col.len() as f64) * 0.016).round().max(1.0) as u64;
+        let points = run_point(
+            &col,
+            d,
+            r,
+            &ESTIMATORS,
+            ctx.trials(),
+            SamplingScheme::WithoutReplacement,
+            seed_for(id, i as u64),
+        );
+        report.push_row(
+            format!("{}", col.len()),
+            points.iter().map(|p| p.mean_ratio_error).collect(),
+        );
+    }
+    report
+}
+
+/// Which statistic the real-world figures aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RealWorldMetric {
+    /// Mean ratio error (Figures 11, 13, 15).
+    Error,
+    /// Standard deviation over D (Figures 12, 14, 16).
+    StdDev,
+}
+
+/// Figures 11–16: per-estimator metric vs sampling rate, averaged over
+/// every column of a (synthetic stand-in) real-world dataset.
+pub fn fig_realworld(
+    ctx: &ExperimentCtx,
+    id: &str,
+    dataset: &DatasetSpec,
+    metric: RealWorldMetric,
+) -> ExperimentReport {
+    let metric_name = match metric {
+        RealWorldMetric::Error => "Average error",
+        RealWorldMetric::StdDev => "Variance",
+    };
+    let mut report = ExperimentReport::new(
+        id,
+        format!(
+            "{metric_name} of estimators over all columns of {} database",
+            dataset.name
+        ),
+        "sampling",
+        ESTIMATORS.iter().map(|s| s.to_string()).collect(),
+    );
+    let rows = ctx.rows(dataset.rows);
+    report.note(format!(
+        "synthetic stand-in for {}: {} columns × {} rows, {} trials/column",
+        dataset.name,
+        dataset.columns.len(),
+        rows,
+        ctx.trials()
+    ));
+
+    // Generate each column once; reuse across fractions.
+    let mut columns = Vec::with_capacity(dataset.columns.len());
+    for (c, spec) in dataset.columns.iter().enumerate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed_for(id, 0xC01 + c as u64));
+        let col = spec.generate(rows, &mut rng);
+        let d = spec.true_distinct(rows);
+        columns.push((col, d));
+    }
+
+    for (i, &q) in SAMPLING_FRACTIONS.iter().enumerate() {
+        let mut agg: Vec<RunningMoments> = vec![RunningMoments::new(); ESTIMATORS.len()];
+        for (c, (col, d)) in columns.iter().enumerate() {
+            let r = ((col.len() as f64) * q).round().max(1.0) as u64;
+            let points = run_point(
+                col,
+                *d,
+                r,
+                &ESTIMATORS,
+                ctx.trials(),
+                SamplingScheme::WithoutReplacement,
+                seed_for(id, (i * 1000 + c) as u64),
+            );
+            for (slot, p) in agg.iter_mut().zip(&points) {
+                slot.add(match metric {
+                    RealWorldMetric::Error => p.mean_ratio_error,
+                    RealWorldMetric::StdDev => p.std_dev_fraction,
+                });
+            }
+        }
+        report.push_row(fraction_label(q), agg.iter().map(|m| m.mean()).collect());
+    }
+    report
+}
+
+/// §3 demonstration: Theorem 1's bound vs the realized worst-case error
+/// of real estimators playing the adversarial game.
+pub fn lb_experiment(ctx: &ExperimentCtx, id: &str) -> ExperimentReport {
+    let estimators = ["GEE", "AE", "HYBGEE", "SAMPLE-D"];
+    let mut series: Vec<String> = vec!["bound".into()];
+    series.extend(estimators.iter().map(|s| s.to_string()));
+    series.push("P[all-x]".into());
+    let mut report = ExperimentReport::new(
+        id,
+        "Theorem 1: lower bound vs realized worst-case error (adaptive game)",
+        "gamma",
+        series,
+    );
+    let n = ctx.rows(100_000);
+    let r = if ctx.fast { 200 } else { 1_000 };
+    let trials = if ctx.fast { 10 } else { 30 };
+    report.note(format!(
+        "n = {n}, r = {r} adaptive probes, {trials} trials per scenario; \
+         estimator columns show max(mean error A, mean error B)"
+    ));
+    for (i, &gamma) in [0.1f64, 0.25, 0.5, 0.75, 0.9].iter().enumerate() {
+        let mut values = Vec::with_capacity(estimators.len() + 2);
+        values.push(dve_lowerbound::theorem1_bound(n, r, gamma));
+        let mut all_x = 0.0;
+        for (e, name) in estimators.iter().enumerate() {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed_for(id, (i * 100 + e) as u64));
+            let out = play_random_probe(
+                n,
+                r,
+                gamma,
+                trials,
+                || dve_core::registry::by_name(name).expect("registered"),
+                &mut rng,
+            );
+            values.push(out.worst_mean_error());
+            all_x = out.all_x_probability;
+        }
+        values.push(all_x);
+        report.push_row(format!("{gamma}"), values);
+    }
+    report
+}
+
+/// Extension experiment (not a paper artifact): sampling estimators vs
+/// the full-scan probabilistic-counting family the paper's related work
+/// discusses (FM/PCSA \[12\], linear counting \[30\]) plus HyperLogLog.
+///
+/// Rows are methods; columns are the rows each touches, its memory
+/// footprint, and its mean ratio error on a skewed column (Z=1, dup=100)
+/// and on the sampling-hostile all-distinct column. The table quantifies
+/// the paper's framing: sketches buy accuracy with a full scan; samplers
+/// buy scan-freedom with Theorem 1's error floor.
+pub fn scan_vs_sample(ctx: &ExperimentCtx, id: &str) -> ExperimentReport {
+    use dve_sketch::{
+        exact::ExactCounter, fm::FlajoletMartin, hash_value, hll::HyperLogLog,
+        linear::LinearCounting, DistinctSketch,
+    };
+
+    let mut report = ExperimentReport::new(
+        id,
+        "Sampling estimators vs full-scan sketches (extension)",
+        "method",
+        vec![
+            "rows touched".into(),
+            "bytes".into(),
+            "err Z=1 dup=100".into(),
+            "err all-distinct".into(),
+        ],
+    );
+    let rows_target = ctx.rows(1_000_000);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed_for(id, 0xDA7A));
+    let (skewed, skewed_d) = dve_datagen::paper_column(rows_target / 100, 1.0, 100, &mut rng);
+    let (unique, unique_d) = dve_datagen::paper_column(rows_target, 0.0, 1, &mut rng);
+    report.note(format!(
+        "columns: Z=1 dup=100 (D = {skewed_d}) and all-distinct (D = {unique_d}), n = {}",
+        skewed.len()
+    ));
+
+    // Sampling estimators at two fractions.
+    for (name, q) in [
+        ("GEE @0.8%", 0.008),
+        ("AE @0.8%", 0.008),
+        ("GEE @6.4%", 0.064),
+        ("AE @6.4%", 0.064),
+    ] {
+        let est_name = name.split_whitespace().next().unwrap();
+        let r = ((skewed.len() as f64) * q).round() as u64;
+        let errs: Vec<f64> = [(&skewed, skewed_d), (&unique, unique_d)]
+            .iter()
+            .enumerate()
+            .map(|(i, (col, d))| {
+                run_point(
+                    col,
+                    *d,
+                    r,
+                    &[est_name],
+                    ctx.trials(),
+                    SamplingScheme::WithoutReplacement,
+                    seed_for(id, i as u64),
+                )[0]
+                .mean_ratio_error
+            })
+            .collect();
+        // Profile memory: the spectrum vector (bounded by max frequency);
+        // report the sampled-row footprint instead, the honest cost.
+        report.push_row(name, vec![r as f64, (r * 8) as f64, errs[0], errs[1]]);
+    }
+
+    // Full-scan sketches (deterministic given the value hash).
+    fn sketch_row<S: DistinctSketch>(
+        mut make: impl FnMut() -> S,
+        cols: [(&[u64], u64); 2],
+    ) -> (Vec<f64>, usize) {
+        let mut errs = Vec::new();
+        let mut mem = 0;
+        for (col, d) in cols {
+            let mut s = make();
+            for &v in col {
+                s.insert(hash_value(v));
+            }
+            mem = s.memory_bytes();
+            errs.push(dve_core::error::ratio_error(
+                s.estimate().max(1.0),
+                d as f64,
+            ));
+        }
+        (errs, mem)
+    }
+    let cols: [(&[u64], u64); 2] = [(&skewed, skewed_d), (&unique, unique_d)];
+    let n = skewed.len() as f64;
+    let (errs, mem) = sketch_row(|| FlajoletMartin::new(64), cols);
+    report.push_row("FM-PCSA m=64", vec![n, mem as f64, errs[0], errs[1]]);
+    let (errs, mem) = sketch_row(|| LinearCounting::new(1 << 17), cols);
+    report.push_row("LINEAR m=128Ki", vec![n, mem as f64, errs[0], errs[1]]);
+    let (errs, mem) = sketch_row(|| HyperLogLog::new(12), cols);
+    report.push_row("HLL p=12", vec![n, mem as f64, errs[0], errs[1]]);
+    let (errs, mem) = sketch_row(ExactCounter::new, cols);
+    report.push_row("EXACT", vec![n, mem as f64, errs[0], errs[1]]);
+
+    report
+}
+
+/// Extension experiment: empirical check of Theorem 2 — GEE's expected
+/// ratio error stays within `e·sqrt(n/r)·(1+o(1))` on a battery of
+/// distribution families chosen to stress both failure directions
+/// (under-error on distinct-rich data, over-error on `dup ≈ 1/q` data,
+/// and the Scenario-B adversarial family from Theorem 1).
+///
+/// For each sample size the report shows `sqrt(n/r)`, GEE's worst mean
+/// ratio error across the battery, their ratio (which must stay below
+/// `e ≈ 2.718` plus small-sample noise), and AE's worst error on the
+/// same battery for contrast (AE has no guarantee — the paper leaves it
+/// conjectured — and the battery finds its weak spot).
+pub fn thm2_experiment(ctx: &ExperimentCtx, id: &str) -> ExperimentReport {
+    let n = ctx.rows(100_000);
+    let trials = ctx.trials();
+    let mut report = ExperimentReport::new(
+        id,
+        "Theorem 2: GEE's expected error vs the e·sqrt(n/r) guarantee (extension)",
+        "r",
+        vec![
+            "sqrt(n/r)".into(),
+            "GEE worst".into(),
+            "GEE/sqrt".into(),
+            "AE worst".into(),
+        ],
+    );
+
+    // The battery: (label, per-class counts).
+    let battery: Vec<(String, Vec<u64>)> = {
+        let mut fams: Vec<(String, Vec<u64>)> = Vec::new();
+        // All-distinct (under-error extreme).
+        fams.push(("all-distinct".into(), vec![1; n as usize]));
+        // Uniform dup-c for several c (over-error family peaks at c ≈ 1/q).
+        for c in [2u64, 10, 100, 1_000] {
+            fams.push((format!("dup-{c}"), vec![c; (n / c) as usize]));
+        }
+        // Zipf skews.
+        for z in [1.0f64, 2.0] {
+            fams.push((format!("zipf-{z}"), dve_datagen::zipf_counts(n, z)));
+        }
+        // Scenario-B style: one heavy value + k singletons.
+        for k in [(n as f64).sqrt() as u64, n / 10] {
+            let mut counts = vec![1u64; k as usize];
+            counts.push(n - k);
+            fams.push((format!("scenarioB-k{k}"), counts));
+        }
+        fams
+    };
+
+    // Materialize columns once (shuffled layout).
+    let columns: Vec<(String, Vec<u64>, u64)> = battery
+        .into_iter()
+        .enumerate()
+        .map(|(i, (label, counts))| {
+            let d = dve_datagen::distinct_of_counts(&counts);
+            let mut col = dve_datagen::expand_counts(&counts);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed_for(id, 0xBA7 + i as u64));
+            dve_datagen::layout::shuffle(&mut col, &mut rng);
+            (label, col, d)
+        })
+        .collect();
+
+    report.note(format!(
+        "n = {n}, {} families: {}; {} trials each",
+        columns.len(),
+        columns
+            .iter()
+            .map(|(l, _, _)| l.as_str())
+            .collect::<Vec<_>>()
+            .join(", "),
+        trials
+    ));
+
+    for (i, &r) in [n / 100, n / 25, n / 8].iter().enumerate() {
+        let sqrt_nr = (n as f64 / r as f64).sqrt();
+        let mut gee_worst: f64 = 1.0;
+        let mut ae_worst: f64 = 1.0;
+        for (c, (_, col, d)) in columns.iter().enumerate() {
+            let points = run_point(
+                col,
+                *d,
+                r,
+                &["GEE", "AE"],
+                trials,
+                SamplingScheme::WithoutReplacement,
+                seed_for(id, (i * 100 + c) as u64),
+            );
+            gee_worst = gee_worst.max(points[0].mean_ratio_error);
+            ae_worst = ae_worst.max(points[1].mean_ratio_error);
+        }
+        report.push_row(
+            format!("{r}"),
+            vec![sqrt_nr, gee_worst, gee_worst / sqrt_nr, ae_worst],
+        );
+    }
+    report.note(
+        "Theorem 2 guarantee: GEE/sqrt column must stay ≤ e ≈ 2.718 (+ small-sample noise)"
+            .to_string(),
+    );
+    report
+}
+
+/// Extension experiment: **average bias**, the first property on the
+/// paper's §1.2 desiderata list ("the average value of the estimator
+/// should be close to the number of distinct values"). Reports
+/// `mean(D̂)/D` — 1.0 is unbiased, below 1 underestimates — for the
+/// paper's estimator set across the (Z, dup) grid at 0.8% sampling.
+pub fn bias_experiment(ctx: &ExperimentCtx, id: &str) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        id,
+        "Average bias mean(D̂)/D at 0.8% sampling (extension; §1.2 desiderata)",
+        "column",
+        ESTIMATORS.iter().map(|s| s.to_string()).collect(),
+    );
+    report.note(format!("{} trials; 1.0 = unbiased", ctx.trials()));
+    let grid = [
+        (0.0, 1u64),
+        (0.0, 100),
+        (1.0, 1),
+        (1.0, 100),
+        (2.0, 100),
+        (3.0, 100),
+    ];
+    for (i, &(z, dup)) in grid.iter().enumerate() {
+        let (col, d) = standard_column(ctx, id, z, dup, 1_000_000);
+        let r = ((col.len() as f64) * 0.008).round() as u64;
+        let points = run_point(
+            &col,
+            d,
+            r,
+            &ESTIMATORS,
+            ctx.trials(),
+            SamplingScheme::WithoutReplacement,
+            seed_for(id, i as u64),
+        );
+        report.push_row(
+            format!("Z={z} dup={dup}"),
+            points.iter().map(|p| p.mean_estimate / d as f64).collect(),
+        );
+    }
+    report
+}
+
+/// A named, runnable experiment.
+pub struct ExperimentDef {
+    /// Short id (`fig1` … `fig16`, `tab1`, `tab2`, `lb`).
+    pub id: &'static str,
+    /// Paper caption.
+    pub title: &'static str,
+    /// Runner.
+    pub run: fn(&ExperimentCtx) -> ExperimentReport,
+}
+
+/// Every reproducible artifact, in paper order.
+pub fn all_experiments() -> Vec<ExperimentDef> {
+    vec![
+        ExperimentDef {
+            id: "fig1",
+            title: "Error vs sampling rate (Z=0, Dup=100)",
+            run: |ctx| fig_error_vs_rate(ctx, "fig1", 0.0),
+        },
+        ExperimentDef {
+            id: "fig2",
+            title: "Error vs sampling rate (Z=2, Dup=100)",
+            run: |ctx| fig_error_vs_rate(ctx, "fig2", 2.0),
+        },
+        ExperimentDef {
+            id: "fig3",
+            title: "Variance vs sampling rate (Z=0, Dup=100)",
+            run: |ctx| fig_stddev_vs_rate(ctx, "fig3", 0.0),
+        },
+        ExperimentDef {
+            id: "fig4",
+            title: "Variance vs sampling rate (Z=2, Dup=100)",
+            run: |ctx| fig_stddev_vs_rate(ctx, "fig4", 2.0),
+        },
+        ExperimentDef {
+            id: "tab1",
+            title: "GEE error guarantee (Z=0, Dup=100, N=1M)",
+            run: |ctx| tab_interval(ctx, "tab1", 0.0),
+        },
+        ExperimentDef {
+            id: "tab2",
+            title: "GEE error guarantee (Z=2, Dup=100, N=1M)",
+            run: |ctx| tab_interval(ctx, "tab2", 2.0),
+        },
+        ExperimentDef {
+            id: "fig5",
+            title: "Error vs skew (rate=0.8%, Dup=100)",
+            run: |ctx| fig_error_vs_skew(ctx, "fig5", 0.008),
+        },
+        ExperimentDef {
+            id: "fig6",
+            title: "Error vs skew (rate=6.4%, Dup=100)",
+            run: |ctx| fig_error_vs_skew(ctx, "fig6", 0.064),
+        },
+        ExperimentDef {
+            id: "fig7",
+            title: "Error vs duplication factor (Z=1, rate=0.8%)",
+            run: |ctx| fig_error_vs_dup(ctx, "fig7", 0.008),
+        },
+        ExperimentDef {
+            id: "fig8",
+            title: "Error vs duplication factor (Z=1, rate=6.4%)",
+            run: |ctx| fig_error_vs_dup(ctx, "fig8", 0.064),
+        },
+        ExperimentDef {
+            id: "fig9",
+            title: "Bounded-domain scaleup (constant D)",
+            run: |ctx| fig_scaleup_bounded(ctx, "fig9"),
+        },
+        ExperimentDef {
+            id: "fig10",
+            title: "Unbounded-domain scaleup (D grows with n)",
+            run: |ctx| fig_scaleup_unbounded(ctx, "fig10"),
+        },
+        ExperimentDef {
+            id: "fig11",
+            title: "Average error, Census",
+            run: |ctx| fig_realworld(ctx, "fig11", &realworld::census(), RealWorldMetric::Error),
+        },
+        ExperimentDef {
+            id: "fig12",
+            title: "Variance, Census",
+            run: |ctx| fig_realworld(ctx, "fig12", &realworld::census(), RealWorldMetric::StdDev),
+        },
+        ExperimentDef {
+            id: "fig13",
+            title: "Average error, CoverType",
+            run: |ctx| {
+                fig_realworld(
+                    ctx,
+                    "fig13",
+                    &realworld::covertype(),
+                    RealWorldMetric::Error,
+                )
+            },
+        },
+        ExperimentDef {
+            id: "fig14",
+            title: "Variance, CoverType",
+            run: |ctx| {
+                fig_realworld(
+                    ctx,
+                    "fig14",
+                    &realworld::covertype(),
+                    RealWorldMetric::StdDev,
+                )
+            },
+        },
+        ExperimentDef {
+            id: "fig15",
+            title: "Average error, MSSales",
+            run: |ctx| fig_realworld(ctx, "fig15", &realworld::mssales(), RealWorldMetric::Error),
+        },
+        ExperimentDef {
+            id: "fig16",
+            title: "Variance, MSSales",
+            run: |ctx| fig_realworld(ctx, "fig16", &realworld::mssales(), RealWorldMetric::StdDev),
+        },
+        ExperimentDef {
+            id: "lb",
+            title: "Theorem 1 lower-bound game",
+            run: |ctx| lb_experiment(ctx, "lb"),
+        },
+        ExperimentDef {
+            id: "scan",
+            title: "Sampling estimators vs full-scan sketches (extension)",
+            run: |ctx| scan_vs_sample(ctx, "scan"),
+        },
+        ExperimentDef {
+            id: "thm2",
+            title: "Theorem 2 guarantee check for GEE (extension)",
+            run: |ctx| thm2_experiment(ctx, "thm2"),
+        },
+        ExperimentDef {
+            id: "bias",
+            title: "Average bias of the paper's estimators (extension)",
+            run: |ctx| bias_experiment(ctx, "bias"),
+        },
+    ]
+}
+
+/// Looks an experiment up by id.
+pub fn experiment_by_id(id: &str) -> Option<ExperimentDef> {
+    all_experiments().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let all = all_experiments();
+        assert_eq!(
+            all.len(),
+            22,
+            "16 figures + 2 tables + lb + scan + thm2 + bias"
+        );
+        let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 22, "duplicate experiment ids");
+        assert!(experiment_by_id("fig1").is_some());
+        assert!(experiment_by_id("nope").is_none());
+    }
+
+    #[test]
+    fn fast_fig1_has_expected_shape() {
+        let ctx = ExperimentCtx::fast();
+        let r = fig_error_vs_rate(&ctx, "fig1", 0.0);
+        assert_eq!(r.series.len(), 6);
+        assert_eq!(r.rows.len(), 6);
+        for row in &r.rows {
+            for &v in &row.values {
+                assert!(v >= 1.0, "ratio errors are >= 1, got {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_tab1_interval_brackets_actual() {
+        let ctx = ExperimentCtx::fast();
+        let r = tab_interval(&ctx, "tab1", 0.0);
+        for row in &r.rows {
+            let (lower, actual, upper, coverage) =
+                (row.values[0], row.values[1], row.values[2], row.values[3]);
+            assert!(lower <= actual + 1e-9, "LOWER {lower} vs ACTUAL {actual}");
+            assert!(upper >= actual - 1e-9, "UPPER {upper} vs ACTUAL {actual}");
+            assert!(coverage >= 0.99, "coverage {coverage}");
+        }
+        // The interval must tighten as sampling grows.
+        let first_width = r.rows[0].values[2] - r.rows[0].values[0];
+        let last_width = r.rows[5].values[2] - r.rows[5].values[0];
+        assert!(last_width < first_width / 2.0);
+    }
+
+    #[test]
+    fn fast_lb_bound_is_respected_by_paper_estimators() {
+        let ctx = ExperimentCtx::fast();
+        let r = lb_experiment(&ctx, "lb");
+        // Column 0 = bound; every estimator's realized worst error should
+        // be at least a constant fraction of it (they can't all cheat).
+        for row in &r.rows {
+            let bound = row.values[0];
+            for (i, name) in ["GEE", "AE", "HYBGEE", "SAMPLE-D"].iter().enumerate() {
+                let worst = row.values[i + 1];
+                assert!(
+                    worst >= bound * 0.2,
+                    "{name}: worst {worst} vs bound {bound} at gamma {}",
+                    row.x
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! The measurement core: sample a column repeatedly, run every estimator
+//! on each sample, aggregate ratio errors and variances.
+//!
+//! All estimators see the *same* samples at each trial (as in the paper,
+//! where one SQL Server sample fed every estimator), so cross-estimator
+//! comparisons are paired and fair.
+
+use dve_core::error::ratio_error;
+use dve_core::estimator::DistinctEstimator;
+use dve_core::registry;
+use dve_numeric::stats::RunningMoments;
+use dve_sample::{sample_profile, SamplingScheme};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Aggregated measurements for one estimator at one experiment point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatorPoint {
+    /// Estimator name.
+    pub estimator: String,
+    /// Mean ratio error over the trials (≥ 1).
+    pub mean_ratio_error: f64,
+    /// Standard deviation of the estimates, as a fraction of the true
+    /// distinct count (the paper's variance metric).
+    pub std_dev_fraction: f64,
+    /// Mean of the (clamped) estimates.
+    pub mean_estimate: f64,
+}
+
+/// Aggregated GEE interval measurements at one point (Tables 1–2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalPoint {
+    /// Mean LOWER over trials.
+    pub lower: f64,
+    /// The true distinct count.
+    pub actual: f64,
+    /// Mean UPPER over trials.
+    pub upper: f64,
+    /// Fraction of trials whose interval contained the truth.
+    pub coverage: f64,
+}
+
+/// Runs `trials` independent samples of `r` rows from `column` and
+/// evaluates every named estimator on each sample.
+///
+/// # Panics
+///
+/// Panics on empty inputs, unknown estimator names, `r` of zero, or
+/// `r > column.len()`.
+pub fn run_point(
+    column: &[u64],
+    true_distinct: u64,
+    r: u64,
+    estimator_names: &[&str],
+    trials: u32,
+    scheme: SamplingScheme,
+    seed: u64,
+) -> Vec<EstimatorPoint> {
+    assert!(trials > 0, "need at least one trial");
+    assert!(true_distinct > 0, "column must have at least one value");
+    let estimators = registry::by_names(estimator_names);
+    let truth = true_distinct as f64;
+
+    let mut errors: Vec<RunningMoments> = vec![RunningMoments::new(); estimators.len()];
+    let mut estimates: Vec<RunningMoments> = vec![RunningMoments::new(); estimators.len()];
+
+    for trial in 0..trials {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9E37_79B9 * (trial as u64 + 1)));
+        let profile = sample_profile(column, r, scheme, &mut rng)
+            .expect("sampling a non-empty column cannot fail");
+        for (i, est) in estimators.iter().enumerate() {
+            let v = est.estimate(&profile);
+            errors[i].add(ratio_error(v.max(1.0), truth));
+            estimates[i].add(v);
+        }
+    }
+
+    estimators
+        .iter()
+        .zip(errors.iter().zip(&estimates))
+        .map(|(est, (err, e))| EstimatorPoint {
+            estimator: est.name().to_string(),
+            mean_ratio_error: err.mean(),
+            std_dev_fraction: e.std_dev() / truth,
+            mean_estimate: e.mean(),
+        })
+        .collect()
+}
+
+/// Runs `trials` samples and aggregates GEE's `[LOWER, UPPER]` interval
+/// (for Tables 1–2).
+pub fn run_interval_point(
+    column: &[u64],
+    true_distinct: u64,
+    r: u64,
+    trials: u32,
+    scheme: SamplingScheme,
+    seed: u64,
+) -> IntervalPoint {
+    assert!(trials > 0, "need at least one trial");
+    let truth = true_distinct as f64;
+    let mut lower = RunningMoments::new();
+    let mut upper = RunningMoments::new();
+    let mut covered = 0u32;
+    for trial in 0..trials {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9E37_79B9 * (trial as u64 + 1)));
+        let profile = sample_profile(column, r, scheme, &mut rng)
+            .expect("sampling a non-empty column cannot fail");
+        let ci = dve_core::bounds::gee_confidence_interval(&profile);
+        lower.add(ci.lower);
+        upper.add(ci.upper);
+        covered += u32::from(ci.contains(truth));
+    }
+    IntervalPoint {
+        lower: lower.mean(),
+        actual: truth,
+        upper: upper.mean(),
+        coverage: covered as f64 / trials as f64,
+    }
+}
+
+/// Evaluates one estimator instance over fresh samples — used by the
+/// ablation benches where the estimator is constructed directly rather
+/// than via the registry.
+pub fn run_point_with(
+    column: &[u64],
+    true_distinct: u64,
+    r: u64,
+    estimator: &dyn DistinctEstimator,
+    trials: u32,
+    seed: u64,
+) -> EstimatorPoint {
+    let truth = true_distinct as f64;
+    let mut err = RunningMoments::new();
+    let mut est_m = RunningMoments::new();
+    for trial in 0..trials {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9E37_79B9 * (trial as u64 + 1)));
+        let profile = sample_profile(column, r, SamplingScheme::WithoutReplacement, &mut rng)
+            .expect("sampling a non-empty column cannot fail");
+        let v = estimator.estimate(&profile);
+        err.add(ratio_error(v.max(1.0), truth));
+        est_m.add(v);
+    }
+    EstimatorPoint {
+        estimator: estimator.name().to_string(),
+        mean_ratio_error: err.mean(),
+        std_dev_fraction: est_m.std_dev() / truth,
+        mean_estimate: est_m.mean(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_column() -> (Vec<u64>, u64) {
+        // 200 distinct values, 50 copies each, deterministic layout (the
+        // sampler randomizes anyway).
+        let col: Vec<u64> = (0..10_000u64).map(|i| i % 200).collect();
+        (col, 200)
+    }
+
+    #[test]
+    fn paired_samples_are_reproducible() {
+        let (col, d) = uniform_column();
+        let a = run_point(
+            &col,
+            d,
+            500,
+            &["GEE", "AE"],
+            5,
+            SamplingScheme::WithoutReplacement,
+            42,
+        );
+        let b = run_point(
+            &col,
+            d,
+            500,
+            &["GEE", "AE"],
+            5,
+            SamplingScheme::WithoutReplacement,
+            42,
+        );
+        assert_eq!(a, b, "same seed must reproduce identical results");
+    }
+
+    #[test]
+    fn errors_are_at_least_one() {
+        let (col, d) = uniform_column();
+        for p in run_point(
+            &col,
+            d,
+            500,
+            &super::super::config::ESTIMATORS,
+            5,
+            SamplingScheme::WithoutReplacement,
+            7,
+        ) {
+            assert!(
+                p.mean_ratio_error >= 1.0,
+                "{}: {}",
+                p.estimator,
+                p.mean_ratio_error
+            );
+            assert!(p.std_dev_fraction >= 0.0);
+        }
+    }
+
+    #[test]
+    fn large_sample_drives_error_to_one() {
+        let (col, d) = uniform_column();
+        let points = run_point(
+            &col,
+            d,
+            8_000,
+            &["GEE", "AE", "HYBSKEW"],
+            3,
+            SamplingScheme::WithoutReplacement,
+            11,
+        );
+        for p in points {
+            assert!(
+                p.mean_ratio_error < 1.05,
+                "{} error {} at 80% sampling",
+                p.estimator,
+                p.mean_ratio_error
+            );
+        }
+    }
+
+    #[test]
+    fn interval_point_brackets_truth() {
+        let (col, d) = uniform_column();
+        let ip = run_interval_point(&col, d, 1_000, 5, SamplingScheme::WithoutReplacement, 3);
+        assert!(
+            ip.lower <= ip.actual,
+            "lower {} vs actual {}",
+            ip.lower,
+            ip.actual
+        );
+        assert!(
+            ip.upper >= ip.actual,
+            "upper {} vs actual {}",
+            ip.upper,
+            ip.actual
+        );
+        assert!(ip.coverage > 0.99, "coverage {}", ip.coverage);
+    }
+
+    #[test]
+    fn run_point_with_matches_registry_path() {
+        let (col, d) = uniform_column();
+        let via_registry = run_point(
+            &col,
+            d,
+            500,
+            &["GEE"],
+            4,
+            SamplingScheme::WithoutReplacement,
+            9,
+        );
+        let direct = run_point_with(&col, d, 500, &dve_core::gee::Gee::default(), 4, 9);
+        assert_eq!(via_registry[0].mean_ratio_error, direct.mean_ratio_error);
+    }
+}

@@ -1,0 +1,147 @@
+//! Closed forms from Theorem 1.
+//!
+//! For any (possibly adaptive, randomized) estimator examining `r` of `n`
+//! rows and any `γ > e^{−r}`, there is an input on which, with probability
+//! at least `γ`,
+//!
+//! ```text
+//! error(D̂) ≥ sqrt( (n − r)/(2r) · ln(1/γ) ).
+//! ```
+//!
+//! The witness is Scenario B with `k = (n−r)/(2r)·ln(1/γ)` planted
+//! singletons; the bound is `sqrt(k)`.
+
+/// The Theorem 1 lower bound on ratio error at confidence `γ`,
+/// `sqrt((n−r)/(2r)·ln(1/γ))` (continuous form, as the paper states it;
+/// the integer witness [`scenario_b_k`] floors the radicand).
+///
+/// # Panics
+///
+/// Panics unless `0 < γ < 1`, `0 < r < n`, and `γ > e^{−r}` (the theorem's
+/// validity range).
+pub fn theorem1_bound(n: u64, r: u64, gamma: f64) -> f64 {
+    assert!(r > 0 && r < n, "need 0 < r < n, got r={r}, n={n}");
+    assert!(gamma > 0.0 && gamma < 1.0, "gamma must be in (0,1)");
+    assert!(gamma > (-(r as f64)).exp(), "theorem requires gamma > e^-r");
+    ((n - r) as f64 / (2.0 * r as f64) * (1.0 / gamma).ln()).sqrt()
+}
+
+/// The number of planted singleton values `k` in the Scenario B witness:
+/// `k = (n−r)/(2r)·ln(1/γ)`, rounded down, at least 1.
+///
+/// # Panics
+///
+/// See [`theorem1_bound`].
+pub fn scenario_b_k(n: u64, r: u64, gamma: f64) -> u64 {
+    assert!(r > 0 && r < n, "need 0 < r < n, got r={r}, n={n}");
+    assert!(gamma > 0.0 && gamma < 1.0, "gamma must be in (0,1)");
+    assert!(gamma > (-(r as f64)).exp(), "theorem requires gamma > e^-r");
+    let k = ((n - r) as f64 / (2.0 * r as f64) * (1.0 / gamma).ln()).floor() as u64;
+    // k + 1 distinct values must fit in the table.
+    k.clamp(1, n - 1)
+}
+
+/// The probability that an estimator examining `r` rows of the Scenario B
+/// input sees only the heavy value — the event `𝓔` in the proof, bounded
+/// below by `e^{−2kr/(n−r)} ≥ γ`. Exact product form.
+pub fn all_x_probability(n: u64, r: u64, k: u64) -> f64 {
+    assert!(r < n, "need r < n");
+    assert!(k < n, "need k < n");
+    let mut p = 1.0f64;
+    for i in 1..=r {
+        let denom = (n - i + 1) as f64;
+        let num = (n as i64 - i as i64 - k as i64 + 1) as f64;
+        if num <= 0.0 {
+            return 0.0;
+        }
+        p *= num / denom;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numeric_example() {
+        // §3: "For a sampling fraction of 20%, setting γ = 0.5 … the error
+        // is at least 1.18 with probability 1/2."
+        let n = 1_000_000;
+        let r = 200_000;
+        let b = theorem1_bound(n, r, 0.5);
+        assert!(
+            (b - 1.18).abs() < 0.03,
+            "expected ≈1.18 at 20% sampling, got {b}"
+        );
+    }
+
+    #[test]
+    fn bound_grows_as_sampling_shrinks() {
+        let n = 1_000_000;
+        let mut prev = f64::INFINITY;
+        for r in [2_000u64, 8_000, 64_000, 200_000] {
+            let b = theorem1_bound(n, r, 0.5);
+            assert!(b < prev, "bound must shrink as r grows");
+            prev = b;
+        }
+        // At 0.2% sampling the bound is ~sqrt(n/2r · ln2) ≈ 13.
+        let b = theorem1_bound(n, 2_000, 0.5);
+        assert!(b > 10.0 && b < 16.0, "b = {b}");
+    }
+
+    #[test]
+    fn bound_grows_with_confidence() {
+        let n = 1_000_000;
+        let r = 10_000;
+        assert!(theorem1_bound(n, r, 0.9) < theorem1_bound(n, r, 0.5));
+        assert!(theorem1_bound(n, r, 0.5) < theorem1_bound(n, r, 0.1));
+    }
+
+    #[test]
+    fn k_fits_in_table() {
+        // Tiny gamma would ask for k > n; the clamp keeps the witness valid.
+        let k = scenario_b_k(100, 10, 1e-4);
+        assert!((1..100).contains(&k));
+    }
+
+    #[test]
+    fn all_x_probability_exceeds_gamma() {
+        // The proof's chain: for k chosen from γ, Prob[𝓔] ≥ γ.
+        let n = 100_000;
+        let r = 1_000;
+        for gamma in [0.1, 0.25, 0.5, 0.75] {
+            let k = scenario_b_k(n, r, gamma);
+            let p = all_x_probability(n, r, k);
+            assert!(
+                p >= gamma,
+                "Prob[all-x] = {p} must be ≥ γ = {gamma} (k = {k})"
+            );
+        }
+    }
+
+    #[test]
+    fn all_x_probability_monotone_in_k() {
+        let n = 10_000;
+        let r = 100;
+        let mut prev = 1.0;
+        for k in [1u64, 10, 100, 1_000, 5_000] {
+            let p = all_x_probability(n, r, k);
+            assert!(p <= prev, "more planted values ⇒ lower all-x probability");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn all_x_probability_boundaries() {
+        assert_eq!(all_x_probability(100, 10, 0), 1.0);
+        // k = n - r + something big: sampling r rows must hit a singleton.
+        assert_eq!(all_x_probability(100, 60, 50), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn rejects_bad_gamma() {
+        theorem1_bound(100, 10, 1.5);
+    }
+}

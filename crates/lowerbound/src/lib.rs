@@ -1,0 +1,28 @@
+//! # dve-lowerbound — Theorem 1 machinery
+//!
+//! The paper's negative result says no estimator examining `r` of `n`
+//! rows — however adaptive or randomized — can beat ratio error
+//! `sqrt((n−r)/(2r)·ln(1/γ))` with probability `1 − γ` on all inputs.
+//! This crate makes the proof executable:
+//!
+//! * [`bound`] — the closed-form bound, the witness size `k`, and the
+//!   exact probability of the indistinguishability event;
+//! * [`scenario`] — the Scenario A / Scenario B input pair as a
+//!   point-lookup oracle (no materialized column needed);
+//! * [`game`] — play any probing strategy (including every estimator in
+//!   `dve-core` behind uniform random probes, and an adaptive galloping
+//!   scan) against the pair and measure its realized worst-case error.
+//!
+//! The `lb` experiment in `dve-experiments` sweeps `γ` and tabulates
+//! predicted bound versus realized error for the paper's estimators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bound;
+pub mod game;
+pub mod scenario;
+
+pub use bound::{all_x_probability, scenario_b_k, theorem1_bound};
+pub use game::{play, play_random_probe, GameOutcome, ProbingStrategy, RandomProbe};
+pub use scenario::{Scenario, ScenarioOracle};

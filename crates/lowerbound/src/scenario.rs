@@ -1,0 +1,202 @@
+//! The two-scenario construction from the proof of Theorem 1.
+//!
+//! * **Scenario A** — the column holds a single value `x` in every row
+//!   (`D = 1`).
+//! * **Scenario B** — `k + 1` distinct values: `x` in `n − k` rows and `k`
+//!   planted singletons `y₁ … y_k` at rows chosen uniformly at random
+//!   (`D = k + 1`).
+//!
+//! An estimator that sees `r` rows, all equal to `x`, cannot tell the two
+//! apart; whatever it answers is wrong by at least `sqrt(k)` in one of
+//! them. [`ScenarioOracle`] implements point lookups (for adaptive
+//! estimators that choose rows) without materializing the column.
+
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The heavy value `x`. Singletons are `SINGLETON_BASE + i`.
+pub const HEAVY_VALUE: u64 = 0;
+/// First singleton value id.
+pub const SINGLETON_BASE: u64 = 1;
+
+/// Which input the oracle serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// One distinct value.
+    A,
+    /// `k + 1` distinct values (one heavy + `k` planted singletons).
+    B {
+        /// Number of planted singletons.
+        k: u64,
+    },
+}
+
+impl Scenario {
+    /// The true number of distinct values of this scenario.
+    pub fn true_distinct(&self) -> u64 {
+        match self {
+            Scenario::A => 1,
+            Scenario::B { k } => k + 1,
+        }
+    }
+}
+
+/// Point-lookup oracle over a scenario column of `n` rows.
+#[derive(Debug, Clone)]
+pub struct ScenarioOracle {
+    n: u64,
+    scenario: Scenario,
+    /// Row → singleton value for Scenario B.
+    planted: HashMap<u64, u64>,
+}
+
+impl ScenarioOracle {
+    /// Builds the Scenario A oracle.
+    pub fn scenario_a(n: u64) -> Self {
+        assert!(n > 0, "table must be non-empty");
+        Self {
+            n,
+            scenario: Scenario::A,
+            planted: HashMap::new(),
+        }
+    }
+
+    /// Builds a Scenario B oracle with `k` singletons planted at rows
+    /// chosen uniformly without replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n` (need at least one row for the heavy value) or
+    /// `k == 0`.
+    pub fn scenario_b<R: Rng + ?Sized>(n: u64, k: u64, rng: &mut R) -> Self {
+        assert!(k >= 1, "Scenario B needs at least one singleton");
+        assert!(k < n, "need k < n so the heavy value appears");
+        let rows = dve_sample_rows(n, k, rng);
+        let planted = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, row)| (row, SINGLETON_BASE + i as u64))
+            .collect();
+        Self {
+            n,
+            scenario: Scenario::B { k },
+            planted,
+        }
+    }
+
+    /// Number of rows.
+    pub fn table_size(&self) -> u64 {
+        self.n
+    }
+
+    /// Which scenario this oracle serves.
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+
+    /// The true distinct count.
+    pub fn true_distinct(&self) -> u64 {
+        self.scenario.true_distinct()
+    }
+
+    /// The value in column `C` at `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= n`.
+    pub fn value_at(&self, row: u64) -> u64 {
+        assert!(row < self.n, "row {row} out of range (n = {})", self.n);
+        self.planted.get(&row).copied().unwrap_or(HEAVY_VALUE)
+    }
+
+    /// Materializes the whole column (tests / small n only).
+    pub fn materialize(&self) -> Vec<u64> {
+        (0..self.n).map(|row| self.value_at(row)).collect()
+    }
+}
+
+/// `k` distinct rows uniformly at random — small local helper so this
+/// crate's dependency set stays minimal (the full sampler library lives
+/// in `dve-sample`, which depends the other way for profiles).
+fn dve_sample_rows<R: Rng + ?Sized>(n: u64, k: u64, rng: &mut R) -> Vec<u64> {
+    let mut swaps: HashMap<u64, u64> = HashMap::with_capacity(k as usize);
+    let mut out = Vec::with_capacity(k as usize);
+    for i in 0..k {
+        let j = rng.random_range(i..n);
+        let vi = swaps.get(&i).copied().unwrap_or(i);
+        let vj = swaps.get(&j).copied().unwrap_or(j);
+        out.push(vj);
+        swaps.insert(j, vi);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn scenario_a_is_constant() {
+        let o = ScenarioOracle::scenario_a(100);
+        assert_eq!(o.true_distinct(), 1);
+        assert!(o.materialize().iter().all(|&v| v == HEAVY_VALUE));
+    }
+
+    #[test]
+    fn scenario_b_has_k_plus_one_distinct() {
+        let mut r = rng(1);
+        let o = ScenarioOracle::scenario_b(1_000, 50, &mut r);
+        assert_eq!(o.true_distinct(), 51);
+        let col = o.materialize();
+        let distinct: std::collections::HashSet<_> = col.iter().collect();
+        assert_eq!(distinct.len(), 51);
+        // Heavy value occupies n - k rows.
+        assert_eq!(col.iter().filter(|&&v| v == HEAVY_VALUE).count(), 950);
+        // Each singleton appears exactly once.
+        for s in 1..=50u64 {
+            assert_eq!(col.iter().filter(|&&v| v == s).count(), 1, "singleton {s}");
+        }
+    }
+
+    #[test]
+    fn singleton_rows_are_uniformly_placed() {
+        // Plant 1 singleton in a 10-row table; over trials its row should
+        // be uniform.
+        let mut r = rng(2);
+        let mut counts = [0u32; 10];
+        for _ in 0..5_000 {
+            let o = ScenarioOracle::scenario_b(10, 1, &mut r);
+            let row = (0..10).find(|&i| o.value_at(i) != HEAVY_VALUE).unwrap();
+            counts[row as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            // Binomial(5000, 0.1): mean 500, sd ≈ 21. ±6σ.
+            assert!((c as i64 - 500).abs() < 130, "row {i} hit {c} times");
+        }
+    }
+
+    #[test]
+    fn value_lookup_bounds_checked() {
+        let o = ScenarioOracle::scenario_a(5);
+        assert_eq!(o.value_at(4), HEAVY_VALUE);
+        assert_eq!(o.table_size(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_row_panics() {
+        ScenarioOracle::scenario_a(5).value_at(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "k < n")]
+    fn scenario_b_needs_heavy_rows() {
+        ScenarioOracle::scenario_b(5, 5, &mut rng(3));
+    }
+}

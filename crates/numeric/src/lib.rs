@@ -1,0 +1,34 @@
+//! Numerical substrate for the `distinct-values` workspace.
+//!
+//! The estimators in `dve-core` and the experiment harness need a small,
+//! dependency-free numerical toolkit:
+//!
+//! * [`special`] — log-gamma, regularized incomplete gamma, and the error
+//!   function, implemented with classical series / continued-fraction
+//!   expansions (Lanczos approximation for `ln Γ`).
+//! * [`chisq`] — the chi-squared distribution (CDF, survival function,
+//!   inverse CDF) and Pearson's chi-squared goodness-of-fit statistic, used
+//!   by the hybrid estimators' skew test.
+//! * [`roots`] — bracketing and iterative root finders (bisection, Brent,
+//!   damped Newton, fixed-point iteration) used to solve the Adaptive
+//!   Estimator's equation for the number of low-frequency classes `m`.
+//! * [`stats`] — numerically robust summaries: Neumaier compensated
+//!   summation, Welford online mean/variance, and quantiles.
+//! * [`poly`] — polynomial and power helpers (Horner evaluation, stable
+//!   `(1 - x)^r` via `exp(r · ln1p(-x))`).
+//!
+//! Everything here is deterministic pure math; no randomness, no I/O.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chisq;
+pub mod poly;
+pub mod roots;
+pub mod special;
+pub mod stats;
+
+pub use chisq::{chi2_cdf, chi2_inv_cdf, chi2_sf, ChiSquared};
+pub use roots::{bisect, brent, newton, RootError};
+pub use special::{erf, ln_gamma, reg_gamma_lower, reg_gamma_upper};
+pub use stats::{mean, population_std_dev, sample_std_dev, NeumaierSum, RunningMoments};

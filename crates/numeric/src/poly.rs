@@ -1,0 +1,129 @@
+//! Polynomial and power helpers used throughout the estimator formulas.
+//!
+//! The estimator expressions are dominated by terms of the form
+//! `(1 - i/r)^r` and `(1 - q)^r` with `r` up to the sample size (tens of
+//! thousands). Computing those with `f64::powi`/`powf` naively is fine for
+//! moderate exponents but `(1 - x)` loses precision when `x` is tiny;
+//! [`pow1m`] routes through `exp(r · ln_1p(-x))` instead.
+
+/// Evaluates a polynomial with coefficients in ascending order
+/// (`coeffs[0] + coeffs[1]·x + …`) by Horner's rule.
+///
+/// Returns 0 for an empty coefficient slice.
+pub fn horner(coeffs: &[f64], x: f64) -> f64 {
+    let mut acc = 0.0;
+    for &c in coeffs.iter().rev() {
+        acc = acc * x + c;
+    }
+    acc
+}
+
+/// Computes `(1 - x)^y` accurately for `x ∈ [0, 1]`, `y ≥ 0`.
+///
+/// Uses `exp(y · ln_1p(-x))`, which keeps full relative precision when `x`
+/// is very small (e.g. `p_i = 1/n` with `n = 10⁶`) — exactly the regime the
+/// estimator analyses live in. Returns 0 when `x = 1` and `y > 0`, and 1
+/// when `y = 0`.
+///
+/// # Panics
+///
+/// Panics if `x` is outside `[0, 1]` or `y < 0`.
+pub fn pow1m(x: f64, y: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1], got {x}");
+    assert!(y >= 0.0, "exponent must be nonnegative, got {y}");
+    if y == 0.0 {
+        return 1.0;
+    }
+    if x == 1.0 {
+        return 0.0;
+    }
+    (y * (-x).ln_1p()).exp()
+}
+
+/// Computes `x^n` for integer `n ≥ 0` by binary exponentiation.
+///
+/// Equivalent to `f64::powi` but with the exponent as `u64`, convenient for
+/// sample sizes that arrive as unsigned counts.
+pub fn powi_u(x: f64, mut n: u64) -> f64 {
+    let mut base = x;
+    let mut acc = 1.0;
+    while n > 0 {
+        if n & 1 == 1 {
+            acc *= base;
+        }
+        base *= base;
+        n >>= 1;
+    }
+    acc
+}
+
+/// Stable evaluation of `ln(1 - x)` for `x ∈ [0, 1)`.
+///
+/// Thin wrapper over `ln_1p` that documents the intent at call sites in the
+/// estimator formulas.
+pub fn ln1m(x: f64) -> f64 {
+    assert!((0.0..1.0).contains(&x), "x must be in [0,1), got {x}");
+    (-x).ln_1p()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horner_matches_direct_evaluation() {
+        // 2 + 3x + 5x² at x = 2 → 2 + 6 + 20 = 28.
+        assert_eq!(horner(&[2.0, 3.0, 5.0], 2.0), 28.0);
+        assert_eq!(horner(&[], 3.0), 0.0);
+        assert_eq!(horner(&[7.0], 100.0), 7.0);
+    }
+
+    #[test]
+    fn pow1m_matches_powf_in_easy_range() {
+        for &x in &[0.1, 0.25, 0.5, 0.9] {
+            for &y in &[1.0, 2.0, 10.0, 1000.0] {
+                let a = pow1m(x, y);
+                let b = (1.0 - x).powf(y);
+                assert!(
+                    (a - b).abs() <= 1e-12 * (1.0 + b),
+                    "pow1m({x},{y}) = {a}, powf = {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pow1m_tiny_x_large_y() {
+        // (1 - x)^(1/x) = e^{-1 - x/2 - O(x²)}; at x = 1e-6 the exact value
+        // is e^{-1}·(1 - 5e-7 + …), so compare against that expansion.
+        let v = pow1m(1e-6, 1e6);
+        let expected = (-1.0f64 - 0.5e-6).exp();
+        assert!((v - expected).abs() < 1e-12, "v = {v}, expected {expected}");
+    }
+
+    #[test]
+    fn pow1m_boundaries() {
+        assert_eq!(pow1m(0.0, 5.0), 1.0);
+        assert_eq!(pow1m(1.0, 5.0), 0.0);
+        assert_eq!(pow1m(0.3, 0.0), 1.0);
+        assert_eq!(pow1m(1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn powi_u_matches_powi() {
+        for &x in &[0.5, 1.5, -2.0] {
+            for n in 0..20u64 {
+                let a = powi_u(x, n);
+                let b = x.powi(n as i32);
+                assert!((a - b).abs() <= 1e-12 * (1.0 + b.abs()), "{x}^{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn ln1m_small_argument_precision() {
+        // ln(1 - 1e-12) ≈ -1e-12; direct (1.0 - x).ln() returns 0 here.
+        let v = ln1m(1e-12);
+        assert!((v + 1e-12).abs() < 1e-24);
+    }
+}

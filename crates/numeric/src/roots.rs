@@ -1,0 +1,348 @@
+//! Scalar root finding: bisection, Brent's method, damped Newton, and
+//! bounded fixed-point iteration.
+//!
+//! The Adaptive Estimator (paper §5.3) needs the root of
+//! `g(m) = m - f₁ - f₂ - f₁·K(m)` for `m ∈ [f₁ + f₂, n]`. `g` is continuous
+//! and typically well behaved but can be extremely flat near the root for
+//! low-skew data, so the workhorse is a bracketing method (Brent) with
+//! bisection as the safe fallback; Newton is provided for callers with an
+//! analytic derivative.
+
+/// Why a root finder failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootError {
+    /// `f(lo)` and `f(hi)` have the same sign, so the bracket is invalid.
+    NoBracket,
+    /// The iteration budget was exhausted before the tolerance was met.
+    MaxIterations,
+    /// The function returned a non-finite value during iteration.
+    NonFinite,
+}
+
+impl std::fmt::Display for RootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RootError::NoBracket => write!(f, "root is not bracketed by the given interval"),
+            RootError::MaxIterations => write!(f, "root finder exceeded its iteration budget"),
+            RootError::NonFinite => write!(f, "function produced a non-finite value"),
+        }
+    }
+}
+
+impl std::error::Error for RootError {}
+
+/// Bisection on `[lo, hi]`: requires `f(lo)` and `f(hi)` to have opposite
+/// signs (or one endpoint to be an exact root). Converges linearly but
+/// unconditionally; `tol` is an absolute tolerance on the interval width.
+///
+/// Returns the midpoint of the final bracket.
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, RootError> {
+    assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
+    assert!(tol > 0.0, "tolerance must be positive");
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if !flo.is_finite() || !fhi.is_finite() {
+        return Err(RootError::NonFinite);
+    }
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(RootError::NoBracket);
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        if hi - lo <= tol || mid == lo || mid == hi {
+            return Ok(mid);
+        }
+        let fmid = f(mid);
+        if !fmid.is_finite() {
+            return Err(RootError::NonFinite);
+        }
+        if fmid == 0.0 {
+            return Ok(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(RootError::MaxIterations)
+}
+
+/// Brent's method: inverse-quadratic / secant steps with a bisection
+/// safety net. Superlinear on smooth functions, never worse than
+/// bisection. `tol` is an absolute tolerance on the bracket width.
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, RootError> {
+    assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
+    assert!(tol > 0.0, "tolerance must be positive");
+    let (mut a, mut b) = (lo, hi);
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if !fa.is_finite() || !fb.is_finite() {
+        return Err(RootError::NonFinite);
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NoBracket);
+    }
+    // Ensure |f(b)| <= |f(a)|: b is the best iterate.
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+    for _ in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() <= tol {
+            return Ok(b);
+        }
+        let mut s;
+        if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            s = a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb));
+        } else {
+            // Secant step.
+            s = b - fb * (b - a) / (fb - fa);
+        }
+        let cond_range = {
+            let low = (3.0 * a + b) / 4.0;
+            let (low, high) = if low < b { (low, b) } else { (b, low) };
+            s < low || s > high
+        };
+        let cond_mflag = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond_dflag = !mflag && (s - b).abs() >= (c - d).abs() / 2.0;
+        let cond_mtol = mflag && (b - c).abs() < tol;
+        let cond_dtol = !mflag && (c - d).abs() < tol;
+        if cond_range || cond_mflag || cond_dflag || cond_mtol || cond_dtol {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        if !fs.is_finite() {
+            return Err(RootError::NonFinite);
+        }
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(RootError::MaxIterations)
+}
+
+/// Damped Newton iteration from `x0` with derivative `df`.
+///
+/// Halves the step until the residual decreases (up to 30 halvings), which
+/// keeps the iteration from diverging on the flat tails the AE equation
+/// exhibits. `tol` is an absolute tolerance on `|f(x)|`.
+pub fn newton<F, G>(
+    mut f: F,
+    mut df: G,
+    x0: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, RootError>
+where
+    F: FnMut(f64) -> f64,
+    G: FnMut(f64) -> f64,
+{
+    assert!(tol > 0.0, "tolerance must be positive");
+    let mut x = x0;
+    let mut fx = f(x);
+    if !fx.is_finite() {
+        return Err(RootError::NonFinite);
+    }
+    for _ in 0..max_iter {
+        if fx.abs() <= tol {
+            return Ok(x);
+        }
+        let dfx = df(x);
+        if !dfx.is_finite() || dfx == 0.0 {
+            return Err(RootError::NonFinite);
+        }
+        let mut step = fx / dfx;
+        // Damping: backtrack until |f| decreases.
+        let mut accepted = false;
+        for _ in 0..30 {
+            let xn = x - step;
+            let fxn = f(xn);
+            if fxn.is_finite() && fxn.abs() < fx.abs() {
+                x = xn;
+                fx = fxn;
+                accepted = true;
+                break;
+            }
+            step *= 0.5;
+        }
+        if !accepted {
+            return Err(RootError::MaxIterations);
+        }
+    }
+    if fx.abs() <= tol {
+        Ok(x)
+    } else {
+        Err(RootError::MaxIterations)
+    }
+}
+
+/// Bounded fixed-point iteration `x ← clamp(g(x), lo, hi)`.
+///
+/// Stops when successive iterates are within `tol`. This directly matches
+/// the natural reading of the AE equation `m = f₁ + f₂ + f₁·K(m)` and is
+/// used as a cross-check against the bracketing solver.
+pub fn fixed_point<G: FnMut(f64) -> f64>(
+    mut g: G,
+    x0: f64,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, RootError> {
+    assert!(lo <= hi, "invalid clamp interval [{lo}, {hi}]");
+    assert!(tol > 0.0, "tolerance must be positive");
+    let mut x = x0.clamp(lo, hi);
+    for _ in 0..max_iter {
+        let xn = g(x);
+        if !xn.is_finite() {
+            return Err(RootError::NonFinite);
+        }
+        let xn = xn.clamp(lo, hi);
+        if (xn - x).abs() <= tol * (1.0 + x.abs()) {
+            return Ok(xn);
+        }
+        x = xn;
+    }
+    Err(RootError::MaxIterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_endpoint_roots() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 100).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12, 100).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        assert_eq!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9, 100),
+            Err(RootError::NoBracket)
+        );
+    }
+
+    #[test]
+    fn brent_matches_bisection_faster() {
+        let mut evals_brent = 0;
+        let r = brent(
+            |x| {
+                evals_brent += 1;
+                x.exp() - 5.0
+            },
+            0.0,
+            5.0,
+            1e-13,
+            100,
+        )
+        .unwrap();
+        assert!((r - 5.0f64.ln()).abs() < 1e-9);
+        assert!(evals_brent < 60, "brent used {evals_brent} evaluations");
+    }
+
+    #[test]
+    fn brent_hard_flat_function() {
+        // x^9 is flat near 0; Brent must still land inside tolerance.
+        let r = brent(|x| x.powi(9), -1.0, 1.5, 1e-6, 200).unwrap();
+        assert!(r.abs() < 1e-1, "r = {r}");
+        assert!(r.powi(9).abs() < 1e-4);
+    }
+
+    #[test]
+    fn brent_rejects_bad_bracket() {
+        assert_eq!(
+            brent(|x| x * x + 0.5, -2.0, 2.0, 1e-9, 100),
+            Err(RootError::NoBracket)
+        );
+    }
+
+    #[test]
+    fn newton_converges_quadratically() {
+        let r = newton(|x| x * x - 2.0, |x| 2.0 * x, 1.0, 1e-14, 50).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn newton_damping_survives_overshoot() {
+        // atan has tiny derivative far out; undamped Newton diverges from
+        // x0 = 3, damped Newton must converge to 0.
+        let r = newton(|x| x.atan(), |x| 1.0 / (1.0 + x * x), 3.0, 1e-12, 200).unwrap();
+        assert!(r.abs() < 1e-10, "r = {r}");
+    }
+
+    #[test]
+    fn fixed_point_cosine() {
+        // The Dottie number: cos(x) = x at ≈ 0.739085.
+        let r = fixed_point(|x| x.cos(), 1.0, 0.0, 1.0, 1e-12, 500).unwrap();
+        assert!((r - 0.739_085_133_215_160_6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_point_respects_bounds() {
+        // g pushes out of bounds; the clamp must keep iterates in [0, 10].
+        let r = fixed_point(|x| x + 100.0, 0.0, 0.0, 10.0, 1e-9, 50).unwrap();
+        assert!((r - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_are_displayable() {
+        assert!(!RootError::NoBracket.to_string().is_empty());
+        assert!(!RootError::MaxIterations.to_string().is_empty());
+        assert!(!RootError::NonFinite.to_string().is_empty());
+    }
+}

@@ -1,0 +1,344 @@
+//! Numerically robust summary statistics.
+//!
+//! The experiment harness averages ratio errors over trials and reports
+//! standard deviations as a fraction of the true distinct count (paper §6,
+//! Figures 3/4/12/14/16). Those summaries are computed here with
+//! compensated summation (Neumaier) and Welford's online algorithm so
+//! million-element accumulations don't drift.
+
+/// Neumaier's improved Kahan–Babuška compensated summation.
+///
+/// Adds `f64` values with an error bound independent of the number of
+/// terms, including the case where the running sum is smaller than the
+/// next addend (which plain Kahan mishandles).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NeumaierSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl NeumaierSum {
+    /// Creates an empty sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one value.
+    pub fn add(&mut self, value: f64) {
+        let t = self.sum + value;
+        if self.sum.abs() >= value.abs() {
+            self.compensation += (self.sum - t) + value;
+        } else {
+            self.compensation += (value - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Current compensated total.
+    pub fn total(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+impl std::iter::FromIterator<f64> for NeumaierSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for v in iter {
+            s.add(v);
+        }
+        s
+    }
+}
+
+/// Compensated sum of a slice.
+pub fn sum(values: &[f64]) -> f64 {
+    values.iter().copied().collect::<NeumaierSum>().total()
+}
+
+/// Arithmetic mean via compensated summation.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of empty slice");
+    sum(values) / values.len() as f64
+}
+
+/// Welford's online algorithm for mean and variance.
+///
+/// Single pass, numerically stable, O(1) state. `variance()` is the
+/// population variance; `sample_variance()` applies Bessel's correction.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 for fewer than one observation).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance with Bessel's correction (0 for fewer than two
+    /// observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &RunningMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+}
+
+impl std::iter::FromIterator<f64> for RunningMoments {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut m = Self::new();
+        for v in iter {
+            m.add(v);
+        }
+        m
+    }
+}
+
+/// Population standard deviation of a slice (0 for an empty slice).
+pub fn population_std_dev(values: &[f64]) -> f64 {
+    values.iter().copied().collect::<RunningMoments>().std_dev()
+}
+
+/// Sample standard deviation (Bessel-corrected) of a slice.
+pub fn sample_std_dev(values: &[f64]) -> f64 {
+    values
+        .iter()
+        .copied()
+        .collect::<RunningMoments>()
+        .sample_std_dev()
+}
+
+/// Linear-interpolated quantile of unsorted data, `q ∈ [0, 1]`.
+///
+/// Copies and sorts the input; intended for small result vectors (per-trial
+/// errors), not bulk columns.
+///
+/// # Panics
+///
+/// Panics on empty input, non-finite values, or `q` outside `[0, 1]`.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+    let mut v: Vec<f64> = values.to_vec();
+    assert!(
+        v.iter().all(|x| x.is_finite()),
+        "quantile requires finite values"
+    );
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Geometric mean of strictly positive values, computed in log space.
+///
+/// The paper's ratio-error metric is multiplicative, so geometric means are
+/// the natural cross-trial aggregate alongside the arithmetic mean.
+///
+/// # Panics
+///
+/// Panics on empty input or non-positive values.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of empty slice");
+    let mut acc = NeumaierSum::new();
+    for &v in values {
+        assert!(v > 0.0, "geometric mean requires positive values, got {v}");
+        acc.add(v.ln());
+    }
+    (acc.total() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neumaier_beats_naive_on_cancellation() {
+        // 1 + 1e100 - 1e100 + ... pattern where naive summation loses the 1s.
+        let mut s = NeumaierSum::new();
+        s.add(1.0);
+        s.add(1e100);
+        s.add(1.0);
+        s.add(-1e100);
+        assert_eq!(s.total(), 2.0);
+    }
+
+    #[test]
+    fn neumaier_many_small_terms() {
+        let mut s = NeumaierSum::new();
+        for _ in 0..10_000_000 {
+            s.add(0.1);
+        }
+        assert!((s.total() - 1_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_simple() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn mean_empty_panics() {
+        mean(&[]);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64) * 0.37 + 5.0).collect();
+        let m: RunningMoments = data.iter().copied().collect();
+        let mu = mean(&data);
+        let var = data.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / data.len() as f64;
+        assert!((m.mean() - mu).abs() < 1e-9);
+        assert!((m.variance() - var).abs() < 1e-6);
+        assert_eq!(m.count(), 1000);
+    }
+
+    #[test]
+    fn welford_shifted_data_is_stable() {
+        // Large offset exposes catastrophic cancellation in naive variance.
+        let offset = 1e9;
+        let m: RunningMoments = (0..100).map(|i| offset + i as f64).collect();
+        let expected_var = (100.0 * 100.0 - 1.0) / 12.0; // population variance of 0..99
+        assert!(
+            (m.variance() - expected_var).abs() / expected_var < 1e-9,
+            "variance = {}",
+            m.variance()
+        );
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let data: Vec<f64> = (0..500).map(|i| ((i * 7919) % 100) as f64).collect();
+        let whole: RunningMoments = data.iter().copied().collect();
+        let mut left: RunningMoments = data[..200].iter().copied().collect();
+        let right: RunningMoments = data[200..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-10);
+        assert!((left.variance() - whole.variance()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut m: RunningMoments = [1.0, 2.0, 3.0].into_iter().collect();
+        let before = m;
+        m.merge(&RunningMoments::new());
+        assert_eq!(m, before);
+        let mut e = RunningMoments::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn sample_vs_population_std_dev() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((population_std_dev(&data) - 2.0).abs() < 1e-12);
+        assert!((sample_std_dev(&data) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_degenerate_cases() {
+        assert_eq!(population_std_dev(&[]), 0.0);
+        assert_eq!(population_std_dev(&[42.0]), 0.0);
+        assert_eq!(sample_std_dev(&[42.0]), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 4.0);
+        assert_eq!(quantile(&data, 0.5), 2.5);
+        assert!((quantile(&data, 1.0 / 3.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let data = [9.0, 1.0, 5.0];
+        assert_eq!(quantile(&data, 0.5), 5.0);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_zero() {
+        geometric_mean(&[1.0, 0.0]);
+    }
+}

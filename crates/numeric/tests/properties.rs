@@ -1,0 +1,167 @@
+//! Property-based tests for the numerical substrate.
+
+use dve_numeric::chisq::{chi2_cdf, chi2_inv_cdf, chi2_sf};
+use dve_numeric::poly::{horner, pow1m, powi_u};
+use dve_numeric::roots::{bisect, brent, fixed_point, newton};
+use dve_numeric::special::{erf, erfc, ln_choose, ln_factorial, ln_gamma, reg_gamma_lower};
+use dve_numeric::stats::{geometric_mean, mean, quantile, NeumaierSum, RunningMoments};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Γ(x+1) = x·Γ(x), i.e. lnΓ(x+1) − lnΓ(x) = ln x.
+    #[test]
+    fn ln_gamma_recurrence(x in 0.05f64..200.0) {
+        let lhs = ln_gamma(x + 1.0) - ln_gamma(x);
+        prop_assert!((lhs - x.ln()).abs() < 1e-9 * (1.0 + x.ln().abs()),
+            "recurrence at {x}: {lhs} vs {}", x.ln());
+    }
+
+    /// The incomplete gamma P(a,·) is a CDF: in [0,1], nondecreasing.
+    #[test]
+    fn incomplete_gamma_is_cdf(a in 0.1f64..100.0, x1 in 0.0f64..200.0, x2 in 0.0f64..200.0) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let p_lo = reg_gamma_lower(a, lo);
+        let p_hi = reg_gamma_lower(a, hi);
+        prop_assert!((0.0..=1.0).contains(&p_lo));
+        prop_assert!((0.0..=1.0).contains(&p_hi));
+        prop_assert!(p_hi >= p_lo - 1e-12);
+    }
+
+    /// erf is odd, bounded, and erfc complements it.
+    #[test]
+    fn erf_properties(x in -5.0f64..5.0) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        prop_assert!(erf(x).abs() <= 1.0);
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-10);
+    }
+
+    /// Pascal's rule in log space: C(n,k) = C(n−1,k−1) + C(n−1,k).
+    #[test]
+    fn pascal_rule(n in 2u64..500, k_frac in 0.0f64..1.0) {
+        let k = 1 + ((n - 2) as f64 * k_frac) as u64;
+        let lhs = ln_choose(n, k).exp();
+        let rhs = ln_choose(n - 1, k - 1).exp() + ln_choose(n - 1, k).exp();
+        prop_assert!((lhs - rhs).abs() < 1e-6 * rhs.max(1.0), "n={n}, k={k}");
+    }
+
+    /// ln n! is superadditive-consistent: ln (n!·m!) ≤ ln (n+m)!.
+    #[test]
+    fn factorial_monotonicity(n in 0u64..500, m in 0u64..500) {
+        prop_assert!(ln_factorial(n) + ln_factorial(m) <= ln_factorial(n + m) + 1e-9);
+    }
+
+    /// χ² CDF/SF/quantile are mutually consistent.
+    #[test]
+    fn chi2_consistency(k in 0.5f64..150.0, p in 0.001f64..0.999) {
+        let x = chi2_inv_cdf(k, p);
+        prop_assert!(x >= 0.0);
+        prop_assert!((chi2_cdf(k, x) - p).abs() < 1e-7, "k={k}, p={p}, x={x}");
+        prop_assert!((chi2_cdf(k, x) + chi2_sf(k, x) - 1.0).abs() < 1e-10);
+    }
+
+    /// pow1m agrees with powf and respects monotonicity in y.
+    #[test]
+    fn pow1m_consistency(x in 0.0f64..0.999, y1 in 0.0f64..10_000.0, y2 in 0.0f64..10_000.0) {
+        let direct = (1.0 - x).powf(y1);
+        prop_assert!((pow1m(x, y1) - direct).abs() <= 1e-9 * (1.0 + direct));
+        let (lo, hi) = if y1 <= y2 { (y1, y2) } else { (y2, y1) };
+        prop_assert!(pow1m(x, hi) <= pow1m(x, lo) + 1e-12);
+    }
+
+    /// powi_u is exact for small integer powers of integers.
+    #[test]
+    fn powi_u_matches_checked_mul(base in 0i64..20, exp in 0u64..12) {
+        let expected = (base as f64).powi(exp as i32);
+        prop_assert!((powi_u(base as f64, exp) - expected).abs() < 1e-6 * (1.0 + expected));
+    }
+
+    /// Horner evaluation is linear in the coefficients.
+    #[test]
+    fn horner_linearity(
+        coeffs in proptest::collection::vec(-10.0f64..10.0, 0..6),
+        x in -3.0f64..3.0,
+        scale in -5.0f64..5.0,
+    ) {
+        let scaled: Vec<f64> = coeffs.iter().map(|c| c * scale).collect();
+        let lhs = horner(&scaled, x);
+        let rhs = scale * horner(&coeffs, x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + rhs.abs()));
+    }
+
+    /// Neumaier summation matches exact rational arithmetic on integers.
+    #[test]
+    fn neumaier_exact_on_integers(values in proptest::collection::vec(-1_000_000i64..1_000_000, 1..200)) {
+        let mut s = NeumaierSum::new();
+        for &v in &values {
+            s.add(v as f64);
+        }
+        let exact: i64 = values.iter().sum();
+        prop_assert_eq!(s.total(), exact as f64);
+    }
+
+    /// Welford mean equals the compensated mean; variance is nonnegative
+    /// and zero iff all values equal.
+    #[test]
+    fn welford_consistency(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let m: RunningMoments = values.iter().copied().collect();
+        let mu = mean(&values);
+        prop_assert!((m.mean() - mu).abs() <= 1e-9 * (1.0 + mu.abs()));
+        prop_assert!(m.variance() >= -1e-9);
+        let all_equal = values.windows(2).all(|w| w[0] == w[1]);
+        if all_equal {
+            prop_assert!(m.variance().abs() < 1e-9);
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantile_monotone(values in proptest::collection::vec(-1e6f64..1e6, 1..100),
+                         q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0) {
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let lo = quantile(&values, lo_q);
+        let hi = quantile(&values, hi_q);
+        prop_assert!(lo <= hi + 1e-9);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lo >= min - 1e-9 && hi <= max + 1e-9);
+    }
+
+    /// AM–GM: geometric mean ≤ arithmetic mean for positive data.
+    #[test]
+    fn am_gm_inequality(values in proptest::collection::vec(0.001f64..1e6, 1..100)) {
+        prop_assert!(geometric_mean(&values) <= mean(&values) * (1.0 + 1e-12));
+    }
+
+    /// Root finders agree on random monotone cubics with a bracketed root.
+    #[test]
+    fn root_finders_agree(a in 0.1f64..5.0, b in -10.0f64..10.0, shift in -100.0f64..100.0) {
+        // f(x) = a·x³ + b·x − shift is strictly increasing for b ≥ 0;
+        // force monotonicity with |b|.
+        let b = b.abs();
+        let f = |x: f64| a * x * x * x + b * x - shift;
+        // Bracket generously.
+        let (lo, hi) = (-100.0, 100.0);
+        prop_assume!(f(lo) < 0.0 && f(hi) > 0.0);
+        let r1 = bisect(f, lo, hi, 1e-10, 500).unwrap();
+        let r2 = brent(f, lo, hi, 1e-12, 500).unwrap();
+        prop_assert!((r1 - r2).abs() < 1e-6, "bisect {r1} vs brent {r2}");
+        let df = |x: f64| 3.0 * a * x * x + b;
+        if df(r1) > 1e-6 {
+            let r3 = newton(f, df, r1 + 0.5, 1e-10, 200).unwrap();
+            prop_assert!((r3 - r1).abs() < 1e-5, "newton {r3} vs {r1}");
+        }
+    }
+
+    /// Fixed-point iteration on a contraction converges to the unique
+    /// fixed point.
+    #[test]
+    fn fixed_point_contraction(c in -0.9f64..0.9, offset in -10.0f64..10.0) {
+        // g(x) = c·x + offset has fixed point offset/(1−c); |c| < 1 makes
+        // it a contraction.
+        let expected = offset / (1.0 - c);
+        let r = fixed_point(|x| c * x + offset, 0.0, -1e6, 1e6, 1e-12, 10_000).unwrap();
+        prop_assert!((r - expected).abs() < 1e-6 * (1.0 + expected.abs()), "{r} vs {expected}");
+    }
+}

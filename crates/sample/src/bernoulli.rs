@@ -1,0 +1,117 @@
+//! Bernoulli (coin-flip) sampling.
+//!
+//! Each row is included independently with probability `q`. The sample
+//! size is `Binomial(n, q)` rather than fixed — this is exactly the
+//! sampling model under which Shlosser's estimator is derived, so the
+//! harness uses it to check that Shlosser behaves the same under
+//! fixed-size and Bernoulli sampling at matched expected rates.
+
+use rand::Rng;
+
+/// Selects each index in `0..n` independently with probability `q`,
+/// returning the chosen indices in ascending order.
+///
+/// # Panics
+///
+/// Panics if `q` is not in `[0, 1]`.
+pub fn sample_indices<R: Rng + ?Sized>(n: u64, q: f64, rng: &mut R) -> Vec<u64> {
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+    if q == 0.0 {
+        return Vec::new();
+    }
+    if q == 1.0 {
+        return (0..n).collect();
+    }
+    // Geometric skip sampling: the gap to the next success is
+    // Geometric(q), so we draw gaps instead of flipping n coins.
+    let ln_1mq = (1.0 - q).ln();
+    let mut out = Vec::with_capacity(((n as f64) * q * 1.2) as usize + 8);
+    let mut i: u64 = 0;
+    loop {
+        let u: f64 = rng.random();
+        let skip = (u.ln() / ln_1mq).floor() as u64;
+        i = match i.checked_add(skip) {
+            Some(v) => v,
+            None => break,
+        };
+        if i >= n {
+            break;
+        }
+        out.push(i);
+        i += 1;
+    }
+    out
+}
+
+/// Bernoulli-samples values from a slice (ascending index order).
+pub fn sample_values<T: Copy, R: Rng + ?Sized>(data: &[T], q: f64, rng: &mut R) -> Vec<T> {
+    sample_indices(data.len() as u64, q, rng)
+        .into_iter()
+        .map(|i| data[i as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn boundary_rates() {
+        let mut r = rng(1);
+        assert!(sample_indices(100, 0.0, &mut r).is_empty());
+        assert_eq!(sample_indices(5, 1.0, &mut r), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sample_size_concentrates_around_nq() {
+        let mut r = rng(2);
+        let n = 100_000u64;
+        let q = 0.05;
+        let s = sample_indices(n, q, &mut r);
+        // Binomial(1e5, 0.05): mean 5000, sd ≈ 69. Accept ±6σ.
+        assert!(
+            (s.len() as i64 - 5000).abs() < 420,
+            "sample size {}",
+            s.len()
+        );
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "ascending distinct");
+    }
+
+    #[test]
+    fn inclusion_probability_per_index() {
+        let mut r = rng(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            for i in sample_indices(10, 0.3, &mut r) {
+                counts[i as usize] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            // Binomial(10000, 0.3): mean 3000, sd ≈ 46. ±6σ.
+            assert!(
+                (c as i64 - 3000).abs() < 280,
+                "index {i} included {c} times"
+            );
+        }
+    }
+
+    #[test]
+    fn value_projection() {
+        let data = [10u64, 20, 30, 40];
+        let mut r = rng(4);
+        let s = sample_values(&data, 0.5, &mut r);
+        assert!(s.iter().all(|v| data.contains(v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be")]
+    fn rejects_bad_rate() {
+        sample_indices(10, 1.5, &mut rng(5));
+    }
+}

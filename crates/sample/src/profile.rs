@@ -1,0 +1,309 @@
+//! From raw samples to [`FrequencyProfile`]s.
+//!
+//! Estimators never touch sampled values; they consume the frequency
+//! spectrum. This module turns any sampler's output into a profile and
+//! offers the one-call [`sample_profile`] used throughout the experiment
+//! harness.
+
+use dve_core::profile::{FrequencyProfile, ProfileError};
+use rand::Rng;
+use std::collections::HashMap;
+
+use crate::{bernoulli, block, reservoir, sequential, with_replacement, without_replacement};
+
+/// Which sampling algorithm to use for [`sample_profile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingScheme {
+    /// Simple random sampling without replacement (partial Fisher–Yates).
+    /// This is the scheme the paper's experiments use (SQL Server's
+    /// fixed-size row sampling).
+    WithoutReplacement,
+    /// i.i.d. draws with replacement — the regime of the GEE analysis.
+    WithReplacement,
+    /// Single-pass reservoir (Algorithm L); statistically identical to
+    /// `WithoutReplacement`, exercised to validate the streaming path.
+    Reservoir,
+    /// Ordered one-pass selection with known `n` (Vitter Method A).
+    Sequential,
+    /// Bernoulli sampling at rate `r/n`; the sample size is random with
+    /// expectation `r`.
+    Bernoulli,
+    /// Page-level sampling with the given block size; `r` is rounded up
+    /// to whole blocks. Biased for clustered layouts — included for the
+    /// layout-sensitivity demonstrations, not for estimation quality.
+    Block {
+        /// Rows per sampled block.
+        block_size: u64,
+    },
+}
+
+/// Builds the frequency profile of a sample of (about) `r` rows from a
+/// `u64`-valued column, using the requested scheme.
+///
+/// For the fixed-size schemes the sample has exactly `r` rows; for
+/// [`SamplingScheme::Bernoulli`] the size is `Binomial(n, r/n)`, and for
+/// [`SamplingScheme::Block`] it is `r` rounded up to a whole number of
+/// blocks.
+///
+/// # Panics
+///
+/// Panics if `r == 0` or `r > data.len()` (fixed-size schemes), matching
+/// the underlying samplers.
+pub fn sample_profile<R: Rng + ?Sized>(
+    data: &[u64],
+    r: u64,
+    scheme: SamplingScheme,
+    rng: &mut R,
+) -> Result<FrequencyProfile, ProfileError> {
+    let n = data.len() as u64;
+    let values: Vec<u64> = match scheme {
+        SamplingScheme::WithoutReplacement => without_replacement::sample_values(data, r, rng),
+        SamplingScheme::WithReplacement => with_replacement::sample_values(data, r, rng),
+        SamplingScheme::Reservoir => reservoir::algorithm_l(data.iter().copied(), r as usize, rng),
+        SamplingScheme::Sequential => sequential::select_values(data, r, rng),
+        SamplingScheme::Bernoulli => bernoulli::sample_values(data, r as f64 / n as f64, rng),
+        SamplingScheme::Block { block_size } => {
+            let blocks = r.div_ceil(block_size);
+            block::sample_values(data, block_size, blocks, rng)
+        }
+    };
+    profile_of_values(n, &values)
+}
+
+/// Counts value multiplicities and assembles the profile.
+pub fn profile_of_values(n: u64, values: &[u64]) -> Result<FrequencyProfile, ProfileError> {
+    let mut counts: HashMap<u64, u64> = HashMap::with_capacity(values.len());
+    for &v in values {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    FrequencyProfile::from_sample_counts(n, counts.into_values())
+}
+
+/// A mergeable per-class count accumulator for **partitioned sampling**.
+///
+/// Uniform sampling distributes over horizontal partitions: sampling each
+/// partition at the same rate and pooling the per-value counts yields a
+/// sample distributed like a stratified sample of the whole table —
+/// indistinguishable from simple random sampling for estimation purposes
+/// at these rates (each partition contributes `rows_p · q` samples, as a
+/// simple random sample of the union would in expectation). Workers
+/// accumulate locally and a coordinator [`merge`](SampleAccumulator::merge)s,
+/// so no raw sample ever crosses partitions — only `(value → count)` maps.
+#[derive(Debug, Clone, Default)]
+pub struct SampleAccumulator {
+    counts: HashMap<u64, u64>,
+    /// Total rows of the (partition of the) table this accumulator's
+    /// samples were drawn from.
+    table_rows: u64,
+    /// Rows sampled so far.
+    sampled_rows: u64,
+}
+
+impl SampleAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs a sample of `values` drawn from a partition of
+    /// `partition_rows` rows.
+    pub fn add_sample(&mut self, partition_rows: u64, values: &[u64]) {
+        self.table_rows += partition_rows;
+        self.sampled_rows += values.len() as u64;
+        for &v in values {
+            *self.counts.entry(v).or_insert(0) += 1;
+        }
+    }
+
+    /// Merges another accumulator (another partition's worker) into this
+    /// one.
+    pub fn merge(&mut self, other: &SampleAccumulator) {
+        self.table_rows += other.table_rows;
+        self.sampled_rows += other.sampled_rows;
+        for (&v, &c) in &other.counts {
+            *self.counts.entry(v).or_insert(0) += c;
+        }
+    }
+
+    /// Total rows across absorbed partitions.
+    pub fn table_rows(&self) -> u64 {
+        self.table_rows
+    }
+
+    /// Total sampled rows.
+    pub fn sampled_rows(&self) -> u64 {
+        self.sampled_rows
+    }
+
+    /// Finalizes into a frequency profile over the union of partitions.
+    pub fn finish(&self) -> Result<FrequencyProfile, ProfileError> {
+        FrequencyProfile::from_sample_counts(self.table_rows, self.counts.values().copied())
+    }
+
+    /// Finalizes against an explicitly supplied population size — used
+    /// when the caller has adjusted the table size (e.g. subtracting an
+    /// estimated NULL population, as `ANALYZE` does).
+    pub fn finish_with_table_rows(
+        &self,
+        table_rows: u64,
+    ) -> Result<FrequencyProfile, ProfileError> {
+        FrequencyProfile::from_sample_counts(table_rows, self.counts.values().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    /// A column with 100 distinct values, 100 copies each, shuffled.
+    fn column() -> Vec<u64> {
+        let mut data: Vec<u64> = (0..10_000u64).map(|i| i % 100).collect();
+        // Deterministic shuffle via Fisher-Yates with a fixed rng.
+        let mut r = rng(99);
+        for i in (1..data.len()).rev() {
+            let j = r.random_range(0..=i);
+            data.swap(i, j);
+        }
+        data
+    }
+
+    #[test]
+    fn fixed_size_schemes_produce_exact_r() {
+        let data = column();
+        let mut r = rng(1);
+        for scheme in [
+            SamplingScheme::WithoutReplacement,
+            SamplingScheme::WithReplacement,
+            SamplingScheme::Reservoir,
+            SamplingScheme::Sequential,
+        ] {
+            let p = sample_profile(&data, 500, scheme, &mut r).unwrap();
+            assert_eq!(p.sample_size(), 500, "{scheme:?}");
+            assert_eq!(p.table_size(), 10_000);
+        }
+    }
+
+    #[test]
+    fn bernoulli_size_is_near_r() {
+        let data = column();
+        let mut r = rng(2);
+        let p = sample_profile(&data, 500, SamplingScheme::Bernoulli, &mut r).unwrap();
+        // Binomial(10_000, 0.05): sd ≈ 22, accept ±7σ.
+        assert!(
+            (p.sample_size() as i64 - 500).abs() < 160,
+            "size {}",
+            p.sample_size()
+        );
+    }
+
+    #[test]
+    fn block_rounds_up_to_whole_blocks() {
+        let data = column();
+        let mut r = rng(3);
+        let p =
+            sample_profile(&data, 500, SamplingScheme::Block { block_size: 64 }, &mut r).unwrap();
+        assert_eq!(p.sample_size(), 8 * 64);
+    }
+
+    #[test]
+    fn profile_counts_match_sample() {
+        // Deterministic check on a full "sample".
+        let p = profile_of_values(10, &[1, 1, 2, 3, 3, 3]).unwrap();
+        assert_eq!(p.f(1), 1); // value 2
+        assert_eq!(p.f(2), 1); // value 1
+        assert_eq!(p.f(3), 1); // value 3
+        assert_eq!(p.distinct_in_sample(), 3);
+    }
+
+    #[test]
+    fn large_sample_sees_every_class() {
+        // 50% sample of 100 classes × 100 copies: essentially certain to
+        // see all 100 classes.
+        let data = column();
+        let mut r = rng(4);
+        let p = sample_profile(&data, 5_000, SamplingScheme::WithoutReplacement, &mut r).unwrap();
+        assert_eq!(p.distinct_in_sample(), 100);
+    }
+
+    #[test]
+    fn accumulator_matches_single_shot_profile() {
+        // Split a column into 4 partitions, sample each at 5%, merge —
+        // the result must be a valid profile over the whole table whose
+        // estimates agree statistically with whole-table sampling.
+        let data = column();
+        let mut r = rng(41);
+        let parts: Vec<&[u64]> = data.chunks(2_500).collect();
+        let mut acc = SampleAccumulator::new();
+        for part in &parts {
+            let sample = crate::without_replacement::sample_values(part, 125, &mut r);
+            acc.add_sample(part.len() as u64, &sample);
+        }
+        assert_eq!(acc.table_rows(), 10_000);
+        assert_eq!(acc.sampled_rows(), 500);
+        let p = acc.finish().unwrap();
+        assert_eq!(p.table_size(), 10_000);
+        assert_eq!(p.sample_size(), 500);
+        // 100 classes, 5% sampling → expect essentially all classes seen.
+        assert!(
+            p.distinct_in_sample() >= 95,
+            "d = {}",
+            p.distinct_in_sample()
+        );
+    }
+
+    #[test]
+    fn accumulator_merge_is_associative_in_effect() {
+        let data = column();
+        let mut r = rng(42);
+        let halves: Vec<&[u64]> = data.chunks(5_000).collect();
+        let s1 = crate::without_replacement::sample_values(halves[0], 200, &mut r);
+        let s2 = crate::without_replacement::sample_values(halves[1], 200, &mut r);
+        // One-accumulator path.
+        let mut a = SampleAccumulator::new();
+        a.add_sample(5_000, &s1);
+        a.add_sample(5_000, &s2);
+        // Two-worker path.
+        let mut w1 = SampleAccumulator::new();
+        w1.add_sample(5_000, &s1);
+        let mut w2 = SampleAccumulator::new();
+        w2.add_sample(5_000, &s2);
+        w1.merge(&w2);
+        assert_eq!(a.finish().unwrap(), w1.finish().unwrap());
+    }
+
+    #[test]
+    fn empty_accumulator_yields_error() {
+        assert!(SampleAccumulator::new().finish().is_err());
+    }
+
+    #[test]
+    fn schemes_agree_on_distinct_count_statistics() {
+        // Mean distinct-in-sample across trials should agree between
+        // without-replacement and reservoir (identical distributions).
+        let data = column();
+        let mut r = rng(5);
+        let trials = 60;
+        let mut mean_wor = 0.0;
+        let mut mean_res = 0.0;
+        for _ in 0..trials {
+            mean_wor += sample_profile(&data, 200, SamplingScheme::WithoutReplacement, &mut r)
+                .unwrap()
+                .distinct_in_sample() as f64
+                / trials as f64;
+            mean_res += sample_profile(&data, 200, SamplingScheme::Reservoir, &mut r)
+                .unwrap()
+                .distinct_in_sample() as f64
+                / trials as f64;
+        }
+        assert!(
+            (mean_wor - mean_res).abs() < 3.0,
+            "wor {mean_wor} vs reservoir {mean_res}"
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! Reservoir sampling: uniform without-replacement samples from streams
+//! of *unknown* length.
+//!
+//! * [`algorithm_r`] — Vitter's baseline Algorithm R: O(n) RNG calls.
+//! * [`ReservoirL`] / [`algorithm_l`] — Li's Algorithm L: skips ahead
+//!   geometrically, O(r·(1 + log(n/r))) RNG calls; the right choice when
+//!   the stream is long and the reservoir small.
+//!
+//! Both produce exactly uniform `r`-subsets, which the tests verify by
+//! inclusion-frequency checks against the binomial bound.
+
+use rand::Rng;
+
+/// Vitter's Algorithm R over an iterator. Returns the full stream if it
+/// is shorter than `r`.
+///
+/// # Panics
+///
+/// Panics if `r == 0`.
+pub fn algorithm_r<T, I, R>(stream: I, r: usize, rng: &mut R) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+    R: Rng + ?Sized,
+{
+    assert!(r > 0, "reservoir capacity must be positive");
+    let mut reservoir: Vec<T> = Vec::with_capacity(r);
+    for (seen, item) in stream.into_iter().enumerate() {
+        if seen < r {
+            reservoir.push(item);
+        } else {
+            let j = rng.random_range(0..=seen);
+            if j < r {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+/// Incremental reservoir sampler implementing Li's Algorithm L.
+///
+/// Feed items with [`push`](ReservoirL::push); read the current sample
+/// with [`into_sample`](ReservoirL::into_sample) / [`sample`](ReservoirL::sample).
+/// Skip counting makes the expected number of RNG calls
+/// `O(r (1 + log(n/r)))` rather than `O(n)`.
+#[derive(Debug, Clone)]
+pub struct ReservoirL<T> {
+    capacity: usize,
+    reservoir: Vec<T>,
+    /// Items seen so far.
+    seen: u64,
+    /// Items still to skip before the next replacement.
+    skip: u64,
+    /// Running `w` parameter of Algorithm L.
+    w: f64,
+}
+
+impl<T> ReservoirL<T> {
+    /// Creates a sampler keeping a uniform sample of `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Self {
+            capacity,
+            reservoir: Vec::with_capacity(capacity),
+            seen: 0,
+            skip: 0,
+            w: 1.0,
+        }
+    }
+
+    /// Number of stream items observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Offers the next stream item to the sampler.
+    pub fn push<R: Rng + ?Sized>(&mut self, item: T, rng: &mut R) {
+        self.seen += 1;
+        if self.reservoir.len() < self.capacity {
+            self.reservoir.push(item);
+            if self.reservoir.len() == self.capacity {
+                self.advance(rng);
+            }
+            return;
+        }
+        if self.skip > 0 {
+            self.skip -= 1;
+            return;
+        }
+        let slot = rng.random_range(0..self.capacity);
+        self.reservoir[slot] = item;
+        self.advance(rng);
+    }
+
+    /// Draws the next geometric skip per Algorithm L.
+    fn advance<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let r = self.capacity as f64;
+        // w ← w · exp(ln(U)/r); skip ← floor(ln(U')/ln(1−w)).
+        self.w *= (rng.random::<f64>().ln() / r).exp();
+        let denom = (1.0 - self.w).ln();
+        self.skip = if denom == 0.0 {
+            u64::MAX
+        } else {
+            (rng.random::<f64>().ln() / denom).floor() as u64
+        };
+    }
+
+    /// Current sample as a slice (shorter than capacity while the stream
+    /// is shorter than `capacity`).
+    pub fn sample(&self) -> &[T] {
+        &self.reservoir
+    }
+
+    /// Consumes the sampler, returning the sample.
+    pub fn into_sample(self) -> Vec<T> {
+        self.reservoir
+    }
+}
+
+/// One-shot Algorithm L over an iterator.
+pub fn algorithm_l<T, I, R>(stream: I, r: usize, rng: &mut R) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+    R: Rng + ?Sized,
+{
+    let mut res = ReservoirL::new(r);
+    for item in stream {
+        res.push(item, rng);
+    }
+    res.into_sample()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn algorithm_r_short_stream_keeps_everything() {
+        let mut r = rng(1);
+        let s = algorithm_r(0..5u32, 10, &mut r);
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn algorithm_r_sample_size_and_range() {
+        let mut r = rng(2);
+        let s = algorithm_r(0..1000u32, 50, &mut r);
+        assert_eq!(s.len(), 50);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 50, "reservoir must hold distinct positions");
+    }
+
+    #[test]
+    fn algorithm_r_inclusion_is_uniform() {
+        let mut r = rng(3);
+        let mut counts = [0u32; 20];
+        for _ in 0..4000 {
+            for v in algorithm_r(0..20u32, 5, &mut r) {
+                counts[v as usize] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            // Binomial(4000, 0.25): mean 1000, sd ≈ 27. ±6σ.
+            assert!(
+                (c as i64 - 1000).abs() < 165,
+                "index {i} included {c} times"
+            );
+        }
+    }
+
+    #[test]
+    fn algorithm_l_inclusion_is_uniform() {
+        let mut r = rng(4);
+        let mut counts = [0u32; 20];
+        for _ in 0..4000 {
+            for v in algorithm_l(0..20u32, 5, &mut r) {
+                counts[v as usize] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as i64 - 1000).abs() < 165,
+                "index {i} included {c} times"
+            );
+        }
+    }
+
+    #[test]
+    fn algorithm_l_matches_r_statistically_on_long_streams() {
+        // Compare the mean of sampled values over repeated runs; both
+        // should estimate the stream mean (999/2 = 499.5).
+        let mut r = rng(5);
+        let mut mean_l = 0.0;
+        let mut mean_r = 0.0;
+        let trials = 300;
+        for _ in 0..trials {
+            let sl: f64 = algorithm_l(0..1000u32, 20, &mut r)
+                .iter()
+                .map(|&v| v as f64)
+                .sum::<f64>()
+                / 20.0;
+            let sr: f64 = algorithm_r(0..1000u32, 20, &mut r)
+                .iter()
+                .map(|&v| v as f64)
+                .sum::<f64>()
+                / 20.0;
+            mean_l += sl / trials as f64;
+            mean_r += sr / trials as f64;
+        }
+        assert!((mean_l - 499.5).abs() < 25.0, "algorithm L mean {mean_l}");
+        assert!((mean_r - 499.5).abs() < 25.0, "algorithm R mean {mean_r}");
+    }
+
+    #[test]
+    fn incremental_api_tracks_seen() {
+        let mut r = rng(6);
+        let mut res = ReservoirL::new(3);
+        for i in 0..10u32 {
+            res.push(i, &mut r);
+        }
+        assert_eq!(res.seen(), 10);
+        assert_eq!(res.sample().len(), 3);
+        assert_eq!(res.into_sample().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        ReservoirL::<u32>::new(0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Simple random sampling **with** replacement.
+//!
+//! The paper's GEE analysis (Theorem 2) is stated for with-replacement
+//! sampling; the experiments use without-replacement. Both are provided
+//! so the harness can compare the two regimes (they agree closely for the
+//! paper's small sampling fractions).
+
+use rand::Rng;
+
+/// Draws `r` i.i.d. uniform row indices from `0..n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn sample_indices<R: Rng + ?Sized>(n: u64, r: u64, rng: &mut R) -> Vec<u64> {
+    assert!(n > 0, "cannot sample from an empty table");
+    (0..r).map(|_| rng.random_range(0..n)).collect()
+}
+
+/// Draws `r` values i.i.d. uniformly from a slice.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn sample_values<T: Copy, R: Rng + ?Sized>(data: &[T], r: u64, rng: &mut R) -> Vec<T> {
+    assert!(!data.is_empty(), "cannot sample from an empty slice");
+    let n = data.len() as u64;
+    (0..r)
+        .map(|_| data[rng.random_range(0..n) as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn produces_requested_count_with_possible_repeats() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        // Sampling 100 from a 10-row table must repeat (pigeonhole).
+        let s = sample_indices(10, 100, &mut rng);
+        assert_eq!(s.len(), 100);
+        assert!(s.iter().all(|&i| i < 10));
+        let distinct: std::collections::HashSet<_> = s.iter().collect();
+        assert!(distinct.len() <= 10);
+    }
+
+    #[test]
+    fn marginals_are_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut counts = [0u32; 10];
+        for i in sample_indices(10, 20_000, &mut rng) {
+            counts[i as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            // Binomial(20000, 0.1): mean 2000, sd ≈ 42. Accept ±6σ.
+            assert!(
+                (c as i64 - 2000).abs() < 260,
+                "index {i} drawn {c} times (expected ~2000)"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_draws_allowed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert!(sample_indices(10, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_table() {
+        sample_indices(0, 1, &mut ChaCha8Rng::seed_from_u64(4));
+    }
+
+    #[test]
+    fn value_sampling_projects() {
+        let data = [7u64, 8, 9];
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let s = sample_values(&data, 50, &mut rng);
+        assert!(s.iter().all(|v| (7..=9).contains(v)));
+    }
+}

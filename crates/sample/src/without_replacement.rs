@@ -1,0 +1,184 @@
+//! Simple random sampling without replacement.
+//!
+//! Two algorithms, both exactly uniform over the `C(n, r)` subsets:
+//!
+//! * [`sample_indices`] — partial Fisher–Yates shuffle using a sparse
+//!   swap map, O(r) time and memory regardless of `n`. The workhorse for
+//!   the experiment harness (`n` up to 10⁶, `r` up to 6.4% of that).
+//! * [`floyd_sample_indices`] — Robert Floyd's combination-sampling
+//!   algorithm; O(r) expected time, returns the *set* without any shuffle
+//!   state. Used as an independent cross-check in tests.
+
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// Draws `r` distinct row indices uniformly at random from `0..n` by a
+/// partial Fisher–Yates shuffle over a sparse index map.
+///
+/// The returned order is itself a uniform random permutation of the
+/// chosen subset, which some callers (e.g. the adaptive lower-bound game)
+/// rely on.
+///
+/// # Panics
+///
+/// Panics if `r > n`.
+pub fn sample_indices<R: Rng + ?Sized>(n: u64, r: u64, rng: &mut R) -> Vec<u64> {
+    assert!(r <= n, "cannot sample {r} distinct rows from {n}");
+    let mut swaps: HashMap<u64, u64> = HashMap::with_capacity(r as usize);
+    let mut out = Vec::with_capacity(r as usize);
+    for i in 0..r {
+        let j = rng.random_range(i..n);
+        let vi = swaps.get(&i).copied().unwrap_or(i);
+        let vj = swaps.get(&j).copied().unwrap_or(j);
+        out.push(vj);
+        // Swap positions i and j; position i is never revisited, so only
+        // j's entry matters.
+        swaps.insert(j, vi);
+    }
+    out
+}
+
+/// Robert Floyd's algorithm: draws a uniformly random `r`-subset of
+/// `0..n`. Returns the subset in iteration order (not shuffled).
+///
+/// # Panics
+///
+/// Panics if `r > n`.
+pub fn floyd_sample_indices<R: Rng + ?Sized>(n: u64, r: u64, rng: &mut R) -> Vec<u64> {
+    assert!(r <= n, "cannot sample {r} distinct rows from {n}");
+    let mut chosen: HashSet<u64> = HashSet::with_capacity(r as usize);
+    let mut out = Vec::with_capacity(r as usize);
+    for j in (n - r)..n {
+        let t = rng.random_range(0..=j);
+        if chosen.insert(t) {
+            out.push(t);
+        } else {
+            chosen.insert(j);
+            out.push(j);
+        }
+    }
+    out
+}
+
+/// Samples `r` values without replacement from a slice.
+///
+/// # Panics
+///
+/// Panics if `r > data.len()`.
+pub fn sample_values<T: Copy, R: Rng + ?Sized>(data: &[T], r: u64, rng: &mut R) -> Vec<T> {
+    sample_indices(data.len() as u64, r, rng)
+        .into_iter()
+        .map(|i| data[i as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn indices_are_distinct_and_in_range() {
+        let mut r = rng(1);
+        for _ in 0..20 {
+            let s = sample_indices(1000, 100, &mut r);
+            assert_eq!(s.len(), 100);
+            let set: HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), 100, "duplicates in sample");
+            assert!(s.iter().all(|&i| i < 1000));
+        }
+    }
+
+    #[test]
+    fn full_sample_is_a_permutation() {
+        let mut r = rng(2);
+        let mut s = sample_indices(50, 50, &mut r);
+        s.sort_unstable();
+        assert_eq!(s, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn floyd_indices_are_distinct_and_in_range() {
+        let mut r = rng(3);
+        for _ in 0..20 {
+            let s = floyd_sample_indices(1000, 100, &mut r);
+            assert_eq!(s.len(), 100);
+            let set: HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), 100);
+            assert!(s.iter().all(|&i| i < 1000));
+        }
+    }
+
+    #[test]
+    fn single_element_sampling() {
+        let mut r = rng(4);
+        let s = sample_indices(1, 1, &mut r);
+        assert_eq!(s, vec![0]);
+        let f = floyd_sample_indices(1, 1, &mut r);
+        assert_eq!(f, vec![0]);
+    }
+
+    #[test]
+    fn empty_sample_is_empty() {
+        let mut r = rng(5);
+        assert!(sample_indices(100, 0, &mut r).is_empty());
+        assert!(floyd_sample_indices(100, 0, &mut r).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn rejects_oversampling() {
+        sample_indices(5, 6, &mut rng(6));
+    }
+
+    /// Every index should be included with probability r/n; with 4000
+    /// trials of (n=20, r=5) each index's inclusion count is
+    /// Binomial(4000, 0.25): mean 1000, sd ≈ 27. Accept ±6σ.
+    #[test]
+    fn fisher_yates_inclusion_is_uniform() {
+        let mut r = rng(7);
+        let mut counts = [0u32; 20];
+        for _ in 0..4000 {
+            for i in sample_indices(20, 5, &mut r) {
+                counts[i as usize] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as i64 - 1000).abs() < 165,
+                "index {i} included {c} times (expected ~1000)"
+            );
+        }
+    }
+
+    #[test]
+    fn floyd_inclusion_is_uniform() {
+        let mut r = rng(8);
+        let mut counts = [0u32; 20];
+        for _ in 0..4000 {
+            for i in floyd_sample_indices(20, 5, &mut r) {
+                counts[i as usize] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as i64 - 1000).abs() < 165,
+                "index {i} included {c} times (expected ~1000)"
+            );
+        }
+    }
+
+    #[test]
+    fn value_sampling_projects_indices() {
+        let data: Vec<u64> = (0..100).map(|i| i * 10).collect();
+        let mut r = rng(9);
+        let s = sample_values(&data, 10, &mut r);
+        assert_eq!(s.len(), 10);
+        assert!(s.iter().all(|v| v % 10 == 0 && *v < 1000));
+    }
+}

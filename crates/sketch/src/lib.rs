@@ -1,0 +1,140 @@
+//! # dve-sketch — full-scan probabilistic counting baselines
+//!
+//! The paper's related work (§1.1) sets sampling-based estimation against
+//! *"hashing techniques called 'probabilistic counting' which can help
+//! alleviate the memory requirements. While these methods reduce memory
+//! requirements at the cost of introducing imprecision, they still
+//! involve a full scan of the table."* This crate implements that other
+//! side of the trade-off so the workspace can quantify it:
+//!
+//! * [`fm`] — Flajolet–Martin probabilistic counting with stochastic
+//!   averaging (PCSA, 1983) — reference \[12\] in the paper;
+//! * [`linear`] — Whang–Vander-Zanden–Taylor linear counting (1990) —
+//!   reference \[30\];
+//! * [`hll`] — HyperLogLog (Flajolet et al. 2007), the estimator that
+//!   post-dates the paper and now dominates practice — included because
+//!   any modern reader will ask how it compares;
+//! * [`exact`] — the hash-set exact counter, the full-scan baseline both
+//!   families are trying to beat.
+//!
+//! All sketches implement [`DistinctSketch`] (insert a 64-bit value hash,
+//! merge, estimate) and are compared against the sampling estimators in
+//! the `scan_vs_sample` example and experiment: sketches see *every* row
+//! but keep bounded memory; samplers see a tiny fraction of rows with
+//! unbounded per-row information. Theorem 1 only binds the latter.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod fm;
+pub mod hll;
+pub mod linear;
+
+/// A streaming distinct-count sketch over 64-bit hashed values.
+///
+/// Values must be supplied pre-hashed (equal values ⇒ equal hashes,
+/// distinct values ⇒ hashes independent and uniform). The column store's
+/// `Column::hash_code` satisfies this.
+pub trait DistinctSketch {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Observes one (hashed) value.
+    fn insert(&mut self, hash: u64);
+
+    /// Current estimate of the number of distinct values inserted.
+    fn estimate(&self) -> f64;
+
+    /// Sketch memory footprint in bytes (the quantity probabilistic
+    /// counting trades accuracy for).
+    fn memory_bytes(&self) -> usize;
+}
+
+/// Feeds an entire (hashed) column through a sketch and returns the
+/// estimate — the convenience entry point used by examples and tests.
+pub fn scan_estimate<S: DistinctSketch>(
+    mut sketch: S,
+    hashes: impl IntoIterator<Item = u64>,
+) -> f64 {
+    for h in hashes {
+        sketch.insert(h);
+    }
+    sketch.estimate()
+}
+
+/// The SplitMix64 finalizer used throughout the workspace to hash raw
+/// `u64` column values before sketching.
+pub fn hash_value(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hashes raw bytes for sketching: FNV-1a for accumulation, then the
+/// SplitMix64 finalizer so **all 64 bits avalanche**. Plain FNV-1a's high
+/// bits mix poorly on short inputs, which silently wrecks sketches that
+/// bucket on the top bits (HLL); estimators only need equality-identity,
+/// but sketches need uniformity — always use this for byte inputs.
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash_value(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactCounter;
+
+    #[test]
+    fn scan_estimate_drives_any_sketch() {
+        let est = scan_estimate(ExactCounter::new(), (0..1000u64).map(hash_value));
+        assert_eq!(est, 1000.0);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreading() {
+        assert_eq!(hash_value(42), hash_value(42));
+        assert_ne!(hash_value(1), hash_value(2));
+        // Low bits should differ for consecutive inputs (finalizer works).
+        let a = hash_value(100) & 0xFFFF;
+        let b = hash_value(101) & 0xFFFF;
+        assert_ne!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod byte_hash_tests {
+    use super::*;
+    use crate::hll::HyperLogLog;
+    use crate::DistinctSketch;
+
+    #[test]
+    fn hash_bytes_equality_identity() {
+        assert_eq!(hash_bytes(b"hello"), hash_bytes(b"hello"));
+        assert_ne!(hash_bytes(b"hello"), hash_bytes(b"hellp"));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+    }
+
+    #[test]
+    fn hash_bytes_top_bits_avalanche() {
+        // The regression this helper exists for: short decimal strings
+        // must spread across HLL's top-bit buckets. Plain FNV-1a fails
+        // this badly (observed ~123 estimated for 3352 true).
+        let mut hll = HyperLogLog::new(12);
+        for v in 0..3352u64 {
+            hll.insert(hash_bytes(v.to_string().as_bytes()));
+        }
+        let est = hll.estimate();
+        let rel = (est - 3352.0).abs() / 3352.0;
+        assert!(
+            rel < 0.08,
+            "HLL over string hashes: {est} ({rel:.3} rel err)"
+        );
+    }
+}

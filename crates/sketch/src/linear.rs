@@ -1,0 +1,155 @@
+//! Linear counting (Whang, Vander-Zanden, Taylor — TODS 1990), reference
+//! \[30\] of the paper.
+//!
+//! Hash each value into a bitmap of `m` bits; if `u` bits remain unset
+//! after the scan, the maximum-likelihood estimate is
+//!
+//! ```text
+//! D̂ = −m · ln(u / m)
+//! ```
+//!
+//! Accurate while the bitmap stays below ≈ full (load factors up to ~12
+//! are usable); degenerates when every bit is set, which the estimator
+//! reports via saturation.
+
+use crate::DistinctSketch;
+
+/// Linear counting bitmap.
+#[derive(Debug, Clone)]
+pub struct LinearCounting {
+    bits: Vec<u64>,
+    m: u64,
+}
+
+impl LinearCounting {
+    /// Creates a bitmap of `m` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(m: u64) -> Self {
+        assert!(m > 0, "bitmap must have at least one bit");
+        Self {
+            bits: vec![0u64; m.div_ceil(64) as usize],
+            m,
+        }
+    }
+
+    /// Number of unset bits.
+    pub fn unset_bits(&self) -> u64 {
+        let set: u64 = self.bits.iter().map(|w| w.count_ones() as u64).sum();
+        self.m - set
+    }
+
+    /// Whether every bit is set (the estimate is a lower bound then).
+    pub fn saturated(&self) -> bool {
+        self.unset_bits() == 0
+    }
+
+    /// Merges another bitmap of identical size (union).
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes differ.
+    pub fn merge(&mut self, other: &LinearCounting) {
+        assert_eq!(self.m, other.m, "cannot merge bitmaps of different sizes");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+}
+
+impl DistinctSketch for LinearCounting {
+    fn name(&self) -> &'static str {
+        "LINEAR"
+    }
+
+    fn insert(&mut self, hash: u64) {
+        let bit = hash % self.m;
+        self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+    }
+
+    fn estimate(&self) -> f64 {
+        let u = self.unset_bits();
+        if u == 0 {
+            // Saturated: report the coupon-collector-style lower bound
+            // m·ln(m) (the smallest D that saturates in expectation).
+            return self.m as f64 * (self.m as f64).ln();
+        }
+        -(self.m as f64) * ((u as f64) / (self.m as f64)).ln()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash_value;
+
+    #[test]
+    fn accurate_at_moderate_load() {
+        // m = 16384 bits, D = 10_000 (load 0.61): relative error ~1%.
+        let mut s = LinearCounting::new(16_384);
+        for v in 0..10_000u64 {
+            s.insert(hash_value(v));
+        }
+        let est = s.estimate();
+        let rel = (est - 10_000.0).abs() / 10_000.0;
+        assert!(rel < 0.05, "est {est} ({rel:.3} rel err)");
+    }
+
+    #[test]
+    fn duplicates_are_free() {
+        let mut a = LinearCounting::new(1024);
+        let mut b = LinearCounting::new(1024);
+        for v in 0..500u64 {
+            a.insert(hash_value(v));
+            for _ in 0..10 {
+                b.insert(hash_value(v));
+            }
+        }
+        assert_eq!(a.estimate(), b.estimate());
+    }
+
+    #[test]
+    fn saturation_reports_lower_bound() {
+        let mut s = LinearCounting::new(64);
+        for v in 0..100_000u64 {
+            s.insert(hash_value(v));
+        }
+        assert!(s.saturated());
+        let est = s.estimate();
+        assert!(est >= 64.0 * 64f64.ln() - 1e-9);
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = LinearCounting::new(4096);
+        let mut b = LinearCounting::new(4096);
+        let mut whole = LinearCounting::new(4096);
+        for v in 0..2_000u64 {
+            whole.insert(hash_value(v));
+            if v % 2 == 0 {
+                a.insert(hash_value(v));
+            } else {
+                b.insert(hash_value(v));
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.unset_bits(), whole.unset_bits());
+    }
+
+    #[test]
+    fn memory_is_m_over_8() {
+        assert_eq!(LinearCounting::new(16_384).memory_bytes(), 2_048);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn rejects_empty_bitmap() {
+        LinearCounting::new(0);
+    }
+}

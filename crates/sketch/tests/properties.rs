@@ -1,0 +1,134 @@
+//! Property-based tests for the sketch family: insert-order invariance,
+//! duplicate insensitivity, merge-equals-union, and monotone growth.
+
+use dve_sketch::{
+    exact::ExactCounter, fm::FlajoletMartin, hash_value, hll::HyperLogLog, linear::LinearCounting,
+    DistinctSketch,
+};
+use proptest::prelude::*;
+
+/// Applies a permutation of the input and checks the estimate is
+/// identical (sketches are order-free).
+fn order_invariant<S: DistinctSketch>(mut make: impl FnMut() -> S, values: &[u64]) -> bool {
+    let mut fwd = make();
+    let mut rev = make();
+    for &v in values {
+        fwd.insert(hash_value(v));
+    }
+    for &v in values.iter().rev() {
+        rev.insert(hash_value(v));
+    }
+    fwd.estimate() == rev.estimate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sketches_are_order_invariant(values in proptest::collection::vec(0u64..10_000, 0..500)) {
+        prop_assert!(order_invariant(|| FlajoletMartin::new(64), &values));
+        prop_assert!(order_invariant(|| LinearCounting::new(4096), &values));
+        prop_assert!(order_invariant(|| HyperLogLog::new(8), &values));
+        prop_assert!(order_invariant(ExactCounter::new, &values));
+    }
+
+    #[test]
+    fn duplicates_never_change_estimates(values in proptest::collection::vec(0u64..1_000, 1..300)) {
+        let distinct: std::collections::HashSet<u64> = values.iter().copied().collect();
+        // Insert the deduplicated set vs the raw multiset.
+        macro_rules! check {
+            ($make:expr) => {{
+                let mut dedup = $make;
+                for &v in &distinct {
+                    dedup.insert(hash_value(v));
+                }
+                let mut multi = $make;
+                for &v in &values {
+                    multi.insert(hash_value(v));
+                }
+                prop_assert_eq!(dedup.estimate(), multi.estimate());
+            }};
+        }
+        check!(FlajoletMartin::new(32));
+        check!(LinearCounting::new(2048));
+        check!(HyperLogLog::new(8));
+        check!(ExactCounter::new());
+    }
+
+    #[test]
+    fn merge_equals_union(
+        left in proptest::collection::vec(0u64..5_000, 0..200),
+        right in proptest::collection::vec(0u64..5_000, 0..200),
+    ) {
+        macro_rules! check {
+            ($make:expr, $merge:ident) => {{
+                let mut a = $make;
+                let mut b = $make;
+                let mut whole = $make;
+                for &v in &left {
+                    a.insert(hash_value(v));
+                    whole.insert(hash_value(v));
+                }
+                for &v in &right {
+                    b.insert(hash_value(v));
+                    whole.insert(hash_value(v));
+                }
+                a.$merge(&b);
+                prop_assert_eq!(a.estimate(), whole.estimate());
+            }};
+        }
+        check!(FlajoletMartin::new(32), merge);
+        check!(LinearCounting::new(2048), merge);
+        check!(HyperLogLog::new(8), merge);
+    }
+
+    /// Inserting more distinct values never decreases the estimate
+    /// (all three sketches are monotone in the inserted set).
+    #[test]
+    fn estimates_are_monotone_in_the_set(values in proptest::collection::vec(0u64..100_000, 1..400)) {
+        macro_rules! check {
+            ($make:expr) => {{
+                let mut s = $make;
+                let mut prev = s.estimate();
+                for &v in &values {
+                    s.insert(hash_value(v));
+                    let cur = s.estimate();
+                    prop_assert!(cur >= prev - 1e-9, "estimate decreased: {prev} -> {cur}");
+                    prev = cur;
+                }
+            }};
+        }
+        check!(FlajoletMartin::new(32));
+        check!(HyperLogLog::new(8));
+        // Linear counting is monotone until saturation (where it jumps to
+        // its fixed lower-bound constant) — only check pre-saturation.
+        let mut lin = LinearCounting::new(1 << 14);
+        let mut prev = lin.estimate();
+        for &v in &values {
+            lin.insert(hash_value(v));
+            if lin.saturated() {
+                break;
+            }
+            let cur = lin.estimate();
+            prop_assert!(cur >= prev - 1e-9);
+            prev = cur;
+        }
+    }
+
+    /// Memory is constant regardless of input size (the whole point).
+    #[test]
+    fn sketch_memory_is_input_independent(values in proptest::collection::vec(0u64..1_000_000, 0..500)) {
+        let mut fm = FlajoletMartin::new(64);
+        let mut hll = HyperLogLog::new(10);
+        let mut lin = LinearCounting::new(4096);
+        let (m_fm, m_hll, m_lin) = (fm.memory_bytes(), hll.memory_bytes(), lin.memory_bytes());
+        for &v in &values {
+            fm.insert(hash_value(v));
+            hll.insert(hash_value(v));
+            lin.insert(hash_value(v));
+        }
+        prop_assert_eq!(fm.memory_bytes(), m_fm);
+        prop_assert_eq!(hll.memory_bytes(), m_hll);
+        prop_assert_eq!(lin.memory_bytes(), m_lin);
+    }
+}

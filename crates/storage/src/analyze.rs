@@ -1,0 +1,504 @@
+//! `ANALYZE` — fill optimizer statistics from a random sample.
+//!
+//! Mirrors what the paper's modified SQL Server did (§6): draw one
+//! uniform without-replacement row sample per table, and for every column
+//! compute `d`, the `f_i` spectrum, and the sample skew; then run a
+//! distinct-value estimator and record the estimate with GEE's
+//! `[LOWER, UPPER]` interval.
+//!
+//! NULL handling: estimators are defined over non-NULL values. The
+//! sampled NULL fraction is scaled up to estimate the column's NULL rows;
+//! the frequency profile is built over the non-NULL part of the sample
+//! against the correspondingly reduced table size.
+
+use crate::stats::ColumnStatistics;
+use crate::table::Table;
+use dve_core::bounds::{gee_confidence_interval, ConfidenceInterval};
+use dve_core::profile::FrequencyProfile;
+use dve_core::registry;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Options for [`analyze_table`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeOptions {
+    /// Fraction of rows to sample, in `(0, 1]`.
+    pub sampling_fraction: f64,
+    /// Estimator name (resolved via [`dve_core::registry`]). The paper's
+    /// recommendation for a general-purpose default is AE.
+    pub estimator: String,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        Self {
+            sampling_fraction: 0.01,
+            estimator: "AE".to_string(),
+        }
+    }
+}
+
+/// Errors from [`analyze_table`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// The table has no rows.
+    EmptyTable,
+    /// The sampling fraction is outside `(0, 1]`.
+    BadSamplingFraction,
+    /// Unknown estimator name.
+    UnknownEstimator(
+        /// The offending name.
+        String,
+    ),
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::EmptyTable => write!(f, "cannot analyze an empty table"),
+            AnalyzeError::BadSamplingFraction => {
+                write!(f, "sampling fraction must be in (0, 1]")
+            }
+            AnalyzeError::UnknownEstimator(name) => write!(f, "unknown estimator: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Analyzes every column of `table` from one shared row sample.
+pub fn analyze_table<R: Rng + ?Sized>(
+    table: &Table,
+    options: &AnalyzeOptions,
+    rng: &mut R,
+) -> Result<Vec<ColumnStatistics>, AnalyzeError> {
+    let n = table.row_count() as u64;
+    if n == 0 {
+        return Err(AnalyzeError::EmptyTable);
+    }
+    if !(options.sampling_fraction > 0.0 && options.sampling_fraction <= 1.0) {
+        return Err(AnalyzeError::BadSamplingFraction);
+    }
+    let estimator = registry::by_name(&options.estimator)
+        .ok_or_else(|| AnalyzeError::UnknownEstimator(options.estimator.clone()))?;
+    let r = ((n as f64 * options.sampling_fraction).round() as u64).clamp(1, n);
+
+    // One shared row sample for the whole table, as real ANALYZE does.
+    let rows = dve_sample::without_replacement::sample_indices(n, r, rng);
+
+    let mut out = Vec::with_capacity(table.schema().len());
+    for (idx, field) in table.schema().fields().iter().enumerate() {
+        let column = table.column(idx);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        let mut nulls_in_sample = 0u64;
+        for &row in &rows {
+            match column.hash_code(row as usize) {
+                Some(h) => *counts.entry(h).or_insert(0) += 1,
+                None => nulls_in_sample += 1,
+            }
+        }
+        let null_count_estimate = ((nulls_in_sample as f64 / r as f64) * n as f64).round() as u64;
+        let non_null_r = r - nulls_in_sample;
+        // Table size for the non-NULL sub-population, never below the
+        // non-NULL sample itself.
+        let n_eff = n.saturating_sub(null_count_estimate).max(non_null_r);
+
+        let stats = if non_null_r == 0 {
+            // Every sampled row NULL: nothing to estimate. Report zero
+            // distinct with the trivially-valid interval [0, n_eff].
+            ColumnStatistics {
+                column: field.name.clone(),
+                row_count: n,
+                null_count_estimate,
+                sample_rows: r,
+                sample_distinct: 0,
+                distinct_estimate: 0.0,
+                interval: ConfidenceInterval {
+                    lower: 0.0,
+                    estimate: 0.0,
+                    upper: n_eff as f64,
+                },
+                estimator: estimator.name().to_string(),
+            }
+        } else {
+            let profile = FrequencyProfile::from_sample_counts(n_eff, counts.into_values())
+                .expect("non-empty non-null sample");
+            let estimate = estimator.estimate(&profile);
+            ColumnStatistics {
+                column: field.name.clone(),
+                row_count: n,
+                null_count_estimate,
+                sample_rows: r,
+                sample_distinct: profile.distinct_in_sample(),
+                distinct_estimate: estimate,
+                interval: gee_confidence_interval(&profile),
+                estimator: estimator.name().to_string(),
+            }
+        };
+        out.push(stats);
+    }
+    Ok(out)
+}
+
+/// Analyzes a horizontally **partitioned** table: each partition is
+/// sampled independently at `options.sampling_fraction`, per-column value
+/// counts are merged with [`dve_sample::SampleAccumulator`] (the
+/// distributed-statistics path — only `(hash → count)` maps leave a
+/// partition), and each column's estimate is computed over the union.
+///
+/// All partitions must share the schema of `partitions[0]`.
+pub fn analyze_partitions<R: Rng + ?Sized>(
+    partitions: &[&Table],
+    options: &AnalyzeOptions,
+    rng: &mut R,
+) -> Result<Vec<ColumnStatistics>, AnalyzeError> {
+    use dve_sample::SampleAccumulator;
+    let Some(first) = partitions.first() else {
+        return Err(AnalyzeError::EmptyTable);
+    };
+    if !(options.sampling_fraction > 0.0 && options.sampling_fraction <= 1.0) {
+        return Err(AnalyzeError::BadSamplingFraction);
+    }
+    let estimator = registry::by_name(&options.estimator)
+        .ok_or_else(|| AnalyzeError::UnknownEstimator(options.estimator.clone()))?;
+    let ncols = first.schema().len();
+    for part in partitions {
+        assert_eq!(
+            part.schema(),
+            first.schema(),
+            "partitions must share a schema"
+        );
+    }
+    let total_rows: u64 = partitions.iter().map(|t| t.row_count() as u64).sum();
+    if total_rows == 0 {
+        return Err(AnalyzeError::EmptyTable);
+    }
+
+    // One accumulator and null counter per column.
+    let mut accs: Vec<SampleAccumulator> = (0..ncols).map(|_| SampleAccumulator::new()).collect();
+    let mut nulls_in_sample = vec![0u64; ncols];
+    let mut total_sampled = 0u64;
+
+    for part in partitions {
+        let n = part.row_count() as u64;
+        if n == 0 {
+            continue;
+        }
+        let r = ((n as f64 * options.sampling_fraction).round() as u64).clamp(1, n);
+        total_sampled += r;
+        let rows = dve_sample::without_replacement::sample_indices(n, r, rng);
+        for (idx, acc) in accs.iter_mut().enumerate() {
+            let column = part.column(idx);
+            let mut values = Vec::with_capacity(rows.len());
+            for &row in &rows {
+                match column.hash_code(row as usize) {
+                    Some(h) => values.push(h),
+                    None => nulls_in_sample[idx] += 1,
+                }
+            }
+            acc.add_sample(n, &values);
+        }
+    }
+
+    let mut out = Vec::with_capacity(ncols);
+    for (idx, field) in first.schema().fields().iter().enumerate() {
+        let acc = &accs[idx];
+        let null_count_estimate = ((nulls_in_sample[idx] as f64 / total_sampled as f64)
+            * total_rows as f64)
+            .round() as u64;
+        // Same NULL semantics as the single-table path: estimate over the
+        // non-NULL sub-population.
+        let n_eff = total_rows
+            .saturating_sub(null_count_estimate)
+            .max(acc.sampled_rows());
+        let stats = match acc.finish_with_table_rows(n_eff) {
+            Err(_) => ColumnStatistics {
+                column: field.name.clone(),
+                row_count: total_rows,
+                null_count_estimate,
+                sample_rows: total_sampled,
+                sample_distinct: 0,
+                distinct_estimate: 0.0,
+                interval: ConfidenceInterval {
+                    lower: 0.0,
+                    estimate: 0.0,
+                    upper: total_rows as f64,
+                },
+                estimator: estimator.name().to_string(),
+            },
+            Ok(profile) => {
+                let estimate = estimator.estimate(&profile);
+                ColumnStatistics {
+                    column: field.name.clone(),
+                    row_count: total_rows,
+                    null_count_estimate,
+                    sample_rows: total_sampled,
+                    sample_distinct: profile.distinct_in_sample(),
+                    distinct_estimate: estimate,
+                    interval: gee_confidence_interval(&profile),
+                    estimator: estimator.name().to_string(),
+                }
+            }
+        };
+        out.push(stats);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::table::{Field, Schema, Table};
+    use crate::value::DataType;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn test_table() -> Table {
+        // 10_000 rows: id near-unique, category 10 values, nullable score
+        // half NULL.
+        let n = 10_000usize;
+        let ids: Vec<i64> = (0..n as i64).collect();
+        let cats: Vec<i64> = (0..n as i64).map(|i| (i * 31) % 10).collect();
+        let scores: Vec<Option<i64>> = (0..n as i64)
+            .map(|i| if i % 2 == 0 { Some(i % 100) } else { None })
+            .collect();
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("category", DataType::Int64),
+            Field::nullable("score", DataType::Int64),
+        ]);
+        Table::new(
+            schema,
+            vec![
+                Column::from_i64(&ids),
+                Column::from_i64(&cats),
+                Column::from_i64_opt(&scores),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn analyze_estimates_each_column() {
+        let table = test_table();
+        let opts = AnalyzeOptions {
+            sampling_fraction: 0.1,
+            estimator: "AE".into(),
+        };
+        let stats = analyze_table(&table, &opts, &mut rng(1)).unwrap();
+        assert_eq!(stats.len(), 3);
+
+        // Category: 10 distinct, every class abundant — near-exact.
+        let cat = &stats[1];
+        assert_eq!(cat.column, "category");
+        assert!(
+            (cat.distinct_estimate - 10.0).abs() < 1.0,
+            "category estimate {}",
+            cat.distinct_estimate
+        );
+
+        // id: all distinct; estimate must be clamped-sane and large.
+        let id = &stats[0];
+        assert!(id.distinct_estimate >= id.sample_distinct as f64);
+        assert!(id.distinct_estimate <= 10_000.0);
+        assert!(id.distinct_estimate > 5_000.0, "{}", id.distinct_estimate);
+
+        // score: ~50% NULLs; non-null rows are even i, so i % 100 takes
+        // the 50 even values.
+        let score = &stats[2];
+        assert!(
+            (score.null_count_estimate as i64 - 5_000).abs() < 600,
+            "null estimate {}",
+            score.null_count_estimate
+        );
+        assert!(
+            (score.distinct_estimate - 50.0).abs() < 15.0,
+            "score estimate {}",
+            score.distinct_estimate
+        );
+    }
+
+    #[test]
+    fn interval_brackets_truth_on_easy_columns() {
+        let table = test_table();
+        let opts = AnalyzeOptions {
+            sampling_fraction: 0.05,
+            estimator: "GEE".into(),
+        };
+        let stats = analyze_table(&table, &opts, &mut rng(2)).unwrap();
+        let cat = &stats[1];
+        assert!(cat.interval.contains(10.0), "interval {:?}", cat.interval);
+    }
+
+    #[test]
+    fn error_paths() {
+        let table = test_table();
+        assert_eq!(
+            analyze_table(
+                &table,
+                &AnalyzeOptions {
+                    sampling_fraction: 0.0,
+                    estimator: "GEE".into()
+                },
+                &mut rng(3)
+            ),
+            Err(AnalyzeError::BadSamplingFraction)
+        );
+        assert_eq!(
+            analyze_table(
+                &table,
+                &AnalyzeOptions {
+                    sampling_fraction: 0.1,
+                    estimator: "NOPE".into()
+                },
+                &mut rng(4)
+            ),
+            Err(AnalyzeError::UnknownEstimator("NOPE".into()))
+        );
+    }
+
+    #[test]
+    fn all_null_column_reports_zero() {
+        let schema = Schema::new(vec![Field::nullable("x", DataType::Int64)]);
+        let table = Table::new(schema, vec![Column::from_i64_opt(&vec![None; 100])]).unwrap();
+        let stats = analyze_table(
+            &table,
+            &AnalyzeOptions {
+                sampling_fraction: 0.5,
+                estimator: "GEE".into(),
+            },
+            &mut rng(5),
+        )
+        .unwrap();
+        assert_eq!(stats[0].distinct_estimate, 0.0);
+        assert_eq!(stats[0].sample_distinct, 0);
+        assert_eq!(stats[0].null_count_estimate, 100);
+    }
+
+    #[test]
+    fn full_scan_is_exact_for_every_registry_estimator() {
+        let table = test_table();
+        for name in dve_core::registry::ALL_ESTIMATORS {
+            let stats = analyze_table(
+                &table,
+                &AnalyzeOptions {
+                    sampling_fraction: 1.0,
+                    estimator: (*name).to_string(),
+                },
+                &mut rng(6),
+            )
+            .unwrap();
+            let cat = &stats[1];
+            assert!(
+                (cat.distinct_estimate - 10.0).abs() < 1e-9,
+                "{name} not exact at q=1: {}",
+                cat.distinct_estimate
+            );
+        }
+    }
+
+    #[test]
+    fn default_options_are_sensible() {
+        let o = AnalyzeOptions::default();
+        assert_eq!(o.estimator, "AE");
+        assert!(o.sampling_fraction > 0.0 && o.sampling_fraction <= 1.0);
+    }
+
+    #[test]
+    fn partitioned_analyze_agrees_with_whole_table() {
+        // Split a 10k-row table into 4 partitions; partitioned ANALYZE
+        // must land near the single-table result.
+        let n = 10_000usize;
+        let values: Vec<u64> = (0..n as u64).map(|i| (i * 37) % 250).collect();
+        let whole = Table::from_generated("k", &values);
+        let parts: Vec<Table> = values
+            .chunks(2_500)
+            .map(|c| Table::from_generated("k", c))
+            .collect();
+        let part_refs: Vec<&Table> = parts.iter().collect();
+        let opts = AnalyzeOptions {
+            sampling_fraction: 0.1,
+            estimator: "AE".into(),
+        };
+        let whole_stats = analyze_table(&whole, &opts, &mut rng(21)).unwrap();
+        let part_stats = analyze_partitions(&part_refs, &opts, &mut rng(22)).unwrap();
+        assert_eq!(part_stats[0].row_count, 10_000);
+        assert!(
+            (part_stats[0].distinct_estimate - whole_stats[0].distinct_estimate).abs()
+                < 0.15 * whole_stats[0].distinct_estimate,
+            "partitioned {} vs whole {}",
+            part_stats[0].distinct_estimate,
+            whole_stats[0].distinct_estimate
+        );
+        // Both near the truth of 250.
+        assert!((part_stats[0].distinct_estimate - 250.0).abs() < 40.0);
+    }
+
+    #[test]
+    fn partitioned_analyze_handles_nulls_and_empty_partitions() {
+        let schema = || Schema::new(vec![Field::nullable("x", DataType::Int64)]);
+        let p1 = Table::new(
+            schema(),
+            vec![Column::from_i64_opt(
+                &(0..1000i64)
+                    .map(|i| if i % 2 == 0 { Some(i % 20) } else { None })
+                    .collect::<Vec<_>>(),
+            )],
+        )
+        .unwrap();
+        let p2 = Table::new(
+            schema(),
+            vec![Column::from_i64_opt(
+                &(0..1000i64).map(|i| Some(i % 20)).collect::<Vec<_>>(),
+            )],
+        )
+        .unwrap();
+        let opts = AnalyzeOptions {
+            sampling_fraction: 0.2,
+            estimator: "GEE".into(),
+        };
+        let stats = analyze_partitions(&[&p1, &p2], &opts, &mut rng(23)).unwrap();
+        assert_eq!(stats[0].row_count, 2_000);
+        // ~25% of all rows are NULL.
+        assert!(
+            (stats[0].null_count_estimate as f64 - 500.0).abs() < 150.0,
+            "nulls {}",
+            stats[0].null_count_estimate
+        );
+        assert!((stats[0].distinct_estimate - 20.0).abs() < 4.0);
+    }
+
+    #[test]
+    fn partitioned_analyze_error_paths() {
+        let opts = AnalyzeOptions::default();
+        assert_eq!(
+            analyze_partitions(&[], &opts, &mut rng(24)),
+            Err(AnalyzeError::EmptyTable)
+        );
+        let t = test_table();
+        assert_eq!(
+            analyze_partitions(
+                &[&t],
+                &AnalyzeOptions {
+                    sampling_fraction: 0.0,
+                    estimator: "GEE".into()
+                },
+                &mut rng(25)
+            ),
+            Err(AnalyzeError::BadSamplingFraction)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "share a schema")]
+    fn partitioned_analyze_rejects_schema_mismatch() {
+        let a = Table::from_generated("x", &[1, 2, 3]);
+        let b = Table::from_generated("y", &[1, 2, 3]);
+        let _ = analyze_partitions(&[&a, &b], &AnalyzeOptions::default(), &mut rng(26));
+    }
+}

@@ -1,0 +1,464 @@
+//! Typed, chunk-encoded columns with null support.
+//!
+//! * `Int64` columns are split into fixed-size chunks, each adaptively
+//!   encoded (plain / RLE / dictionary — see [`crate::encoding`]);
+//! * `Str` columns are globally dictionary-encoded;
+//! * `Float64` and `Bool` columns are plain.
+//!
+//! Every column supports O(1)-ish point access ([`Column::get`]) and a
+//! stable per-row 64-bit **value hash** ([`Column::hash_code`]) that the
+//! sampling/ANALYZE layer uses: equal values hash equal, NULLs are
+//! excluded (`None`), and the hash is deterministic across runs so
+//! experiments are reproducible.
+
+use crate::encoding::IntEncoding;
+use crate::value::{DataType, Value};
+
+/// Rows per encoded chunk of an `Int64` column.
+pub const CHUNK_ROWS: usize = 65_536;
+
+/// Validity mask: `None` means all rows valid.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NullMask {
+    /// `true` = null at that row. Empty/absent = no nulls.
+    nulls: Option<Vec<bool>>,
+}
+
+impl NullMask {
+    /// A mask with no nulls.
+    pub fn none() -> Self {
+        Self { nulls: None }
+    }
+
+    /// Builds from a per-row null flag vector, dropping it if all-false.
+    pub fn from_flags(flags: Vec<bool>) -> Self {
+        if flags.iter().any(|&b| b) {
+            Self { nulls: Some(flags) }
+        } else {
+            Self { nulls: None }
+        }
+    }
+
+    /// Whether `row` is null.
+    pub fn is_null(&self, row: usize) -> bool {
+        self.nulls.as_ref().is_some_and(|v| v[row])
+    }
+
+    /// Number of nulls.
+    pub fn null_count(&self) -> u64 {
+        self.nulls
+            .as_ref()
+            .map_or(0, |v| v.iter().filter(|&&b| b).count() as u64)
+    }
+}
+
+/// A column of a table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Chunk-encoded 64-bit integers.
+    Int64 {
+        /// Encoded chunks of up to [`CHUNK_ROWS`] rows.
+        chunks: Vec<IntEncoding>,
+        /// Validity mask.
+        nulls: NullMask,
+        /// Total rows.
+        len: usize,
+    },
+    /// Plain 64-bit floats.
+    Float64 {
+        /// Row values (garbage at null rows).
+        data: Vec<f64>,
+        /// Validity mask.
+        nulls: NullMask,
+    },
+    /// Globally dictionary-encoded strings.
+    Str {
+        /// Per-row dictionary codes (garbage at null rows).
+        codes: Vec<u32>,
+        /// Distinct strings in first-appearance order.
+        dict: Vec<String>,
+        /// Validity mask.
+        nulls: NullMask,
+    },
+    /// Plain booleans.
+    Bool {
+        /// Row values (garbage at null rows).
+        data: Vec<bool>,
+        /// Validity mask.
+        nulls: NullMask,
+    },
+}
+
+impl Column {
+    /// Builds an `Int64` column (no nulls).
+    pub fn from_i64(values: &[i64]) -> Self {
+        let chunks = values.chunks(CHUNK_ROWS).map(IntEncoding::encode).collect();
+        Column::Int64 {
+            chunks,
+            nulls: NullMask::none(),
+            len: values.len(),
+        }
+    }
+
+    /// Builds an `Int64` column from optional values (None = NULL; NULL
+    /// rows are stored as 0 under the mask).
+    pub fn from_i64_opt(values: &[Option<i64>]) -> Self {
+        let raw: Vec<i64> = values.iter().map(|v| v.unwrap_or(0)).collect();
+        let flags: Vec<bool> = values.iter().map(|v| v.is_none()).collect();
+        let chunks = raw.chunks(CHUNK_ROWS).map(IntEncoding::encode).collect();
+        Column::Int64 {
+            chunks,
+            nulls: NullMask::from_flags(flags),
+            len: values.len(),
+        }
+    }
+
+    /// Builds an `Int64` column from unsigned generator output (datagen
+    /// columns are `Vec<u64>` with values far below `i64::MAX`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value exceeds `i64::MAX`.
+    pub fn from_u64(values: &[u64]) -> Self {
+        let signed: Vec<i64> = values
+            .iter()
+            .map(|&v| i64::try_from(v).expect("value exceeds i64::MAX"))
+            .collect();
+        Self::from_i64(&signed)
+    }
+
+    /// Builds a `Float64` column (no nulls).
+    pub fn from_f64(values: Vec<f64>) -> Self {
+        Column::Float64 {
+            data: values,
+            nulls: NullMask::none(),
+        }
+    }
+
+    /// Builds a `Str` column (no nulls), dictionary-encoding the input.
+    pub fn from_strs<S: AsRef<str>>(values: &[S]) -> Self {
+        let mut dict: Vec<String> = Vec::new();
+        let mut index: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+        let mut codes = Vec::with_capacity(values.len());
+        for v in values {
+            let s = v.as_ref();
+            if let Some(&c) = index.get(s) {
+                codes.push(c);
+            } else {
+                let c = dict.len() as u32;
+                dict.push(s.to_string());
+                codes.push(c);
+                // The key borrows from the caller's slice, which outlives
+                // this loop.
+                index.insert(s, c);
+            }
+        }
+        Column::Str {
+            codes,
+            dict,
+            nulls: NullMask::none(),
+        }
+    }
+
+    /// Builds a `Str` column from optional strings (None = NULL).
+    pub fn from_strs_opt(values: &[Option<&str>]) -> Self {
+        let flags: Vec<bool> = values.iter().map(|v| v.is_none()).collect();
+        let filled: Vec<&str> = values.iter().map(|v| v.unwrap_or("")).collect();
+        let Column::Str { codes, dict, .. } = Self::from_strs(&filled) else {
+            unreachable!("from_strs always builds Str");
+        };
+        Column::Str {
+            codes,
+            dict,
+            nulls: NullMask::from_flags(flags),
+        }
+    }
+
+    /// Builds a `Bool` column (no nulls).
+    pub fn from_bools(values: Vec<bool>) -> Self {
+        Column::Bool {
+            data: values,
+            nulls: NullMask::none(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64 { len, .. } => *len,
+            Column::Float64 { data, .. } => data.len(),
+            Column::Str { codes, .. } => codes.len(),
+            Column::Bool { data, .. } => data.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's logical type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int64 { .. } => DataType::Int64,
+            Column::Float64 { .. } => DataType::Float64,
+            Column::Str { .. } => DataType::Str,
+            Column::Bool { .. } => DataType::Bool,
+        }
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> u64 {
+        match self {
+            Column::Int64 { nulls, .. }
+            | Column::Float64 { nulls, .. }
+            | Column::Str { nulls, .. }
+            | Column::Bool { nulls, .. } => nulls.null_count(),
+        }
+    }
+
+    /// Whether `row` is NULL.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn is_null(&self, row: usize) -> bool {
+        assert!(row < self.len(), "row {row} out of range");
+        match self {
+            Column::Int64 { nulls, .. }
+            | Column::Float64 { nulls, .. }
+            | Column::Str { nulls, .. }
+            | Column::Bool { nulls, .. } => nulls.is_null(row),
+        }
+    }
+
+    /// Point access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn get(&self, row: usize) -> Value {
+        assert!(row < self.len(), "row {row} out of range");
+        if self.is_null(row) {
+            return Value::Null;
+        }
+        match self {
+            Column::Int64 { chunks, .. } => {
+                Value::Int64(chunks[row / CHUNK_ROWS].get(row % CHUNK_ROWS))
+            }
+            Column::Float64 { data, .. } => Value::Float64(data[row]),
+            Column::Str { codes, dict, .. } => Value::Str(dict[codes[row] as usize].clone()),
+            Column::Bool { data, .. } => Value::Bool(data[row]),
+        }
+    }
+
+    /// A deterministic 64-bit hash of the value at `row`; `None` for
+    /// NULL. Equal values hash equal; different values collide with
+    /// probability ~2⁻⁶⁴ (irrelevant next to sampling error, noted in
+    /// DESIGN.md).
+    pub fn hash_code(&self, row: usize) -> Option<u64> {
+        assert!(row < self.len(), "row {row} out of range");
+        if self.is_null(row) {
+            return None;
+        }
+        Some(match self {
+            Column::Int64 { chunks, .. } => {
+                splitmix64(chunks[row / CHUNK_ROWS].get(row % CHUNK_ROWS) as u64)
+            }
+            Column::Float64 { data, .. } => {
+                // Normalize -0.0 to 0.0 and all NaNs to one bit pattern so
+                // equal (==) floats hash equal.
+                let v = data[row];
+                let bits = if v == 0.0 {
+                    0u64
+                } else if v.is_nan() {
+                    u64::MAX
+                } else {
+                    v.to_bits()
+                };
+                splitmix64(bits)
+            }
+            // The dictionary code identifies the string within this
+            // column; fold in nothing else so equal strings hash equal.
+            Column::Str { codes, dict, .. } => fnv1a(dict[codes[row] as usize].as_bytes()),
+            Column::Bool { data, .. } => splitmix64(u64::from(data[row])),
+        })
+    }
+
+    /// All row hashes (None = NULL) — the input to sampling-free
+    /// full-scan estimation checks.
+    pub fn hash_codes(&self) -> Vec<Option<u64>> {
+        (0..self.len()).map(|row| self.hash_code(row)).collect()
+    }
+
+    /// Exact number of distinct non-NULL values (full scan; the ground
+    /// truth the estimators are judged against).
+    pub fn exact_distinct(&self) -> u64 {
+        match self {
+            Column::Str { codes, dict, nulls } => {
+                if nulls.null_count() == 0 {
+                    dict.len() as u64
+                } else {
+                    let used: std::collections::HashSet<u32> = codes
+                        .iter()
+                        .enumerate()
+                        .filter(|(row, _)| !nulls.is_null(*row))
+                        .map(|(_, &c)| c)
+                        .collect();
+                    used.len() as u64
+                }
+            }
+            _ => {
+                let set: std::collections::HashSet<u64> =
+                    self.hash_codes().into_iter().flatten().collect();
+                set.len() as u64
+            }
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            Column::Int64 { chunks, .. } => chunks.iter().map(|c| c.memory_bytes()).sum(),
+            Column::Float64 { data, .. } => data.len() * 8,
+            Column::Str { codes, dict, .. } => {
+                codes.len() * 4 + dict.iter().map(|s| s.len() + 24).sum::<usize>()
+            }
+            Column::Bool { data, .. } => data.len(),
+        }
+    }
+}
+
+/// SplitMix64 finalizer — a strong, cheap integer hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over bytes.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_column_roundtrip_across_chunks() {
+        let values: Vec<i64> = (0..(CHUNK_ROWS as i64 * 2 + 100))
+            .map(|i| i % 1000)
+            .collect();
+        let col = Column::from_i64(&values);
+        assert_eq!(col.len(), values.len());
+        assert_eq!(col.data_type(), DataType::Int64);
+        for &row in &[
+            0usize,
+            1,
+            CHUNK_ROWS - 1,
+            CHUNK_ROWS,
+            CHUNK_ROWS + 1,
+            values.len() - 1,
+        ] {
+            assert_eq!(col.get(row), Value::Int64(values[row]), "row {row}");
+        }
+        assert_eq!(col.exact_distinct(), 1000);
+    }
+
+    #[test]
+    fn nullable_int_column() {
+        let col = Column::from_i64_opt(&[Some(1), None, Some(1), Some(2), None]);
+        assert_eq!(col.null_count(), 2);
+        assert!(col.is_null(1));
+        assert!(!col.is_null(0));
+        assert_eq!(col.get(1), Value::Null);
+        assert_eq!(col.get(3), Value::Int64(2));
+        assert_eq!(col.hash_code(1), None);
+        // Distinct counts non-null values only: {1, 2}.
+        assert_eq!(col.exact_distinct(), 2);
+    }
+
+    #[test]
+    fn str_column_dictionary() {
+        let col = Column::from_strs(&["ny", "sf", "ny", "la", "sf", "ny"]);
+        assert_eq!(col.len(), 6);
+        assert_eq!(col.exact_distinct(), 3);
+        assert_eq!(col.get(0), Value::Str("ny".into()));
+        assert_eq!(col.get(3), Value::Str("la".into()));
+        // Equal strings hash equal, different differ.
+        assert_eq!(col.hash_code(0), col.hash_code(2));
+        assert_ne!(col.hash_code(0), col.hash_code(1));
+    }
+
+    #[test]
+    fn nullable_str_column_distinct_ignores_nulls() {
+        let col = Column::from_strs_opt(&[Some("a"), None, Some("b"), Some("a"), None]);
+        assert_eq!(col.null_count(), 2);
+        assert_eq!(col.exact_distinct(), 2);
+        assert_eq!(col.get(1), Value::Null);
+    }
+
+    #[test]
+    fn float_column_hash_semantics() {
+        let col = Column::from_f64(vec![0.0, -0.0, 1.5, f64::NAN, f64::NAN]);
+        // 0.0 and -0.0 are equal values → equal hashes.
+        assert_eq!(col.hash_code(0), col.hash_code(1));
+        // NaNs are normalized to a single class for counting purposes.
+        assert_eq!(col.hash_code(3), col.hash_code(4));
+        assert_ne!(col.hash_code(0), col.hash_code(2));
+        assert_eq!(col.exact_distinct(), 3); // {0.0, 1.5, NaN}
+    }
+
+    #[test]
+    fn bool_column() {
+        let col = Column::from_bools(vec![true, false, true]);
+        assert_eq!(col.exact_distinct(), 2);
+        assert_eq!(col.get(1), Value::Bool(false));
+        assert_eq!(col.data_type(), DataType::Bool);
+    }
+
+    #[test]
+    fn from_u64_generator_output() {
+        let col = Column::from_u64(&[5, 5, 9]);
+        assert_eq!(col.get(2), Value::Int64(9));
+        assert_eq!(col.exact_distinct(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_bounds_checked() {
+        Column::from_i64(&[1]).get(1);
+    }
+
+    #[test]
+    fn int_hashes_identify_values() {
+        let col = Column::from_i64(&[7, 8, 7, 7]);
+        assert_eq!(col.hash_code(0), col.hash_code(2));
+        assert_eq!(col.hash_code(0), col.hash_code(3));
+        assert_ne!(col.hash_code(0), col.hash_code(1));
+    }
+
+    #[test]
+    fn memory_reflects_encoding_wins() {
+        let clustered: Vec<i64> = (0..10_000).map(|i| i / 2_500).collect();
+        let unique: Vec<i64> = (0..10_000).collect();
+        let c1 = Column::from_i64(&clustered);
+        let c2 = Column::from_i64(&unique);
+        assert!(c1.memory_bytes() < c2.memory_bytes() / 10);
+    }
+
+    #[test]
+    fn empty_column() {
+        let col = Column::from_i64(&[]);
+        assert!(col.is_empty());
+        assert_eq!(col.exact_distinct(), 0);
+        assert_eq!(col.null_count(), 0);
+    }
+}

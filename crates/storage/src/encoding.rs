@@ -1,0 +1,277 @@
+//! Lightweight columnar encodings for integer chunks.
+//!
+//! Each column chunk picks the cheapest of three encodings at build time:
+//!
+//! * **Plain** — the raw values;
+//! * **RunLength** — `(value, run)` pairs; wins on sorted/clustered data;
+//! * **Dictionary** — distinct values + per-row codes; wins on
+//!   low-cardinality data.
+//!
+//! Point access stays O(1) for plain and dictionary and O(log #runs) for
+//! RLE (binary search over run offsets), so sampling rows from an encoded
+//! table never decodes whole chunks.
+
+/// An encoded chunk of `i64` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntEncoding {
+    /// Raw values.
+    Plain(Vec<i64>),
+    /// Run-length: values, run end offsets (exclusive, ascending).
+    RunLength {
+        /// The value of each run.
+        values: Vec<i64>,
+        /// Exclusive end offset of each run; last equals chunk length.
+        ends: Vec<u32>,
+    },
+    /// Dictionary: per-row codes into `dict`.
+    Dictionary {
+        /// Row codes.
+        codes: Vec<u32>,
+        /// Distinct values, in first-appearance order.
+        dict: Vec<i64>,
+    },
+}
+
+impl IntEncoding {
+    /// Encodes a chunk, choosing the smallest representation by
+    /// [`memory_bytes`](IntEncoding::memory_bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk exceeds `u32::MAX` rows (chunks are bounded far
+    /// below that by the column layer).
+    pub fn encode(values: &[i64]) -> Self {
+        assert!(values.len() <= u32::MAX as usize, "chunk too large");
+        let plain = IntEncoding::Plain(values.to_vec());
+        if values.is_empty() {
+            return plain;
+        }
+        let rle = Self::encode_rle(values);
+        let dict = Self::encode_dict(values);
+        let mut best = plain;
+        for candidate in [rle, dict].into_iter().flatten() {
+            if candidate.memory_bytes() < best.memory_bytes() {
+                best = candidate;
+            }
+        }
+        best
+    }
+
+    fn encode_rle(values: &[i64]) -> Option<Self> {
+        let mut runs_values = Vec::new();
+        let mut ends = Vec::new();
+        let mut current = values[0];
+        for (i, &v) in values.iter().enumerate() {
+            if v != current {
+                runs_values.push(current);
+                ends.push(i as u32);
+                current = v;
+            }
+        }
+        runs_values.push(current);
+        ends.push(values.len() as u32);
+        // Hopeless unless runs actually compress.
+        if runs_values.len() * 2 >= values.len() {
+            return None;
+        }
+        Some(IntEncoding::RunLength {
+            values: runs_values,
+            ends,
+        })
+    }
+
+    fn encode_dict(values: &[i64]) -> Option<Self> {
+        let mut dict: Vec<i64> = Vec::new();
+        let mut index: std::collections::HashMap<i64, u32> = std::collections::HashMap::new();
+        let mut codes = Vec::with_capacity(values.len());
+        for &v in values {
+            let code = *index.entry(v).or_insert_with(|| {
+                dict.push(v);
+                (dict.len() - 1) as u32
+            });
+            codes.push(code);
+            if dict.len() > values.len() / 2 {
+                // High cardinality: dictionary can't win; bail early.
+                return None;
+            }
+        }
+        Some(IntEncoding::Dictionary { codes, dict })
+    }
+
+    /// Number of rows in the chunk.
+    pub fn len(&self) -> usize {
+        match self {
+            IntEncoding::Plain(v) => v.len(),
+            IntEncoding::RunLength { ends, .. } => ends.last().copied().unwrap_or(0) as usize,
+            IntEncoding::Dictionary { codes, .. } => codes.len(),
+        }
+    }
+
+    /// Whether the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    pub fn get(&self, idx: usize) -> i64 {
+        match self {
+            IntEncoding::Plain(v) => v[idx],
+            IntEncoding::RunLength { values, ends } => {
+                assert!(idx < self.len(), "index {idx} out of range");
+                let run = ends.partition_point(|&e| e as usize <= idx);
+                values[run]
+            }
+            IntEncoding::Dictionary { codes, dict } => dict[codes[idx] as usize],
+        }
+    }
+
+    /// Decodes the whole chunk.
+    pub fn decode(&self) -> Vec<i64> {
+        match self {
+            IntEncoding::Plain(v) => v.clone(),
+            IntEncoding::RunLength { values, ends } => {
+                let mut out = Vec::with_capacity(self.len());
+                let mut start = 0u32;
+                for (v, &end) in values.iter().zip(ends) {
+                    out.extend(std::iter::repeat_n(*v, (end - start) as usize));
+                    start = end;
+                }
+                out
+            }
+            IntEncoding::Dictionary { codes, dict } => {
+                codes.iter().map(|&c| dict[c as usize]).collect()
+            }
+        }
+    }
+
+    /// Approximate heap footprint in bytes — what the adaptive encoder
+    /// minimizes.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            IntEncoding::Plain(v) => v.len() * 8,
+            IntEncoding::RunLength { values, ends } => values.len() * 8 + ends.len() * 4,
+            IntEncoding::Dictionary { codes, dict } => codes.len() * 4 + dict.len() * 8,
+        }
+    }
+
+    /// Exact distinct values in the chunk (used by full-scan truth).
+    pub fn distinct(&self) -> u64 {
+        match self {
+            IntEncoding::Plain(v) => {
+                let set: std::collections::HashSet<i64> = v.iter().copied().collect();
+                set.len() as u64
+            }
+            IntEncoding::RunLength { values, .. } => {
+                let set: std::collections::HashSet<i64> = values.iter().copied().collect();
+                set.len() as u64
+            }
+            IntEncoding::Dictionary { dict, .. } => dict.len() as u64,
+        }
+    }
+
+    /// A short label for stats/debug output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            IntEncoding::Plain(_) => "plain",
+            IntEncoding::RunLength { .. } => "rle",
+            IntEncoding::Dictionary { .. } => "dict",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_plain() {
+        let data: Vec<i64> = (0..100).collect(); // all distinct → plain
+        let e = IntEncoding::encode(&data);
+        assert_eq!(e.kind(), "plain");
+        assert_eq!(e.decode(), data);
+        assert_eq!(e.len(), 100);
+        assert_eq!(e.distinct(), 100);
+    }
+
+    #[test]
+    fn roundtrip_rle_on_sorted_data() {
+        let mut data = vec![5i64; 500];
+        data.extend(vec![9i64; 500]);
+        let e = IntEncoding::encode(&data);
+        assert_eq!(e.kind(), "rle");
+        assert_eq!(e.decode(), data);
+        assert_eq!(e.distinct(), 2);
+        assert!(e.memory_bytes() < data.len() * 8 / 10);
+    }
+
+    #[test]
+    fn roundtrip_dict_on_low_cardinality_shuffled() {
+        let data: Vec<i64> = (0..1000).map(|i| (i * 7) % 10).collect();
+        let e = IntEncoding::encode(&data);
+        assert_eq!(e.kind(), "dict");
+        assert_eq!(e.decode(), data);
+        assert_eq!(e.distinct(), 10);
+    }
+
+    #[test]
+    fn point_access_matches_decode() {
+        for data in [
+            (0..257).collect::<Vec<i64>>(),
+            vec![1; 300],
+            (0..300).map(|i| i % 7).collect(),
+            vec![-5, -5, -5, 0, 0, 7],
+        ] {
+            let e = IntEncoding::encode(&data);
+            let decoded = e.decode();
+            for (i, &v) in decoded.iter().enumerate() {
+                assert_eq!(e.get(i), v, "idx {i} in {}", e.kind());
+            }
+        }
+    }
+
+    #[test]
+    fn rle_point_access_across_run_boundaries() {
+        let data = vec![1i64, 1, 1, 2, 2, 3, 3, 3, 3, 3];
+        let e = IntEncoding::encode_rle(&data).unwrap();
+        assert_eq!(e.get(0), 1);
+        assert_eq!(e.get(2), 1);
+        assert_eq!(e.get(3), 2);
+        assert_eq!(e.get(4), 2);
+        assert_eq!(e.get(5), 3);
+        assert_eq!(e.get(9), 3);
+    }
+
+    #[test]
+    fn empty_chunk() {
+        let e = IntEncoding::encode(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.decode(), Vec::<i64>::new());
+        assert_eq!(e.distinct(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_get_panics() {
+        IntEncoding::encode(&[1, 2, 3]).get(3);
+    }
+
+    #[test]
+    fn encoder_picks_smallest() {
+        // Clustered low-cardinality: RLE beats dict beats plain.
+        let mut clustered = Vec::new();
+        for v in 0..4i64 {
+            clustered.extend(vec![v; 1000]);
+        }
+        assert_eq!(IntEncoding::encode(&clustered).kind(), "rle");
+        // Shuffled low-cardinality: dict wins (runs are short).
+        let shuffled: Vec<i64> = (0..4000).map(|i| (i * 2654435761u64 as i64) % 4).collect();
+        assert_eq!(IntEncoding::encode(&shuffled).kind(), "dict");
+        // Unique values: plain wins.
+        let unique: Vec<i64> = (0..4000).collect();
+        assert_eq!(IntEncoding::encode(&unique).kind(), "plain");
+    }
+}

@@ -1,0 +1,50 @@
+//! # dve-storage — a mini in-memory column store
+//!
+//! The substrate the paper ran on was Microsoft SQL Server 7.0 with a
+//! server modification that exposed, per sampled column, the distinct
+//! count `d`, the frequency spectrum `f_i`, and the sample skew. This
+//! crate provides the equivalent open substrate:
+//!
+//! * [`value`] / [`column`] — typed columns (`Int64`, `Float64`, `Str`,
+//!   `Bool`) with NULL masks, chunked adaptive encodings
+//!   ([`encoding`]: plain / run-length / dictionary), O(1)-ish point
+//!   access, and deterministic per-row value hashes for sampling;
+//! * [`table`] — schemas, tables, and a catalog;
+//! * [`stats`] — optimizer-facing [`stats::ColumnStatistics`]
+//!   (distinct estimate + GEE confidence interval + selectivity helpers);
+//! * [`analyze`] — the `ANALYZE` command: one shared row sample per
+//!   table, per-column frequency profiles, any registry estimator.
+//!
+//! ```
+//! use dve_storage::{analyze::{analyze_table, AnalyzeOptions}, table::Table};
+//! use rand::SeedableRng;
+//!
+//! let values: Vec<u64> = (0..10_000).map(|i| i % 250).collect();
+//! let table = Table::from_generated("city_id", &values);
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+//! let stats = analyze_table(&table, &AnalyzeOptions::default(), &mut rng).unwrap();
+//! let s = &stats[0];
+//! assert!(s.interval.lower <= 250.0 && 250.0 <= s.interval.upper);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod column;
+pub mod encoding;
+pub mod persist;
+pub mod planner;
+pub mod query;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use analyze::{analyze_partitions, analyze_table, AnalyzeOptions};
+pub use column::Column;
+pub use persist::{load_table, read_table, save_table, write_table};
+pub use planner::{execute_group_by, plan_group_by, GroupByStrategy};
+pub use query::{count_distinct, filter_rows, Filter, Predicate};
+pub use stats::ColumnStatistics;
+pub use table::{Catalog, Field, Schema, Table};
+pub use value::{DataType, Value};

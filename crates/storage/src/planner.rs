@@ -1,0 +1,221 @@
+//! An estimate-driven aggregation planner — the paper's motivating
+//! consumer made concrete.
+//!
+//! *"A principled choice of an execution plan by an optimizer depends
+//! heavily on the availability of statistical summaries such as … the
+//! number of distinct values in a column"* (§1). The classic decision
+//! that hinges on the distinct count is GROUP BY strategy:
+//!
+//! * **HashAggregate** — O(n) with an O(D) hash table; wins when the
+//!   group count fits the memory budget;
+//! * **SortAggregate** — O(n log n) with O(n) sequential memory; wins
+//!   when there are too many groups to hash in memory (a real system
+//!   would spill; we model the cliff with a cost penalty).
+//!
+//! [`plan_group_by`] picks a strategy from a [`ColumnStatistics`]
+//! estimate; [`execute_group_by`] actually runs either strategy so the
+//! bench suite can measure what a wrong estimate costs.
+
+use crate::stats::ColumnStatistics;
+use crate::table::Table;
+use std::collections::HashMap;
+
+/// GROUP BY execution strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupByStrategy {
+    /// Build a hash table keyed by value.
+    HashAggregate,
+    /// Sort row hashes, then count runs.
+    SortAggregate,
+}
+
+/// Planner decision with its inputs, for explain-style output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupByPlan {
+    /// Chosen strategy.
+    pub strategy: GroupByStrategy,
+    /// The distinct estimate the decision used.
+    pub estimated_groups: f64,
+    /// The memory budget (in groups) the hash strategy was allowed.
+    pub hash_budget_groups: u64,
+    /// True when the estimator's confidence interval straddles the
+    /// budget — the planner is flying blind and a robust system might
+    /// prefer the sort strategy or a higher sampling rate.
+    pub decision_uncertain: bool,
+}
+
+/// Chooses a GROUP BY strategy from column statistics.
+///
+/// Hash aggregation is selected when the estimated distinct count fits
+/// the budget. The GEE interval is consulted for an uncertainty flag:
+/// if `LOWER` fits but `UPPER` does not, the estimate alone is carrying
+/// the decision.
+pub fn plan_group_by(stats: &ColumnStatistics, hash_budget_groups: u64) -> GroupByPlan {
+    let fits = stats.distinct_estimate <= hash_budget_groups as f64;
+    let lower_fits = stats.interval.lower <= hash_budget_groups as f64;
+    let upper_fits = stats.interval.upper <= hash_budget_groups as f64;
+    GroupByPlan {
+        strategy: if fits {
+            GroupByStrategy::HashAggregate
+        } else {
+            GroupByStrategy::SortAggregate
+        },
+        estimated_groups: stats.distinct_estimate,
+        hash_budget_groups,
+        decision_uncertain: lower_fits != upper_fits,
+    }
+}
+
+/// Result of executing a GROUP BY: the group count plus simple cost
+/// counters a bench can compare.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupByResult {
+    /// Number of groups found (= exact distinct count of the column).
+    pub groups: u64,
+    /// Strategy that ran.
+    pub strategy: GroupByStrategy,
+    /// Peak auxiliary memory in bytes (hash table or sort buffer).
+    pub peak_memory_bytes: usize,
+}
+
+/// Executes `GROUP BY column` (counting groups) with the given strategy.
+///
+/// # Panics
+///
+/// Panics if the column does not exist.
+pub fn execute_group_by(table: &Table, column: &str, strategy: GroupByStrategy) -> GroupByResult {
+    let col = table
+        .column_by_name(column)
+        .unwrap_or_else(|| panic!("no such column: {column}"));
+    match strategy {
+        GroupByStrategy::HashAggregate => {
+            let mut groups: HashMap<u64, u64> = HashMap::new();
+            for row in 0..col.len() {
+                if let Some(h) = col.hash_code(row) {
+                    *groups.entry(h).or_insert(0) += 1;
+                }
+            }
+            GroupByResult {
+                groups: groups.len() as u64,
+                strategy,
+                peak_memory_bytes: groups.capacity() * 16,
+            }
+        }
+        GroupByStrategy::SortAggregate => {
+            let mut hashes: Vec<u64> = (0..col.len())
+                .filter_map(|row| col.hash_code(row))
+                .collect();
+            hashes.sort_unstable();
+            let mut groups = 0u64;
+            let mut prev = None;
+            for h in &hashes {
+                if Some(*h) != prev {
+                    groups += 1;
+                    prev = Some(*h);
+                }
+            }
+            GroupByResult {
+                groups,
+                strategy,
+                peak_memory_bytes: hashes.capacity() * 8,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::bounds_helpers::stats_with;
+    use super::*;
+    use crate::analyze::{analyze_table, AnalyzeOptions};
+    use crate::table::Table;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn both_strategies_agree_on_group_count() {
+        let col: Vec<u64> = (0..50_000).map(|i| i % 777).collect();
+        let table = Table::from_generated("k", &col);
+        let hash = execute_group_by(&table, "k", GroupByStrategy::HashAggregate);
+        let sort = execute_group_by(&table, "k", GroupByStrategy::SortAggregate);
+        assert_eq!(hash.groups, 777);
+        assert_eq!(sort.groups, 777);
+        // Hash memory tracks D, sort memory tracks n.
+        assert!(hash.peak_memory_bytes < sort.peak_memory_bytes);
+    }
+
+    #[test]
+    fn planner_picks_hash_when_groups_fit() {
+        let stats = stats_with(500.0, 450.0, 600.0);
+        let plan = plan_group_by(&stats, 10_000);
+        assert_eq!(plan.strategy, GroupByStrategy::HashAggregate);
+        assert!(!plan.decision_uncertain);
+    }
+
+    #[test]
+    fn planner_picks_sort_when_groups_overflow() {
+        let stats = stats_with(5_000_000.0, 4_000_000.0, 9_000_000.0);
+        let plan = plan_group_by(&stats, 10_000);
+        assert_eq!(plan.strategy, GroupByStrategy::SortAggregate);
+        assert!(!plan.decision_uncertain);
+    }
+
+    #[test]
+    fn planner_flags_straddling_interval() {
+        let stats = stats_with(9_000.0, 1_000.0, 500_000.0);
+        let plan = plan_group_by(&stats, 10_000);
+        assert_eq!(plan.strategy, GroupByStrategy::HashAggregate);
+        assert!(plan.decision_uncertain, "interval straddles the budget");
+    }
+
+    #[test]
+    fn end_to_end_plan_from_analyze() {
+        let col: Vec<u64> = (0..100_000).map(|i| i % 50).collect();
+        let table = Table::from_generated("k", &col);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let stats = analyze_table(
+            &table,
+            &AnalyzeOptions {
+                sampling_fraction: 0.02,
+                estimator: "AE".into(),
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let plan = plan_group_by(&stats[0], 1_000);
+        assert_eq!(plan.strategy, GroupByStrategy::HashAggregate);
+        let result = execute_group_by(&table, "k", plan.strategy);
+        assert_eq!(result.groups, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "no such column")]
+    fn execute_checks_column() {
+        let table = Table::from_generated("k", &[1, 2]);
+        execute_group_by(&table, "missing", GroupByStrategy::HashAggregate);
+    }
+}
+
+/// Test-only constructor for synthetic statistics.
+#[cfg(test)]
+pub(crate) mod bounds_helpers {
+    use crate::stats::ColumnStatistics;
+    use dve_core::bounds::ConfidenceInterval;
+
+    pub(crate) fn stats_with(estimate: f64, lower: f64, upper: f64) -> ColumnStatistics {
+        ColumnStatistics {
+            column: "c".into(),
+            row_count: 1_000_000,
+            null_count_estimate: 0,
+            sample_rows: 10_000,
+            sample_distinct: lower as u64,
+            distinct_estimate: estimate,
+            interval: ConfidenceInterval {
+                lower,
+                estimate,
+                upper,
+            },
+            estimator: "GEE".into(),
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! A minimal query surface over the column store: single-table filters
+//! and (exact) distinct counting, enough to exercise the statistics the
+//! estimators feed into a planner.
+
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashSet;
+
+/// A predicate over one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `column = value` (NULL never matches).
+    Eq(Value),
+    /// `lo ≤ column ≤ hi` on `Int64` columns; either bound optional.
+    IntRange {
+        /// Inclusive lower bound.
+        lo: Option<i64>,
+        /// Inclusive upper bound.
+        hi: Option<i64>,
+    },
+    /// `column IS NULL`.
+    IsNull,
+    /// `column IS NOT NULL`.
+    IsNotNull,
+}
+
+/// A filter binds a predicate to a column name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Filter {
+    /// Column the predicate applies to.
+    pub column: String,
+    /// The predicate.
+    pub predicate: Predicate,
+}
+
+impl Filter {
+    /// Convenience constructor.
+    pub fn new(column: impl Into<String>, predicate: Predicate) -> Self {
+        Self {
+            column: column.into(),
+            predicate,
+        }
+    }
+}
+
+/// Errors from query evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Referenced column does not exist.
+    NoSuchColumn(
+        /// The missing name.
+        String,
+    ),
+    /// Predicate type does not match the column type.
+    TypeMismatch(
+        /// Human-readable description.
+        String,
+    ),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            QueryError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Evaluates a conjunction of filters, returning matching row ids in
+/// ascending order.
+pub fn filter_rows(table: &Table, filters: &[Filter]) -> Result<Vec<u64>, QueryError> {
+    // Resolve columns first so errors surface before scanning.
+    let mut resolved = Vec::with_capacity(filters.len());
+    for f in filters {
+        let col = table
+            .column_by_name(&f.column)
+            .ok_or_else(|| QueryError::NoSuchColumn(f.column.clone()))?;
+        if let Predicate::IntRange { .. } = f.predicate {
+            if col.data_type() != crate::value::DataType::Int64 {
+                return Err(QueryError::TypeMismatch(format!(
+                    "IntRange on non-Int64 column {}",
+                    f.column
+                )));
+            }
+        }
+        resolved.push((col, &f.predicate));
+    }
+    let mut out = Vec::new();
+    'rows: for row in 0..table.row_count() {
+        for (col, pred) in &resolved {
+            let matches = match pred {
+                Predicate::IsNull => col.is_null(row),
+                Predicate::IsNotNull => !col.is_null(row),
+                Predicate::Eq(v) => !col.is_null(row) && &col.get(row) == v,
+                Predicate::IntRange { lo, hi } => {
+                    if col.is_null(row) {
+                        false
+                    } else if let Value::Int64(x) = col.get(row) {
+                        lo.is_none_or(|l| x >= l) && hi.is_none_or(|h| x <= h)
+                    } else {
+                        false
+                    }
+                }
+            };
+            if !matches {
+                continue 'rows;
+            }
+        }
+        out.push(row as u64);
+    }
+    Ok(out)
+}
+
+/// Exact `COUNT(DISTINCT column)` over all rows, or over a row-id subset
+/// (NULLs excluded, SQL semantics).
+pub fn count_distinct(
+    table: &Table,
+    column: &str,
+    rows: Option<&[u64]>,
+) -> Result<u64, QueryError> {
+    let col = table
+        .column_by_name(column)
+        .ok_or_else(|| QueryError::NoSuchColumn(column.to_string()))?;
+    let mut set: HashSet<u64> = HashSet::new();
+    match rows {
+        None => {
+            for row in 0..col.len() {
+                if let Some(h) = col.hash_code(row) {
+                    set.insert(h);
+                }
+            }
+        }
+        Some(rows) => {
+            for &row in rows {
+                if let Some(h) = col.hash_code(row as usize) {
+                    set.insert(h);
+                }
+            }
+        }
+    }
+    Ok(set.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::table::{Field, Schema};
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        Table::new(
+            Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("city", DataType::Str),
+                Field::nullable("score", DataType::Int64),
+            ]),
+            vec![
+                Column::from_i64(&[1, 2, 3, 4, 5, 6]),
+                Column::from_strs(&["ny", "sf", "ny", "la", "sf", "ny"]),
+                Column::from_i64_opt(&[Some(10), None, Some(30), Some(10), None, Some(50)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn eq_filter() {
+        let rows = filter_rows(
+            &table(),
+            &[Filter::new("city", Predicate::Eq(Value::Str("ny".into())))],
+        )
+        .unwrap();
+        assert_eq!(rows, vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn range_filter() {
+        let rows = filter_rows(
+            &table(),
+            &[Filter::new(
+                "id",
+                Predicate::IntRange {
+                    lo: Some(2),
+                    hi: Some(4),
+                },
+            )],
+        )
+        .unwrap();
+        assert_eq!(rows, vec![1, 2, 3]);
+        // Open-ended bounds.
+        let rows = filter_rows(
+            &table(),
+            &[Filter::new(
+                "id",
+                Predicate::IntRange {
+                    lo: Some(5),
+                    hi: None,
+                },
+            )],
+        )
+        .unwrap();
+        assert_eq!(rows, vec![4, 5]);
+    }
+
+    #[test]
+    fn null_filters() {
+        let t = table();
+        let nulls = filter_rows(&t, &[Filter::new("score", Predicate::IsNull)]).unwrap();
+        assert_eq!(nulls, vec![1, 4]);
+        let not_nulls = filter_rows(&t, &[Filter::new("score", Predicate::IsNotNull)]).unwrap();
+        assert_eq!(not_nulls, vec![0, 2, 3, 5]);
+        // Eq never matches NULL.
+        let eq = filter_rows(&t, &[Filter::new("score", Predicate::Eq(Value::Int64(10)))]).unwrap();
+        assert_eq!(eq, vec![0, 3]);
+    }
+
+    #[test]
+    fn conjunction() {
+        let rows = filter_rows(
+            &table(),
+            &[
+                Filter::new("city", Predicate::Eq(Value::Str("ny".into()))),
+                Filter::new("score", Predicate::IsNotNull),
+                Filter::new(
+                    "id",
+                    Predicate::IntRange {
+                        lo: Some(2),
+                        hi: None,
+                    },
+                ),
+            ],
+        )
+        .unwrap();
+        assert_eq!(rows, vec![2, 5]);
+    }
+
+    #[test]
+    fn count_distinct_semantics() {
+        let t = table();
+        assert_eq!(count_distinct(&t, "city", None).unwrap(), 3);
+        // NULLs excluded: scores {10, 30, 10, 50} → 3 distinct.
+        assert_eq!(count_distinct(&t, "score", None).unwrap(), 3);
+        // Restricted to a subset.
+        assert_eq!(count_distinct(&t, "city", Some(&[0, 2, 5])).unwrap(), 1);
+        assert_eq!(count_distinct(&t, "city", Some(&[])).unwrap(), 0);
+    }
+
+    #[test]
+    fn error_paths() {
+        let t = table();
+        assert!(matches!(
+            filter_rows(&t, &[Filter::new("nope", Predicate::IsNull)]),
+            Err(QueryError::NoSuchColumn(_))
+        ));
+        assert!(matches!(
+            filter_rows(
+                &t,
+                &[Filter::new(
+                    "city",
+                    Predicate::IntRange { lo: None, hi: None }
+                )]
+            ),
+            Err(QueryError::TypeMismatch(_))
+        ));
+        assert!(count_distinct(&t, "nope", None).is_err());
+        let e = QueryError::NoSuchColumn("x".into());
+        assert!(e.to_string().contains("x"));
+    }
+}

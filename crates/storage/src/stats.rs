@@ -1,0 +1,84 @@
+//! Optimizer-facing column statistics — the artifact ANALYZE produces.
+//!
+//! This is the paper's motivating consumer: a query optimizer reads the
+//! distinct-count estimate (plus the GEE confidence interval) when
+//! costing joins and aggregations.
+
+use dve_core::bounds::ConfidenceInterval;
+
+/// Statistics for one column, as a catalog would store them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStatistics {
+    /// Column name.
+    pub column: String,
+    /// Table row count at ANALYZE time.
+    pub row_count: u64,
+    /// NULL rows observed (scaled up from the sample).
+    pub null_count_estimate: u64,
+    /// Rows actually sampled.
+    pub sample_rows: u64,
+    /// Distinct non-NULL values seen in the sample.
+    pub sample_distinct: u64,
+    /// The distinct-count estimate.
+    pub distinct_estimate: f64,
+    /// GEE's `[LOWER, UPPER]` interval around the truth (always computed,
+    /// regardless of which estimator produced `distinct_estimate` — the
+    /// interval's validity only needs the sample).
+    pub interval: ConfidenceInterval,
+    /// Name of the estimator that produced `distinct_estimate`.
+    pub estimator: String,
+}
+
+impl ColumnStatistics {
+    /// A scale-free confidence signal: interval width over estimate.
+    /// Optimizers can fall back to a full scan when this is too large.
+    pub fn relative_uncertainty(&self) -> f64 {
+        self.interval.width() / self.distinct_estimate.max(1.0)
+    }
+
+    /// Estimated selectivity of an equality predicate on this column,
+    /// `1 / D̂` — the quantity optimizers actually plug into cost models.
+    pub fn equality_selectivity(&self) -> f64 {
+        1.0 / self.distinct_estimate.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(estimate: f64, lower: f64, upper: f64) -> ColumnStatistics {
+        ColumnStatistics {
+            column: "c".into(),
+            row_count: 1000,
+            null_count_estimate: 0,
+            sample_rows: 100,
+            sample_distinct: 42,
+            distinct_estimate: estimate,
+            interval: ConfidenceInterval {
+                lower,
+                estimate,
+                upper,
+            },
+            estimator: "GEE".into(),
+        }
+    }
+
+    #[test]
+    fn selectivity_is_inverse_distinct() {
+        let s = stats(50.0, 42.0, 200.0);
+        assert!((s.equality_selectivity() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncertainty_is_relative_width() {
+        let s = stats(50.0, 42.0, 142.0);
+        assert!((s.relative_uncertainty() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_estimate_guarded() {
+        let s = stats(0.0, 0.0, 0.0);
+        assert_eq!(s.equality_selectivity(), 1.0);
+    }
+}

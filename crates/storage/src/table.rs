@@ -1,0 +1,404 @@
+//! Tables, schemas, and the catalog.
+
+use crate::column::Column;
+use crate::value::{DataType, Value};
+use std::collections::HashMap;
+
+/// A named, typed column slot in a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+    /// Whether NULLs are allowed.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// Convenience constructor for a non-nullable field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Self {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
+    }
+
+    /// Convenience constructor for a nullable field.
+    pub fn nullable(name: impl Into<String>, data_type: DataType) -> Self {
+        Self {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Builds a schema from fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate field names.
+    pub fn new(fields: Vec<Field>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for f in &fields {
+            assert!(seen.insert(f.name.clone()), "duplicate column {}", f.name);
+        }
+        Self { fields }
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+}
+
+/// Errors raised while assembling or mutating tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// Column count differs from the schema.
+    ColumnCountMismatch {
+        /// Columns in the schema.
+        expected: usize,
+        /// Columns provided.
+        actual: usize,
+    },
+    /// A column's type differs from its field.
+    TypeMismatch {
+        /// Field name.
+        column: String,
+        /// Declared type.
+        expected: DataType,
+        /// Provided type.
+        actual: DataType,
+    },
+    /// Columns have differing lengths.
+    LengthMismatch {
+        /// Field name of the offending column.
+        column: String,
+        /// Length of the first column.
+        expected: usize,
+        /// Length of the offending column.
+        actual: usize,
+    },
+    /// A column contains NULLs but its field is not nullable.
+    UnexpectedNulls {
+        /// Field name.
+        column: String,
+    },
+    /// Catalog already holds a table with this name.
+    DuplicateTable {
+        /// Table name.
+        name: String,
+    },
+    /// No such table.
+    NoSuchTable {
+        /// Table name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::ColumnCountMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "schema has {expected} columns but {actual} were provided"
+                )
+            }
+            TableError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(f, "column {column}: expected {expected}, got {actual}"),
+            TableError::LengthMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(f, "column {column}: length {actual} != {expected}"),
+            TableError::UnexpectedNulls { column } => {
+                write!(f, "column {column} is not nullable but contains NULLs")
+            }
+            TableError::DuplicateTable { name } => write!(f, "table {name} already exists"),
+            TableError::NoSuchTable { name } => write!(f, "no such table: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// An immutable in-memory table: a schema plus equal-length columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Assembles a table, validating schema/column agreement.
+    pub fn new(schema: Schema, columns: Vec<Column>) -> Result<Self, TableError> {
+        if schema.len() != columns.len() {
+            return Err(TableError::ColumnCountMismatch {
+                expected: schema.len(),
+                actual: columns.len(),
+            });
+        }
+        let rows = columns.first().map_or(0, |c| c.len());
+        for (field, col) in schema.fields().iter().zip(&columns) {
+            if col.data_type() != field.data_type {
+                return Err(TableError::TypeMismatch {
+                    column: field.name.clone(),
+                    expected: field.data_type,
+                    actual: col.data_type(),
+                });
+            }
+            if col.len() != rows {
+                return Err(TableError::LengthMismatch {
+                    column: field.name.clone(),
+                    expected: rows,
+                    actual: col.len(),
+                });
+            }
+            if !field.nullable && col.null_count() > 0 {
+                return Err(TableError::UnexpectedNulls {
+                    column: field.name.clone(),
+                });
+            }
+        }
+        Ok(Self {
+            schema,
+            columns,
+            rows,
+        })
+    }
+
+    /// Builds a single-`Int64`-column table straight from generator
+    /// output — the shape every synthetic experiment uses.
+    pub fn from_generated(name: &str, values: &[u64]) -> Self {
+        let schema = Schema::new(vec![Field::new(name, DataType::Int64)]);
+        Self::new(schema, vec![Column::from_u64(values)]).expect("generated column is valid")
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Column by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// One full row as values (for debugging / examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        assert!(row < self.rows, "row {row} out of range");
+        self.columns.iter().map(|c| c.get(row)).collect()
+    }
+
+    /// Total approximate heap footprint.
+    pub fn memory_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.memory_bytes()).sum()
+    }
+}
+
+/// A trivially small catalog mapping table names to tables.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) -> Result<(), TableError> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(TableError::DuplicateTable { name });
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Looks a table up.
+    pub fn get(&self, name: &str) -> Result<&Table, TableError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| TableError::NoSuchTable {
+                name: name.to_string(),
+            })
+    }
+
+    /// Drops a table, returning it.
+    pub fn drop_table(&mut self, name: &str) -> Result<Table, TableError> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| TableError::NoSuchTable {
+                name: name.to_string(),
+            })
+    }
+
+    /// Registered table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn city_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("city", DataType::Str),
+            Field::nullable("score", DataType::Float64),
+        ]);
+        Table::new(
+            schema,
+            vec![
+                Column::from_i64(&[1, 2, 3]),
+                Column::from_strs(&["ny", "sf", "ny"]),
+                Column::from_f64(vec![1.0, 2.0, 3.0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn table_accessors() {
+        let t = city_table();
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.schema().len(), 3);
+        assert_eq!(t.column(1).exact_distinct(), 2);
+        assert!(t.column_by_name("city").is_some());
+        assert!(t.column_by_name("nope").is_none());
+        assert_eq!(
+            t.row(0),
+            vec![
+                Value::Int64(1),
+                Value::Str("ny".into()),
+                Value::Float64(1.0)
+            ]
+        );
+        assert!(t.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn schema_validation_errors() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int64)]);
+        // Wrong arity.
+        assert!(matches!(
+            Table::new(schema.clone(), vec![]),
+            Err(TableError::ColumnCountMismatch { .. })
+        ));
+        // Wrong type.
+        assert!(matches!(
+            Table::new(schema.clone(), vec![Column::from_f64(vec![1.0])]),
+            Err(TableError::TypeMismatch { .. })
+        ));
+        // Nulls in non-nullable field.
+        assert!(matches!(
+            Table::new(schema, vec![Column::from_i64_opt(&[Some(1), None])]),
+            Err(TableError::UnexpectedNulls { .. })
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+        ]);
+        let err = Table::new(
+            schema,
+            vec![Column::from_i64(&[1, 2]), Column::from_i64(&[1])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TableError::LengthMismatch { .. }));
+        assert!(err.to_string().contains("length"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_field_names_rejected() {
+        Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("a", DataType::Str),
+        ]);
+    }
+
+    #[test]
+    fn catalog_lifecycle() {
+        let mut cat = Catalog::new();
+        cat.register("cities", city_table()).unwrap();
+        assert!(cat.get("cities").is_ok());
+        assert_eq!(cat.table_names(), vec!["cities"]);
+        // Duplicate registration fails.
+        assert!(matches!(
+            cat.register("cities", city_table()),
+            Err(TableError::DuplicateTable { .. })
+        ));
+        let t = cat.drop_table("cities").unwrap();
+        assert_eq!(t.row_count(), 3);
+        assert!(matches!(
+            cat.get("cities"),
+            Err(TableError::NoSuchTable { .. })
+        ));
+    }
+
+    #[test]
+    fn from_generated_builds_int_table() {
+        let t = Table::from_generated("v", &[1, 1, 2, 3]);
+        assert_eq!(t.row_count(), 4);
+        assert_eq!(t.column(0).exact_distinct(), 3);
+    }
+}

@@ -1,0 +1,71 @@
+//! Why the paper randomizes tuple placement: block (page-level) sampling
+//! is cheap but biased when values cluster physically. This example
+//! estimates distinct counts from row samples and block samples over the
+//! same column in three layouts — shuffled, value-clustered, and
+//! round-robin — and shows the clustered layout wrecking block sampling.
+//!
+//! ```text
+//! cargo run --release --example layout_bias
+//! ```
+
+use distinct_values::core::estimator::DistinctEstimator;
+use distinct_values::core::Gee;
+use distinct_values::datagen::layout;
+use distinct_values::sample::{sample_profile, SamplingScheme};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    // 200k rows, 2000 distinct values, 100 copies each.
+    let counts = vec![100u64; 2_000];
+    let true_d = 2_000f64;
+    let base = distinct_values::datagen::expand_counts(&counts);
+
+    let mut shuffled = base.clone();
+    layout::shuffle(&mut shuffled, &mut rng);
+    let mut clustered = base.clone();
+    layout::cluster_by_value(&mut clustered);
+    let round_robin = layout::round_robin_by_value(&counts);
+
+    let r = 4_000u64; // 2% sample
+    let trials = 20;
+    println!(
+        "column: {} rows, D = {true_d}; sampling {} rows ({} trials), GEE estimates\n",
+        base.len(),
+        r,
+        trials
+    );
+    println!(
+        "{:>12} {:>16} {:>16}",
+        "layout", "row sampling", "block sampling"
+    );
+
+    for (name, col) in [
+        ("shuffled", &shuffled),
+        ("clustered", &clustered),
+        ("round-robin", &round_robin),
+    ] {
+        let mut row_mean = 0.0;
+        let mut block_mean = 0.0;
+        for t in 0..trials {
+            let mut rng = ChaCha8Rng::seed_from_u64(100 + t);
+            let p = sample_profile(col, r, SamplingScheme::WithoutReplacement, &mut rng)
+                .expect("sample");
+            row_mean += Gee::default().estimate(&p) / trials as f64;
+            let p = sample_profile(col, r, SamplingScheme::Block { block_size: 200 }, &mut rng)
+                .expect("sample");
+            block_mean += Gee::default().estimate(&p) / trials as f64;
+        }
+        println!("{name:>12} {row_mean:>16.0} {block_mean:>16.0}");
+    }
+
+    println!(
+        "\nrow sampling is layout-oblivious; block sampling collapses on the\n\
+         clustered layout (each 200-row page holds ~2 values, and none are\n\
+         singletons, so the estimator sees no rare-value evidence at all).\n\
+         The paper's experiments cluster rows on *random* tuple ids for\n\
+         exactly this reason — and real ANALYZE implementations that sample\n\
+         pages must correct for it."
+    );
+}

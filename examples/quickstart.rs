@@ -1,0 +1,60 @@
+//! Quickstart: estimate the number of distinct values in a column from a
+//! 1% random sample, with GEE's confidence interval.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use distinct_values::core::bounds::gee_confidence_interval;
+use distinct_values::core::estimator::DistinctEstimator;
+use distinct_values::core::{AdaptiveEstimator, Gee};
+use distinct_values::sample::{sample_profile, SamplingScheme};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+
+    // A 1M-row column: Zipf(1) over 10k base values, each duplicated 100x.
+    let (column, true_distinct) =
+        distinct_values::datagen::paper_column(10_000, 1.0, 100, &mut rng);
+    println!(
+        "column: {} rows, {} distinct values (ground truth)",
+        column.len(),
+        true_distinct
+    );
+
+    // Sample 1% of the rows uniformly without replacement and summarize
+    // the sample as a frequency profile (f_i = #values seen i times).
+    let r = column.len() as u64 / 100;
+    let profile = sample_profile(&column, r, SamplingScheme::WithoutReplacement, &mut rng)
+        .expect("non-empty sample");
+    println!(
+        "sample:  {} rows, {} distinct in sample, f1 = {}",
+        profile.sample_size(),
+        profile.distinct_in_sample(),
+        profile.f(1)
+    );
+
+    // GEE: the guaranteed-error estimator, with its [LOWER, UPPER] bound.
+    let gee = Gee::default().estimate(&profile);
+    let interval = gee_confidence_interval(&profile);
+    println!("\nGEE estimate: {gee:.0}");
+    println!(
+        "interval:     [{:.0}, {:.0}]  (contains truth: {})",
+        interval.lower,
+        interval.upper,
+        interval.contains(true_distinct as f64)
+    );
+
+    // AE: the adaptive estimator — usually much closer on typical data.
+    let ae = AdaptiveEstimator::new().estimate(&profile);
+    println!("AE estimate:  {ae:.0}");
+
+    let err = |est: f64| distinct_values::core::ratio_error(est, true_distinct as f64);
+    println!(
+        "\nratio errors: GEE {:.3}, AE {:.3}  (1.0 = exact)",
+        err(gee),
+        err(ae)
+    );
+}

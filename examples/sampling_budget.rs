@@ -1,0 +1,65 @@
+//! How much should you sample? Use GEE's self-reported confidence
+//! interval to pick a sampling budget: grow the sample until the
+//! [LOWER, UPPER] interval is tight enough, instead of guessing a
+//! fraction up front. (The paper's Tables 1–2 show the interval
+//! collapsing onto D as r grows; this example turns that into a policy.)
+//!
+//! ```text
+//! cargo run --release --example sampling_budget
+//! ```
+
+use distinct_values::core::bounds::gee_confidence_interval;
+use distinct_values::sample::{sample_profile, SamplingScheme};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    // High-skew column: 1M rows, Zipf(2) over 10k base values, dup 100.
+    let (column, true_d) = distinct_values::datagen::paper_column(10_000, 2.0, 100, &mut rng);
+    let n = column.len() as u64;
+
+    // Accept the estimate when UPPER/LOWER ≤ 4 (one "order-of-magnitude
+    // class" for an optimizer), else double the sample.
+    let target_ratio = 4.0;
+    println!("column: {n} rows, true D = {true_d}; stopping when UPPER/LOWER ≤ {target_ratio}\n");
+    println!(
+        "{:>9} {:>8} {:>9} {:>10} {:>12} {:>8}",
+        "sample", "d", "LOWER", "UPPER", "GEE est", "U/L"
+    );
+
+    let mut r = n / 1000; // start at 0.1%
+    loop {
+        let profile = sample_profile(&column, r, SamplingScheme::WithoutReplacement, &mut rng)
+            .expect("sample");
+        let ci = gee_confidence_interval(&profile);
+        let ratio = ci.upper / ci.lower.max(1.0);
+        println!(
+            "{:>8.2}% {:>8} {:>9.0} {:>10.0} {:>12.0} {:>8.2}",
+            100.0 * r as f64 / n as f64,
+            profile.distinct_in_sample(),
+            ci.lower,
+            ci.upper,
+            ci.estimate,
+            ratio
+        );
+        if ratio <= target_ratio || r >= n / 2 {
+            println!(
+                "\nstopping at {:.2}% sampling: interval [{:.0}, {:.0}] contains the truth: {}",
+                100.0 * r as f64 / n as f64,
+                ci.lower,
+                ci.upper,
+                ci.contains(true_d as f64)
+            );
+            break;
+        }
+        r *= 2;
+    }
+
+    println!(
+        "\nThe width of [LOWER, UPPER] is data-dependent: high-skew columns\n\
+         converge quickly (few hidden values), near-unique columns keep the\n\
+         interval wide — matching Theorem 1, which says no estimator can\n\
+         promise more from a small sample."
+    );
+}

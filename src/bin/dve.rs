@@ -1,0 +1,281 @@
+//! `dve` — distinct-value estimation from the command line.
+//!
+//! ```text
+//! dve estimate [--estimator AE] [--fraction 0.01] [--seed 42] [FILE]
+//!     Estimate the number of distinct lines in FILE (or stdin) from a
+//!     random sample, with GEE's [LOWER, UPPER] confidence interval.
+//!
+//! dve exact [FILE]
+//!     Exact distinct count (full scan, hash set).
+//!
+//! dve sketch [--hll-p 12] [FILE]
+//!     Full-scan HyperLogLog estimate in bounded memory.
+//!
+//! dve generate --rows N [--zipf Z] [--dup K] [--seed S]
+//!     Emit a synthetic column (one value per line) with the paper's
+//!     generalized Zipfian generator.
+//!
+//! dve estimators
+//!     List every estimator the registry knows.
+//! ```
+
+use distinct_values::core::bounds::gee_confidence_interval;
+use distinct_values::core::estimator::DistinctEstimator;
+use distinct_values::core::profile::FrequencyProfile;
+use distinct_values::core::registry;
+use distinct_values::sketch::{hll::HyperLogLog, DistinctSketch};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage_and_exit(2);
+    };
+    match cmd.as_str() {
+        "estimate" => cmd_estimate(&args[1..]),
+        "exact" => cmd_exact(&args[1..]),
+        "sketch" => cmd_sketch(&args[1..]),
+        "generate" => cmd_generate(&args[1..]),
+        "import" => cmd_import(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
+        "estimators" => {
+            for name in registry::ALL_ESTIMATORS {
+                println!("{name}");
+            }
+        }
+        "--help" | "-h" | "help" => usage_and_exit(0),
+        other => {
+            eprintln!("unknown command: {other}");
+            usage_and_exit(2);
+        }
+    }
+}
+
+/// Parses `--flag value` pairs; returns (flags, positional).
+fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
+    let mut flags = HashMap::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it.next().unwrap_or_else(|| {
+                eprintln!("--{name} requires a value");
+                std::process::exit(2);
+            });
+            flags.insert(name.to_string(), value.clone());
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    (flags, positional)
+}
+
+fn flag_parse<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> T {
+    match flags.get(name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --{name}: {v}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn read_lines(positional: &[String]) -> Vec<String> {
+    let reader: Box<dyn Read> = match positional.first().map(String::as_str) {
+        None | Some("-") => Box::new(std::io::stdin()),
+        Some(path) => Box::new(std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open {path}: {e}");
+            std::process::exit(1);
+        })),
+    };
+    BufReader::new(reader)
+        .lines()
+        .map(|l| l.expect("readable input"))
+        .collect()
+}
+
+fn cmd_estimate(args: &[String]) {
+    let (flags, positional) = parse_flags(args);
+    let estimator_name: String = flag_parse(&flags, "estimator", "AE".to_string());
+    let fraction: f64 = flag_parse(&flags, "fraction", 0.01);
+    let seed: u64 = flag_parse(&flags, "seed", 42);
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        eprintln!("--fraction must be in (0, 1]");
+        std::process::exit(2);
+    }
+    let Some(estimator) = registry::by_name(&estimator_name) else {
+        eprintln!("unknown estimator {estimator_name} (see `dve estimators`)");
+        std::process::exit(2);
+    };
+
+    let lines = read_lines(&positional);
+    let n = lines.len() as u64;
+    if n == 0 {
+        eprintln!("input is empty");
+        std::process::exit(1);
+    }
+    let r = ((n as f64 * fraction).round() as u64).clamp(1, n);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let rows = distinct_values::sample::without_replacement::sample_indices(n, r, &mut rng);
+    let mut counts: HashMap<&str, u64> = HashMap::new();
+    for row in rows {
+        *counts.entry(lines[row as usize].as_str()).or_insert(0) += 1;
+    }
+    let profile =
+        FrequencyProfile::from_sample_counts(n, counts.into_values()).expect("non-empty sample");
+    let estimate = estimator.estimate(&profile);
+    let interval = gee_confidence_interval(&profile);
+    println!("rows:               {n}");
+    println!("sampled:            {r} ({:.2}%)", fraction * 100.0);
+    println!("distinct in sample: {}", profile.distinct_in_sample());
+    println!("estimate ({}):      {:.0}", estimator.name(), estimate);
+    println!(
+        "GEE interval:       [{:.0}, {:.0}]",
+        interval.lower, interval.upper
+    );
+}
+
+fn cmd_exact(args: &[String]) {
+    let (_, positional) = parse_flags(args);
+    let lines = read_lines(&positional);
+    let distinct: std::collections::HashSet<&str> = lines.iter().map(String::as_str).collect();
+    println!("rows:     {}", lines.len());
+    println!("distinct: {}", distinct.len());
+}
+
+fn cmd_sketch(args: &[String]) {
+    let (flags, positional) = parse_flags(args);
+    let p: u32 = flag_parse(&flags, "hll-p", 12);
+    let lines = read_lines(&positional);
+    let mut hll = HyperLogLog::new(p);
+    for line in &lines {
+        hll.insert(distinct_values::sketch::hash_bytes(line.as_bytes()));
+    }
+    println!("rows:      {}", lines.len());
+    println!("estimate:  {:.0} (HLL p={p})", hll.estimate());
+    println!("memory:    {} bytes", hll.memory_bytes());
+    println!("expected RSE: {:.2}%", hll.expected_rse() * 100.0);
+}
+
+fn cmd_generate(args: &[String]) {
+    let (flags, _) = parse_flags(args);
+    let rows: u64 = flag_parse(&flags, "rows", 0);
+    if rows == 0 {
+        eprintln!("generate requires --rows N");
+        std::process::exit(2);
+    }
+    let z: f64 = flag_parse(&flags, "zipf", 0.0);
+    let dup: u64 = flag_parse(&flags, "dup", 1);
+    let seed: u64 = flag_parse(&flags, "seed", 42);
+    if !rows.is_multiple_of(dup) {
+        eprintln!("--rows must be a multiple of --dup");
+        std::process::exit(2);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let (col, d) = distinct_values::datagen::paper_column(rows / dup, z, dup, &mut rng);
+    eprintln!(
+        "generated {} rows, {} distinct (Z={z}, dup={dup})",
+        col.len(),
+        d
+    );
+    let stdout = std::io::stdout();
+    let mut lock = std::io::BufWriter::new(stdout.lock());
+    use std::io::Write;
+    for v in col {
+        writeln!(lock, "{v}").expect("writable stdout");
+    }
+}
+
+fn cmd_import(args: &[String]) {
+    let (flags, positional) = parse_flags(args);
+    let Some(out_path) = flags.get("out") else {
+        eprintln!("import requires --out TABLE.dvet");
+        std::process::exit(2);
+    };
+    let column_name: String = flag_parse(&flags, "column", "value".to_string());
+    let lines = read_lines(&positional);
+    if lines.is_empty() {
+        eprintln!("input is empty");
+        std::process::exit(1);
+    }
+    let column = distinct_values::storage::Column::from_strs(&lines);
+    let table = distinct_values::storage::Table::new(
+        distinct_values::storage::Schema::new(vec![distinct_values::storage::Field::new(
+            column_name,
+            distinct_values::storage::DataType::Str,
+        )]),
+        vec![column],
+    )
+    .expect("single consistent column");
+    distinct_values::storage::persist::save_table(&table, std::path::Path::new(out_path))
+        .unwrap_or_else(|e| {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        });
+    eprintln!(
+        "imported {} rows into {out_path} ({} distinct)",
+        table.row_count(),
+        table.column(0).exact_distinct()
+    );
+}
+
+fn cmd_analyze(args: &[String]) {
+    let (flags, positional) = parse_flags(args);
+    let Some(path) = positional.first() else {
+        eprintln!("analyze requires a TABLE.dvet path");
+        std::process::exit(2);
+    };
+    let fraction: f64 = flag_parse(&flags, "fraction", 0.01);
+    let estimator: String = flag_parse(&flags, "estimator", "AE".to_string());
+    let seed: u64 = flag_parse(&flags, "seed", 42);
+    let table = distinct_values::storage::persist::load_table(std::path::Path::new(path))
+        .unwrap_or_else(|e| {
+            eprintln!("cannot load {path}: {e}");
+            std::process::exit(1);
+        });
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let stats = distinct_values::storage::analyze_table(
+        &table,
+        &distinct_values::storage::AnalyzeOptions {
+            sampling_fraction: fraction,
+            estimator,
+        },
+        &mut rng,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("analyze failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "{:>16} {:>10} {:>12} {:>10} {:>24}",
+        "column", "nulls~", "distinct~", "sampled", "GEE interval"
+    );
+    for s in &stats {
+        println!(
+            "{:>16} {:>10} {:>12.0} {:>10} [{:>9.0}, {:>10.0}]",
+            s.column,
+            s.null_count_estimate,
+            s.distinct_estimate,
+            s.sample_rows,
+            s.interval.lower,
+            s.interval.upper
+        );
+    }
+}
+
+fn usage_and_exit(code: i32) -> ! {
+    println!(
+        "dve — distinct-value estimation (PODS 2000 reproduction)\n\n\
+         usage:\n  dve estimate [--estimator AE] [--fraction 0.01] [--seed 42] [FILE|-]\n  \
+         dve exact [FILE|-]\n  \
+         dve sketch [--hll-p 12] [FILE|-]\n  \
+         dve generate --rows N [--zipf Z] [--dup K] [--seed S]\n  \
+         dve import --out TABLE.dvet [--column NAME] [FILE|-]\n  \
+         dve analyze TABLE.dvet [--fraction 0.01] [--estimator AE] [--seed 42]\n  \
+         dve estimators"
+    );
+    std::process::exit(code);
+}

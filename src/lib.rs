@@ -1,0 +1,51 @@
+//! # distinct-values
+//!
+//! A production-quality Rust reproduction of *“Towards Estimation Error
+//! Guarantees for Distinct Values”* (Charikar, Chaudhuri, Motwani,
+//! Narasayya — PODS 2000): sampling-based estimation of the number of
+//! distinct values in a column, with provable error guarantees.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — the estimators: **GEE** (guaranteed-error, optimal up to a
+//!   constant), **AE** (adaptive), **HYBGEE**, and the published baselines
+//!   (Shlosser, smoothed jackknife, HYBSKEW, DUJ2A, HYBVAR, Chao, …).
+//! * [`numeric`] — χ² distribution, incomplete gamma, root finding,
+//!   robust statistics.
+//! * [`storage`] — an in-memory column store with typed columns,
+//!   dictionary/RLE encodings, and an `ANALYZE` command that fills
+//!   optimizer statistics using the estimators.
+//! * [`sample`] — uniform row sampling (with/without replacement,
+//!   reservoir, Vitter sequential, Bernoulli, block) feeding frequency
+//!   profiles.
+//! * [`datagen`] — Zipfian/uniform workload generators and synthetic
+//!   stand-ins for the paper's real-world datasets.
+//! * [`lowerbound`] — the Theorem 1 adversarial construction and game
+//!   simulator.
+//! * [`sketch`] — the full-scan probabilistic-counting family the paper's
+//!   related work contrasts with sampling (Flajolet–Martin PCSA, linear
+//!   counting, HyperLogLog).
+//! * [`experiments`] — the harness that regenerates every table and figure
+//!   in the paper's evaluation section.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use distinct_values::core::{estimator::DistinctEstimator, gee::Gee, profile::FrequencyProfile};
+//!
+//! // A sample of r = 6 rows from a table of n = 1000 rows containing
+//! // the values [a, a, a, b, b, c]: f1 = 1 ("c"), f2 = 1 ("b"), f3 = 1 ("a").
+//! let profile = FrequencyProfile::from_sample_counts(1000, [3, 2, 1]).unwrap();
+//! let estimate = Gee::default().estimate(&profile);
+//! assert!(estimate >= profile.distinct_in_sample() as f64);
+//! assert!(estimate <= 1000.0);
+//! ```
+
+pub use dve_core as core;
+pub use dve_datagen as datagen;
+pub use dve_experiments as experiments;
+pub use dve_lowerbound as lowerbound;
+pub use dve_numeric as numeric;
+pub use dve_sample as sample;
+pub use dve_sketch as sketch;
+pub use dve_storage as storage;

@@ -1,0 +1,197 @@
+//! End-to-end tests of the `dve` CLI binary: generate → estimate →
+//! exact → sketch round trips through real process invocations.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn dve() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dve"))
+}
+
+fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = dve()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    // Best-effort: a child that rejects its arguments exits before
+    // reading stdin, which surfaces here as EPIPE — that is fine.
+    let _ = child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes());
+    let out = child.wait_with_output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn estimators_lists_registry() {
+    let out = dve().arg("estimators").output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["GEE", "AE", "HYBGEE", "HYBSKEW", "DUJ2A", "HYBVAR"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn generate_then_exact_roundtrip() {
+    let out = dve()
+        .args([
+            "generate", "--rows", "10000", "--zipf", "0", "--dup", "10", "--seed", "3",
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let column = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert_eq!(column.lines().count(), 10_000);
+    // Z=0 dup=10: exactly 1000 distinct.
+    let (stdout, _, ok) = run_with_stdin(&["exact", "-"], &column);
+    assert!(ok);
+    assert!(stdout.contains("distinct: 1000"), "{stdout}");
+}
+
+#[test]
+fn estimate_from_stdin_reports_interval() {
+    // 2000 rows of 100 distinct values: easy at 20% sampling.
+    let data: String = (0..2000).map(|i| format!("v{}\n", i % 100)).collect();
+    let (stdout, _, ok) = run_with_stdin(
+        &[
+            "estimate",
+            "--fraction",
+            "0.2",
+            "--estimator",
+            "AE",
+            "--seed",
+            "1",
+            "-",
+        ],
+        &data,
+    );
+    assert!(ok, "estimate failed: {stdout}");
+    assert!(stdout.contains("rows:               2000"));
+    assert!(stdout.contains("GEE interval"));
+    // Parse the estimate line and sanity-check it.
+    let est_line = stdout
+        .lines()
+        .find(|l| l.starts_with("estimate"))
+        .expect("estimate line present");
+    let est: f64 = est_line
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .expect("numeric estimate");
+    assert!(
+        (est - 100.0).abs() < 30.0,
+        "estimate {est} too far from 100"
+    );
+}
+
+#[test]
+fn sketch_from_stdin_estimates() {
+    let data: String = (0..5000).map(|i| format!("k{}\n", i % 700)).collect();
+    let (stdout, _, ok) = run_with_stdin(&["sketch", "--hll-p", "12", "-"], &data);
+    assert!(ok);
+    let est_line = stdout
+        .lines()
+        .find(|l| l.starts_with("estimate"))
+        .expect("estimate line");
+    let est: f64 = est_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .expect("numeric");
+    assert!((est - 700.0).abs() / 700.0 < 0.1, "HLL estimate {est}");
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    // Unknown estimator.
+    let (_, stderr, ok) = run_with_stdin(&["estimate", "--estimator", "NOPE", "-"], "a\nb\n");
+    assert!(!ok);
+    assert!(stderr.contains("unknown estimator"));
+    // Bad fraction.
+    let (_, stderr, ok) = run_with_stdin(&["estimate", "--fraction", "2.0", "-"], "a\n");
+    assert!(!ok);
+    assert!(stderr.contains("fraction"));
+    // rows not multiple of dup.
+    let out = dve()
+        .args(["generate", "--rows", "10", "--dup", "3"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    // Unknown command.
+    let out = dve().arg("frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn import_analyze_roundtrip() {
+    let dir = std::env::temp_dir().join("dve_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let table_path = dir.join("t.dvet");
+    let data: String = (0..5_000).map(|i| format!("u{}\n", i % 400)).collect();
+    let (_, stderr, ok) = {
+        let mut child = dve()
+            .args(["import", "--out", table_path.to_str().unwrap(), "-"])
+            .stdin(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+        let _ = child.stdin.as_mut().unwrap().write_all(data.as_bytes());
+        let out = child.wait_with_output().unwrap();
+        (
+            String::new(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+            out.status.success(),
+        )
+    };
+    assert!(ok, "import failed: {stderr}");
+    assert!(stderr.contains("400 distinct"), "{stderr}");
+
+    let out = dve()
+        .args([
+            "analyze",
+            table_path.to_str().unwrap(),
+            "--fraction",
+            "0.2",
+            "--estimator",
+            "AE",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("value"), "{text}");
+    // Distinct estimate column should be near 400.
+    let line = text.lines().nth(1).expect("stats row");
+    let est: f64 = line.split_whitespace().nth(2).unwrap().parse().unwrap();
+    assert!((est - 400.0).abs() < 60.0, "estimate {est}");
+    std::fs::remove_file(&table_path).ok();
+}
+
+#[test]
+fn analyze_missing_file_fails_cleanly() {
+    let out = dve()
+        .args(["analyze", "/nonexistent/nowhere.dvet"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot load"));
+}
+
+#[test]
+fn empty_input_is_an_error() {
+    let (_, stderr, ok) = run_with_stdin(&["estimate", "-"], "");
+    assert!(!ok);
+    assert!(stderr.contains("empty"));
+}

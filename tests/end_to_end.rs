@@ -1,0 +1,241 @@
+//! Cross-crate integration tests: generator → column store → ANALYZE →
+//! estimates, and the catalog workflow an embedding system would use.
+
+use distinct_values::core::error::ratio_error;
+use distinct_values::datagen::{ColumnShape, ColumnSpec};
+use distinct_values::storage::analyze::{analyze_table, AnalyzeOptions};
+use distinct_values::storage::{Catalog, Column, DataType, Field, Schema, Table};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+#[test]
+fn generated_zipf_column_analyzes_accurately() {
+    // Z=1, dup=100 at 1.6% sampling: AE should land within 2x (it is far
+    // better in practice; the loose bound keeps the test robust).
+    let mut r = rng(1);
+    let (col, d) = distinct_values::datagen::paper_column(2_000, 1.0, 100, &mut r);
+    let table = Table::from_generated("v", &col);
+    let stats = analyze_table(
+        &table,
+        &AnalyzeOptions {
+            sampling_fraction: 0.016,
+            estimator: "AE".into(),
+        },
+        &mut r,
+    )
+    .unwrap();
+    let err = ratio_error(stats[0].distinct_estimate.max(1.0), d as f64);
+    assert!(
+        err < 2.0,
+        "AE end-to-end error {err} (est {})",
+        stats[0].distinct_estimate
+    );
+    assert!(
+        stats[0].interval.contains(d as f64),
+        "interval must cover truth"
+    );
+}
+
+#[test]
+fn exact_distinct_matches_generator_truth() {
+    // The storage layer's full-scan distinct equals the generator's D for
+    // every shape.
+    let mut r = rng(2);
+    for shape in [
+        ColumnShape::Zipf { z: 2.0 },
+        ColumnShape::UniformCategorical { distinct: 37 },
+        ColumnShape::Bell { distinct: 21 },
+        ColumnShape::MostlyUnique {
+            unique_fraction: 0.5,
+            hot_values: 10,
+        },
+        ColumnShape::Constant,
+    ] {
+        let spec = ColumnSpec::new("x", shape);
+        let rows = 5_000;
+        let col = spec.generate(rows, &mut r);
+        let column = Column::from_u64(&col);
+        assert_eq!(
+            column.exact_distinct(),
+            spec.true_distinct(rows),
+            "shape {:?}",
+            spec.shape
+        );
+    }
+}
+
+#[test]
+fn catalog_analyze_workflow() {
+    let mut r = rng(3);
+    let mut catalog = Catalog::new();
+
+    // Register two tables.
+    let (orders_col, orders_d) = distinct_values::datagen::paper_column(1_000, 1.0, 50, &mut r);
+    catalog
+        .register("orders", Table::from_generated("customer", &orders_col))
+        .unwrap();
+    let spec = ColumnSpec::new("city", ColumnShape::UniformCategorical { distinct: 120 });
+    let cities = spec.generate(30_000, &mut r);
+    catalog
+        .register("users", Table::from_generated("city", &cities))
+        .unwrap();
+
+    assert_eq!(catalog.table_names(), vec!["orders", "users"]);
+
+    // ANALYZE both through the catalog.
+    let opts = AnalyzeOptions {
+        sampling_fraction: 0.05,
+        estimator: "HYBGEE".into(),
+    };
+    let orders_stats = analyze_table(catalog.get("orders").unwrap(), &opts, &mut r).unwrap();
+    let users_stats = analyze_table(catalog.get("users").unwrap(), &opts, &mut r).unwrap();
+
+    assert!(
+        ratio_error(orders_stats[0].distinct_estimate.max(1.0), orders_d as f64) < 2.5,
+        "orders estimate {}",
+        orders_stats[0].distinct_estimate
+    );
+    assert!(
+        ratio_error(users_stats[0].distinct_estimate.max(1.0), 120.0) < 1.3,
+        "users estimate {}",
+        users_stats[0].distinct_estimate
+    );
+}
+
+#[test]
+fn mixed_type_table_analyze() {
+    // Strings, floats, bools, and nullable ints through the whole path.
+    let mut r = rng(4);
+    let n = 20_000usize;
+    let cities = ["ny", "sf", "la", "chi", "sea", "bos", "atx", "den"];
+    let strs: Vec<&str> = (0..n).map(|i| cities[(i * 13) % cities.len()]).collect();
+    let floats: Vec<f64> = (0..n).map(|i| ((i % 500) as f64) * 0.25).collect();
+    let bools: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+    let ints: Vec<Option<i64>> = (0..n as i64)
+        .map(|i| if i % 10 == 0 { None } else { Some(i % 1000) })
+        .collect();
+
+    let table = Table::new(
+        Schema::new(vec![
+            Field::new("city", DataType::Str),
+            Field::new("price", DataType::Float64),
+            Field::new("flag", DataType::Bool),
+            Field::nullable("bucket", DataType::Int64),
+        ]),
+        vec![
+            Column::from_strs(&strs),
+            Column::from_f64(floats),
+            Column::from_bools(bools),
+            Column::from_i64_opt(&ints),
+        ],
+    )
+    .unwrap();
+
+    let stats = analyze_table(
+        &table,
+        &AnalyzeOptions {
+            sampling_fraction: 0.1,
+            estimator: "AE".into(),
+        },
+        &mut r,
+    )
+    .unwrap();
+
+    // Low-cardinality columns should be essentially exact at 10%.
+    assert!(
+        (stats[0].distinct_estimate - 8.0).abs() < 0.5,
+        "city: {}",
+        stats[0].distinct_estimate
+    );
+    assert!(
+        (stats[1].distinct_estimate - 500.0).abs() < 60.0,
+        "price: {}",
+        stats[1].distinct_estimate
+    );
+    assert!(
+        (stats[2].distinct_estimate - 2.0).abs() < 0.5,
+        "flag: {}",
+        stats[2].distinct_estimate
+    );
+    // bucket: 1000 non-null distinct (900 present per 1000 i values...
+    // i%1000 over non-null i: i not divisible by 10 → 900 values).
+    assert!(
+        (stats[3].distinct_estimate - 900.0).abs() < 120.0,
+        "bucket: {}",
+        stats[3].distinct_estimate
+    );
+    // Null estimate near 10%.
+    assert!(
+        (stats[3].null_count_estimate as f64 - 2_000.0).abs() < 400.0,
+        "nulls: {}",
+        stats[3].null_count_estimate
+    );
+}
+
+#[test]
+fn every_estimator_survives_end_to_end() {
+    let mut r = rng(5);
+    let (col, _) = distinct_values::datagen::paper_column(500, 2.0, 20, &mut r);
+    let table = Table::from_generated("v", &col);
+    for name in distinct_values::core::registry::ALL_ESTIMATORS {
+        let stats = analyze_table(
+            &table,
+            &AnalyzeOptions {
+                sampling_fraction: 0.05,
+                estimator: (*name).to_string(),
+            },
+            &mut r,
+        )
+        .unwrap();
+        let v = stats[0].distinct_estimate;
+        assert!(
+            v.is_finite() && v >= stats[0].sample_distinct as f64 && v <= col.len() as f64,
+            "{name} produced {v}"
+        );
+    }
+}
+
+#[test]
+fn realworld_datasets_smoke() {
+    // Generate a few columns of each synthetic dataset at reduced scale
+    // and check the estimators stay sane on them.
+    let mut r = rng(6);
+    for ds in distinct_values::datagen::realworld::all_datasets() {
+        // Scale rows down for test speed while keeping the shapes.
+        let rows = (ds.rows / 50).max(2_000);
+        for (i, spec) in ds.columns.iter().enumerate().take(4) {
+            let col = spec.generate(rows, &mut r);
+            let truth = spec.true_distinct(rows);
+            let table = Table::from_generated(&spec.name, &col);
+            let stats = analyze_table(
+                &table,
+                &AnalyzeOptions {
+                    sampling_fraction: 0.064,
+                    estimator: "AE".into(),
+                },
+                &mut r,
+            )
+            .unwrap();
+            let v = stats[0].distinct_estimate.max(1.0);
+            assert!(
+                v <= rows as f64 && v >= 1.0,
+                "{}.{} (col {i}) estimate {v} out of range",
+                ds.name,
+                spec.name
+            );
+            // At 6.4% the estimate should be within an order of magnitude
+            // for every shape we generate.
+            let err = ratio_error(v, truth as f64);
+            assert!(
+                err < 10.0,
+                "{}.{}: err {err} (est {v}, truth {truth})",
+                ds.name,
+                spec.name
+            );
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests on the estimator library: invariants that must
+//! hold for *every* estimator on *arbitrary* frequency spectra.
+
+use distinct_values::core::bounds::gee_confidence_interval;
+use distinct_values::core::error::ratio_error;
+use distinct_values::core::estimator::DistinctEstimator;
+use distinct_values::core::profile::FrequencyProfile;
+use distinct_values::core::registry;
+use proptest::prelude::*;
+
+/// Arbitrary valid (n, spectrum) pairs: a sparse spectrum of up to 8
+/// nonzero (frequency, count) entries, with n scaled comfortably above r.
+fn arb_profile() -> impl Strategy<Value = FrequencyProfile> {
+    (
+        proptest::collection::vec((1u64..2_000, 1u64..500), 1..8),
+        1u64..1_000,
+    )
+        .prop_map(|(entries, headroom)| {
+            let max_freq = entries.iter().map(|&(i, _)| i).max().unwrap();
+            let mut spectrum = vec![0u64; max_freq as usize];
+            for (i, f) in entries {
+                spectrum[(i - 1) as usize] += f;
+            }
+            let r: u64 = spectrum
+                .iter()
+                .enumerate()
+                .map(|(idx, &f)| (idx as u64 + 1) * f)
+                .sum();
+            let d: u64 = spectrum.iter().sum();
+            // n must be at least max(r, d); add random headroom.
+            let n = r.max(d) + headroom;
+            FrequencyProfile::from_spectrum(n, spectrum).expect("constructed valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The paper's §2 sanity bounds hold for every estimator on every
+    /// profile: d ≤ D̂ ≤ n, and the estimate is finite.
+    #[test]
+    fn every_estimator_respects_sanity_bounds(profile in arb_profile()) {
+        let d = profile.distinct_in_sample() as f64;
+        let n = profile.table_size() as f64;
+        for name in registry::ALL_ESTIMATORS {
+            let est = registry::by_name(name).unwrap();
+            let v = est.estimate(&profile);
+            prop_assert!(v.is_finite(), "{name} returned non-finite");
+            prop_assert!(v >= d - 1e-9, "{name}: {v} < d = {d}");
+            prop_assert!(v <= n + 1e-9, "{name}: {v} > n = {n}");
+        }
+    }
+
+    /// GEE always sits inside its own confidence interval, LOWER equals
+    /// d, and UPPER never exceeds n.
+    #[test]
+    fn gee_interval_invariants(profile in arb_profile()) {
+        let ci = gee_confidence_interval(&profile);
+        prop_assert_eq!(ci.lower, profile.distinct_in_sample() as f64);
+        prop_assert!(ci.lower <= ci.estimate + 1e-9);
+        prop_assert!(ci.estimate <= ci.upper + 1e-9);
+        prop_assert!(ci.upper <= profile.table_size() as f64 + 1e-9);
+        prop_assert!(ci.width() >= -1e-9);
+    }
+
+    /// The profile bookkeeping identity: Σ i·f_i = r and Σ f_i = d.
+    #[test]
+    fn profile_identities(profile in arb_profile()) {
+        let r: u64 = profile.spectrum().map(|(i, f)| i * f).sum();
+        let d: u64 = profile.spectrum().map(|(_, f)| f).sum();
+        prop_assert_eq!(r, profile.sample_size());
+        prop_assert_eq!(d, profile.distinct_in_sample());
+        // f(i) agrees with the spectrum iterator.
+        for (i, f) in profile.spectrum() {
+            prop_assert_eq!(profile.f(i), f);
+        }
+        prop_assert_eq!(profile.f(profile.max_frequency() + 1), 0);
+    }
+
+    /// Ratio error is symmetric under swapping estimate/truth, is 1 only
+    /// at equality, and composes monotonically.
+    #[test]
+    fn ratio_error_properties(a in 1.0f64..1e9, b in 1.0f64..1e9) {
+        let e = ratio_error(a, b);
+        prop_assert!(e >= 1.0);
+        prop_assert!((ratio_error(b, a) - e).abs() < 1e-9 * e);
+        if (a - b).abs() < f64::EPSILON {
+            prop_assert_eq!(e, 1.0);
+        }
+        // Characterization: error ≤ α ⟺ b/α ≤ a ≤ αb.
+        let alpha = e + 1e-9;
+        prop_assert!(a >= b / alpha && a <= alpha * b);
+    }
+
+    /// A full scan (r = n, every class fully observed) makes the
+    /// sampling-consistent estimators exact.
+    #[test]
+    fn full_scan_exactness(counts in proptest::collection::vec(1u64..30, 1..40)) {
+        let n: u64 = counts.iter().sum();
+        let profile = FrequencyProfile::from_sample_counts(n, counts.iter().copied()).unwrap();
+        let d = profile.distinct_in_sample() as f64;
+        for name in ["GEE", "AE", "HYBGEE", "HYBSKEW", "DUJ2A", "HYBVAR", "SJACK",
+                     "SHLOSSER", "SHLOSSER3", "MOM", "GOODMAN", "SAMPLE-D", "SCALEUP"] {
+            let est = registry::by_name(name).unwrap();
+            let v = est.estimate(&profile);
+            prop_assert!(
+                (v - d).abs() < 1e-6 * d.max(1.0),
+                "{name} not exact at full scan: {v} vs {d}"
+            );
+        }
+    }
+
+    /// GEE is monotone in f₁: more singletons can only raise the raw
+    /// estimate (all else equal).
+    #[test]
+    fn gee_monotone_in_singletons(
+        base_f1 in 1u64..100,
+        extra in 1u64..100,
+        f2 in 0u64..100,
+    ) {
+        use distinct_values::core::Gee;
+        let n = 1_000_000u64;
+        let p1 = FrequencyProfile::from_spectrum(n, vec![base_f1, f2]).unwrap();
+        let p2 = FrequencyProfile::from_spectrum(n, vec![base_f1 + extra, f2]).unwrap();
+        prop_assert!(
+            Gee::default().estimate_raw(&p2) > Gee::default().estimate_raw(&p1)
+        );
+    }
+
+    /// The AE solution m̂ is a genuine root or boundary point, and the
+    /// estimate it implies stays within the sanity interval.
+    #[test]
+    fn ae_solution_is_valid(profile in arb_profile()) {
+        use distinct_values::core::AdaptiveEstimator;
+        let ae = AdaptiveEstimator::new();
+        let m = ae.solve_m(&profile);
+        let f1 = profile.f(1) as f64;
+        let f2 = profile.f(2) as f64;
+        let n = profile.table_size() as f64;
+        prop_assert!(m >= f1 + f2 - 1e-9, "m = {m} below f1+f2");
+        prop_assert!(m <= n + 1e-9, "m = {m} above n");
+        if f1 > 0.0 && m > f1 + f2 && m < n {
+            // Interior solution ⇒ residual ≈ 0 (scaled tolerance).
+            let resid = ae.residual(&profile, m);
+            prop_assert!(resid.abs() <= 1e-3 * m.max(1.0), "residual {resid} at m = {m}");
+        }
+    }
+}

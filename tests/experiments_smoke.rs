@@ -1,0 +1,67 @@
+//! Smoke-runs every experiment at fast scale and validates report
+//! structure: every artifact must produce the full grid with sane values.
+
+use distinct_values::experiments::{all_experiments, ExperimentCtx};
+
+#[test]
+fn every_experiment_runs_and_is_well_formed() {
+    let ctx = ExperimentCtx::fast();
+    for def in all_experiments() {
+        let report = (def.run)(&ctx);
+        assert_eq!(report.id, def.id);
+        assert!(!report.series.is_empty(), "{}: no series", def.id);
+        assert!(!report.rows.is_empty(), "{}: no rows", def.id);
+        for row in &report.rows {
+            assert_eq!(
+                row.values.len(),
+                report.series.len(),
+                "{}: ragged row {}",
+                def.id,
+                row.x
+            );
+            for (s, v) in report.series.iter().zip(&row.values) {
+                assert!(
+                    v.is_finite() && *v >= 0.0,
+                    "{}: {s} at {} = {v}",
+                    def.id,
+                    row.x
+                );
+            }
+        }
+        // Error figures report ratio errors ≥ 1.
+        if def.id.starts_with("fig")
+            && !matches!(def.id, "fig3" | "fig4" | "fig12" | "fig14" | "fig16")
+        {
+            for row in &report.rows {
+                for v in &row.values {
+                    assert!(*v >= 1.0 - 1e-9, "{}: ratio error {v} < 1", def.id);
+                }
+            }
+        }
+        // Rendering paths don't panic and contain the data.
+        let text = report.to_text();
+        assert!(text.contains(def.id));
+        let csv = report.to_csv();
+        assert!(csv.lines().count() > report.rows.len());
+        let json = report.to_json();
+        assert!(json.contains(&report.title));
+    }
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    let ctx = ExperimentCtx::fast();
+    let def = distinct_values::experiments::experiment_by_id("fig5").unwrap();
+    let a = (def.run)(&ctx);
+    let b = (def.run)(&ctx);
+    assert_eq!(a, b, "same context must reproduce identical reports");
+}
+
+#[test]
+fn sampling_fraction_grid_matches_paper() {
+    let ctx = ExperimentCtx::fast();
+    let def = distinct_values::experiments::experiment_by_id("fig1").unwrap();
+    let report = (def.run)(&ctx);
+    let xs: Vec<&str> = report.rows.iter().map(|r| r.x.as_str()).collect();
+    assert_eq!(xs, vec!["0.2%", "0.4%", "0.8%", "1.6%", "3.2%", "6.4%"]);
+}

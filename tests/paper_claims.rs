@@ -1,0 +1,128 @@
+//! Quantitative reproduction checks against numbers printed in the paper
+//! itself. These run the real experiment code at (mostly) paper scale on
+//! a handful of points, so they are the strongest regression net in the
+//! repo: if the generator, sampler, or an estimator drifts, these fail.
+
+use distinct_values::experiments::figures::{
+    fig_error_vs_rate, lb_experiment, tab_interval, ExperimentCtx,
+};
+use distinct_values::lowerbound::theorem1_bound;
+
+/// Paper Table 1 (Z=0, Dup=100, N=1M): LOWER/UPPER per sampling rate.
+/// Our Zipf generator reproduces the ACTUAL of 10_000 exactly, and the
+/// interval endpoints land within a few percent of the published values.
+#[test]
+fn table1_matches_paper_values() {
+    let ctx = ExperimentCtx::full();
+    let report = tab_interval(&ctx, "tab1", 0.0);
+    // (sampling, paper LOWER, paper UPPER)
+    let paper = [
+        ("0.2%", 1_814.0, 817_300.0),
+        ("0.4%", 3_345.0, 671_118.0),
+        ("0.8%", 5_511.0, 452_502.0),
+        ("1.6%", 7_999.0, 207_963.0),
+        ("3.2%", 9_611.0, 47_960.0),
+        ("6.4%", 9_987.0, 11_306.0),
+    ];
+    for ((x, lower, upper), row) in paper.iter().zip(&report.rows) {
+        assert_eq!(&row.x, x);
+        assert_eq!(row.values[1], 10_000.0, "ACTUAL must be 10000");
+        let lower_err = (row.values[0] - lower).abs() / lower;
+        let upper_err = (row.values[2] - upper).abs() / upper;
+        assert!(
+            lower_err < 0.05,
+            "LOWER at {x}: measured {} vs paper {lower}",
+            row.values[0]
+        );
+        assert!(
+            upper_err < 0.05,
+            "UPPER at {x}: measured {} vs paper {upper}",
+            row.values[2]
+        );
+    }
+}
+
+/// §3's numeric example: at 20% sampling and γ = 0.5 the bound is ≈1.18.
+#[test]
+fn theorem1_paper_example() {
+    let b = theorem1_bound(1_000_000, 200_000, 0.5);
+    assert!((b - 1.18).abs() < 0.03, "bound {b}");
+}
+
+/// Figure 1 qualitative claims (Z=0): HYBGEE tracks HYBSKEW exactly
+/// (both take the jackknife branch), AE beats GEE everywhere, and GEE's
+/// error declines toward 1 as the sampling rate grows.
+#[test]
+fn figure1_qualitative_claims() {
+    let ctx = ExperimentCtx::full();
+    let r = fig_error_vs_rate(&ctx, "fig1", 0.0);
+    let col = |name: &str| r.series.iter().position(|s| s == name).unwrap();
+    let (gee, ae, hybgee, hybskew) = (col("GEE"), col("AE"), col("HYBGEE"), col("HYBSKEW"));
+    for row in &r.rows {
+        assert!(
+            (row.values[hybgee] - row.values[hybskew]).abs() < 1e-9,
+            "low skew: HYBGEE and HYBSKEW must coincide (both jackknife)"
+        );
+        assert!(
+            row.values[ae] <= row.values[gee] + 1e-9,
+            "AE must not lose to GEE on low-skew data"
+        );
+    }
+    assert!(
+        r.rows.last().unwrap().values[gee] < 1.1,
+        "GEE converges by 6.4%: {}",
+        r.rows.last().unwrap().values[gee]
+    );
+}
+
+/// Figure 2 qualitative claims (Z=2): HYBGEE (= GEE branch) strictly
+/// beats HYBSKEW (= Shlosser branch) at every low sampling rate.
+#[test]
+fn figure2_qualitative_claims() {
+    let ctx = ExperimentCtx::full();
+    let r = fig_error_vs_rate(&ctx, "fig2", 2.0);
+    let col = |name: &str| r.series.iter().position(|s| s == name).unwrap();
+    let (gee, hybgee, hybskew) = (col("GEE"), col("HYBGEE"), col("HYBSKEW"));
+    for row in r.rows.iter().take(4) {
+        assert!(
+            row.values[hybgee] < row.values[hybskew],
+            "high skew at {}: HYBGEE {} must beat HYBSKEW {}",
+            row.x,
+            row.values[hybgee],
+            row.values[hybskew]
+        );
+        assert!(
+            (row.values[hybgee] - row.values[gee]).abs() < 1e-9,
+            "high skew: HYBGEE must equal GEE (GEE branch)"
+        );
+    }
+}
+
+/// The lower-bound game at reduced scale: no estimator's realized
+/// worst-case error beats the theorem's bound by more than sampling
+/// noise allows.
+#[test]
+fn lower_bound_game_binds() {
+    let ctx = ExperimentCtx::fast();
+    let r = lb_experiment(&ctx, "lb");
+    for row in &r.rows {
+        let bound = row.values[0];
+        // Estimator columns are 1..=4.
+        for v in &row.values[1..=4] {
+            assert!(
+                *v >= bound * 0.2,
+                "estimator beat the bound: {} vs {} at gamma {}",
+                v,
+                bound,
+                row.x
+            );
+        }
+        // The indistinguishability probability is at least gamma.
+        let gamma: f64 = row.x.parse().unwrap();
+        let p_all_x = *row.values.last().unwrap();
+        assert!(
+            p_all_x >= gamma - 1e-9,
+            "P[all-x] {p_all_x} < gamma {gamma}"
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests on the sampling substrate and the column-store
+//! encodings.
+
+use distinct_values::sample::{
+    bernoulli, reservoir, sequential, with_replacement, without_replacement,
+};
+use distinct_values::storage::encoding::IntEncoding;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Without-replacement samplers return exactly r distinct in-range
+    /// indices for any (n, r, seed).
+    #[test]
+    fn wor_samplers_exact_distinct(n in 1u64..5_000, frac in 0.0f64..1.0, seed in 0u64..1_000) {
+        let r = ((n as f64) * frac) as u64;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for (name, sample) in [
+            ("fisher-yates", without_replacement::sample_indices(n, r, &mut rng)),
+            ("floyd", without_replacement::floyd_sample_indices(n, r, &mut rng)),
+            ("vitter", sequential::select_indices(n, r, &mut rng)),
+        ] {
+            prop_assert_eq!(sample.len() as u64, r, "{} count", name);
+            let set: HashSet<u64> = sample.iter().copied().collect();
+            prop_assert_eq!(set.len() as u64, r, "{} distinctness", name);
+            prop_assert!(sample.iter().all(|&i| i < n), "{} range", name);
+        }
+    }
+
+    /// Reservoir sampling (both algorithms) keeps exactly min(r, n)
+    /// distinct stream positions.
+    #[test]
+    fn reservoir_size_and_distinctness(n in 1u64..3_000, r in 1usize..200, seed in 0u64..1_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let s_r = reservoir::algorithm_r(0..n, r, &mut rng);
+        let s_l = reservoir::algorithm_l(0..n, r, &mut rng);
+        let expect = (n as usize).min(r);
+        prop_assert_eq!(s_r.len(), expect);
+        prop_assert_eq!(s_l.len(), expect);
+        prop_assert_eq!(s_r.iter().collect::<HashSet<_>>().len(), expect);
+        prop_assert_eq!(s_l.iter().collect::<HashSet<_>>().len(), expect);
+    }
+
+    /// With-replacement sampling returns r in-range indices (repeats
+    /// allowed) and Bernoulli returns a sorted distinct subset.
+    #[test]
+    fn other_schemes_shape(n in 1u64..3_000, r in 0u64..500, q in 0.0f64..=1.0, seed in 0u64..1_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let wr = with_replacement::sample_indices(n, r, &mut rng);
+        prop_assert_eq!(wr.len() as u64, r);
+        prop_assert!(wr.iter().all(|&i| i < n));
+        let be = bernoulli::sample_indices(n, q, &mut rng);
+        prop_assert!(be.windows(2).all(|w| w[0] < w[1]), "sorted distinct");
+        prop_assert!(be.iter().all(|&i| i < n));
+    }
+
+    /// Every encoding round-trips arbitrary chunks and preserves point
+    /// access and the distinct count.
+    #[test]
+    fn encodings_roundtrip(values in proptest::collection::vec(-50i64..50, 0..600)) {
+        let enc = IntEncoding::encode(&values);
+        prop_assert_eq!(enc.len(), values.len());
+        prop_assert_eq!(enc.decode(), values.clone());
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(enc.get(i), v, "point access at {} under {}", i, enc.kind());
+        }
+        let truth: HashSet<i64> = values.iter().copied().collect();
+        prop_assert_eq!(enc.distinct(), truth.len() as u64);
+        // The adaptive choice never exceeds plain's footprint.
+        prop_assert!(enc.memory_bytes() <= values.len() * 8 || values.is_empty());
+    }
+
+    /// Sampled profiles always satisfy the bookkeeping invariants and
+    /// stay below the column's true distinct count only when d ≤ D.
+    #[test]
+    fn sampled_profiles_are_consistent(
+        distinct in 1u64..100,
+        copies in 1u64..20,
+        frac in 0.01f64..1.0,
+        seed in 0u64..500,
+    ) {
+        use distinct_values::sample::{sample_profile, SamplingScheme};
+        let col: Vec<u64> = (0..distinct * copies).map(|i| i % distinct).collect();
+        let n = col.len() as u64;
+        let r = (((n as f64) * frac) as u64).max(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let p = sample_profile(&col, r, SamplingScheme::WithoutReplacement, &mut rng).unwrap();
+        prop_assert_eq!(p.sample_size(), r);
+        prop_assert_eq!(p.table_size(), n);
+        prop_assert!(p.distinct_in_sample() <= distinct, "d cannot exceed D");
+        let rows: u64 = p.spectrum().map(|(i, f)| i * f).sum();
+        prop_assert_eq!(rows, r);
+    }
+}
+
+/// Deterministic check (not a property): the two without-replacement
+/// algorithms agree in distribution — compare per-index inclusion counts
+/// over many seeds with a generous tolerance.
+#[test]
+fn wor_algorithms_agree_in_distribution() {
+    let n = 12u64;
+    let r = 4u64;
+    let trials = 6_000u32;
+    let mut fy = vec![0u32; n as usize];
+    let mut fl = vec![0u32; n as usize];
+    for t in 0..trials {
+        let mut rng = ChaCha8Rng::seed_from_u64(t as u64);
+        for i in without_replacement::sample_indices(n, r, &mut rng) {
+            fy[i as usize] += 1;
+        }
+        for i in without_replacement::floyd_sample_indices(n, r, &mut rng) {
+            fl[i as usize] += 1;
+        }
+    }
+    let expected = trials as f64 * r as f64 / n as f64; // 2000
+    for i in 0..n as usize {
+        // Binomial sd ≈ 41; allow ±6σ.
+        assert!(
+            (fy[i] as f64 - expected).abs() < 250.0,
+            "fy[{i}] = {}",
+            fy[i]
+        );
+        assert!(
+            (fl[i] as f64 - expected).abs() < 250.0,
+            "fl[{i}] = {}",
+            fl[i]
+        );
+    }
+}
