@@ -1,0 +1,93 @@
+//! Criterion benches for the observability layer itself: the point is to
+//! prove that instrument updates are nanosecond-scale and that the
+//! disabled path (`dve_obs::set_enabled(false)`) is near-free, so wiring
+//! telemetry through the sampler → estimator pipeline costs < 5%.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dve_sample::{sample_profile, SamplingScheme};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_instruments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_instruments");
+    let counter = dve_obs::global().counter("bench.counter");
+    let hist = dve_obs::global().histogram("bench.hist");
+
+    dve_obs::set_enabled(true);
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    group.bench_function("histogram_record", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(997);
+            hist.record(black_box(v & 0xFFFF));
+        })
+    });
+    group.bench_function("timer_start_stop", |b| {
+        b.iter(|| {
+            let t = hist.start_timer();
+            black_box(t.stop())
+        })
+    });
+    group.bench_function("snapshot", |b| {
+        b.iter(|| black_box(dve_obs::global().snapshot().counters.len()))
+    });
+
+    dve_obs::set_enabled(false);
+    group.bench_function("counter_inc_disabled", |b| b.iter(|| counter.inc()));
+    group.bench_function("histogram_record_disabled", |b| {
+        b.iter(|| hist.record(black_box(1234)))
+    });
+    dve_obs::set_enabled(true);
+    group.finish();
+}
+
+/// The end-to-end overhead question: the same sampling + profile build
+/// with metrics enabled vs disabled. The acceptance bar is < 5% delta.
+fn bench_pipeline_overhead(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let (col, _) = dve_datagen::paper_column(100_000, 1.0, 10, &mut rng);
+    let mut group = c.benchmark_group("obs_pipeline");
+
+    dve_obs::set_enabled(true);
+    group.bench_function("sample_profile_enabled", |b| {
+        b.iter(|| {
+            black_box(
+                sample_profile(
+                    black_box(&col),
+                    10_000,
+                    SamplingScheme::WithoutReplacement,
+                    &mut rng,
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    dve_obs::set_enabled(false);
+    group.bench_function("sample_profile_disabled", |b| {
+        b.iter(|| {
+            black_box(
+                sample_profile(
+                    black_box(&col),
+                    10_000,
+                    SamplingScheme::WithoutReplacement,
+                    &mut rng,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    dve_obs::set_enabled(true);
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_instruments, bench_pipeline_overhead
+}
+criterion_main!(benches);

@@ -32,6 +32,20 @@ use crate::estimator::DistinctEstimator;
 use crate::profile::FrequencyProfile;
 use dve_numeric::poly::pow1m;
 use dve_numeric::roots::brent;
+use std::sync::{Arc, OnceLock};
+
+/// Residual evaluations per `solve_m` call (`core.ae.solve_iters`).
+fn solve_iters_hist() -> &'static Arc<dve_obs::Histogram> {
+    static H: OnceLock<Arc<dve_obs::Histogram>> = OnceLock::new();
+    H.get_or_init(|| dve_obs::global().histogram("core.ae.solve_iters"))
+}
+
+/// Times the root finder failed to converge and AE fell back to the
+/// bracket's upper end (`core.ae.solve_failures`).
+fn solve_failures() -> &'static Arc<dve_obs::Counter> {
+    static C: OnceLock<Arc<dve_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| dve_obs::global().counter("core.ae.solve_failures"))
+}
 
 /// Which algebraic form of the AE fixed-point equation to solve.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -126,21 +140,33 @@ impl AdaptiveEstimator {
         if f1 == 0.0 {
             return f1 + f2;
         }
+        let iters = std::cell::Cell::new(0u64);
+        let mut residual = |m: f64| {
+            iters.set(iters.get() + 1);
+            self.residual(profile, m)
+        };
         // Start strictly above f1 + f2 so p = L/(rm) is well defined and
         // below 1 (m ≥ (f1 + 2f2)/r holds because m ≥ f1 + f2 ≥ L/r for
         // any sample with r ≥ 2).
         let lo = (f1 + f2).max(1e-9);
         let hi = n;
-        let g_lo = self.residual(profile, lo);
-        if g_lo >= 0.0 {
-            return lo;
-        }
-        let g_hi = self.residual(profile, hi);
-        if g_hi <= 0.0 {
-            // Monotone-negative residual: sample looks all-distinct.
-            return hi;
-        }
-        brent(|m| self.residual(profile, m), lo, hi, 1e-7, 200).unwrap_or(hi)
+        let m_hat = 'solve: {
+            let g_lo = residual(lo);
+            if g_lo >= 0.0 {
+                break 'solve lo;
+            }
+            let g_hi = residual(hi);
+            if g_hi <= 0.0 {
+                // Monotone-negative residual: sample looks all-distinct.
+                break 'solve hi;
+            }
+            brent(&mut residual, lo, hi, 1e-7, 200).unwrap_or_else(|_| {
+                solve_failures().inc();
+                hi
+            })
+        };
+        solve_iters_hist().record(iters.get());
+        m_hat
     }
 }
 
@@ -262,6 +288,18 @@ mod tests {
         // The truth for such data is plausibly a few thousand at most;
         // AE must stay within the sanity interval and above d.
         assert!((61.0..=100_000.0).contains(&est));
+    }
+
+    #[test]
+    fn solver_records_iteration_telemetry() {
+        let spectrum = uniform_expected_spectrum(10_000, 100, 0.008);
+        let p = FrequencyProfile::from_spectrum(1_000_000, spectrum).unwrap();
+        let before = solve_iters_hist().count();
+        let _ = AdaptiveEstimator::new().solve_m(&p);
+        assert!(solve_iters_hist().count() > before);
+        // A genuine bracketing solve needs at least the two endpoint
+        // residual evaluations.
+        assert!(solve_iters_hist().max().unwrap() >= 2);
     }
 
     #[test]

@@ -104,6 +104,55 @@ pub fn by_names(names: &[&str]) -> Vec<Box<dyn DistinctEstimator>> {
         .collect()
 }
 
+/// An estimator wrapper that records per-estimator telemetry into the
+/// global [`dve_obs`] registry on every call:
+///
+/// * `core.estimate.calls{estimator=NAME}` — counter
+/// * `core.estimate_ns{estimator=NAME}` — latency histogram
+///
+/// Built with [`instrument`] / [`by_name_instrumented`] /
+/// [`by_names_instrumented`]; estimates are bit-identical to the wrapped
+/// estimator's.
+pub struct Instrumented {
+    inner: Box<dyn DistinctEstimator>,
+    calls: std::sync::Arc<dve_obs::Counter>,
+    latency: std::sync::Arc<dve_obs::Histogram>,
+}
+
+impl DistinctEstimator for Instrumented {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn estimate_raw(&self, profile: &crate::profile::FrequencyProfile) -> f64 {
+        self.calls.inc();
+        dve_obs::time(&self.latency, || self.inner.estimate_raw(profile))
+    }
+}
+
+/// Wraps an estimator with the [`Instrumented`] telemetry recorder.
+pub fn instrument(inner: Box<dyn DistinctEstimator>) -> Box<dyn DistinctEstimator> {
+    let obs = dve_obs::global();
+    let calls = obs.counter_labeled("core.estimate.calls", inner.name());
+    let latency = obs.histogram_labeled("core.estimate_ns", inner.name());
+    Box::new(Instrumented {
+        inner,
+        calls,
+        latency,
+    })
+}
+
+/// [`by_name`] plus telemetry: the returned estimator reports call
+/// counts and `estimate()` latency under its registry name.
+pub fn by_name_instrumented(name: &str) -> Option<Box<dyn DistinctEstimator>> {
+    by_name(name).map(instrument)
+}
+
+/// [`by_names`] plus telemetry, with the same panic-on-typo contract.
+pub fn by_names_instrumented(names: &[&str]) -> Vec<Box<dyn DistinctEstimator>> {
+    by_names(names).into_iter().map(instrument).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,5 +204,34 @@ mod tests {
     #[should_panic(expected = "unknown estimator")]
     fn by_names_panics_on_typo() {
         by_names(&["GEE", "GE"]);
+    }
+
+    #[test]
+    fn instrumented_estimates_match_and_record() {
+        let p = FrequencyProfile::from_spectrum(100_000, vec![30, 12, 4, 1]).unwrap();
+        let plain = by_name("GEE").unwrap();
+        let wrapped = by_name_instrumented("GEE").unwrap();
+        assert_eq!(wrapped.name(), "GEE");
+        let calls_before = dve_obs::global()
+            .counter_labeled("core.estimate.calls", "GEE")
+            .get();
+        assert_eq!(plain.estimate(&p), wrapped.estimate(&p));
+        let calls_after = dve_obs::global()
+            .counter_labeled("core.estimate.calls", "GEE")
+            .get();
+        assert_eq!(calls_after - calls_before, 1);
+        assert!(
+            dve_obs::global()
+                .histogram_labeled("core.estimate_ns", "GEE")
+                .count()
+                >= 1
+        );
+    }
+
+    #[test]
+    fn by_names_instrumented_resolves_paper_set() {
+        let ests = by_names_instrumented(PAPER_ESTIMATORS);
+        let names: Vec<&str> = ests.iter().map(|e| e.name()).collect();
+        assert_eq!(names, PAPER_ESTIMATORS.to_vec());
     }
 }

@@ -119,8 +119,8 @@ fn theorem2_case_bounds_hold_per_class() {
         0.5,
         1.0,
     ] {
-        let x = 1.0 - (r * (-p as f64).ln_1p()).exp();
-        let y = r * p * ((r - 1.0) * (-p as f64).ln_1p()).exp();
+        let x = 1.0 - (r * (-p).ln_1p()).exp();
+        let y = r * p * ((r - 1.0) * (-p).ln_1p()).exp();
         let term = x + (scale - 1.0) * y;
         let lower = (r / n).sqrt() / std::f64::consts::E * 0.9; // (1−o(1)) slack
         assert!(

@@ -8,10 +8,22 @@
 //! repro fig1 --csv out/      # also write CSV per experiment
 //! repro fig1 --json out/     # also write JSON per experiment
 //! ```
+//!
+//! With `--csv` or `--json`, a `metrics.json` snapshot of the process
+//! metrics (trial timing, per-estimator latency percentiles, AE solver
+//! iterations, …) is written next to the result files. Progress is
+//! reported as structured events on the `DVE_LOG` sink.
 
 use dve_experiments::{all_experiments, experiment_by_id, ExperimentCtx};
+use dve_obs::Event;
 use std::io::Write;
 use std::path::PathBuf;
+
+/// Emits a `repro.error` event and exits with `code`.
+fn fail(code: i32, message: String) -> ! {
+    Event::error("repro.error").message(message).emit();
+    std::process::exit(code);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,7 +48,9 @@ fn main() {
             }
             "--help" | "-h" => usage_and_exit(0),
             other if other.starts_with('-') => {
-                eprintln!("unknown flag: {other}");
+                Event::error("repro.error")
+                    .message(format!("unknown flag: {other}"))
+                    .emit();
                 usage_and_exit(2);
             }
             id => ids.push(id.to_string()),
@@ -62,8 +76,7 @@ fn main() {
         ids.iter()
             .map(|id| {
                 experiment_by_id(id).unwrap_or_else(|| {
-                    eprintln!("unknown experiment id: {id} (try `repro list`)");
-                    std::process::exit(2);
+                    fail(2, format!("unknown experiment id: {id} (try `repro list`)"))
                 })
             })
             .collect()
@@ -71,19 +84,26 @@ fn main() {
 
     for (dir, _) in [(&csv_dir, "csv"), (&json_dir, "json")] {
         if let Some(d) = dir {
-            std::fs::create_dir_all(d).unwrap_or_else(|e| {
-                eprintln!("cannot create {}: {e}", d.display());
-                std::process::exit(1);
-            });
+            std::fs::create_dir_all(d)
+                .unwrap_or_else(|e| fail(1, format!("cannot create {}: {e}", d.display())));
         }
     }
 
-    for def in defs {
+    let total = defs.len();
+    for (i, def) in defs.into_iter().enumerate() {
+        Event::info("repro.experiment.start")
+            .message(format!("[{}/{total}] {}: {}", i + 1, def.id, def.title))
+            .field_str("id", def.id)
+            .emit();
         let start = std::time::Instant::now();
         let report = (def.run)(&ctx);
         let elapsed = start.elapsed();
         println!("{}", report.to_text());
         println!("({} completed in {:.1?})\n", def.id, elapsed);
+        Event::info("repro.experiment.done")
+            .field_str("id", def.id)
+            .field_u64("elapsed_ms", elapsed.as_millis() as u64)
+            .emit();
         if let Some(dir) = &csv_dir {
             write_file(&dir.join(format!("{}.csv", def.id)), &report.to_csv());
         }
@@ -91,20 +111,26 @@ fn main() {
             write_file(&dir.join(format!("{}.json", def.id)), &report.to_json());
         }
     }
+
+    // One metrics snapshot for the whole run, next to the result files.
+    let snapshot_dir = json_dir.as_ref().or(csv_dir.as_ref());
+    if let Some(dir) = snapshot_dir {
+        let path = dir.join("metrics.json");
+        write_file(&path, &dve_obs::global().snapshot().to_json());
+        Event::info("repro.metrics.written")
+            .message(format!("metrics snapshot: {}", path.display()))
+            .emit();
+    }
 }
 
 fn expect_value(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
-    it.next().unwrap_or_else(|| {
-        eprintln!("{flag} requires a directory argument");
-        std::process::exit(2);
-    })
+    it.next()
+        .unwrap_or_else(|| fail(2, format!("{flag} requires a directory argument")))
 }
 
 fn write_file(path: &PathBuf, contents: &str) {
-    let mut f = std::fs::File::create(path).unwrap_or_else(|e| {
-        eprintln!("cannot write {}: {e}", path.display());
-        std::process::exit(1);
-    });
+    let mut f = std::fs::File::create(path)
+        .unwrap_or_else(|e| fail(1, format!("cannot write {}: {e}", path.display())));
     f.write_all(contents.as_bytes()).expect("write succeeds");
 }
 

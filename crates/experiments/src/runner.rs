@@ -13,6 +13,23 @@ use dve_sample::{sample_profile, SamplingScheme};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// Derives the per-trial RNG seed from an experiment's base seed with a
+/// full SplitMix64 mix, so consecutive trials land in statistically
+/// unrelated ChaCha key space. (The previous `seed ^ (c · (trial + 1))`
+/// folding left most high bits of neighboring trial seeds identical.)
+pub fn trial_seed(base: u64, trial: u32) -> u64 {
+    let mut z = base.wrapping_add((u64::from(trial) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Cached per-trial wall-clock histogram (`experiments.trial_ns`).
+fn trial_ns() -> &'static std::sync::Arc<dve_obs::Histogram> {
+    static H: std::sync::OnceLock<std::sync::Arc<dve_obs::Histogram>> = std::sync::OnceLock::new();
+    H.get_or_init(|| dve_obs::global().histogram("experiments.trial_ns"))
+}
+
 /// Aggregated measurements for one estimator at one experiment point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EstimatorPoint {
@@ -58,14 +75,15 @@ pub fn run_point(
 ) -> Vec<EstimatorPoint> {
     assert!(trials > 0, "need at least one trial");
     assert!(true_distinct > 0, "column must have at least one value");
-    let estimators = registry::by_names(estimator_names);
+    let estimators = registry::by_names_instrumented(estimator_names);
     let truth = true_distinct as f64;
 
     let mut errors: Vec<RunningMoments> = vec![RunningMoments::new(); estimators.len()];
     let mut estimates: Vec<RunningMoments> = vec![RunningMoments::new(); estimators.len()];
 
     for trial in 0..trials {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9E37_79B9 * (trial as u64 + 1)));
+        let _t = trial_ns().start_timer();
+        let mut rng = ChaCha8Rng::seed_from_u64(trial_seed(seed, trial));
         let profile = sample_profile(column, r, scheme, &mut rng)
             .expect("sampling a non-empty column cannot fail");
         for (i, est) in estimators.iter().enumerate() {
@@ -74,6 +92,12 @@ pub fn run_point(
             estimates[i].add(v);
         }
     }
+    dve_obs::Event::debug("experiments.point.done")
+        .field_u64("rows", column.len() as u64)
+        .field_u64("r", r)
+        .field_u64("trials", u64::from(trials))
+        .field_u64("estimators", estimators.len() as u64)
+        .emit();
 
     estimators
         .iter()
@@ -103,7 +127,8 @@ pub fn run_interval_point(
     let mut upper = RunningMoments::new();
     let mut covered = 0u32;
     for trial in 0..trials {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9E37_79B9 * (trial as u64 + 1)));
+        let _t = trial_ns().start_timer();
+        let mut rng = ChaCha8Rng::seed_from_u64(trial_seed(seed, trial));
         let profile = sample_profile(column, r, scheme, &mut rng)
             .expect("sampling a non-empty column cannot fail");
         let ci = dve_core::bounds::gee_confidence_interval(&profile);
@@ -134,7 +159,8 @@ pub fn run_point_with(
     let mut err = RunningMoments::new();
     let mut est_m = RunningMoments::new();
     for trial in 0..trials {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9E37_79B9 * (trial as u64 + 1)));
+        let _t = trial_ns().start_timer();
+        let mut rng = ChaCha8Rng::seed_from_u64(trial_seed(seed, trial));
         let profile = sample_profile(column, r, SamplingScheme::WithoutReplacement, &mut rng)
             .expect("sampling a non-empty column cannot fail");
         let v = estimator.estimate(&profile);
@@ -245,6 +271,38 @@ mod tests {
             ip.actual
         );
         assert!(ip.coverage > 0.99, "coverage {}", ip.coverage);
+    }
+
+    #[test]
+    fn trial_seeds_are_distinct_and_mixed() {
+        use std::collections::HashSet;
+        let seeds: HashSet<u64> = (0..1_000).map(|t| trial_seed(42, t)).collect();
+        assert_eq!(seeds.len(), 1_000, "trial seeds must not collide");
+        // Full mixing: neighboring trials must differ in high bits too
+        // (the old xor-fold left the top 32 bits constant).
+        let a = trial_seed(42, 0);
+        let b = trial_seed(42, 1);
+        assert_ne!(a >> 32, b >> 32, "high halves identical: {a:x} vs {b:x}");
+        // Different bases decorrelate.
+        assert_ne!(trial_seed(1, 0), trial_seed(2, 0));
+    }
+
+    #[test]
+    fn trials_record_timing_metrics() {
+        let (col, d) = uniform_column();
+        let before = super::trial_ns().count();
+        run_point(
+            &col,
+            d,
+            200,
+            &["GEE"],
+            3,
+            SamplingScheme::WithoutReplacement,
+            13,
+        );
+        // Other tests in this binary may run trials concurrently, so
+        // assert a lower bound rather than an exact delta.
+        assert!(super::trial_ns().count() >= before + 3);
     }
 
     #[test]

@@ -1,0 +1,469 @@
+//! Structured events: a typed [`Event`] builder, the [`EventSink`]
+//! abstraction, and the built-in sinks (pretty stderr, JSONL, in-memory
+//! vector, null).
+//!
+//! The process-global sink is selected lazily from the `DVE_LOG`
+//! environment variable (see the crate docs for the table) and can be
+//! replaced at runtime with [`set_sink`].
+
+use crate::{json_escape_into, json_f64_into};
+use std::io::Write;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Event severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Fine-grained diagnostics (span closings, per-trial progress).
+    Debug,
+    /// Normal operational messages.
+    Info,
+    /// Something unexpected but recoverable.
+    Warn,
+    /// An operation failed.
+    Error,
+}
+
+impl Level {
+    /// Lower-case name (`"debug"`, `"info"`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// A typed field value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A structured log event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Severity.
+    pub level: Level,
+    /// Dotted event name, e.g. `"experiments.point.done"`.
+    pub name: String,
+    /// Optional human-readable message.
+    pub message: String,
+    /// Typed key/value payload, in insertion order.
+    pub fields: Vec<(String, FieldValue)>,
+    /// Milliseconds since the Unix epoch at construction time.
+    pub ts_ms: u64,
+}
+
+impl Event {
+    /// A new event at `level` named `name`.
+    pub fn new(level: Level, name: impl Into<String>) -> Self {
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        Self {
+            level,
+            name: name.into(),
+            message: String::new(),
+            fields: Vec::new(),
+            ts_ms,
+        }
+    }
+
+    /// Shorthand for [`Event::new`] at `Debug`.
+    pub fn debug(name: impl Into<String>) -> Self {
+        Self::new(Level::Debug, name)
+    }
+
+    /// Shorthand for [`Event::new`] at `Info`.
+    pub fn info(name: impl Into<String>) -> Self {
+        Self::new(Level::Info, name)
+    }
+
+    /// Shorthand for [`Event::new`] at `Warn`.
+    pub fn warn(name: impl Into<String>) -> Self {
+        Self::new(Level::Warn, name)
+    }
+
+    /// Shorthand for [`Event::new`] at `Error`.
+    pub fn error(name: impl Into<String>) -> Self {
+        Self::new(Level::Error, name)
+    }
+
+    /// Sets the human-readable message.
+    pub fn message(mut self, msg: impl Into<String>) -> Self {
+        self.message = msg.into();
+        self
+    }
+
+    /// Attaches an unsigned-integer field.
+    pub fn field_u64(mut self, key: impl Into<String>, v: u64) -> Self {
+        self.fields.push((key.into(), FieldValue::U64(v)));
+        self
+    }
+
+    /// Attaches a signed-integer field.
+    pub fn field_i64(mut self, key: impl Into<String>, v: i64) -> Self {
+        self.fields.push((key.into(), FieldValue::I64(v)));
+        self
+    }
+
+    /// Attaches a floating-point field.
+    pub fn field_f64(mut self, key: impl Into<String>, v: f64) -> Self {
+        self.fields.push((key.into(), FieldValue::F64(v)));
+        self
+    }
+
+    /// Attaches a string field.
+    pub fn field_str(mut self, key: impl Into<String>, v: impl Into<String>) -> Self {
+        self.fields.push((key.into(), FieldValue::Str(v.into())));
+        self
+    }
+
+    /// Sends this event to the global sink (see [`emit`]).
+    pub fn emit(self) {
+        emit(&self);
+    }
+
+    /// One-line JSON encoding:
+    /// `{"ts_ms":…,"level":"…","name":"…","message":"…","k":v,…}`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"ts_ms\":");
+        out.push_str(&self.ts_ms.to_string());
+        out.push_str(",\"level\":\"");
+        out.push_str(self.level.as_str());
+        out.push_str("\",\"name\":\"");
+        json_escape_into(&mut out, &self.name);
+        out.push('"');
+        if !self.message.is_empty() {
+            out.push_str(",\"message\":\"");
+            json_escape_into(&mut out, &self.message);
+            out.push('"');
+        }
+        for (k, v) in &self.fields {
+            out.push_str(",\"");
+            json_escape_into(&mut out, k);
+            out.push_str("\":");
+            match v {
+                FieldValue::U64(v) => out.push_str(&v.to_string()),
+                FieldValue::I64(v) => out.push_str(&v.to_string()),
+                FieldValue::F64(v) => json_f64_into(&mut out, *v),
+                FieldValue::Str(s) => {
+                    out.push('"');
+                    json_escape_into(&mut out, s);
+                    out.push('"');
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Human-readable one-liner: `level name message k=v k=v`.
+    pub fn to_pretty(&self) -> String {
+        let mut out = format!("{:>5} {}", self.level.as_str(), self.name);
+        if !self.message.is_empty() {
+            out.push(' ');
+            out.push_str(&self.message);
+        }
+        for (k, v) in &self.fields {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out
+    }
+}
+
+/// Where events go. Implementations must be cheap to call concurrently.
+pub trait EventSink: Send + Sync {
+    /// Consumes one event.
+    fn emit(&self, event: &Event);
+}
+
+/// Drops every event.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Human-readable one-line-per-event output on stderr, filtered by a
+/// minimum level. The default sink.
+#[derive(Debug)]
+pub struct PrettySink {
+    min_level: Level,
+}
+
+impl PrettySink {
+    /// A pretty sink passing events at `min_level` and above.
+    pub fn new(min_level: Level) -> Self {
+        Self { min_level }
+    }
+}
+
+impl EventSink for PrettySink {
+    fn emit(&self, event: &Event) {
+        if event.level >= self.min_level {
+            eprintln!("{}", event.to_pretty());
+        }
+    }
+}
+
+/// One JSON object per event, written to an arbitrary `Write` target
+/// (stderr or an appended file).
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// JSONL to an arbitrary writer.
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        Self {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// JSONL to stderr.
+    pub fn stderr() -> Self {
+        Self::new(Box::new(std::io::stderr()))
+    }
+
+    /// JSONL appended to the file at `path`.
+    pub fn to_file(path: &str) -> std::io::Result<Self> {
+        let f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Self::new(Box::new(f)))
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        // A failed log write must never take down the pipeline.
+        let _ = writeln!(out, "{}", event.to_jsonl());
+    }
+}
+
+/// Collects events in memory; the test sink.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of everything captured so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for VecSink {
+    fn emit(&self, event: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event.clone());
+    }
+}
+
+fn sink_cell() -> &'static RwLock<Option<Arc<dyn EventSink>>> {
+    static SINK: OnceLock<RwLock<Option<Arc<dyn EventSink>>>> = OnceLock::new();
+    SINK.get_or_init(|| RwLock::new(None))
+}
+
+/// Builds the sink described by `spec` (the `DVE_LOG` grammar). Unknown
+/// specs and unopenable JSONL files fall back to the pretty sink.
+fn sink_from_spec(spec: Option<&str>) -> Arc<dyn EventSink> {
+    match spec {
+        None | Some("") | Some("pretty") => Arc::new(PrettySink::new(Level::Info)),
+        Some("debug") => Arc::new(PrettySink::new(Level::Debug)),
+        Some("jsonl") => Arc::new(JsonlSink::stderr()),
+        Some("off") => Arc::new(NullSink),
+        Some(s) => {
+            if let Some(path) = s.strip_prefix("jsonl:") {
+                match JsonlSink::to_file(path) {
+                    Ok(sink) => return Arc::new(sink),
+                    Err(err) => {
+                        eprintln!("dve-obs: cannot open log file {path}: {err}; using stderr");
+                        return Arc::new(JsonlSink::stderr());
+                    }
+                }
+            }
+            Arc::new(PrettySink::new(Level::Info))
+        }
+    }
+}
+
+/// Replaces the global sink.
+pub fn set_sink(new_sink: Arc<dyn EventSink>) {
+    *sink_cell().write().unwrap_or_else(|e| e.into_inner()) = Some(new_sink);
+}
+
+/// The global sink, lazily initialized from `DVE_LOG` on first use.
+pub fn sink() -> Arc<dyn EventSink> {
+    if let Some(s) = sink_cell()
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+    {
+        return Arc::clone(s);
+    }
+    let built = sink_from_spec(std::env::var("DVE_LOG").ok().as_deref());
+    let mut w = sink_cell().write().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(w.get_or_insert(built))
+}
+
+/// Sends `event` to the global sink.
+pub fn emit(event: &Event) {
+    sink().emit(event);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_jsonl_roundtrip() {
+        let e = Event::info("exp.start")
+            .message("running \"fig1\"")
+            .field_u64("trials", 100)
+            .field_i64("delta", -3)
+            .field_f64("q", 0.008)
+            .field_str("estimator", "AE");
+        let json = e.to_jsonl();
+        assert!(json.starts_with("{\"ts_ms\":"));
+        assert!(json.contains("\"level\":\"info\""));
+        assert!(json.contains("\"name\":\"exp.start\""));
+        assert!(json.contains("\"message\":\"running \\\"fig1\\\"\""));
+        assert!(json.contains("\"trials\":100"));
+        assert!(json.contains("\"delta\":-3"));
+        assert!(json.contains("\"q\":0.008"));
+        assert!(json.contains("\"estimator\":\"AE\""));
+        assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn pretty_format_is_one_line() {
+        let e = Event::warn("solver.fallback")
+            .message("bracket failed")
+            .field_u64("iters", 200);
+        let s = e.to_pretty();
+        assert_eq!(s, " warn solver.fallback bracket failed iters=200");
+        assert!(!s.contains('\n'));
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+        assert_eq!(Level::Error.as_str(), "error");
+    }
+
+    #[test]
+    fn vec_sink_captures_events() {
+        let sink = VecSink::new();
+        assert!(sink.is_empty());
+        sink.emit(&Event::info("a"));
+        sink.emit(&Event::error("b").field_str("why", "x"));
+        assert_eq!(sink.len(), 2);
+        let events = sink.events();
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[1].level, Level::Error);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Box::new(Shared(Arc::clone(&buf))));
+        sink.emit(&Event::info("one"));
+        sink.emit(&Event::info("two"));
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"name\":\"one\""));
+        assert!(lines[1].contains("\"name\":\"two\""));
+    }
+
+    #[test]
+    fn spec_parsing_selects_sinks() {
+        // Behavioral probe: the off sink drops, pretty passes by level.
+        let e = Event::debug("x");
+        let off = sink_from_spec(Some("off"));
+        off.emit(&e); // must not panic or print
+        let _pretty = sink_from_spec(None);
+        let _debug = sink_from_spec(Some("debug"));
+        let _jsonl = sink_from_spec(Some("jsonl"));
+    }
+
+    #[test]
+    fn set_sink_replaces_global() {
+        let _guard = crate::test_lock();
+        let captured = Arc::new(VecSink::new());
+        set_sink(captured.clone());
+        emit(&Event::info("obs.test.global_emit"));
+        assert!(captured
+            .events()
+            .iter()
+            .any(|e| e.name == "obs.test.global_emit"));
+        set_sink(Arc::new(NullSink));
+    }
+}

@@ -37,6 +37,33 @@ pub enum SamplingScheme {
     },
 }
 
+impl SamplingScheme {
+    /// Short metric/CLI label for the scheme.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SamplingScheme::WithoutReplacement => "wor",
+            SamplingScheme::WithReplacement => "wr",
+            SamplingScheme::Reservoir => "reservoir",
+            SamplingScheme::Sequential => "sequential",
+            SamplingScheme::Bernoulli => "bernoulli",
+            SamplingScheme::Block { .. } => "block",
+        }
+    }
+
+    /// Rows the scheme must read to draw (about) `r` of `n`: index-based
+    /// schemes touch only the drawn rows, single-pass schemes scan the
+    /// column, block sampling reads whole blocks.
+    fn rows_scanned(&self, n: u64, r: u64) -> u64 {
+        match self {
+            SamplingScheme::WithoutReplacement | SamplingScheme::WithReplacement => r,
+            SamplingScheme::Reservoir | SamplingScheme::Sequential | SamplingScheme::Bernoulli => n,
+            SamplingScheme::Block { block_size } => {
+                r.div_ceil(*block_size).saturating_mul(*block_size).min(n)
+            }
+        }
+    }
+}
+
 /// Builds the frequency profile of a sample of (about) `r` rows from a
 /// `u64`-valued column, using the requested scheme.
 ///
@@ -44,6 +71,9 @@ pub enum SamplingScheme {
 /// [`SamplingScheme::Bernoulli`] the size is `Binomial(n, r/n)`, and for
 /// [`SamplingScheme::Block`] it is `r` rounded up to a whole number of
 /// blocks.
+///
+/// Telemetry: records `sample.rows_scanned` and the build latency
+/// histogram `sample.build_ns`, both labeled with the scheme.
 ///
 /// # Panics
 ///
@@ -56,6 +86,9 @@ pub fn sample_profile<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<FrequencyProfile, ProfileError> {
     let n = data.len() as u64;
+    let obs = dve_obs::global();
+    let build_ns = obs.histogram_labeled("sample.build_ns", scheme.label());
+    let timer = build_ns.start_timer();
     let values: Vec<u64> = match scheme {
         SamplingScheme::WithoutReplacement => without_replacement::sample_values(data, r, rng),
         SamplingScheme::WithReplacement => with_replacement::sample_values(data, r, rng),
@@ -67,6 +100,9 @@ pub fn sample_profile<R: Rng + ?Sized>(
             block::sample_values(data, block_size, blocks, rng)
         }
     };
+    timer.stop();
+    obs.counter_labeled("sample.rows_scanned", scheme.label())
+        .add(scheme.rows_scanned(n, r));
     profile_of_values(n, &values)
 }
 
@@ -280,6 +316,32 @@ mod tests {
     #[test]
     fn empty_accumulator_yields_error() {
         assert!(SampleAccumulator::new().finish().is_err());
+    }
+
+    #[test]
+    fn sampling_records_metrics() {
+        let data = column();
+        let mut r = rng(7);
+        let obs = dve_obs::global();
+        let before = obs.counter_labeled("sample.rows_scanned", "wor").get();
+        sample_profile(&data, 100, SamplingScheme::WithoutReplacement, &mut r).unwrap();
+        let after = obs.counter_labeled("sample.rows_scanned", "wor").get();
+        assert_eq!(after - before, 100);
+        assert!(obs.histogram_labeled("sample.build_ns", "wor").count() >= 1);
+    }
+
+    #[test]
+    fn scheme_labels_are_distinct() {
+        let schemes = [
+            SamplingScheme::WithoutReplacement,
+            SamplingScheme::WithReplacement,
+            SamplingScheme::Reservoir,
+            SamplingScheme::Sequential,
+            SamplingScheme::Bernoulli,
+            SamplingScheme::Block { block_size: 32 },
+        ];
+        let labels: std::collections::HashSet<&str> = schemes.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), schemes.len());
     }
 
     #[test]

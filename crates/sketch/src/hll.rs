@@ -11,6 +11,19 @@
 //! scale this workspace touches.
 
 use crate::DistinctSketch;
+use std::sync::{Arc, OnceLock};
+
+/// Cached handle for the hot-path insert counter (`sketch.hll.inserts`).
+fn insert_count() -> &'static Arc<dve_obs::Counter> {
+    static C: OnceLock<Arc<dve_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| dve_obs::global().counter("sketch.hll.inserts"))
+}
+
+/// Register-merge counter (`sketch.hll.merges`).
+fn merge_count() -> &'static Arc<dve_obs::Counter> {
+    static C: OnceLock<Arc<dve_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| dve_obs::global().counter("sketch.hll.merges"))
+}
 
 /// HyperLogLog sketch with `m = 2^p` registers.
 #[derive(Debug, Clone)]
@@ -62,6 +75,7 @@ impl HyperLogLog {
             self.p, other.p,
             "cannot merge sketches of different precision"
         );
+        merge_count().inc();
         for (a, b) in self.registers.iter_mut().zip(&other.registers) {
             *a = (*a).max(*b);
         }
@@ -79,6 +93,7 @@ impl DistinctSketch for HyperLogLog {
     }
 
     fn insert(&mut self, hash: u64) {
+        insert_count().inc();
         let idx = (hash >> (64 - self.p)) as usize;
         let rest = hash << self.p;
         // Rank = leading zeros of the remaining bits + 1, capped so an
@@ -199,6 +214,20 @@ mod tests {
     #[should_panic(expected = "precision")]
     fn rejects_bad_precision() {
         HyperLogLog::new(3);
+    }
+
+    #[test]
+    fn insert_and_merge_are_counted() {
+        let inserts_before = super::insert_count().get();
+        let merges_before = super::merge_count().get();
+        let mut a = HyperLogLog::new(8);
+        let mut b = HyperLogLog::new(8);
+        for v in 0..100u64 {
+            a.insert(hash_value(v));
+        }
+        b.merge(&a);
+        assert!(super::insert_count().get() >= inserts_before + 100);
+        assert!(super::merge_count().get() > merges_before);
     }
 }
 

@@ -79,9 +79,16 @@ pub fn analyze_table<R: Rng + ?Sized>(
     if !(options.sampling_fraction > 0.0 && options.sampling_fraction <= 1.0) {
         return Err(AnalyzeError::BadSamplingFraction);
     }
-    let estimator = registry::by_name(&options.estimator)
+    let estimator = registry::by_name_instrumented(&options.estimator)
         .ok_or_else(|| AnalyzeError::UnknownEstimator(options.estimator.clone()))?;
     let r = ((n as f64 * options.sampling_fraction).round() as u64).clamp(1, n);
+
+    let obs = dve_obs::global();
+    let analyze_ns = obs.histogram("storage.analyze_ns");
+    let _timer = analyze_ns.start_timer();
+    obs.counter("storage.analyze.rows_sampled").add(r);
+    obs.counter("storage.analyze.columns")
+        .add(table.schema().len() as u64);
 
     // One shared row sample for the whole table, as real ANALYZE does.
     let rows = dve_sample::without_replacement::sample_indices(n, r, rng);
@@ -159,9 +166,13 @@ pub fn analyze_partitions<R: Rng + ?Sized>(
     if !(options.sampling_fraction > 0.0 && options.sampling_fraction <= 1.0) {
         return Err(AnalyzeError::BadSamplingFraction);
     }
-    let estimator = registry::by_name(&options.estimator)
+    let estimator = registry::by_name_instrumented(&options.estimator)
         .ok_or_else(|| AnalyzeError::UnknownEstimator(options.estimator.clone()))?;
     let ncols = first.schema().len();
+    let obs = dve_obs::global();
+    let analyze_ns = obs.histogram("storage.analyze_ns");
+    let _timer = analyze_ns.start_timer();
+    obs.counter("storage.analyze.columns").add(ncols as u64);
     for part in partitions {
         assert_eq!(
             part.schema(),
@@ -185,6 +196,7 @@ pub fn analyze_partitions<R: Rng + ?Sized>(
             continue;
         }
         let r = ((n as f64 * options.sampling_fraction).round() as u64).clamp(1, n);
+        obs.counter("storage.analyze.rows_sampled").add(r);
         total_sampled += r;
         let rows = dve_sample::without_replacement::sample_indices(n, r, rng);
         for (idx, acc) in accs.iter_mut().enumerate() {

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, format, lint — what a PR must pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings

@@ -18,19 +18,40 @@
 //! dve estimators
 //!     List every estimator the registry knows.
 //! ```
+//!
+//! Global flags and environment:
+//!
+//! * `--metrics json|pretty` — dump the process metrics snapshot
+//!   (sampler latency, per-estimator call counts and latency
+//!   percentiles, AE solver iterations, …) to stdout after the command.
+//! * `DVE_METRICS=off` — disable metric recording entirely.
+//! * `DVE_LOG` — event sink selection (`pretty`/`debug`/`jsonl`/
+//!   `jsonl:PATH`/`off`); diagnostics go through it as structured
+//!   events on stderr by default.
 
 use distinct_values::core::bounds::gee_confidence_interval;
 use distinct_values::core::estimator::DistinctEstimator;
-use distinct_values::core::profile::FrequencyProfile;
 use distinct_values::core::registry;
+use distinct_values::obs::Event;
+use distinct_values::sample::SamplingScheme;
 use distinct_values::sketch::{hll::HyperLogLog, DistinctSketch};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read};
 
+/// Emits a `cli.error` event and exits with `code`.
+fn fail(code: i32, message: String) -> ! {
+    Event::error("cli.error").message(message).emit();
+    std::process::exit(code);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    if std::env::var("DVE_METRICS").as_deref() == Ok("off") {
+        distinct_values::obs::set_enabled(false);
+    }
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_mode = extract_metrics_flag(&mut args);
     let Some(cmd) = args.first() else {
         usage_and_exit(2);
     };
@@ -48,10 +69,43 @@ fn main() {
         }
         "--help" | "-h" | "help" => usage_and_exit(0),
         other => {
-            eprintln!("unknown command: {other}");
+            Event::error("cli.error")
+                .message(format!("unknown command: {other}"))
+                .emit();
             usage_and_exit(2);
         }
     }
+    match metrics_mode {
+        Some(MetricsMode::Json) => {
+            println!("{}", distinct_values::obs::global().snapshot().to_json());
+        }
+        Some(MetricsMode::Pretty) => {
+            print!("{}", distinct_values::obs::global().snapshot().to_pretty());
+        }
+        None => {}
+    }
+}
+
+#[derive(Clone, Copy)]
+enum MetricsMode {
+    Json,
+    Pretty,
+}
+
+/// Pulls the global `--metrics json|pretty` flag (valid for every
+/// subcommand) out of `args`.
+fn extract_metrics_flag(args: &mut Vec<String>) -> Option<MetricsMode> {
+    let idx = args.iter().position(|a| a == "--metrics")?;
+    if idx + 1 >= args.len() {
+        fail(2, "--metrics requires a value (json|pretty)".to_string());
+    }
+    let mode = match args[idx + 1].as_str() {
+        "json" => MetricsMode::Json,
+        "pretty" => MetricsMode::Pretty,
+        other => fail(2, format!("invalid --metrics mode: {other} (json|pretty)")),
+    };
+    args.drain(idx..idx + 2);
+    Some(mode)
 }
 
 /// Parses `--flag value` pairs; returns (flags, positional).
@@ -61,10 +115,9 @@ fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
-            let value = it.next().unwrap_or_else(|| {
-                eprintln!("--{name} requires a value");
-                std::process::exit(2);
-            });
+            let value = it
+                .next()
+                .unwrap_or_else(|| fail(2, format!("--{name} requires a value")));
             flags.insert(name.to_string(), value.clone());
         } else {
             positional.push(a.clone());
@@ -76,20 +129,19 @@ fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
 fn flag_parse<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> T {
     match flags.get(name) {
         None => default,
-        Some(v) => v.parse().unwrap_or_else(|_| {
-            eprintln!("invalid value for --{name}: {v}");
-            std::process::exit(2);
-        }),
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| fail(2, format!("invalid value for --{name}: {v}"))),
     }
 }
 
 fn read_lines(positional: &[String]) -> Vec<String> {
     let reader: Box<dyn Read> = match positional.first().map(String::as_str) {
         None | Some("-") => Box::new(std::io::stdin()),
-        Some(path) => Box::new(std::fs::File::open(path).unwrap_or_else(|e| {
-            eprintln!("cannot open {path}: {e}");
-            std::process::exit(1);
-        })),
+        Some(path) => Box::new(
+            std::fs::File::open(path)
+                .unwrap_or_else(|e| fail(1, format!("cannot open {path}: {e}"))),
+        ),
     };
     BufReader::new(reader)
         .lines()
@@ -103,29 +155,36 @@ fn cmd_estimate(args: &[String]) {
     let fraction: f64 = flag_parse(&flags, "fraction", 0.01);
     let seed: u64 = flag_parse(&flags, "seed", 42);
     if !(fraction > 0.0 && fraction <= 1.0) {
-        eprintln!("--fraction must be in (0, 1]");
-        std::process::exit(2);
+        fail(2, "--fraction must be in (0, 1]".to_string());
     }
-    let Some(estimator) = registry::by_name(&estimator_name) else {
-        eprintln!("unknown estimator {estimator_name} (see `dve estimators`)");
-        std::process::exit(2);
+    let Some(estimator) = registry::by_name_instrumented(&estimator_name) else {
+        fail(
+            2,
+            format!("unknown estimator {estimator_name} (see `dve estimators`)"),
+        );
     };
 
     let lines = read_lines(&positional);
     let n = lines.len() as u64;
     if n == 0 {
-        eprintln!("input is empty");
-        std::process::exit(1);
+        fail(1, "input is empty".to_string());
     }
     let r = ((n as f64 * fraction).round() as u64).clamp(1, n);
+    // Hash once so the whole run goes through the same instrumented
+    // sampler → profile → estimator pipeline the experiment harness uses
+    // (64-bit hashes; a collision among CLI-sized inputs is negligible).
+    let hashes: Vec<u64> = lines
+        .iter()
+        .map(|l| distinct_values::sketch::hash_bytes(l.as_bytes()))
+        .collect();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let rows = distinct_values::sample::without_replacement::sample_indices(n, r, &mut rng);
-    let mut counts: HashMap<&str, u64> = HashMap::new();
-    for row in rows {
-        *counts.entry(lines[row as usize].as_str()).or_insert(0) += 1;
-    }
-    let profile =
-        FrequencyProfile::from_sample_counts(n, counts.into_values()).expect("non-empty sample");
+    let profile = distinct_values::sample::sample_profile(
+        &hashes,
+        r,
+        SamplingScheme::WithoutReplacement,
+        &mut rng,
+    )
+    .expect("non-empty sample");
     let estimate = estimator.estimate(&profile);
     let interval = gee_confidence_interval(&profile);
     println!("rows:               {n}");
@@ -164,23 +223,25 @@ fn cmd_generate(args: &[String]) {
     let (flags, _) = parse_flags(args);
     let rows: u64 = flag_parse(&flags, "rows", 0);
     if rows == 0 {
-        eprintln!("generate requires --rows N");
-        std::process::exit(2);
+        fail(2, "generate requires --rows N".to_string());
     }
     let z: f64 = flag_parse(&flags, "zipf", 0.0);
     let dup: u64 = flag_parse(&flags, "dup", 1);
     let seed: u64 = flag_parse(&flags, "seed", 42);
     if !rows.is_multiple_of(dup) {
-        eprintln!("--rows must be a multiple of --dup");
-        std::process::exit(2);
+        fail(2, "--rows must be a multiple of --dup".to_string());
     }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let (col, d) = distinct_values::datagen::paper_column(rows / dup, z, dup, &mut rng);
-    eprintln!(
-        "generated {} rows, {} distinct (Z={z}, dup={dup})",
-        col.len(),
-        d
-    );
+    Event::info("cli.generate.done")
+        .message(format!(
+            "generated {} rows, {} distinct (Z={z}, dup={dup})",
+            col.len(),
+            d
+        ))
+        .field_u64("rows", col.len() as u64)
+        .field_u64("distinct", d)
+        .emit();
     let stdout = std::io::stdout();
     let mut lock = std::io::BufWriter::new(stdout.lock());
     use std::io::Write;
@@ -192,14 +253,12 @@ fn cmd_generate(args: &[String]) {
 fn cmd_import(args: &[String]) {
     let (flags, positional) = parse_flags(args);
     let Some(out_path) = flags.get("out") else {
-        eprintln!("import requires --out TABLE.dvet");
-        std::process::exit(2);
+        fail(2, "import requires --out TABLE.dvet".to_string());
     };
     let column_name: String = flag_parse(&flags, "column", "value".to_string());
     let lines = read_lines(&positional);
     if lines.is_empty() {
-        eprintln!("input is empty");
-        std::process::exit(1);
+        fail(1, "input is empty".to_string());
     }
     let column = distinct_values::storage::Column::from_strs(&lines);
     let table = distinct_values::storage::Table::new(
@@ -211,31 +270,28 @@ fn cmd_import(args: &[String]) {
     )
     .expect("single consistent column");
     distinct_values::storage::persist::save_table(&table, std::path::Path::new(out_path))
-        .unwrap_or_else(|e| {
-            eprintln!("cannot write {out_path}: {e}");
-            std::process::exit(1);
-        });
-    eprintln!(
-        "imported {} rows into {out_path} ({} distinct)",
-        table.row_count(),
-        table.column(0).exact_distinct()
-    );
+        .unwrap_or_else(|e| fail(1, format!("cannot write {out_path}: {e}")));
+    let distinct = table.column(0).exact_distinct();
+    Event::info("cli.import.done")
+        .message(format!(
+            "imported {} rows into {out_path} ({distinct} distinct)",
+            table.row_count()
+        ))
+        .field_u64("rows", table.row_count() as u64)
+        .field_u64("distinct", distinct as u64)
+        .emit();
 }
 
 fn cmd_analyze(args: &[String]) {
     let (flags, positional) = parse_flags(args);
     let Some(path) = positional.first() else {
-        eprintln!("analyze requires a TABLE.dvet path");
-        std::process::exit(2);
+        fail(2, "analyze requires a TABLE.dvet path".to_string());
     };
     let fraction: f64 = flag_parse(&flags, "fraction", 0.01);
     let estimator: String = flag_parse(&flags, "estimator", "AE".to_string());
     let seed: u64 = flag_parse(&flags, "seed", 42);
     let table = distinct_values::storage::persist::load_table(std::path::Path::new(path))
-        .unwrap_or_else(|e| {
-            eprintln!("cannot load {path}: {e}");
-            std::process::exit(1);
-        });
+        .unwrap_or_else(|e| fail(1, format!("cannot load {path}: {e}")));
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let stats = distinct_values::storage::analyze_table(
         &table,
@@ -245,10 +301,7 @@ fn cmd_analyze(args: &[String]) {
         },
         &mut rng,
     )
-    .unwrap_or_else(|e| {
-        eprintln!("analyze failed: {e}");
-        std::process::exit(1);
-    });
+    .unwrap_or_else(|e| fail(1, format!("analyze failed: {e}")));
     println!(
         "{:>16} {:>10} {:>12} {:>10} {:>24}",
         "column", "nulls~", "distinct~", "sampled", "GEE interval"

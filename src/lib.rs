@@ -27,6 +27,9 @@
 //!   counting, HyperLogLog).
 //! * [`experiments`] — the harness that regenerates every table and figure
 //!   in the paper's evaluation section.
+//! * [`obs`] — dependency-light observability: atomic metric families,
+//!   log-bucketed latency histograms, RAII timers, and structured event
+//!   sinks wired through every layer above.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +49,7 @@ pub use dve_datagen as datagen;
 pub use dve_experiments as experiments;
 pub use dve_lowerbound as lowerbound;
 pub use dve_numeric as numeric;
+pub use dve_obs as obs;
 pub use dve_sample as sample;
 pub use dve_sketch as sketch;
 pub use dve_storage as storage;

@@ -195,3 +195,83 @@ fn empty_input_is_an_error() {
     assert!(!ok);
     assert!(stderr.contains("empty"));
 }
+
+#[test]
+fn estimate_with_metrics_json_emits_snapshot() {
+    let data: String = (0..2000).map(|i| format!("v{}\n", i % 100)).collect();
+    let (stdout, _, ok) = run_with_stdin(
+        &[
+            "estimate",
+            "--fraction",
+            "0.2",
+            "--estimator",
+            "AE",
+            "--metrics",
+            "json",
+            "-",
+        ],
+        &data,
+    );
+    assert!(ok, "estimate failed: {stdout}");
+    // The snapshot is the last stdout line: one JSON object.
+    let json = stdout.lines().last().expect("snapshot line");
+    assert!(
+        json.starts_with('{') && json.ends_with('}'),
+        "not a JSON object: {json}"
+    );
+    for section in ["\"counters\":[", "\"gauges\":[", "\"histograms\":["] {
+        assert!(json.contains(section), "missing {section} in {json}");
+    }
+    // Sampler latency, estimator latency percentiles, AE solver
+    // iterations must all be populated by one instrumented run.
+    for metric in [
+        "\"sample.build_ns\"",
+        "\"sample.rows_scanned\"",
+        "\"core.estimate.calls\"",
+        "\"core.estimate_ns\"",
+        "\"core.ae.solve_iters\"",
+    ] {
+        assert!(json.contains(metric), "missing {metric} in {json}");
+    }
+    assert!(json.contains("\"p95\":"), "no percentiles in {json}");
+    // Balanced-brace sanity check: hand-rolled JSON must nest cleanly.
+    let opens = json.matches(['{', '[']).count();
+    let closes = json.matches(['}', ']']).count();
+    assert_eq!(opens, closes, "unbalanced JSON: {json}");
+    // The regular report must still precede the snapshot.
+    assert!(stdout.contains("rows:               2000"));
+}
+
+#[test]
+fn metrics_pretty_and_off_modes() {
+    let data: String = (0..500).map(|i| format!("x{}\n", i % 50)).collect();
+    let (stdout, _, ok) = run_with_stdin(&["estimate", "--metrics", "pretty", "-"], &data);
+    assert!(ok);
+    assert!(
+        stdout.contains("core.estimate.calls"),
+        "pretty dump missing counters: {stdout}"
+    );
+    // DVE_METRICS=off suppresses recording: the snapshot is empty.
+    let mut child = dve()
+        .args(["estimate", "--metrics", "json", "-"])
+        .env("DVE_METRICS", "off")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    let _ = child.stdin.as_mut().unwrap().write_all(data.as_bytes());
+    let out = child.wait_with_output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json = stdout.lines().last().expect("snapshot line");
+    // Instruments still register under the gate, but record nothing.
+    assert!(
+        json.contains("\"name\":\"core.estimate.calls\",\"label\":\"AE\",\"value\":0}"),
+        "metrics recorded despite DVE_METRICS=off: {json}"
+    );
+    assert!(
+        json.contains("\"name\":\"sample.build_ns\",\"label\":\"wor\",\"count\":0"),
+        "sampler histogram recorded despite DVE_METRICS=off: {json}"
+    );
+}

@@ -161,10 +161,15 @@ fn mixed_type_table_analyze() {
         "flag: {}",
         stats[2].distinct_estimate
     );
-    // bucket: 1000 non-null distinct (900 present per 1000 i values...
-    // i%1000 over non-null i: i not divisible by 10 → 900 values).
+    // bucket: i%1000 over non-null i (i not divisible by 10) → 900
+    // distinct values, 20 copies each. AE carries a known upward bias
+    // here: it models r independent draws (P(unseen) ≈ e⁻² ≈ 0.135)
+    // while ANALYZE samples rows without replacement (P(unseen) =
+    // 0.9²⁰ ≈ 0.122), so even on the noise-free expected spectrum it
+    // answers ≈ 1002, not 900. Assert the paper-style ratio error
+    // instead of a symmetric band around the truth.
     assert!(
-        (stats[3].distinct_estimate - 900.0).abs() < 120.0,
+        ratio_error(stats[3].distinct_estimate, 900.0) < 1.3,
         "bucket: {}",
         stats[3].distinct_estimate
     );
