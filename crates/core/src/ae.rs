@@ -170,6 +170,29 @@ impl AdaptiveEstimator {
     }
 }
 
+/// Ratio-error spread between the two AE forms above which the audit
+/// counts a *disagreement*: 1.05 (5%) is well past the forms' expected
+/// drift on healthy spectra (see `exact_and_approx_forms_agree_roughly`)
+/// while still far below an estimation failure.
+pub const AE_FORM_DISAGREEMENT_RATIO: f64 = 1.05;
+
+/// Solver-health audit hook: evaluates **both** AE forms on `profile`,
+/// records their spread into `audit.ae.form_spread_permille` (bumping
+/// `audit.ae.form_disagreements` past
+/// [`AE_FORM_DISAGREEMENT_RATIO`]), and returns the spread.
+///
+/// A growing disagreement rate means the `e^{-x}` approximation — and
+/// with it the paper's published AE equation — is drifting away from the
+/// exact binomial solve on the workload being audited, which is exactly
+/// the regime where solver changes need scrutiny.
+pub fn audit_form_agreement(profile: &FrequencyProfile) -> f64 {
+    let exact = AdaptiveEstimator::with_form(AeForm::ExactBinomial).estimate(profile);
+    let approx = AdaptiveEstimator::with_form(AeForm::ExpApprox).estimate(profile);
+    let spread = crate::error::ratio_error(exact.max(1.0), approx.max(1.0));
+    dve_obs::audit::record_ae_form_spread(spread, spread > AE_FORM_DISAGREEMENT_RATIO);
+    spread
+}
+
 impl DistinctEstimator for AdaptiveEstimator {
     fn name(&self) -> &'static str {
         match self.form {
@@ -300,6 +323,62 @@ mod tests {
         // A genuine bracketing solve needs at least the two endpoint
         // residual evaluations.
         assert!(solve_iters_hist().max().unwrap() >= 2);
+    }
+
+    /// Noise-free expected spectrum of sampling `r` of `n` rows *without
+    /// replacement* from `d_true` classes of size `class` each:
+    /// `E[f_i] = D · C(c,i)·C(n−c, r−i) / C(n,r)` (hypergeometric).
+    fn wor_expected_spectrum(d_true: u64, class: u64, r: u64) -> Vec<u64> {
+        let n = d_true * class;
+        let ln_total = dve_numeric::special::ln_choose(n, r);
+        (1..=class)
+            .map(|i| {
+                let v = d_true as f64
+                    * (dve_numeric::special::ln_choose(class, i)
+                        + dve_numeric::special::ln_choose(n - class, r - i)
+                        - ln_total)
+                        .exp();
+                v.round() as u64
+            })
+            .collect()
+    }
+
+    /// Pins the AE without-replacement bias documented in ROADMAP.md: AE
+    /// models the sample as `r` independent draws, but `ANALYZE` and the
+    /// CLI sample without replacement, so on the noise-free (rounded
+    /// hypergeometric-expectation) 900-distinct spectrum at 20% WOR
+    /// sampling AE overestimates by ≈ 12%, returning ≈ 1009 instead of
+    /// 900 (the ROADMAP quotes ≈ 1002 for its unrounded variant of the
+    /// same spectrum). This test freezes that number so a future
+    /// hypergeometric-corrected AE form shows up as a deliberate test
+    /// change — not a silent accuracy shift in the audit trajectory.
+    #[test]
+    fn ae_wor_bias_is_pinned() {
+        // 900 classes × 10 rows, r = 1800 (20%), expected WOR spectrum.
+        let spectrum = wor_expected_spectrum(900, 10, 1_800);
+        let p = FrequencyProfile::from_spectrum(9_000, spectrum).unwrap();
+        let est = AdaptiveEstimator::new().estimate(&p);
+        assert!(
+            (est - 1008.7).abs() < 3.0,
+            "AE WOR bias moved: expected ≈ 1009 (the documented ~+12% bias \
+             over the true 900), got {est}. If this is the hypergeometric \
+             correction landing, update this pin and the ROADMAP entry."
+        );
+    }
+
+    #[test]
+    fn form_agreement_hook_records_spread() {
+        let spectrum = uniform_expected_spectrum(10_000, 100, 0.016);
+        let p = FrequencyProfile::from_spectrum(1_000_000, spectrum).unwrap();
+        let hist = dve_obs::global().histogram("audit.ae.form_spread_permille");
+        let before = hist.count();
+        let spread = crate::ae::audit_form_agreement(&p);
+        assert!(spread >= 1.0, "spread is a ratio error: {spread}");
+        assert_eq!(hist.count(), before + 1);
+        // The healthy-spectrum spread matches the two direct estimates.
+        let exact = AdaptiveEstimator::with_form(AeForm::ExactBinomial).estimate(&p);
+        let approx = AdaptiveEstimator::with_form(AeForm::ExpApprox).estimate(&p);
+        assert_eq!(spread, ratio_error(exact.max(1.0), approx.max(1.0)));
     }
 
     #[test]

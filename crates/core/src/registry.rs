@@ -148,6 +148,50 @@ pub fn by_name_instrumented(name: &str) -> Option<Box<dyn DistinctEstimator>> {
     by_name(name).map(instrument)
 }
 
+/// An estimator wrapper that audits every estimate against a known
+/// shadow ground truth, recording the ratio error
+/// `max(D/D̂, D̂/D)` into `audit.ratio_error_permille{estimator}` on each
+/// call (see [`dve_obs::audit`]). Estimates pass through unchanged.
+///
+/// The truth is fixed at construction — it comes from whoever can see
+/// the whole column (an exact scan, a [`dve_obs`]-instrumented shadow
+/// sketch, or the data generator), not from the profile.
+pub struct Audited {
+    inner: Box<dyn DistinctEstimator>,
+    truth: f64,
+}
+
+impl DistinctEstimator for Audited {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn estimate_raw(&self, profile: &crate::profile::FrequencyProfile) -> f64 {
+        // Audit the clamped estimate — the value callers act on. The
+        // outer clamp in `estimate()` is then a no-op.
+        let v = self.inner.estimate(profile);
+        dve_obs::audit::record_ratio_error(
+            self.inner.name(),
+            crate::error::ratio_error(v.max(1.0), self.truth),
+        );
+        v
+    }
+}
+
+/// Wraps an estimator so every estimate is scored against `truth`.
+///
+/// # Panics
+///
+/// Panics unless `truth` is finite and strictly positive (an empty
+/// column has nothing to audit).
+pub fn audit_against(inner: Box<dyn DistinctEstimator>, truth: f64) -> Box<dyn DistinctEstimator> {
+    assert!(
+        truth.is_finite() && truth > 0.0,
+        "audit truth must be finite and positive, got {truth}"
+    );
+    Box::new(Audited { inner, truth })
+}
+
 /// [`by_names`] plus telemetry, with the same panic-on-typo contract.
 pub fn by_names_instrumented(names: &[&str]) -> Vec<Box<dyn DistinctEstimator>> {
     by_names(names).into_iter().map(instrument).collect()
@@ -233,5 +277,32 @@ mod tests {
         let ests = by_names_instrumented(PAPER_ESTIMATORS);
         let names: Vec<&str> = ests.iter().map(|e| e.name()).collect();
         assert_eq!(names, PAPER_ESTIMATORS.to_vec());
+    }
+
+    #[test]
+    fn audited_passes_estimates_through_and_records_ratio() {
+        let p = FrequencyProfile::from_spectrum(100_000, vec![30, 12, 4, 1]).unwrap();
+        let plain = by_name("GEE").unwrap();
+        let expected = plain.estimate(&p);
+        // Truth chosen so the estimate is off by a known factor.
+        let truth = expected / 2.0;
+        let audited = audit_against(by_name("GEE").unwrap(), truth);
+        assert_eq!(audited.name(), "GEE");
+        let hist = dve_obs::audit::ratio_error_histogram("GEE");
+        let before = hist.count();
+        assert_eq!(audited.estimate(&p), expected);
+        assert_eq!(hist.count(), before + 1);
+        // The recorded ratio is 2× in permille, within bucket resolution.
+        let recorded = hist.max().unwrap();
+        assert!(
+            (1700..=2300).contains(&recorded),
+            "recorded ratio {recorded} ‰ should be ≈ 2000 ‰"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn audited_rejects_bad_truth() {
+        audit_against(by_name("GEE").unwrap(), 0.0);
     }
 }

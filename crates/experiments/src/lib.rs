@@ -9,7 +9,12 @@
 //! * [`runner`] — paired sampling + estimation + aggregation;
 //! * [`figures`] — the experiment definitions (`fig1` … `fig16`, `tab1`,
 //!   `tab2`, `lb`);
-//! * [`report`] — text/CSV/JSON rendering.
+//! * [`report`] — text/CSV/JSON rendering;
+//! * [`audit`] — the accuracy-audit sweep behind `dve audit`: shadow
+//!   ground truth, per-cell ratio-error / coverage aggregation, and the
+//!   baseline regression gate (`BENCH_accuracy.json`);
+//! * [`minijson`] — the dependency-free JSON reader the gate parses
+//!   baselines with.
 //!
 //! Run everything with the bundled binary:
 //!
@@ -21,8 +26,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod config;
 pub mod figures;
+pub mod minijson;
 pub mod report;
 pub mod runner;
 

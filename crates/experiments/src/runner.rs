@@ -88,8 +88,10 @@ pub fn run_point(
             .expect("sampling a non-empty column cannot fail");
         for (i, est) in estimators.iter().enumerate() {
             let v = est.estimate(&profile);
-            errors[i].add(ratio_error(v.max(1.0), truth));
+            let err = ratio_error(v.max(1.0), truth);
+            errors[i].add(err);
             estimates[i].add(v);
+            dve_obs::audit::record_ratio_error(est.name(), err);
         }
     }
     dve_obs::Event::debug("experiments.point.done")
@@ -134,7 +136,9 @@ pub fn run_interval_point(
         let ci = dve_core::bounds::gee_confidence_interval(&profile);
         lower.add(ci.lower);
         upper.add(ci.upper);
-        covered += u32::from(ci.contains(truth));
+        let is_covered = ci.contains(truth);
+        covered += u32::from(is_covered);
+        dve_obs::audit::record_interval_outcome(ci.relative_width(), is_covered);
     }
     IntervalPoint {
         lower: lower.mean(),
@@ -303,6 +307,27 @@ mod tests {
         // Other tests in this binary may run trials concurrently, so
         // assert a lower bound rather than an exact delta.
         assert!(super::trial_ns().count() >= before + 3);
+    }
+
+    #[test]
+    fn trials_feed_audit_telemetry() {
+        let (col, d) = uniform_column();
+        let hist = dve_obs::audit::ratio_error_histogram("HYBVAR");
+        let errs_before = hist.count();
+        run_point(
+            &col,
+            d,
+            500,
+            &["HYBVAR"],
+            3,
+            SamplingScheme::WithoutReplacement,
+            17,
+        );
+        assert!(hist.count() >= errs_before + 3);
+
+        let iv_before = dve_obs::audit::interval_total().get();
+        run_interval_point(&col, d, 500, 3, SamplingScheme::WithoutReplacement, 17);
+        assert!(dve_obs::audit::interval_total().get() >= iv_before + 3);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Accuracy-audit recorders: estimation-*quality* telemetry.
+//!
+//! The latency/call-count instruments elsewhere in this crate say how
+//! fast the pipeline runs; this module records how *right* it is, in the
+//! paper's own vocabulary:
+//!
+//! * per-estimator **ratio error** `max(D/D̂, D̂/D)` histograms
+//!   (`audit.ratio_error_permille{estimator}`) — recorded whenever a
+//!   shadow ground truth is available (audited CLI runs, the experiment
+//!   harness, `dve audit` sweeps);
+//! * **GEE interval** outcomes: how many `[LOWER, UPPER]` intervals were
+//!   produced, how many contained the truth, and the distribution of the
+//!   relative interval width (`audit.gee.*`);
+//! * **AE solver form health**: the spread between the exact-binomial
+//!   and `e^{-x}`-approximation solutions and a counter of material
+//!   disagreements (`audit.ae.*`).
+//!
+//! Ratios are dimensionless and ≥ 1 (widths ≥ 0) while the histogram
+//! records `u64`, so every ratio-like value is stored in **permille**
+//! (`×1000`, rounded): `1000` means an exact estimate, `1500` a 1.5×
+//! ratio error. The log-bucketed histogram then resolves ratio errors to
+//! ≈ 12.5% — plenty for regression tracking.
+
+use crate::metrics::{Counter, Histogram};
+use crate::registry::global;
+use std::sync::Arc;
+
+/// Scale factor between a dimensionless ratio and its histogram-stored
+/// integer representation.
+pub const PERMILLE: f64 = 1000.0;
+
+/// Converts a non-negative ratio (or relative width) into its permille
+/// histogram representation, saturating instead of overflowing.
+pub fn to_permille(ratio: f64) -> u64 {
+    if !ratio.is_finite() || ratio <= 0.0 {
+        return 0;
+    }
+    let scaled = ratio * PERMILLE;
+    if scaled >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        scaled.round() as u64
+    }
+}
+
+/// The per-estimator ratio-error histogram
+/// (`audit.ratio_error_permille{estimator}`).
+pub fn ratio_error_histogram(estimator: &str) -> Arc<Histogram> {
+    global().histogram_labeled("audit.ratio_error_permille", estimator)
+}
+
+/// Records one audited estimate: its ratio error against the shadow
+/// truth, in permille, under the estimator's name.
+pub fn record_ratio_error(estimator: &str, ratio: f64) {
+    ratio_error_histogram(estimator).record(to_permille(ratio));
+}
+
+/// Counter of GEE intervals produced under audit
+/// (`audit.gee.intervals`).
+pub fn interval_total() -> Arc<Counter> {
+    global().counter("audit.gee.intervals")
+}
+
+/// Counter of audited GEE intervals that contained the truth
+/// (`audit.gee.covered`). `covered / intervals` is the empirical
+/// coverage rate the paper's Tables 1–2 track.
+pub fn interval_covered() -> Arc<Counter> {
+    global().counter("audit.gee.covered")
+}
+
+/// Records one audited `[LOWER, UPPER]` interval outcome: whether it
+/// contained the truth, and its relative width
+/// (`audit.gee.rel_width_permille`; `(UPPER−LOWER)/estimate × 1000`).
+pub fn record_interval_outcome(relative_width: f64, covered: bool) {
+    interval_total().inc();
+    if covered {
+        interval_covered().inc();
+    }
+    global()
+        .histogram("audit.gee.rel_width_permille")
+        .record(to_permille(relative_width));
+}
+
+/// Records the measured spread (a ratio error ≥ 1) between AE's
+/// exact-binomial and exponential-approximation solutions
+/// (`audit.ae.form_spread_permille`), bumping
+/// `audit.ae.form_disagreements` when the caller judged the spread
+/// material.
+pub fn record_ae_form_spread(spread: f64, disagrees: bool) {
+    global()
+        .histogram("audit.ae.form_spread_permille")
+        .record(to_permille(spread));
+    if disagrees {
+        global().counter("audit.ae.form_disagreements").inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permille_conversion_rounds_and_saturates() {
+        assert_eq!(to_permille(1.0), 1000);
+        assert_eq!(to_permille(1.2345), 1235);
+        assert_eq!(to_permille(0.0), 0);
+        assert_eq!(to_permille(-3.0), 0);
+        assert_eq!(to_permille(f64::NAN), 0);
+        assert_eq!(to_permille(f64::INFINITY), 0);
+        assert_eq!(to_permille(f64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn ratio_errors_land_in_labeled_histogram() {
+        let _guard = crate::test_lock();
+        let before = ratio_error_histogram("TEST-EST").count();
+        record_ratio_error("TEST-EST", 1.5);
+        let h = ratio_error_histogram("TEST-EST");
+        assert_eq!(h.count(), before + 1);
+        assert!(h.max().unwrap() >= 1500);
+    }
+
+    #[test]
+    fn interval_outcomes_count_coverage() {
+        let _guard = crate::test_lock();
+        let (t0, c0) = (interval_total().get(), interval_covered().get());
+        record_interval_outcome(0.25, true);
+        record_interval_outcome(2.0, false);
+        assert_eq!(interval_total().get(), t0 + 2);
+        assert_eq!(interval_covered().get(), c0 + 1);
+        assert!(global().histogram("audit.gee.rel_width_permille").count() >= 2);
+    }
+
+    #[test]
+    fn form_spread_records_and_flags() {
+        let _guard = crate::test_lock();
+        let c0 = global().counter("audit.ae.form_disagreements").get();
+        record_ae_form_spread(1.01, false);
+        assert_eq!(global().counter("audit.ae.form_disagreements").get(), c0);
+        record_ae_form_spread(1.5, true);
+        assert_eq!(
+            global().counter("audit.ae.form_disagreements").get(),
+            c0 + 1
+        );
+    }
+}

@@ -13,12 +13,17 @@
 //! * **Registry** — a process-global [`Registry`] ([`registry`]) whose
 //!   [`MetricsSnapshot`] serializes to JSON (hand-rolled writer; a
 //!   `serde::Serialize` derive is available behind the optional `serde`
-//!   feature) or an aligned text table.
+//!   feature), an aligned text table, or the Prometheus text exposition
+//!   format ([`prom`]) for scraping.
 //! * **Spans & events** — an RAII [`Timer`] guard that records durations
 //!   into histograms ([`span`]), and an [`EventSink`] abstraction
 //!   ([`event`]) with a JSONL writer (file or stderr, selected via the
 //!   `DVE_LOG` environment variable), a pretty stderr sink (the default),
 //!   and an in-memory [`VecSink`] for tests.
+//! * **Accuracy audit** — recorders for estimation *quality* ([`audit`]):
+//!   per-estimator ratio-error histograms, GEE interval coverage
+//!   counters, and AE solver form-agreement telemetry, all addressed
+//!   through the same global registry.
 //!
 //! ## Recording
 //!
@@ -53,12 +58,19 @@
 //! | `jsonl` | one JSON object per event on stderr |
 //! | `jsonl:PATH` | one JSON object per event appended to `PATH` |
 //! | `off` | drop all events |
+//! | anything else | `pretty`, plus a one-time `obs.log.bad_spec` warning |
+//!
+//! An unwritable `jsonl:PATH` likewise never drops events silently: the
+//! sink falls back to JSONL-on-stderr and emits a one-time
+//! `obs.log.unwritable` warning through it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod event;
 pub mod metrics;
+pub mod prom;
 pub mod registry;
 pub mod span;
 

@@ -20,6 +20,12 @@ impl ExactCounter {
     pub fn count(&self) -> u64 {
         self.seen.len() as u64
     }
+
+    /// The distinct hashes themselves — lets a bounded-memory consumer
+    /// (the shadow-truth auditor) fold the exact state into a sketch.
+    pub fn hashes(&self) -> impl Iterator<Item = &u64> {
+        self.seen.iter()
+    }
 }
 
 impl DistinctSketch for ExactCounter {

@@ -15,7 +15,10 @@
 //!   post-dates the paper and now dominates practice — included because
 //!   any modern reader will ask how it compares;
 //! * [`exact`] — the hash-set exact counter, the full-scan baseline both
-//!   families are trying to beat.
+//!   families are trying to beat;
+//! * [`shadow`] — the memory-budgeted ground-truth counter the accuracy
+//!   audit runs alongside any estimate (exact until the budget is hit,
+//!   HLL afterwards).
 //!
 //! All sketches implement [`DistinctSketch`] (insert a 64-bit value hash,
 //! merge, estimate) and are compared against the sampling estimators in
@@ -30,6 +33,7 @@ pub mod exact;
 pub mod fm;
 pub mod hll;
 pub mod linear;
+pub mod shadow;
 
 /// A streaming distinct-count sketch over 64-bit hashed values.
 ///

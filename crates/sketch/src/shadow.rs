@@ -1,0 +1,228 @@
+//! Shadow ground truth for accuracy audits.
+//!
+//! Auditing an estimator means comparing it against the true distinct
+//! count — which is exactly the quantity the estimator exists to avoid
+//! computing. [`ShadowTruth`] resolves the tension with a memory budget:
+//! it counts exactly (hash set) while the set fits, and degrades to a
+//! HyperLogLog — still full-scan, but bounded memory — the moment it
+//! would not. The audit layer then knows whether its "truth" is exact or
+//! itself a (tightly concentrated, ~0.4% RSE at `p = 16`) estimate, and
+//! records that provenance alongside every ratio error.
+
+use crate::exact::ExactCounter;
+use crate::hll::HyperLogLog;
+use crate::DistinctSketch;
+
+/// HLL precision used after degradation: `p = 16` is 64 KiB of registers
+/// and ≈ 0.41% expected relative standard error — far below the ratio
+/// errors the audit is trying to measure.
+const DEGRADED_HLL_P: u32 = 16;
+
+/// Which backend currently holds the shadow count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruthSource {
+    /// Exact hash-set counting; the reported truth is exact.
+    Exact,
+    /// HyperLogLog after the memory budget was exceeded; the reported
+    /// truth carries the sketch's small relative error.
+    Hll,
+}
+
+impl TruthSource {
+    /// Stable lower-case label for reports (`"exact"` / `"hll"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            TruthSource::Exact => "exact",
+            TruthSource::Hll => "hll",
+        }
+    }
+}
+
+/// A ground-truth counter with a memory ceiling: exact until the budget
+/// is reached, HyperLogLog afterwards.
+///
+/// ```
+/// use dve_sketch::shadow::{ShadowTruth, TruthSource};
+/// use dve_sketch::{hash_value, DistinctSketch};
+/// let mut t = ShadowTruth::with_memory_budget(1 << 20);
+/// for v in 0..5_000u64 {
+///     t.insert(hash_value(v % 700));
+/// }
+/// assert_eq!(t.source(), TruthSource::Exact);
+/// assert_eq!(t.estimate(), 700.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShadowTruth {
+    backend: Backend,
+    budget_bytes: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Backend {
+    Exact(ExactCounter),
+    Hll(HyperLogLog),
+}
+
+impl ShadowTruth {
+    /// A shadow counter that stays exact while its memory footprint is
+    /// below `budget_bytes`, then folds the seen hashes into an HLL.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the budget cannot even hold the degraded HLL — the
+    /// caller asked for a bound the fallback itself would violate.
+    pub fn with_memory_budget(budget_bytes: usize) -> Self {
+        let hll_bytes = HyperLogLog::new(DEGRADED_HLL_P).memory_bytes();
+        assert!(
+            budget_bytes >= hll_bytes,
+            "shadow-truth budget {budget_bytes} B cannot hold the {hll_bytes} B HLL fallback"
+        );
+        Self {
+            backend: Backend::Exact(ExactCounter::new()),
+            budget_bytes,
+        }
+    }
+
+    /// Which backend currently answers [`estimate`](Self::estimate).
+    pub fn source(&self) -> TruthSource {
+        match self.backend {
+            Backend::Exact(_) => TruthSource::Exact,
+            Backend::Hll(_) => TruthSource::Hll,
+        }
+    }
+
+    /// Whether the reported truth is exact (no degradation happened).
+    pub fn is_exact(&self) -> bool {
+        self.source() == TruthSource::Exact
+    }
+
+    /// The exact distinct count, when still exact.
+    pub fn exact_count(&self) -> Option<u64> {
+        match &self.backend {
+            Backend::Exact(c) => Some(c.count()),
+            Backend::Hll(_) => None,
+        }
+    }
+
+    fn degrade_if_over_budget(&mut self) {
+        let Backend::Exact(exact) = &self.backend else {
+            return;
+        };
+        if exact.memory_bytes() <= self.budget_bytes {
+            return;
+        }
+        // The exact counter stores the full hashes, so the fold into the
+        // sketch is lossless with respect to distinctness.
+        let mut hll = HyperLogLog::new(DEGRADED_HLL_P);
+        for &h in exact.hashes() {
+            hll.insert(h);
+        }
+        dve_obs::Event::debug("sketch.shadow.degraded")
+            .message("shadow truth exceeded its memory budget; switching to HLL")
+            .field_u64("distinct_at_degrade", exact.count())
+            .field_u64("budget_bytes", self.budget_bytes as u64)
+            .emit();
+        dve_obs::global()
+            .counter("sketch.shadow.degradations")
+            .inc();
+        self.backend = Backend::Hll(hll);
+    }
+}
+
+impl DistinctSketch for ShadowTruth {
+    fn name(&self) -> &'static str {
+        match self.backend {
+            Backend::Exact(_) => "SHADOW-EXACT",
+            Backend::Hll(_) => "SHADOW-HLL",
+        }
+    }
+
+    fn insert(&mut self, hash: u64) {
+        match &mut self.backend {
+            Backend::Exact(c) => c.insert(hash),
+            Backend::Hll(h) => h.insert(hash),
+        }
+        self.degrade_if_over_budget();
+    }
+
+    fn estimate(&self) -> f64 {
+        match &self.backend {
+            Backend::Exact(c) => c.estimate(),
+            Backend::Hll(h) => h.estimate(),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match &self.backend {
+            Backend::Exact(c) => c.memory_bytes(),
+            Backend::Hll(h) => h.memory_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash_value;
+
+    #[test]
+    fn stays_exact_under_budget() {
+        let mut t = ShadowTruth::with_memory_budget(1 << 22);
+        for v in 0..10_000u64 {
+            t.insert(hash_value(v % 1_234));
+        }
+        assert!(t.is_exact());
+        assert_eq!(t.exact_count(), Some(1_234));
+        assert_eq!(t.estimate(), 1_234.0);
+        assert_eq!(t.name(), "SHADOW-EXACT");
+    }
+
+    #[test]
+    fn degrades_to_hll_over_budget_and_stays_close() {
+        // Budget just above the HLL fallback: the exact set blows
+        // through it almost immediately.
+        let hll_bytes = HyperLogLog::new(DEGRADED_HLL_P).memory_bytes();
+        let mut t = ShadowTruth::with_memory_budget(hll_bytes);
+        let distinct = 50_000u64;
+        for v in 0..distinct {
+            t.insert(hash_value(v));
+        }
+        assert!(!t.is_exact());
+        assert_eq!(t.source(), TruthSource::Hll);
+        assert_eq!(t.exact_count(), None);
+        assert_eq!(t.name(), "SHADOW-HLL");
+        // Memory stays bounded by the fallback sketch…
+        assert!(t.memory_bytes() <= hll_bytes);
+        // …and the estimate stays within a few RSE of the truth.
+        let rel = (t.estimate() - distinct as f64).abs() / distinct as f64;
+        assert!(rel < 0.03, "degraded truth off by {rel}: {}", t.estimate());
+    }
+
+    #[test]
+    fn degradation_is_lossless_for_duplicates() {
+        // Values inserted before AND after the switch must not double
+        // count: the fold carries the full hash set into the sketch.
+        let hll_bytes = HyperLogLog::new(DEGRADED_HLL_P).memory_bytes();
+        let mut t = ShadowTruth::with_memory_budget(hll_bytes);
+        for round in 0..3 {
+            for v in 0..30_000u64 {
+                t.insert(hash_value(v));
+            }
+            assert!(round > 0 || !t.is_exact() || t.memory_bytes() <= hll_bytes);
+        }
+        let rel = (t.estimate() - 30_000.0).abs() / 30_000.0;
+        assert!(rel < 0.03, "duplicate rounds shifted estimate: {rel}");
+    }
+
+    #[test]
+    fn source_labels_are_stable() {
+        assert_eq!(TruthSource::Exact.label(), "exact");
+        assert_eq!(TruthSource::Hll.label(), "hll");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn rejects_budget_below_fallback() {
+        ShadowTruth::with_memory_budget(16);
+    }
+}

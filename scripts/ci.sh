@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Local CI gate: build, test, format, lint — what a PR must pass.
+# Local CI gate: build, test, format, lint, docs, accuracy — what a PR
+# must pass.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -7,3 +8,9 @@ cargo build --release
 cargo test -q
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+cargo doc --no-deps --workspace
+
+# Accuracy regression gate: re-run the audit sweep and compare against
+# the committed baseline (tolerances absorb RNG-stream and machine
+# noise; real estimator regressions move these numbers far more).
+./target/release/dve audit --check BENCH_accuracy.json

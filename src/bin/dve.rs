@@ -15,15 +15,28 @@
 //!     Emit a synthetic column (one value per line) with the paper's
 //!     generalized Zipfian generator.
 //!
+//! dve audit [--grid full|quick] [--trials N] [--seed S] [--out PATH]
+//!           [--check BASELINE.json] [--tolerance 0.25]
+//!           [--coverage-tolerance 0.15] [--latency-factor 25]
+//!     Accuracy audit: sweep estimators × synthetic datasets × sampling
+//!     fractions against a shadow ground truth, reporting per-cell
+//!     mean/p95 ratio error, GEE interval coverage, and wall time.
+//!     Without --check, writes the machine-readable report to --out
+//!     (default BENCH_accuracy.json; `-` for stdout). With --check,
+//!     compares against the committed baseline instead and exits
+//!     non-zero on an accuracy/coverage/latency regression.
+//!
 //! dve estimators
 //!     List every estimator the registry knows.
 //! ```
 //!
 //! Global flags and environment:
 //!
-//! * `--metrics json|pretty` — dump the process metrics snapshot
+//! * `--metrics json|pretty|prom` — dump the process metrics snapshot
 //!   (sampler latency, per-estimator call counts and latency
-//!   percentiles, AE solver iterations, …) to stdout after the command.
+//!   percentiles, AE solver iterations, ratio-error histograms, …) to
+//!   stdout after the command; `prom` emits Prometheus text exposition
+//!   format 0.0.4 for scraping or pushing to a gateway.
 //! * `DVE_METRICS=off` — disable metric recording entirely.
 //! * `DVE_LOG` — event sink selection (`pretty`/`debug`/`jsonl`/
 //!   `jsonl:PATH`/`off`); diagnostics go through it as structured
@@ -57,6 +70,7 @@ fn main() {
     };
     match cmd.as_str() {
         "estimate" => cmd_estimate(&args[1..]),
+        "audit" => cmd_audit(&args[1..]),
         "exact" => cmd_exact(&args[1..]),
         "sketch" => cmd_sketch(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
@@ -82,6 +96,12 @@ fn main() {
         Some(MetricsMode::Pretty) => {
             print!("{}", distinct_values::obs::global().snapshot().to_pretty());
         }
+        Some(MetricsMode::Prom) => {
+            print!(
+                "{}",
+                distinct_values::obs::global().snapshot().to_prometheus()
+            );
+        }
         None => {}
     }
 }
@@ -90,19 +110,27 @@ fn main() {
 enum MetricsMode {
     Json,
     Pretty,
+    Prom,
 }
 
-/// Pulls the global `--metrics json|pretty` flag (valid for every
+/// Pulls the global `--metrics json|pretty|prom` flag (valid for every
 /// subcommand) out of `args`.
 fn extract_metrics_flag(args: &mut Vec<String>) -> Option<MetricsMode> {
     let idx = args.iter().position(|a| a == "--metrics")?;
     if idx + 1 >= args.len() {
-        fail(2, "--metrics requires a value (json|pretty)".to_string());
+        fail(
+            2,
+            "--metrics requires a value (json|pretty|prom)".to_string(),
+        );
     }
     let mode = match args[idx + 1].as_str() {
         "json" => MetricsMode::Json,
         "pretty" => MetricsMode::Pretty,
-        other => fail(2, format!("invalid --metrics mode: {other} (json|pretty)")),
+        "prom" => MetricsMode::Prom,
+        other => fail(
+            2,
+            format!("invalid --metrics mode: {other} (json|pretty|prom)"),
+        ),
     };
     args.drain(idx..idx + 2);
     Some(mode)
@@ -195,6 +223,84 @@ fn cmd_estimate(args: &[String]) {
         "GEE interval:       [{:.0}, {:.0}]",
         interval.lower, interval.upper
     );
+}
+
+fn cmd_audit(args: &[String]) {
+    use distinct_values::experiments::audit::{
+        check_against, run_audit, AuditConfig, AuditReport, CheckTolerance,
+    };
+    let (flags, positional) = parse_flags(args);
+    if let Some(extra) = positional.first() {
+        fail(2, format!("audit takes no positional arguments: {extra}"));
+    }
+    let mut config = match flags.get("grid").map(String::as_str) {
+        None | Some("full") => AuditConfig::default_grid(),
+        Some("quick") => AuditConfig::quick(),
+        Some(other) => fail(2, format!("invalid --grid {other} (full|quick)")),
+    };
+    config.trials = flag_parse(&flags, "trials", config.trials);
+    config.seed = flag_parse(&flags, "seed", config.seed);
+    if config.trials == 0 {
+        fail(2, "--trials must be at least 1".to_string());
+    }
+
+    let report = run_audit(&config);
+    eprint!("{}", report.to_table());
+
+    match flags.get("check") {
+        Some(baseline_path) => {
+            let tol = CheckTolerance {
+                accuracy: flag_parse(&flags, "tolerance", CheckTolerance::default().accuracy),
+                coverage: flag_parse(
+                    &flags,
+                    "coverage-tolerance",
+                    CheckTolerance::default().coverage,
+                ),
+                latency_factor: flag_parse(
+                    &flags,
+                    "latency-factor",
+                    CheckTolerance::default().latency_factor,
+                ),
+            };
+            let text = std::fs::read_to_string(baseline_path)
+                .unwrap_or_else(|e| fail(1, format!("cannot read {baseline_path}: {e}")));
+            let baseline = AuditReport::from_json(&text)
+                .unwrap_or_else(|e| fail(1, format!("cannot parse {baseline_path}: {e}")));
+            let violations = check_against(&report, &baseline, tol);
+            if violations.is_empty() {
+                println!(
+                    "audit check passed: {} baseline cells within tolerance",
+                    baseline.cells.len()
+                );
+            } else {
+                for v in &violations {
+                    println!("REGRESSION: {v}");
+                }
+                Event::error("cli.audit.regression")
+                    .message(format!(
+                        "{} of {} baseline cells regressed",
+                        violations.len(),
+                        baseline.cells.len()
+                    ))
+                    .field_u64("violations", violations.len() as u64)
+                    .emit();
+                std::process::exit(1);
+            }
+        }
+        None => {
+            let out: String = flag_parse(&flags, "out", "BENCH_accuracy.json".to_string());
+            if out == "-" {
+                print!("{}", report.to_json());
+            } else {
+                std::fs::write(&out, report.to_json())
+                    .unwrap_or_else(|e| fail(1, format!("cannot write {out}: {e}")));
+                Event::info("cli.audit.done")
+                    .message(format!("wrote {} audit cells to {out}", report.cells.len()))
+                    .field_u64("cells", report.cells.len() as u64)
+                    .emit();
+            }
+        }
+    }
 }
 
 fn cmd_exact(args: &[String]) {
@@ -328,7 +434,11 @@ fn usage_and_exit(code: i32) -> ! {
          dve generate --rows N [--zipf Z] [--dup K] [--seed S]\n  \
          dve import --out TABLE.dvet [--column NAME] [FILE|-]\n  \
          dve analyze TABLE.dvet [--fraction 0.01] [--estimator AE] [--seed 42]\n  \
-         dve estimators"
+         dve audit [--grid full|quick] [--trials N] [--seed S] [--out PATH]\n            \
+         [--check BASELINE.json] [--tolerance T] [--coverage-tolerance C]\n            \
+         [--latency-factor L]\n  \
+         dve estimators\n\n\
+         global: --metrics json|pretty|prom   dump process metrics after the command"
     );
     std::process::exit(code);
 }

@@ -1,0 +1,240 @@
+//! End-to-end tests of `dve audit`: the accuracy sweep, its
+//! `BENCH_accuracy.json` schema, and the baseline regression gate.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn dve() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dve"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dve_audit_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// The quick grid printed to stdout must be a complete, well-formed
+/// report document.
+#[test]
+fn quick_audit_emits_schema_complete_json() {
+    let out = dve()
+        .args(["audit", "--grid", "quick", "--out", "-"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    for key in [
+        "\"version\": 1",
+        "\"base_rows\": 2000",
+        "\"trials\": 5",
+        "\"seed\": 42",
+        "\"cells\": [",
+        "\"estimator\":\"GEE\"",
+        "\"estimator\":\"AE\"",
+        "\"zipf\":",
+        "\"dup\":",
+        "\"fraction\":",
+        "\"truth\":",
+        "\"truth_source\":\"exact\"",
+        "\"mean_ratio_error\":",
+        "\"p95_ratio_error\":",
+        "\"coverage\":",
+        "\"mean_rel_width\":",
+        "\"mean_trial_ns\":",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    // The human-readable summary goes to stderr, keeping stdout pure JSON.
+    let table = String::from_utf8_lossy(&out.stderr);
+    assert!(table.contains("estimator"), "no summary table: {table}");
+    assert!(json.trim_start().starts_with('{'), "stdout not pure JSON");
+}
+
+/// Writing a report and immediately checking against it must pass: the
+/// sweep is deterministic for a fixed seed and binary.
+#[test]
+fn audit_check_against_own_output_passes() {
+    let baseline = temp_path("self_baseline.json");
+    let out = dve()
+        .args([
+            "audit",
+            "--grid",
+            "quick",
+            "--out",
+            baseline.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+
+    let out = dve()
+        .args([
+            "audit",
+            "--grid",
+            "quick",
+            "--check",
+            baseline.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "self-check failed: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("audit check passed"));
+    std::fs::remove_file(&baseline).ok();
+}
+
+/// A baseline claiming near-perfect accuracy must trip the gate — this
+/// pins the exit code and REGRESSION output deterministically, without
+/// depending on RNG streams.
+#[test]
+fn audit_check_flags_regressions_and_exits_nonzero() {
+    let baseline = temp_path("impossible_baseline.json");
+    // GEE at 5% of a 2000-row uniform column cannot achieve 1.0000001
+    // mean ratio error; the current run must exceed it.
+    std::fs::write(
+        &baseline,
+        r#"{
+  "version": 1,
+  "base_rows": 2000,
+  "trials": 5,
+  "seed": 42,
+  "cells": [
+    {"estimator":"GEE","zipf":0,"dup":10,"fraction":0.05,"truth":2000,
+     "truth_source":"exact","mean_ratio_error":1.0000001,
+     "p95_ratio_error":1.0000001,"coverage":1,"mean_rel_width":1.0,
+     "mean_trial_ns":1000000}
+  ]
+}"#,
+    )
+    .unwrap();
+    let out = dve()
+        .args([
+            "audit",
+            "--grid",
+            "quick",
+            "--check",
+            baseline.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1), "gate must exit 1 on regression");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("REGRESSION:") && stdout.contains("mean ratio error"),
+        "missing violation report: {stdout}"
+    );
+    std::fs::remove_file(&baseline).ok();
+}
+
+/// Baseline cells absent from the current grid are regressions too
+/// (shrinking coverage must not pass silently).
+#[test]
+fn audit_check_flags_missing_cells() {
+    let baseline = temp_path("foreign_cell_baseline.json");
+    std::fs::write(
+        &baseline,
+        r#"{
+  "version": 1,
+  "base_rows": 2000,
+  "trials": 5,
+  "seed": 42,
+  "cells": [
+    {"estimator":"SHLOSSER","zipf":3,"dup":7,"fraction":0.5,"truth":10,
+     "truth_source":"exact","mean_ratio_error":1.5,
+     "p95_ratio_error":2.0,"coverage":1,"mean_rel_width":1.0,
+     "mean_trial_ns":1000000}
+  ]
+}"#,
+    )
+    .unwrap();
+    let out = dve()
+        .args([
+            "audit",
+            "--grid",
+            "quick",
+            "--check",
+            baseline.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("cell missing"));
+    std::fs::remove_file(&baseline).ok();
+}
+
+/// Bad arguments and unreadable/garbage baselines fail with clean
+/// diagnostics, not panics.
+#[test]
+fn audit_bad_inputs_fail_cleanly() {
+    let out = dve()
+        .args(["audit", "--grid", "enormous"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--grid"));
+
+    let out = dve()
+        .args(["audit", "--grid", "quick", "--trials", "0"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("trials"));
+
+    let out = dve()
+        .args(["audit", "--grid", "quick", "--check", "/nonexistent/b.json"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    let garbage = temp_path("garbage.json");
+    std::fs::write(&garbage, "not json at all").unwrap();
+    let out = dve()
+        .args([
+            "audit",
+            "--grid",
+            "quick",
+            "--check",
+            garbage.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot parse"));
+    std::fs::remove_file(&garbage).ok();
+}
+
+/// The audit sweep feeds the global metrics registry: a prom dump after
+/// a sweep carries the ratio-error and interval-coverage series.
+#[test]
+fn audit_populates_accuracy_metrics() {
+    let out = dve()
+        .args([
+            "audit",
+            "--grid",
+            "quick",
+            "--out",
+            "-",
+            "--metrics",
+            "prom",
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for series in [
+        "# TYPE audit_ratio_error_permille summary",
+        "audit_ratio_error_permille{label=\"GEE\",quantile=\"0.95\"}",
+        "audit_ratio_error_permille{label=\"AE\",quantile=\"0.95\"}",
+        "audit_gee_intervals_total",
+        "audit_gee_covered_total",
+        "audit_gee_rel_width_permille_count",
+        "audit_ae_form_spread_permille_count",
+    ] {
+        assert!(stdout.contains(series), "missing {series} in:\n{stdout}");
+    }
+}

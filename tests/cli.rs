@@ -243,6 +243,78 @@ fn estimate_with_metrics_json_emits_snapshot() {
 }
 
 #[test]
+fn estimate_with_metrics_prom_emits_exposition() {
+    let data: String = (0..2000).map(|i| format!("v{}\n", i % 100)).collect();
+    let (stdout, _, ok) = run_with_stdin(
+        &[
+            "estimate",
+            "--fraction",
+            "0.2",
+            "--estimator",
+            "AE",
+            "--metrics",
+            "prom",
+            "-",
+        ],
+        &data,
+    );
+    assert!(ok, "estimate failed: {stdout}");
+    // The exposition follows the human-readable report; it starts at the
+    // first `# TYPE` family header.
+    let start = stdout
+        .find("# TYPE")
+        .expect("prometheus exposition present");
+    let prom = &stdout[start..];
+
+    // Counter families carry the _total suffix and typed headers.
+    assert!(
+        prom.contains("# TYPE core_estimate_calls_total counter"),
+        "missing counter TYPE header:\n{prom}"
+    );
+    assert!(
+        prom.contains("core_estimate_calls_total{label=\"AE\"} 1"),
+        "missing labeled counter sample:\n{prom}"
+    );
+    // Histograms surface as summaries: quantiles plus _sum/_count.
+    assert!(
+        prom.contains("# TYPE core_estimate_ns summary"),
+        "missing summary TYPE header:\n{prom}"
+    );
+    for piece in [
+        "core_estimate_ns{label=\"AE\",quantile=\"0.5\"}",
+        "core_estimate_ns{label=\"AE\",quantile=\"0.95\"}",
+        "core_estimate_ns{label=\"AE\",quantile=\"0.99\"}",
+        "core_estimate_ns_sum{label=\"AE\"}",
+        "core_estimate_ns_count{label=\"AE\"} 1",
+    ] {
+        assert!(prom.contains(piece), "missing {piece}:\n{prom}");
+    }
+    // Exposition-format lint: every line is a comment or a
+    // `name{labels} value` sample with a legal metric name.
+    for line in prom.lines().filter(|l| !l.is_empty()) {
+        if line.starts_with('#') {
+            assert!(
+                line.starts_with("# TYPE ") || line.starts_with("# HELP "),
+                "bad comment line: {line}"
+            );
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+        let name = series.split('{').next().unwrap();
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+                && !name.starts_with(|c: char| c.is_ascii_digit()),
+            "illegal metric name in: {line}"
+        );
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "non-numeric sample value in: {line}"
+        );
+    }
+}
+
+#[test]
 fn metrics_pretty_and_off_modes() {
     let data: String = (0..500).map(|i| format!("x{}\n", i % 50)).collect();
     let (stdout, _, ok) = run_with_stdin(&["estimate", "--metrics", "pretty", "-"], &data);
