@@ -154,6 +154,57 @@ impl FrequencyProfile {
         })
     }
 
+    /// Merges per-chunk `value → count` maps into one, summing counts
+    /// per value. The result is order-independent (count addition
+    /// commutes), so any partition of a sample into chunks — and any
+    /// merge order — yields the same map, and therefore the same
+    /// profile. This is the merge phase of split-count-merge profiling:
+    /// parallel workers count disjoint chunks of a sample, the
+    /// coordinator merges.
+    ///
+    /// ```
+    /// use dve_core::profile::FrequencyProfile;
+    /// use std::collections::HashMap;
+    /// let a = HashMap::from([(7u64, 2u64), (9, 1)]);
+    /// let b = HashMap::from([(7u64, 1u64), (4, 3)]);
+    /// let merged = FrequencyProfile::merge_counts([a, b]);
+    /// assert_eq!(merged[&7], 3);
+    /// assert_eq!(merged[&4], 3);
+    /// assert_eq!(merged[&9], 1);
+    /// ```
+    pub fn merge_counts<K: Hash + Eq>(
+        chunks: impl IntoIterator<Item = HashMap<K, u64>>,
+    ) -> HashMap<K, u64> {
+        let mut iter = chunks.into_iter();
+        let Some(mut merged) = iter.next() else {
+            return HashMap::new();
+        };
+        for chunk in iter {
+            // Merge the smaller map into the larger one.
+            let (mut dst, src) = if chunk.len() > merged.len() {
+                (chunk, merged)
+            } else {
+                (merged, chunk)
+            };
+            for (v, c) in src {
+                *dst.entry(v).or_insert(0) += c;
+            }
+            merged = dst;
+        }
+        merged
+    }
+
+    /// Builds a profile from per-chunk `value → count` maps — the
+    /// one-call form of [`FrequencyProfile::merge_counts`] followed by
+    /// [`FrequencyProfile::from_sample_counts`]. Equal to the single-pass
+    /// profile of the concatenated chunks, for any chunking.
+    pub fn from_count_chunks<K: Hash + Eq>(
+        n: u64,
+        chunks: impl IntoIterator<Item = HashMap<K, u64>>,
+    ) -> Result<Self, ProfileError> {
+        Self::from_sample_counts(n, Self::merge_counts(chunks).into_values())
+    }
+
     /// Builds a profile by hashing raw sampled values.
     ///
     /// This is the convenience path examples use; the experiment harness
@@ -365,6 +416,43 @@ mod tests {
     fn class_counts_reconstruction() {
         let p = FrequencyProfile::from_spectrum(100, vec![2, 1]).unwrap();
         assert_eq!(p.class_counts(), vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn merge_counts_equals_single_pass() {
+        // Count a value stream in one pass and in three chunks; the
+        // resulting profiles must be identical.
+        let values: Vec<u64> = (0..1_000u64).map(|i| (i * i) % 37).collect();
+        let count = |vs: &[u64]| {
+            let mut m: HashMap<u64, u64> = HashMap::new();
+            for &v in vs {
+                *m.entry(v).or_insert(0) += 1;
+            }
+            m
+        };
+        let single = FrequencyProfile::from_sample_counts(2_000, count(&values).into_values());
+        let chunked = FrequencyProfile::from_count_chunks(
+            2_000,
+            values.chunks(301).map(count).collect::<Vec<_>>(),
+        );
+        assert_eq!(single, chunked);
+    }
+
+    #[test]
+    fn merge_counts_edge_cases() {
+        let empty: Vec<HashMap<u64, u64>> = vec![];
+        assert!(FrequencyProfile::merge_counts(empty).is_empty());
+        assert_eq!(
+            FrequencyProfile::from_count_chunks::<u64>(10, vec![HashMap::new(), HashMap::new()]),
+            Err(ProfileError::EmptySample)
+        );
+        // Merge order must not matter.
+        let a = HashMap::from([(1u64, 1u64), (2, 5)]);
+        let b = HashMap::from([(2u64, 2u64), (3, 1)]);
+        assert_eq!(
+            FrequencyProfile::merge_counts([a.clone(), b.clone()]),
+            FrequencyProfile::merge_counts([b, a])
+        );
     }
 
     #[test]

@@ -56,6 +56,10 @@ pub struct AuditConfig {
     pub seed: u64,
     /// Shadow-truth memory budget in bytes (exact under it, HLL above).
     pub shadow_budget_bytes: usize,
+    /// Worker threads for the sweep (`0` = resolve via
+    /// [`dve_par::default_jobs`]). Every estimation result is
+    /// bit-identical across `jobs` values; only wall times vary.
+    pub jobs: usize,
 }
 
 impl AuditConfig {
@@ -76,6 +80,7 @@ impl AuditConfig {
             trials: 16,
             seed: 42,
             shadow_budget_bytes: 64 << 20,
+            jobs: 0,
         }
     }
 
@@ -90,6 +95,7 @@ impl AuditConfig {
             trials: 5,
             seed: 42,
             shadow_budget_bytes: 64 << 20,
+            jobs: 0,
         }
     }
 }
@@ -144,8 +150,32 @@ fn p95_index(len: usize) -> usize {
     ((0.95 * len as f64).ceil() as usize).clamp(1, len) - 1
 }
 
-/// Runs the full sweep. Deterministic for a fixed config (modulo wall
-/// times): cell columns and trial samples derive from `config.seed`.
+/// One generated `(zipf, dup)` dataset with its shadow ground truth.
+struct AuditDataset {
+    zipf: f64,
+    dup: u64,
+    dataset_seed: u64,
+    column: Vec<u64>,
+    truth: f64,
+    truth_source: String,
+}
+
+/// What one audit trial measures; aggregated per cell in trial order.
+struct TrialOutcome {
+    covered: bool,
+    rel_width: f64,
+    /// Ratio error per estimator, in `config.estimators` order.
+    errors: Vec<f64>,
+    elapsed_ns: u128,
+}
+
+/// Runs the full sweep, fanned across `config.jobs` workers
+/// (`0` = auto). Deterministic for a fixed config (modulo wall times)
+/// **and for every `jobs` value**: cell columns and trial samples derive
+/// from `config.seed` through position-independent [`trial_seed`]
+/// streams, and per-cell aggregates are folded in trial order, so every
+/// field except `mean_trial_ns` is bit-identical between `jobs = 1` and
+/// `jobs = N`.
 ///
 /// # Panics
 ///
@@ -161,97 +191,140 @@ pub fn run_audit(config: &AuditConfig) -> AuditReport {
         "audit grid must be non-empty in every dimension"
     );
     let names: Vec<&str> = config.estimators.iter().map(String::as_str).collect();
+    // Satellite of the parallel refactor: the estimator set is resolved
+    // once per sweep and shared by every worker (estimators are
+    // `Send + Sync`), never re-looked-up inside the trial loop.
     let ests = estimators::by_names_instrumented(&names);
     let audit_ae_forms = names.iter().any(|n| n.eq_ignore_ascii_case("AE"));
+    let jobs = dve_par::resolve_jobs((config.jobs > 0).then_some(config.jobs));
 
-    let mut cells = Vec::new();
-    for (zi, &zipf) in config.zipfs.iter().enumerate() {
-        for (di, &dup) in config.dups.iter().enumerate() {
-            // One column per (zipf, dup); fractions re-sample it.
-            let dataset_seed = trial_seed(config.seed, (zi * 101 + di) as u32);
-            let mut rng = ChaCha8Rng::seed_from_u64(dataset_seed);
-            let (column, claimed_d) =
-                dve_datagen::paper_column(config.base_rows, zipf, dup, &mut rng);
+    // Phase 1 — generate one column per (zipf, dup) across the pool.
+    // Each dataset's RNG stream depends only on its grid position.
+    let dataset_grid: Vec<(usize, usize)> = (0..config.zipfs.len())
+        .flat_map(|zi| (0..config.dups.len()).map(move |di| (zi, di)))
+        .collect();
+    let datasets: Vec<AuditDataset> = dve_par::run_indexed(jobs, dataset_grid.len(), |i| {
+        let (zi, di) = dataset_grid[i];
+        let (zipf, dup) = (config.zipfs[zi], config.dups[di]);
+        let dataset_seed = trial_seed(config.seed, (zi * 101 + di) as u32);
+        let mut rng = ChaCha8Rng::seed_from_u64(dataset_seed);
+        let (column, claimed_d) = dve_datagen::paper_column(config.base_rows, zipf, dup, &mut rng);
 
-            // Shadow ground truth: full scan under a memory budget.
-            let mut shadow = ShadowTruth::with_memory_budget(config.shadow_budget_bytes);
-            for &v in &column {
-                shadow.insert(hash_value(v));
+        // Shadow ground truth: full scan under a memory budget.
+        let mut shadow = ShadowTruth::with_memory_budget(config.shadow_budget_bytes);
+        for &v in &column {
+            shadow.insert(hash_value(v));
+        }
+        let truth = shadow.estimate().max(1.0);
+        if shadow.is_exact() && shadow.exact_count() != Some(claimed_d) {
+            // A generator/shadow mismatch is a harness bug, not an
+            // estimation error — surface it immediately.
+            panic!(
+                "shadow truth {} disagrees with generator's claimed {claimed_d} \
+                 (zipf={zipf}, dup={dup})",
+                shadow.estimate()
+            );
+        }
+        AuditDataset {
+            zipf,
+            dup,
+            dataset_seed,
+            column,
+            truth,
+            truth_source: shadow.source().label().to_string(),
+        }
+    });
+
+    // Phase 2 — flatten the whole grid into (cell, trial) tasks and fan
+    // them across the pool: trials of different cells run concurrently.
+    let cell_grid: Vec<(usize, f64)> = (0..datasets.len())
+        .flat_map(|dsi| config.fractions.iter().map(move |&f| (dsi, f)))
+        .collect();
+    let trials = config.trials as usize;
+    let outcomes: Vec<TrialOutcome> =
+        dve_par::run_indexed(jobs, cell_grid.len() * trials, |task| {
+            let (dsi, fraction) = cell_grid[task / trials];
+            let trial = (task % trials) as u32;
+            let ds = &datasets[dsi];
+            let n = ds.column.len() as u64;
+            let r = ((n as f64 * fraction).round() as u64).clamp(1, n);
+
+            let t0 = Instant::now();
+            let mut trng = ChaCha8Rng::seed_from_u64(trial_seed(ds.dataset_seed ^ r, trial));
+            let profile =
+                sample_profile(&ds.column, r, SamplingScheme::WithoutReplacement, &mut trng)
+                    .expect("audit columns are non-empty");
+
+            let ci = gee_confidence_interval(&profile);
+            let covered = ci.contains(ds.truth);
+            dve_obs::audit::record_interval_outcome(ci.relative_width(), covered);
+
+            let errors: Vec<f64> = ests
+                .iter()
+                .map(|est| {
+                    let v = est.estimate(&profile).max(1.0);
+                    let err = ratio_error(v, ds.truth);
+                    dve_obs::audit::record_ratio_error(est.name(), err);
+                    err
+                })
+                .collect();
+            if audit_ae_forms {
+                dve_core::ae::audit_form_agreement(&profile);
             }
-            let truth = shadow.estimate().max(1.0);
-            if shadow.is_exact() && shadow.exact_count() != Some(claimed_d) {
-                // A generator/shadow mismatch is a harness bug, not an
-                // estimation error — surface it immediately.
-                panic!(
-                    "shadow truth {} disagrees with generator's claimed {claimed_d} \
-                     (zipf={zipf}, dup={dup})",
-                    shadow.estimate()
-                );
+            TrialOutcome {
+                covered,
+                rel_width: ci.relative_width(),
+                errors,
+                elapsed_ns: t0.elapsed().as_nanos(),
             }
+        });
 
-            for &fraction in &config.fractions {
-                let n = column.len() as u64;
-                let r = ((n as f64 * fraction).round() as u64).clamp(1, n);
-                let mut errors: Vec<Vec<f64>> =
-                    vec![Vec::with_capacity(config.trials as usize); ests.len()];
-                let mut covered = 0u32;
-                let mut width_sum = 0.0f64;
-                let mut elapsed_ns = 0u128;
-
-                for trial in 0..config.trials {
-                    let t0 = Instant::now();
-                    let mut trng = ChaCha8Rng::seed_from_u64(trial_seed(dataset_seed ^ r, trial));
-                    let profile =
-                        sample_profile(&column, r, SamplingScheme::WithoutReplacement, &mut trng)
-                            .expect("audit columns are non-empty");
-
-                    let ci = gee_confidence_interval(&profile);
-                    let is_covered = ci.contains(truth);
-                    covered += u32::from(is_covered);
-                    width_sum += ci.relative_width();
-                    dve_obs::audit::record_interval_outcome(ci.relative_width(), is_covered);
-
-                    for (est, errs) in ests.iter().zip(errors.iter_mut()) {
-                        let v = est.estimate(&profile).max(1.0);
-                        let err = ratio_error(v, truth);
-                        errs.push(err);
-                        dve_obs::audit::record_ratio_error(est.name(), err);
-                    }
-                    if audit_ae_forms {
-                        dve_core::ae::audit_form_agreement(&profile);
-                    }
-                    elapsed_ns += t0.elapsed().as_nanos();
-                }
-
-                let coverage = f64::from(covered) / f64::from(config.trials);
-                let mean_rel_width = width_sum / f64::from(config.trials);
-                let mean_trial_ns = (elapsed_ns / u128::from(config.trials)) as u64;
-                for (est, mut errs) in ests.iter().zip(errors) {
-                    errs.sort_by(|a, b| a.total_cmp(b));
-                    let mean = errs.iter().sum::<f64>() / errs.len() as f64;
-                    cells.push(AuditCell {
-                        estimator: est.name().to_string(),
-                        zipf,
-                        dup,
-                        fraction,
-                        truth,
-                        truth_source: shadow.source().label().to_string(),
-                        mean_ratio_error: mean,
-                        p95_ratio_error: errs[p95_index(errs.len())],
-                        coverage,
-                        mean_rel_width,
-                        mean_trial_ns,
-                    });
-                }
-                dve_obs::Event::debug("audit.cell.done")
-                    .field_f64("zipf", zipf)
-                    .field_u64("dup", dup)
-                    .field_f64("fraction", fraction)
-                    .field_f64("truth", truth)
-                    .field_f64("coverage", coverage)
-                    .emit();
+    // Phase 3 — aggregate per cell, folding trials in index order so
+    // every float lands exactly as the serial loop would have it.
+    let mut cells = Vec::with_capacity(cell_grid.len() * ests.len());
+    for (cell_idx, &(dsi, fraction)) in cell_grid.iter().enumerate() {
+        let ds = &datasets[dsi];
+        let cell_trials = &outcomes[cell_idx * trials..(cell_idx + 1) * trials];
+        let mut errors: Vec<Vec<f64>> = vec![Vec::with_capacity(trials); ests.len()];
+        let mut covered = 0u32;
+        let mut width_sum = 0.0f64;
+        let mut elapsed_ns = 0u128;
+        for outcome in cell_trials {
+            covered += u32::from(outcome.covered);
+            width_sum += outcome.rel_width;
+            elapsed_ns += outcome.elapsed_ns;
+            for (errs, &err) in errors.iter_mut().zip(&outcome.errors) {
+                errs.push(err);
             }
         }
+
+        let coverage = f64::from(covered) / f64::from(config.trials);
+        let mean_rel_width = width_sum / f64::from(config.trials);
+        let mean_trial_ns = (elapsed_ns / u128::from(config.trials)) as u64;
+        for (est, mut errs) in ests.iter().zip(errors) {
+            errs.sort_by(|a, b| a.total_cmp(b));
+            let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+            cells.push(AuditCell {
+                estimator: est.name().to_string(),
+                zipf: ds.zipf,
+                dup: ds.dup,
+                fraction,
+                truth: ds.truth,
+                truth_source: ds.truth_source.clone(),
+                mean_ratio_error: mean,
+                p95_ratio_error: errs[p95_index(errs.len())],
+                coverage,
+                mean_rel_width,
+                mean_trial_ns,
+            });
+        }
+        dve_obs::Event::debug("audit.cell.done")
+            .field_f64("zipf", ds.zipf)
+            .field_u64("dup", ds.dup)
+            .field_f64("fraction", fraction)
+            .field_f64("truth", ds.truth)
+            .field_f64("coverage", coverage)
+            .emit();
     }
     AuditReport {
         version: SCHEMA_VERSION,
@@ -271,6 +344,19 @@ fn json_f64(v: f64) -> String {
 }
 
 impl AuditReport {
+    /// A copy with every `mean_trial_ns` zeroed — the only field that
+    /// varies between runs of the same config. Two reports of the same
+    /// config (at any `jobs` values) compare equal after this, and their
+    /// [`AuditReport::to_json`] output is byte-identical.
+    #[must_use]
+    pub fn without_walltime(&self) -> Self {
+        let mut report = self.clone();
+        for cell in &mut report.cells {
+            cell.mean_trial_ns = 0;
+        }
+        report
+    }
+
     /// Serializes to the `BENCH_accuracy.json` schema (hand-rolled; the
     /// inverse of [`AuditReport::from_json`]).
     pub fn to_json(&self) -> String {
@@ -520,6 +606,24 @@ mod tests {
             assert_eq!(x.p95_ratio_error, y.p95_ratio_error);
             assert_eq!(x.coverage, y.coverage);
             assert_eq!(x.truth, y.truth);
+        }
+    }
+
+    #[test]
+    fn parallel_audit_is_bit_identical_to_serial() {
+        let mut serial_cfg = AuditConfig::quick();
+        serial_cfg.jobs = 1;
+        let serial = run_audit(&serial_cfg).without_walltime();
+        for jobs in [2, 4] {
+            let mut cfg = AuditConfig::quick();
+            cfg.jobs = jobs;
+            let parallel = run_audit(&cfg).without_walltime();
+            assert_eq!(serial, parallel, "jobs={jobs} diverged from serial");
+            assert_eq!(
+                serial.to_json(),
+                parallel.to_json(),
+                "jobs={jobs} JSON diverged from serial"
+            );
         }
     }
 

@@ -13,7 +13,10 @@
 //! * [`audit`] — the accuracy-audit sweep behind `dve audit`: shadow
 //!   ground truth, per-cell ratio-error / coverage aggregation, and the
 //!   baseline regression gate (`BENCH_accuracy.json`);
-//! * [`minijson`] — the dependency-free JSON reader the gate parses
+//! * [`perf`] — the wall-time benchmark behind `dve bench`: serial vs
+//!   parallel timings for the audit sweep and ANALYZE, with a
+//!   determinism check and the `BENCH_perf.json` regression gate;
+//! * [`minijson`] — the dependency-free JSON reader the gates parse
 //!   baselines with.
 //!
 //! Run everything with the bundled binary:
@@ -30,6 +33,7 @@ pub mod audit;
 pub mod config;
 pub mod figures;
 pub mod minijson;
+pub mod perf;
 pub mod report;
 pub mod runner;
 

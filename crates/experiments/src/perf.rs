@@ -1,0 +1,494 @@
+//! Wall-time benchmark for the parallel execution layer.
+//!
+//! Times the two hot paths that [`dve_par`] drives — the audit sweep and
+//! table ANALYZE — once at `jobs = 1` and once at `jobs = N`, checking on
+//! the way that the parallel results are **bit-identical** to serial
+//! (that check is the part of the gate that never depends on the host).
+//!
+//! The report is written to `BENCH_perf.json` with the same
+//! hand-rolled-writer / [`minijson`]-reader discipline as
+//! `BENCH_accuracy.json`, and [`check_against`] compares a fresh run to
+//! the committed baseline:
+//!
+//! * determinism violations always fail, on any host;
+//! * parallel wall time may not regress past `latency_factor` × baseline
+//!   (a deliberately loose factor — it catches order-of-magnitude
+//!   slowdowns, not scheduler noise);
+//! * the speedup assertion (`speedup ≥ min_speedup`) only arms when the
+//!   **current** host actually has `≥ 4` available cores — a pinned or
+//!   single-core host cannot speed anything up, and honest numbers from
+//!   it must not fail CI.
+
+use crate::audit::{run_audit, AuditConfig};
+use crate::minijson::{self, JsonValue};
+use dve_storage::{analyze_table_jobs, AnalyzeOptions, Column, Field, Schema, Table};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// Schema version written to (and required from) `BENCH_perf.json`.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// What to benchmark. Construct via [`PerfConfig::quick`] (the CI gate)
+/// or [`PerfConfig::full`], then override fields as needed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfConfig {
+    /// Worker threads for the parallel side (`0` = auto:
+    /// `max(dve_par::default_jobs(), 4)`, so the parallel path is
+    /// genuinely exercised — oversubscribed — even on a 1-core host).
+    pub jobs: usize,
+    /// Trials per audit cell (the audit scenario always uses the quick
+    /// grid; trials scale its cost).
+    pub audit_trials: u32,
+    /// Rows in the synthetic ANALYZE table.
+    pub analyze_rows: u64,
+    /// Base RNG seed for both scenarios.
+    pub seed: u64,
+}
+
+impl PerfConfig {
+    /// The seconds-fast configuration the CI gate and the committed
+    /// `BENCH_perf.json` baseline use.
+    pub fn quick() -> Self {
+        Self {
+            jobs: 0,
+            audit_trials: 8,
+            analyze_rows: 60_000,
+            seed: 42,
+        }
+    }
+
+    /// A heavier configuration for manual speedup measurements.
+    pub fn full() -> Self {
+        Self {
+            audit_trials: 48,
+            analyze_rows: 600_000,
+            ..Self::quick()
+        }
+    }
+}
+
+/// One benchmarked scenario: serial vs parallel wall time plus the
+/// determinism verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfScenario {
+    /// Scenario name (`"audit_quick"`, `"analyze"`).
+    pub name: String,
+    /// Wall time of the `jobs = 1` run, ns.
+    pub serial_ns: u64,
+    /// Wall time of the `jobs = N` run, ns.
+    pub parallel_ns: u64,
+    /// `serial_ns / parallel_ns` (≥ 1 means the pool helped).
+    pub speedup: f64,
+    /// Whether the parallel result was bit-identical to the serial one.
+    pub deterministic: bool,
+}
+
+/// A complete benchmark run: host/config echo plus one row per scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Schema version (see [`SCHEMA_VERSION`]).
+    pub version: u64,
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// readers (and [`check_against`]) need it to interpret `speedup`.
+    pub host_parallelism: u64,
+    /// Worker threads used for the parallel side.
+    pub jobs: u64,
+    /// All benchmarked scenarios.
+    pub scenarios: Vec<PerfScenario>,
+}
+
+/// Tolerances for [`check_against`].
+#[derive(Debug, Clone, Copy)]
+pub struct PerfTolerance {
+    /// Current parallel wall time may be at most this factor × baseline.
+    pub latency_factor: f64,
+    /// Required `speedup` when the current host has ≥ 4 cores.
+    pub min_speedup: f64,
+}
+
+impl Default for PerfTolerance {
+    fn default() -> Self {
+        Self {
+            latency_factor: 25.0,
+            min_speedup: 1.5,
+        }
+    }
+}
+
+fn host_parallelism() -> u64 {
+    std::thread::available_parallelism()
+        .map(|p| p.get() as u64)
+        .unwrap_or(1)
+}
+
+/// Builds the synthetic ANALYZE table: three integer columns of
+/// different skew over the same rows, via the paper's generator.
+fn bench_table(rows: u64, seed: u64) -> Table {
+    let mut columns = Vec::new();
+    let mut fields = Vec::new();
+    for (i, (name, z, dup)) in [("uniform", 0.0, 1), ("zipf1", 1.0, 1), ("dup100", 0.0, 100)]
+        .into_iter()
+        .enumerate()
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (i as u64 + 1));
+        let (values, _) = dve_datagen::paper_column(rows / dup, z, dup, &mut rng);
+        columns.push(Column::from_u64(&values));
+        fields.push(Field::new(name, dve_storage::DataType::Int64));
+    }
+    Table::new(Schema::new(fields), columns).expect("bench columns share one length")
+}
+
+/// Runs both scenarios serial-then-parallel and returns the report.
+///
+/// # Panics
+///
+/// Panics if ANALYZE fails on the synthetic table (harness bug).
+pub fn run_bench(config: &PerfConfig) -> PerfReport {
+    let jobs = if config.jobs > 0 {
+        config.jobs
+    } else {
+        dve_par::default_jobs().max(4)
+    };
+
+    let mut scenarios = Vec::new();
+
+    // Scenario 1: the audit sweep (quick grid), the harness hot path.
+    let mut audit_cfg = AuditConfig::quick();
+    audit_cfg.trials = config.audit_trials;
+    audit_cfg.seed = config.seed;
+    audit_cfg.jobs = 1;
+    let t0 = Instant::now();
+    let serial_report = run_audit(&audit_cfg);
+    let serial_ns = t0.elapsed().as_nanos() as u64;
+    audit_cfg.jobs = jobs;
+    let t0 = Instant::now();
+    let parallel_report = run_audit(&audit_cfg);
+    let parallel_ns = t0.elapsed().as_nanos() as u64;
+    scenarios.push(scenario(
+        "audit_quick",
+        serial_ns,
+        parallel_ns,
+        serial_report.without_walltime() == parallel_report.without_walltime(),
+    ));
+
+    // Scenario 2: ANALYZE over a multi-column table, the storage hot
+    // path. Identical seeds → identical row samples on both sides.
+    let table = bench_table(config.analyze_rows, config.seed);
+    let options = AnalyzeOptions::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let t0 = Instant::now();
+    let serial_stats =
+        analyze_table_jobs(&table, &options, 1, &mut rng).expect("bench table analyzes");
+    let serial_ns = t0.elapsed().as_nanos() as u64;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let t0 = Instant::now();
+    let parallel_stats =
+        analyze_table_jobs(&table, &options, jobs, &mut rng).expect("bench table analyzes");
+    let parallel_ns = t0.elapsed().as_nanos() as u64;
+    scenarios.push(scenario(
+        "analyze",
+        serial_ns,
+        parallel_ns,
+        serial_stats == parallel_stats,
+    ));
+
+    let report = PerfReport {
+        version: SCHEMA_VERSION,
+        host_parallelism: host_parallelism(),
+        jobs: jobs as u64,
+        scenarios,
+    };
+    for s in &report.scenarios {
+        dve_obs::Event::info("bench.scenario.done")
+            .message(format!(
+                "{}: serial {:.1} ms, jobs={jobs} {:.1} ms ({:.2}x), deterministic={}",
+                s.name,
+                s.serial_ns as f64 / 1e6,
+                s.parallel_ns as f64 / 1e6,
+                s.speedup,
+                s.deterministic
+            ))
+            .field_u64("serial_ns", s.serial_ns)
+            .field_u64("parallel_ns", s.parallel_ns)
+            .field_f64("speedup", s.speedup)
+            .emit();
+    }
+    report
+}
+
+fn scenario(name: &str, serial_ns: u64, parallel_ns: u64, deterministic: bool) -> PerfScenario {
+    PerfScenario {
+        name: name.to_string(),
+        serial_ns,
+        parallel_ns,
+        speedup: serial_ns as f64 / (parallel_ns.max(1)) as f64,
+        deterministic,
+    }
+}
+
+/// Compares a fresh run against the committed baseline; returns
+/// human-readable violations (empty = gate passes).
+///
+/// Determinism is gated unconditionally. Wall-time regressions are gated
+/// against `tolerance.latency_factor`. The speedup assertion only arms
+/// when the current host reports ≥ 4 available cores — see the module
+/// docs for why.
+pub fn check_against(
+    current: &PerfReport,
+    baseline: &PerfReport,
+    tolerance: PerfTolerance,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for base in &baseline.scenarios {
+        let Some(cur) = current.scenarios.iter().find(|s| s.name == base.name) else {
+            violations.push(format!("scenario {} missing from current run", base.name));
+            continue;
+        };
+        if !cur.deterministic {
+            violations.push(format!(
+                "scenario {}: parallel result diverged from serial (jobs={})",
+                cur.name, current.jobs
+            ));
+        }
+        let limit = base.parallel_ns as f64 * tolerance.latency_factor;
+        if base.parallel_ns > 0 && cur.parallel_ns as f64 > limit {
+            violations.push(format!(
+                "scenario {}: parallel wall time {:.1} ms exceeds {:.0}x baseline ({:.1} ms)",
+                cur.name,
+                cur.parallel_ns as f64 / 1e6,
+                tolerance.latency_factor,
+                base.parallel_ns as f64 / 1e6,
+            ));
+        }
+        if current.host_parallelism >= 4 && cur.speedup < tolerance.min_speedup {
+            violations.push(format!(
+                "scenario {}: speedup {:.2}x below required {:.2}x on a {}-core host",
+                cur.name, cur.speedup, tolerance.min_speedup, current.host_parallelism
+            ));
+        }
+    }
+    if current.host_parallelism < 4 {
+        dve_obs::Event::info("bench.check.speedup_skipped")
+            .message(format!(
+                "speedup assertion skipped: host reports {} core(s)",
+                current.host_parallelism
+            ))
+            .emit();
+    }
+    violations
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl PerfReport {
+    /// Serializes to the `BENCH_perf.json` schema (hand-rolled; the
+    /// inverse of [`PerfReport::from_json`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!(
+            "{{\n  \"version\": {},\n  \"host_parallelism\": {},\n  \"jobs\": {},\n  \"scenarios\": [\n",
+            self.version, self.host_parallelism, self.jobs
+        ));
+        for (i, s) in self.scenarios.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\":\"{}\",\"serial_ns\":{},\"parallel_ns\":{},\
+                 \"speedup\":{},\"deterministic\":{}}}{}\n",
+                s.name,
+                s.serial_ns,
+                s.parallel_ns,
+                json_f64(s.speedup),
+                s.deterministic,
+                if i + 1 < self.scenarios.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a report previously written by [`PerfReport::to_json`].
+    /// Rejects unknown schema versions and structurally incomplete
+    /// scenarios with a descriptive error.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let root = minijson::parse(text)?;
+        let field = |key: &str| -> Result<u64, String> {
+            root.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("missing numeric {key:?}"))
+        };
+        let version = field("version")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported baseline schema version {version} (expected {SCHEMA_VERSION})"
+            ));
+        }
+        let scenarios_json = root
+            .get("scenarios")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing \"scenarios\" array")?;
+        let mut scenarios = Vec::with_capacity(scenarios_json.len());
+        for (i, s) in scenarios_json.iter().enumerate() {
+            let ctx = |what: &str| format!("scenario {i}: missing {what}");
+            scenarios.push(PerfScenario {
+                name: s
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| ctx("\"name\""))?
+                    .to_string(),
+                serial_ns: s
+                    .get("serial_ns")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| ctx("\"serial_ns\""))?,
+                parallel_ns: s
+                    .get("parallel_ns")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| ctx("\"parallel_ns\""))?,
+                speedup: s
+                    .get("speedup")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| ctx("\"speedup\""))?,
+                deterministic: match s.get("deterministic") {
+                    Some(JsonValue::Bool(b)) => *b,
+                    _ => return Err(ctx("boolean \"deterministic\"")),
+                },
+            });
+        }
+        Ok(Self {
+            version,
+            host_parallelism: field("host_parallelism")?,
+            jobs: field("jobs")?,
+            scenarios,
+        })
+    }
+
+    /// Human-readable jobs=1 vs jobs=N wall-time table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "perf bench: jobs=1 vs jobs={} (host parallelism {})\n{:<14} {:>12} {:>12} {:>9} {:>14}\n",
+            self.jobs, self.host_parallelism, "scenario", "serial ms", "parallel ms", "speedup", "deterministic"
+        );
+        for s in &self.scenarios {
+            out.push_str(&format!(
+                "{:<14} {:>12.1} {:>12.1} {:>8.2}x {:>14}\n",
+                s.name,
+                s.serial_ns as f64 / 1e6,
+                s.parallel_ns as f64 / 1e6,
+                s.speedup,
+                s.deterministic
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> PerfConfig {
+        PerfConfig {
+            jobs: 3,
+            audit_trials: 2,
+            analyze_rows: 4_000,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn bench_scenarios_are_deterministic_and_complete() {
+        let report = run_bench(&tiny_config());
+        assert_eq!(report.jobs, 3);
+        let names: Vec<&str> = report.scenarios.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["audit_quick", "analyze"]);
+        for s in &report.scenarios {
+            assert!(s.deterministic, "{} diverged from serial", s.name);
+            assert!(s.serial_ns > 0 && s.parallel_ns > 0, "{s:?}");
+            assert!(s.speedup > 0.0, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let report = run_bench(&tiny_config());
+        let parsed = PerfReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(report, parsed);
+    }
+
+    #[test]
+    fn from_json_rejects_bad_documents() {
+        assert!(PerfReport::from_json("not json").is_err());
+        assert!(PerfReport::from_json("{}").is_err());
+        assert!(PerfReport::from_json(
+            "{\"version\":999,\"host_parallelism\":1,\"jobs\":1,\"scenarios\":[]}"
+        )
+        .unwrap_err()
+        .contains("version"));
+        assert!(PerfReport::from_json(
+            "{\"version\":1,\"host_parallelism\":1,\"jobs\":1,\"scenarios\":[{\"name\":\"x\"}]}"
+        )
+        .unwrap_err()
+        .contains("scenario 0"));
+    }
+
+    #[test]
+    fn check_gates_determinism_and_walltime() {
+        let report = run_bench(&tiny_config());
+        assert!(check_against(&report, &report, PerfTolerance::default()).is_empty());
+
+        // A non-deterministic current run always fails, on any host.
+        let mut broken = report.clone();
+        broken.scenarios[0].deterministic = false;
+        let violations = check_against(&broken, &report, PerfTolerance::default());
+        assert!(violations.iter().any(|v| v.contains("diverged")));
+
+        // A massive wall-time regression fails against the baseline.
+        let mut slow = report.clone();
+        for s in &mut slow.scenarios {
+            s.parallel_ns = s.parallel_ns.saturating_mul(1_000);
+        }
+        let violations = check_against(&slow, &report, PerfTolerance::default());
+        assert!(violations.iter().any(|v| v.contains("wall time")));
+
+        // A baseline scenario the current run lacks is a violation.
+        let mut missing = report.clone();
+        missing.scenarios.pop();
+        let violations = check_against(&missing, &report, PerfTolerance::default());
+        assert!(violations.iter().any(|v| v.contains("missing")));
+    }
+
+    #[test]
+    fn speedup_gate_arms_only_on_multicore_hosts() {
+        let report = run_bench(&tiny_config());
+        let mut slow = report.clone();
+        for s in &mut slow.scenarios {
+            s.speedup = 0.5;
+        }
+        slow.host_parallelism = 1;
+        assert!(check_against(&slow, &report, PerfTolerance::default())
+            .iter()
+            .all(|v| !v.contains("speedup")));
+        slow.host_parallelism = 8;
+        assert!(check_against(&slow, &report, PerfTolerance::default())
+            .iter()
+            .any(|v| v.contains("speedup")));
+    }
+
+    #[test]
+    fn table_mentions_every_scenario() {
+        let report = run_bench(&tiny_config());
+        let table = report.to_table();
+        assert!(table.contains("audit_quick"));
+        assert!(table.contains("analyze"));
+        assert!(table.contains("speedup"));
+    }
+}

@@ -58,7 +58,8 @@ pub struct IntervalPoint {
 }
 
 /// Runs `trials` independent samples of `r` rows from `column` and
-/// evaluates every named estimator on each sample.
+/// evaluates every named estimator on each sample, fanning the trials
+/// across [`dve_par::default_jobs`] workers.
 ///
 /// # Panics
 ///
@@ -73,25 +74,67 @@ pub fn run_point(
     scheme: SamplingScheme,
     seed: u64,
 ) -> Vec<EstimatorPoint> {
+    run_point_jobs(
+        column,
+        true_distinct,
+        r,
+        estimator_names,
+        trials,
+        scheme,
+        seed,
+        0,
+    )
+}
+
+/// [`run_point`] with an explicit worker count (`0` = auto).
+///
+/// Deterministic for every `jobs` value: each trial's RNG stream derives
+/// from [`trial_seed`] alone (position-independent), the estimator set
+/// is resolved **once per experiment point** and shared across workers,
+/// and the per-trial `(error, estimate)` pairs are folded into the
+/// [`RunningMoments`] in trial order — so the aggregates are
+/// bit-identical to the serial loop's.
+#[allow(clippy::too_many_arguments)]
+pub fn run_point_jobs(
+    column: &[u64],
+    true_distinct: u64,
+    r: u64,
+    estimator_names: &[&str],
+    trials: u32,
+    scheme: SamplingScheme,
+    seed: u64,
+    jobs: usize,
+) -> Vec<EstimatorPoint> {
     assert!(trials > 0, "need at least one trial");
     assert!(true_distinct > 0, "column must have at least one value");
     let estimators = registry::by_names_instrumented(estimator_names);
     let truth = true_distinct as f64;
+    let jobs = dve_par::resolve_jobs((jobs > 0).then_some(jobs));
+
+    // One task per trial; each returns the per-estimator (error,
+    // estimate) pairs for deterministic aggregation below.
+    let per_trial: Vec<Vec<(f64, f64)>> = dve_par::run_indexed(jobs, trials as usize, |t| {
+        let _t = trial_ns().start_timer();
+        let mut rng = ChaCha8Rng::seed_from_u64(trial_seed(seed, t as u32));
+        let profile = sample_profile(column, r, scheme, &mut rng)
+            .expect("sampling a non-empty column cannot fail");
+        estimators
+            .iter()
+            .map(|est| {
+                let v = est.estimate(&profile);
+                let err = ratio_error(v.max(1.0), truth);
+                dve_obs::audit::record_ratio_error(est.name(), err);
+                (err, v)
+            })
+            .collect()
+    });
 
     let mut errors: Vec<RunningMoments> = vec![RunningMoments::new(); estimators.len()];
     let mut estimates: Vec<RunningMoments> = vec![RunningMoments::new(); estimators.len()];
-
-    for trial in 0..trials {
-        let _t = trial_ns().start_timer();
-        let mut rng = ChaCha8Rng::seed_from_u64(trial_seed(seed, trial));
-        let profile = sample_profile(column, r, scheme, &mut rng)
-            .expect("sampling a non-empty column cannot fail");
-        for (i, est) in estimators.iter().enumerate() {
-            let v = est.estimate(&profile);
-            let err = ratio_error(v.max(1.0), truth);
+    for trial in per_trial {
+        for (i, (err, v)) in trial.into_iter().enumerate() {
             errors[i].add(err);
             estimates[i].add(v);
-            dve_obs::audit::record_ratio_error(est.name(), err);
         }
     }
     dve_obs::Event::debug("experiments.point.done")
@@ -114,7 +157,8 @@ pub fn run_point(
 }
 
 /// Runs `trials` samples and aggregates GEE's `[LOWER, UPPER]` interval
-/// (for Tables 1–2).
+/// (for Tables 1–2), fanning trials across [`dve_par::default_jobs`]
+/// workers with the same determinism guarantee as [`run_point`].
 pub fn run_interval_point(
     column: &[u64],
     true_distinct: u64,
@@ -123,22 +167,41 @@ pub fn run_interval_point(
     scheme: SamplingScheme,
     seed: u64,
 ) -> IntervalPoint {
+    run_interval_point_jobs(column, true_distinct, r, trials, scheme, seed, 0)
+}
+
+/// [`run_interval_point`] with an explicit worker count (`0` = auto).
+pub fn run_interval_point_jobs(
+    column: &[u64],
+    true_distinct: u64,
+    r: u64,
+    trials: u32,
+    scheme: SamplingScheme,
+    seed: u64,
+    jobs: usize,
+) -> IntervalPoint {
     assert!(trials > 0, "need at least one trial");
     let truth = true_distinct as f64;
-    let mut lower = RunningMoments::new();
-    let mut upper = RunningMoments::new();
-    let mut covered = 0u32;
-    for trial in 0..trials {
+    let jobs = dve_par::resolve_jobs((jobs > 0).then_some(jobs));
+
+    let per_trial: Vec<(f64, f64, bool)> = dve_par::run_indexed(jobs, trials as usize, |t| {
         let _t = trial_ns().start_timer();
-        let mut rng = ChaCha8Rng::seed_from_u64(trial_seed(seed, trial));
+        let mut rng = ChaCha8Rng::seed_from_u64(trial_seed(seed, t as u32));
         let profile = sample_profile(column, r, scheme, &mut rng)
             .expect("sampling a non-empty column cannot fail");
         let ci = dve_core::bounds::gee_confidence_interval(&profile);
-        lower.add(ci.lower);
-        upper.add(ci.upper);
         let is_covered = ci.contains(truth);
-        covered += u32::from(is_covered);
         dve_obs::audit::record_interval_outcome(ci.relative_width(), is_covered);
+        (ci.lower, ci.upper, is_covered)
+    });
+
+    let mut lower = RunningMoments::new();
+    let mut upper = RunningMoments::new();
+    let mut covered = 0u32;
+    for (lo, up, is_covered) in per_trial {
+        lower.add(lo);
+        upper.add(up);
+        covered += u32::from(is_covered);
     }
     IntervalPoint {
         lower: lower.mean(),
@@ -328,6 +391,53 @@ mod tests {
         let iv_before = dve_obs::audit::interval_total().get();
         run_interval_point(&col, d, 500, 3, SamplingScheme::WithoutReplacement, 17);
         assert!(dve_obs::audit::interval_total().get() >= iv_before + 3);
+    }
+
+    #[test]
+    fn parallel_point_is_bit_identical_to_serial() {
+        let (col, d) = uniform_column();
+        let serial = run_point_jobs(
+            &col,
+            d,
+            500,
+            &["GEE", "AE", "HYBSKEW"],
+            8,
+            SamplingScheme::WithoutReplacement,
+            42,
+            1,
+        );
+        for jobs in [2, 4, 11] {
+            let par = run_point_jobs(
+                &col,
+                d,
+                500,
+                &["GEE", "AE", "HYBSKEW"],
+                8,
+                SamplingScheme::WithoutReplacement,
+                42,
+                jobs,
+            );
+            assert_eq!(serial, par, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_interval_point_is_bit_identical_to_serial() {
+        let (col, d) = uniform_column();
+        let serial =
+            run_interval_point_jobs(&col, d, 1_000, 8, SamplingScheme::WithoutReplacement, 3, 1);
+        for jobs in [2, 4] {
+            let par = run_interval_point_jobs(
+                &col,
+                d,
+                1_000,
+                8,
+                SamplingScheme::WithoutReplacement,
+                3,
+                jobs,
+            );
+            assert_eq!(serial, par, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -115,6 +115,39 @@ pub fn profile_of_values(n: u64, values: &[u64]) -> Result<FrequencyProfile, Pro
     FrequencyProfile::from_sample_counts(n, counts.into_values())
 }
 
+/// [`profile_of_values`] with split-count-merge parallelism: the value
+/// slice is cut into up to `jobs` contiguous chunks, each chunk is
+/// counted into its own `HashMap` on the [`dve_par`] worker pool, and
+/// the per-chunk maps are merged with
+/// [`FrequencyProfile::merge_counts`].
+///
+/// Count merging commutes, so the result equals [`profile_of_values`]
+/// exactly — for any `jobs` and any chunking. `jobs = 0` resolves via
+/// [`dve_par::default_jobs`] (`DVE_JOBS`, then available parallelism);
+/// `jobs = 1` degenerates to the serial single-map path.
+pub fn profile_of_values_chunked(
+    n: u64,
+    values: &[u64],
+    jobs: usize,
+) -> Result<FrequencyProfile, ProfileError> {
+    let jobs = if jobs == 0 {
+        dve_par::default_jobs()
+    } else {
+        jobs
+    };
+    if jobs <= 1 {
+        return profile_of_values(n, values);
+    }
+    let chunk_counts = dve_par::map_chunks(jobs, values, |chunk| {
+        let mut counts: HashMap<u64, u64> = HashMap::with_capacity(chunk.len());
+        for &v in chunk {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        counts
+    });
+    FrequencyProfile::from_count_chunks(n, chunk_counts)
+}
+
 /// A mergeable per-class count accumulator for **partitioned sampling**.
 ///
 /// Uniform sampling distributes over horizontal partitions: sampling each
@@ -255,6 +288,19 @@ mod tests {
         assert_eq!(p.f(2), 1); // value 1
         assert_eq!(p.f(3), 1); // value 3
         assert_eq!(p.distinct_in_sample(), 3);
+    }
+
+    #[test]
+    fn chunked_profile_equals_single_pass() {
+        let data = column();
+        let single = profile_of_values(10_000, &data).unwrap();
+        for jobs in [0, 1, 2, 3, 8] {
+            assert_eq!(
+                profile_of_values_chunked(10_000, &data, jobs).unwrap(),
+                single,
+                "jobs={jobs}"
+            );
+        }
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod stats;
 pub mod table;
 pub mod value;
 
-pub use analyze::{analyze_partitions, analyze_table, AnalyzeOptions};
+pub use analyze::{analyze_partitions, analyze_table, analyze_table_jobs, AnalyzeOptions};
 pub use column::Column;
 pub use persist::{load_table, read_table, save_table, write_table};
 pub use planner::{execute_group_by, plan_group_by, GroupByStrategy};

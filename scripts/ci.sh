@@ -14,3 +14,19 @@ cargo doc --no-deps --workspace
 # the committed baseline (tolerances absorb RNG-stream and machine
 # noise; real estimator regressions move these numbers far more).
 ./target/release/dve audit --check BENCH_accuracy.json
+
+# Parallel determinism + wall-time gate: time the audit sweep and
+# ANALYZE at jobs=1 vs jobs=N (prints the comparison table), verify the
+# parallel results are bit-identical to serial, and compare wall times
+# against the committed baseline. The speedup assertion arms only on
+# hosts with >= 4 cores; determinism is gated everywhere.
+./target/release/dve bench --quick --check BENCH_perf.json
+
+# Belt and braces for the determinism contract the bench relies on:
+# the same audit grid at --jobs 1 and --jobs 4 must serialize
+# byte-identically once wall times are zeroed.
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+./target/release/dve audit --grid quick --deterministic --jobs 1 --out "$tmpdir/j1.json"
+./target/release/dve audit --grid quick --deterministic --jobs 4 --out "$tmpdir/j4.json"
+cmp "$tmpdir/j1.json" "$tmpdir/j4.json"

@@ -18,13 +18,24 @@
 //! dve audit [--grid full|quick] [--trials N] [--seed S] [--out PATH]
 //!           [--check BASELINE.json] [--tolerance 0.25]
 //!           [--coverage-tolerance 0.15] [--latency-factor 25]
+//!           [--deterministic]
 //!     Accuracy audit: sweep estimators × synthetic datasets × sampling
 //!     fractions against a shadow ground truth, reporting per-cell
 //!     mean/p95 ratio error, GEE interval coverage, and wall time.
 //!     Without --check, writes the machine-readable report to --out
 //!     (default BENCH_accuracy.json; `-` for stdout). With --check,
 //!     compares against the committed baseline instead and exits
-//!     non-zero on an accuracy/coverage/latency regression.
+//!     non-zero on an accuracy/coverage/latency regression. With
+//!     --deterministic, wall-time fields are zeroed so two runs of the
+//!     same config (at any --jobs) write byte-identical files.
+//!
+//! dve bench [--quick|--full] [--out PATH] [--check BASELINE.json]
+//!           [--latency-factor 25] [--min-speedup 1.5]
+//!     Wall-time benchmark of the parallel execution layer: times the
+//!     audit sweep and ANALYZE at jobs=1 vs jobs=N, verifies the
+//!     parallel results are bit-identical to serial, and writes
+//!     BENCH_perf.json (or, with --check, gates against the committed
+//!     baseline and exits non-zero on a regression).
 //!
 //! dve estimators
 //!     List every estimator the registry knows.
@@ -32,12 +43,16 @@
 //!
 //! Global flags and environment:
 //!
+//! * `--jobs N` — worker threads for parallel paths (audit sweeps,
+//!   ANALYZE). Estimation results are bit-identical for every `N`; only
+//!   wall times change. Defaults to `DVE_JOBS` or the host parallelism.
 //! * `--metrics json|pretty|prom` — dump the process metrics snapshot
 //!   (sampler latency, per-estimator call counts and latency
 //!   percentiles, AE solver iterations, ratio-error histograms, …) to
 //!   stdout after the command; `prom` emits Prometheus text exposition
 //!   format 0.0.4 for scraping or pushing to a gateway.
 //! * `DVE_METRICS=off` — disable metric recording entirely.
+//! * `DVE_JOBS=N` — default worker threads when `--jobs` is absent.
 //! * `DVE_LOG` — event sink selection (`pretty`/`debug`/`jsonl`/
 //!   `jsonl:PATH`/`off`); diagnostics go through it as structured
 //!   events on stderr by default.
@@ -65,12 +80,14 @@ fn main() {
     }
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let metrics_mode = extract_metrics_flag(&mut args);
+    extract_jobs_flag(&mut args);
     let Some(cmd) = args.first() else {
         usage_and_exit(2);
     };
     match cmd.as_str() {
         "estimate" => cmd_estimate(&args[1..]),
         "audit" => cmd_audit(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         "exact" => cmd_exact(&args[1..]),
         "sketch" => cmd_sketch(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
@@ -134,6 +151,46 @@ fn extract_metrics_flag(args: &mut Vec<String>) -> Option<MetricsMode> {
     };
     args.drain(idx..idx + 2);
     Some(mode)
+}
+
+/// Pulls the global `--jobs N` flag (valid for every subcommand) out of
+/// `args` and installs it as the process-wide default worker count.
+fn extract_jobs_flag(args: &mut Vec<String>) {
+    let Some(idx) = args.iter().position(|a| a == "--jobs") else {
+        return;
+    };
+    if idx + 1 >= args.len() {
+        fail(2, "--jobs requires a thread count".to_string());
+    }
+    let jobs: usize = args[idx + 1]
+        .parse()
+        .ok()
+        .filter(|&j| j > 0)
+        .unwrap_or_else(|| {
+            fail(
+                2,
+                format!(
+                    "invalid --jobs value: {} (want a positive integer)",
+                    args[idx + 1]
+                ),
+            )
+        });
+    distinct_values::par::set_default_jobs(jobs);
+    args.drain(idx..idx + 2);
+}
+
+/// Removes a bare boolean `--name` flag from `args`; returns whether it
+/// was present. Must run before [`parse_flags`], which assumes every
+/// `--flag` carries a value.
+fn extract_bool_flag(args: &mut Vec<String>, name: &str) -> bool {
+    let flag = format!("--{name}");
+    match args.iter().position(|a| *a == flag) {
+        Some(idx) => {
+            args.remove(idx);
+            true
+        }
+        None => false,
+    }
 }
 
 /// Parses `--flag value` pairs; returns (flags, positional).
@@ -229,7 +286,9 @@ fn cmd_audit(args: &[String]) {
     use distinct_values::experiments::audit::{
         check_against, run_audit, AuditConfig, AuditReport, CheckTolerance,
     };
-    let (flags, positional) = parse_flags(args);
+    let mut args = args.to_vec();
+    let deterministic = extract_bool_flag(&mut args, "deterministic");
+    let (flags, positional) = parse_flags(&args);
     if let Some(extra) = positional.first() {
         fail(2, format!("audit takes no positional arguments: {extra}"));
     }
@@ -245,6 +304,14 @@ fn cmd_audit(args: &[String]) {
     }
 
     let report = run_audit(&config);
+    // --deterministic zeroes the one run-to-run-varying field so two
+    // runs of the same config write byte-identical files — regardless
+    // of --jobs.
+    let report = if deterministic {
+        report.without_walltime()
+    } else {
+        report
+    };
     eprint!("{}", report.to_table());
 
     match flags.get("check") {
@@ -297,6 +364,89 @@ fn cmd_audit(args: &[String]) {
                 Event::info("cli.audit.done")
                     .message(format!("wrote {} audit cells to {out}", report.cells.len()))
                     .field_u64("cells", report.cells.len() as u64)
+                    .emit();
+            }
+        }
+    }
+}
+
+fn cmd_bench(args: &[String]) {
+    use distinct_values::experiments::perf::{
+        check_against, run_bench, PerfConfig, PerfReport, PerfTolerance,
+    };
+    let mut args = args.to_vec();
+    let quick = extract_bool_flag(&mut args, "quick");
+    let full = extract_bool_flag(&mut args, "full");
+    if quick && full {
+        fail(2, "--quick and --full are mutually exclusive".to_string());
+    }
+    let (flags, positional) = parse_flags(&args);
+    if let Some(extra) = positional.first() {
+        fail(2, format!("bench takes no positional arguments: {extra}"));
+    }
+    // --quick is the default: it is what the committed baseline and the
+    // CI gate run.
+    let config = if full {
+        PerfConfig::full()
+    } else {
+        PerfConfig::quick()
+    };
+
+    let report = run_bench(&config);
+    eprint!("{}", report.to_table());
+
+    match flags.get("check") {
+        Some(baseline_path) => {
+            let tol = PerfTolerance {
+                latency_factor: flag_parse(
+                    &flags,
+                    "latency-factor",
+                    PerfTolerance::default().latency_factor,
+                ),
+                min_speedup: flag_parse(
+                    &flags,
+                    "min-speedup",
+                    PerfTolerance::default().min_speedup,
+                ),
+            };
+            let text = std::fs::read_to_string(baseline_path)
+                .unwrap_or_else(|e| fail(1, format!("cannot read {baseline_path}: {e}")));
+            let baseline = PerfReport::from_json(&text)
+                .unwrap_or_else(|e| fail(1, format!("cannot parse {baseline_path}: {e}")));
+            let violations = check_against(&report, &baseline, tol);
+            if violations.is_empty() {
+                println!(
+                    "bench check passed: {} scenarios deterministic and within tolerance",
+                    baseline.scenarios.len()
+                );
+            } else {
+                for v in &violations {
+                    println!("REGRESSION: {v}");
+                }
+                Event::error("cli.bench.regression")
+                    .message(format!(
+                        "{} of {} bench scenarios regressed",
+                        violations.len(),
+                        baseline.scenarios.len()
+                    ))
+                    .field_u64("violations", violations.len() as u64)
+                    .emit();
+                std::process::exit(1);
+            }
+        }
+        None => {
+            let out: String = flag_parse(&flags, "out", "BENCH_perf.json".to_string());
+            if out == "-" {
+                print!("{}", report.to_json());
+            } else {
+                std::fs::write(&out, report.to_json())
+                    .unwrap_or_else(|e| fail(1, format!("cannot write {out}: {e}")));
+                Event::info("cli.bench.done")
+                    .message(format!(
+                        "wrote {} bench scenarios to {out}",
+                        report.scenarios.len()
+                    ))
+                    .field_u64("scenarios", report.scenarios.len() as u64)
                     .emit();
             }
         }
@@ -436,9 +586,12 @@ fn usage_and_exit(code: i32) -> ! {
          dve analyze TABLE.dvet [--fraction 0.01] [--estimator AE] [--seed 42]\n  \
          dve audit [--grid full|quick] [--trials N] [--seed S] [--out PATH]\n            \
          [--check BASELINE.json] [--tolerance T] [--coverage-tolerance C]\n            \
-         [--latency-factor L]\n  \
+         [--latency-factor L] [--deterministic]\n  \
+         dve bench [--quick|--full] [--out PATH] [--check BASELINE.json]\n            \
+         [--latency-factor L] [--min-speedup S]\n  \
          dve estimators\n\n\
-         global: --metrics json|pretty|prom   dump process metrics after the command"
+         global: --jobs N                     worker threads (results identical for every N)\n        \
+         --metrics json|pretty|prom   dump process metrics after the command"
     );
     std::process::exit(code);
 }

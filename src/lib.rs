@@ -30,6 +30,9 @@
 //! * [`obs`] — dependency-light observability: atomic metric families,
 //!   log-bucketed latency histograms, RAII timers, and structured event
 //!   sinks wired through every layer above.
+//! * [`par`] — the deterministic scoped worker pool (std-only, no work
+//!   stealing across result order) behind the parallel audit sweeps and
+//!   `ANALYZE`, with the `--jobs` / `DVE_JOBS` resolution chain.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +53,7 @@ pub use dve_experiments as experiments;
 pub use dve_lowerbound as lowerbound;
 pub use dve_numeric as numeric;
 pub use dve_obs as obs;
+pub use dve_par as par;
 pub use dve_sample as sample;
 pub use dve_sketch as sketch;
 pub use dve_storage as storage;

@@ -1,0 +1,55 @@
+//! End-to-end determinism contract of the parallel execution layer:
+//! every estimation result must be **bit-identical** across `jobs`
+//! values — parallelism may only change wall times. These tests cross
+//! crate boundaries on purpose (audit → runner → sample → par,
+//! storage → par) to catch any layer quietly reintroducing
+//! order-dependence.
+
+use distinct_values::experiments::audit::{run_audit, AuditConfig};
+use distinct_values::storage::{analyze_table_jobs, AnalyzeOptions, Table};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The headline guarantee: the same audit grid at `jobs = 1` and
+/// `jobs = 4` serializes byte-identically once wall times are zeroed —
+/// the property `scripts/ci.sh` re-checks with the release binary.
+#[test]
+fn audit_json_is_byte_identical_across_jobs() {
+    let mut config = AuditConfig::quick();
+    config.jobs = 1;
+    let serial = run_audit(&config).without_walltime().to_json();
+    for jobs in [2, 4] {
+        config.jobs = jobs;
+        let parallel = run_audit(&config).without_walltime().to_json();
+        assert_eq!(serial, parallel, "audit JSON diverged at jobs={jobs}");
+    }
+}
+
+/// ANALYZE shares one row sample across columns; chunked per-column
+/// counting must reproduce the serial statistics exactly, including
+/// every floating-point field of the GEE intervals.
+#[test]
+fn analyze_statistics_are_identical_across_jobs() {
+    let values: Vec<u64> = (0..40_000u64).map(|i| (i * i) % 1_777).collect();
+    let table = Table::from_generated("sq_mod", &values);
+    let options = AnalyzeOptions::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let serial = analyze_table_jobs(&table, &options, 1, &mut rng).unwrap();
+    for jobs in [2, 4, 7] {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let parallel = analyze_table_jobs(&table, &options, jobs, &mut rng).unwrap();
+        assert_eq!(serial, parallel, "ANALYZE diverged at jobs={jobs}");
+    }
+}
+
+/// Trial seeding is position-independent: doubling the worker count of
+/// an already-run grid and re-running from the same config cannot move
+/// a single error statistic.
+#[test]
+fn repeated_parallel_runs_agree_with_each_other() {
+    let mut config = AuditConfig::quick();
+    config.jobs = 4;
+    let a = run_audit(&config).without_walltime();
+    let b = run_audit(&config).without_walltime();
+    assert_eq!(a, b);
+}

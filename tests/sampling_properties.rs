@@ -13,6 +13,22 @@ use std::collections::HashSet;
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
+    /// Split-count-merge frequency profiling is exact: for arbitrary
+    /// value samples and worker counts, the chunked profile equals the
+    /// single-pass profile (the merge phase commutes, so chunking can
+    /// never change the spectrum).
+    #[test]
+    fn chunked_profile_merge_equals_single_pass(
+        values in proptest::collection::vec(0u64..500, 1..2_000),
+        jobs in 1usize..9,
+    ) {
+        use distinct_values::sample::{profile_of_values, profile_of_values_chunked};
+        let n = 1_000_000u64; // comfortably above any sample size drawn
+        let single = profile_of_values(n, &values).unwrap();
+        let chunked = profile_of_values_chunked(n, &values, jobs).unwrap();
+        prop_assert_eq!(single, chunked);
+    }
+
     /// Without-replacement samplers return exactly r distinct in-range
     /// indices for any (n, r, seed).
     #[test]
