@@ -2,3 +2,89 @@
 //!
 //! This crate carries the Criterion benchmark targets (see `benches/`);
 //! it exports nothing. Run them with `cargo bench -p dve-bench`.
+//!
+//! The lib tests carry one micro-benchmark-grade *assertion* that
+//! Criterion cannot express: registry lookup must stay allocation-free
+//! on the hot path (a serving daemon resolves an estimator name per
+//! request, so a per-call `to_uppercase` allocation would be a
+//! regression multiplied by traffic).
+
+#[cfg(test)]
+mod alloc_probe {
+    //! A counting [`GlobalAlloc`] wrapper around the system allocator.
+    //! The count is thread-local so the assertion is immune to the test
+    //! harness's other threads allocating concurrently.
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    struct CountingAlloc;
+
+    // Safety: delegates directly to `System`; the bookkeeping only
+    // touches a thread-local counter.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            // Thread-locals can themselves allocate during TLS teardown;
+            // `try_with` makes the probe inert in that window.
+            let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTER: CountingAlloc = CountingAlloc;
+
+    /// Runs `f` and returns how many heap allocations it performed on
+    /// this thread.
+    fn allocations_in(f: impl FnOnce()) -> u64 {
+        let before = ALLOCS.with(Cell::get);
+        f();
+        ALLOCS.with(Cell::get) - before
+    }
+
+    #[test]
+    fn registry_lookup_is_allocation_free_on_the_hot_path() {
+        use dve_core::registry;
+
+        // Warm up any lazy statics outside the measured window.
+        assert_eq!(registry::canonical_name("gee"), Some("GEE"));
+        assert!(registry::by_name("shlosser").is_ok());
+
+        let count = allocations_in(|| {
+            for _ in 0..1000 {
+                assert_eq!(registry::canonical_name("ShLoSsEr"), Some("SHLOSSER"));
+                assert_eq!(registry::canonical_name("gee"), Some("GEE"));
+            }
+        });
+        assert_eq!(count, 0, "canonical_name allocated {count} times");
+
+        // `by_name` on a zero-sized estimator: the `Box<dyn …>` of a ZST
+        // does not allocate, so the whole happy path stays heap-free.
+        let count = allocations_in(|| {
+            for _ in 0..1000 {
+                let est = registry::by_name("shlosser").ok();
+                assert!(est.is_some());
+            }
+        });
+        assert_eq!(count, 0, "by_name(\"shlosser\") allocated {count} times");
+    }
+
+    #[test]
+    fn probe_actually_counts() {
+        // Guard against the probe silently going dead (e.g. a future
+        // allocator change): a Vec allocation must register.
+        let count = allocations_in(|| {
+            let v: Vec<u8> = Vec::with_capacity(64);
+            std::hint::black_box(&v);
+        });
+        assert!(count >= 1, "the counting allocator saw no allocations");
+    }
+}

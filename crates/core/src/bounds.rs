@@ -58,14 +58,15 @@ impl ConfidenceInterval {
 /// ```
 pub fn gee_confidence_interval(profile: &FrequencyProfile) -> ConfidenceInterval {
     use crate::estimator::DistinctEstimator;
-    let d = profile.distinct_in_sample() as f64;
-    let f1 = profile.f(1) as f64;
-    let n = profile.table_size() as f64;
-    let scale = n / profile.sample_size() as f64;
-    let upper = ((d - f1) + scale * f1).min(n);
+    // GEE's `estimate_full` is the single source of the §4 bounds; this
+    // view re-shapes it for callers that want the interval type.
+    let full = Gee::default().estimate_full(profile);
+    let (lower, upper) = full
+        .interval
+        .expect("GEE always reports its confidence bounds");
     ConfidenceInterval {
-        lower: d,
-        estimate: Gee::default().estimate(profile),
+        lower,
+        estimate: full.estimate,
         upper,
     }
 }

@@ -5,8 +5,101 @@
 //! *all* estimators are post-processed with the sanity bounds
 //! `d ≤ D̂ ≤ n`: an estimate below the number of distinct values already
 //! seen, or above the number of rows, is certainly wrong.
+//!
+//! Two result surfaces exist:
+//!
+//! * [`DistinctEstimator::estimate`] — the bare clamped `f64`, for hot
+//!   loops (the experiment grids run millions of these);
+//! * [`DistinctEstimator::estimate_full`] — a typed [`Estimation`]
+//!   carrying the estimate **and** its provenance (estimator name,
+//!   `d`/`r`/`n`, and — for estimators that can provide one — a
+//!   confidence interval). This is what crosses API boundaries: the
+//!   `dve serve` responses, `dve analyze --format json`, and the
+//!   catalog statistics all serialize this one struct.
 
 use crate::profile::FrequencyProfile;
+
+/// A complete estimation result: the point estimate plus everything a
+/// remote caller needs to interpret it.
+///
+/// Produced by [`DistinctEstimator::estimate_full`]. The `interval` is
+/// `None` for estimators that carry no self-reported bounds; GEE fills
+/// it with the paper's `[LOWER, UPPER] = [d, Σ_{i>1} f_i + (n/r)·f₁]`
+/// (§4), clamped to `n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimation {
+    /// The clamped point estimate `D̂` (`d ≤ D̂ ≤ n`).
+    pub estimate: f64,
+    /// Self-reported `(lower, upper)` confidence bounds, when the
+    /// estimator provides them.
+    pub interval: Option<(f64, f64)>,
+    /// Registry name of the estimator that produced the estimate.
+    pub estimator: String,
+    /// Distinct values observed in the sample, `d`.
+    pub d: u64,
+    /// Sample size, `r`.
+    pub r: u64,
+    /// Table size, `n`.
+    pub n: u64,
+}
+
+/// Writes an `f64` as a JSON number (shortest round-trip formatting, so
+/// a reader parsing the text recovers the bit-identical value); clamps
+/// non-finite values to `null`.
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl Estimation {
+    /// Serializes the estimation as a single JSON object with a stable
+    /// key order:
+    ///
+    /// ```json
+    /// {"estimator":"GEE","estimate":770.0,
+    ///  "interval":{"lower":70.0,"upper":4030.0},
+    ///  "d":70,"r":100,"n":10000}
+    /// ```
+    ///
+    /// `interval` is `null` when the estimator reports no bounds.
+    /// Floats use Rust's shortest round-trip formatting, so JSON readers
+    /// recover bit-identical values — the byte-identity contract between
+    /// the CLI and `dve serve` rests on this.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"estimator\":\"");
+        // Registry names are plain ASCII identifiers; escape the two
+        // JSON-significant characters anyway for future-proofing.
+        for c in self.estimator.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c => out.push(c),
+            }
+        }
+        out.push_str("\",\"estimate\":");
+        push_json_f64(&mut out, self.estimate);
+        out.push_str(",\"interval\":");
+        match self.interval {
+            Some((lower, upper)) => {
+                out.push_str("{\"lower\":");
+                push_json_f64(&mut out, lower);
+                out.push_str(",\"upper\":");
+                push_json_f64(&mut out, upper);
+                out.push('}');
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(&format!(
+            ",\"d\":{},\"r\":{},\"n\":{}}}",
+            self.d, self.r, self.n
+        ));
+        out
+    }
+}
 
 /// Clamps a raw estimate into the feasible interval `[d, n]` (paper §2).
 ///
@@ -52,6 +145,23 @@ pub trait DistinctEstimator: Send + Sync {
             profile.table_size(),
         )
     }
+
+    /// The typed result surface: the clamped estimate plus provenance.
+    ///
+    /// The default implementation wraps [`estimate`](Self::estimate)
+    /// with `interval: None`; estimators that carry self-reported bounds
+    /// (GEE) override it. Wrappers (`Box`, references, the registry's
+    /// instrumentation) forward it, so the override survives boxing.
+    fn estimate_full(&self, profile: &FrequencyProfile) -> Estimation {
+        Estimation {
+            estimate: self.estimate(profile),
+            interval: None,
+            estimator: self.name().to_string(),
+            d: profile.distinct_in_sample(),
+            r: profile.sample_size(),
+            n: profile.table_size(),
+        }
+    }
 }
 
 impl<T: DistinctEstimator + ?Sized> DistinctEstimator for Box<T> {
@@ -61,6 +171,9 @@ impl<T: DistinctEstimator + ?Sized> DistinctEstimator for Box<T> {
     fn estimate_raw(&self, profile: &FrequencyProfile) -> f64 {
         (**self).estimate_raw(profile)
     }
+    fn estimate_full(&self, profile: &FrequencyProfile) -> Estimation {
+        (**self).estimate_full(profile)
+    }
 }
 
 impl<T: DistinctEstimator + ?Sized> DistinctEstimator for &T {
@@ -69,6 +182,9 @@ impl<T: DistinctEstimator + ?Sized> DistinctEstimator for &T {
     }
     fn estimate_raw(&self, profile: &FrequencyProfile) -> f64 {
         (**self).estimate_raw(profile)
+    }
+    fn estimate_full(&self, profile: &FrequencyProfile) -> Estimation {
+        (**self).estimate_full(profile)
     }
 }
 
@@ -118,5 +234,101 @@ mod tests {
         assert_eq!(boxed.estimate(&p), 7.0);
         let by_ref: &dyn DistinctEstimator = &Fixed(7.0);
         assert_eq!(by_ref.estimate(&p), 7.0);
+    }
+
+    #[test]
+    fn estimate_full_defaults_wrap_estimate() {
+        let p = profile();
+        let full = Fixed(42.0).estimate_full(&p);
+        assert_eq!(full.estimate, 42.0);
+        assert_eq!(full.interval, None);
+        assert_eq!(full.estimator, "FIXED");
+        assert_eq!((full.d, full.r, full.n), (3, 4, 100));
+        // The clamp applies to the full surface too.
+        assert_eq!(Fixed(1e12).estimate_full(&p).estimate, 100.0);
+    }
+
+    #[test]
+    fn estimate_full_override_survives_boxing() {
+        struct WithBounds;
+        impl DistinctEstimator for WithBounds {
+            fn name(&self) -> &'static str {
+                "WB"
+            }
+            fn estimate_raw(&self, _p: &FrequencyProfile) -> f64 {
+                5.0
+            }
+            fn estimate_full(&self, p: &FrequencyProfile) -> Estimation {
+                Estimation {
+                    estimate: self.estimate(p),
+                    interval: Some((1.0, 9.0)),
+                    estimator: self.name().to_string(),
+                    d: p.distinct_in_sample(),
+                    r: p.sample_size(),
+                    n: p.table_size(),
+                }
+            }
+        }
+        let p = profile();
+        let boxed: Box<dyn DistinctEstimator> = Box::new(WithBounds);
+        assert_eq!(boxed.estimate_full(&p).interval, Some((1.0, 9.0)));
+        let by_ref: &dyn DistinctEstimator = &WithBounds;
+        assert_eq!(by_ref.estimate_full(&p).interval, Some((1.0, 9.0)));
+    }
+
+    #[test]
+    fn estimation_json_shape_and_roundtrip() {
+        let e = Estimation {
+            estimate: 123.456,
+            interval: Some((70.0, 4030.25)),
+            estimator: "GEE".to_string(),
+            d: 70,
+            r: 100,
+            n: 10_000,
+        };
+        let json = e.to_json();
+        assert_eq!(
+            json,
+            "{\"estimator\":\"GEE\",\"estimate\":123.456,\
+             \"interval\":{\"lower\":70,\"upper\":4030.25},\
+             \"d\":70,\"r\":100,\"n\":10000}"
+        );
+        // Shortest round-trip float formatting: parsing the serialized
+        // estimate recovers the bit-identical value.
+        let text = json
+            .split("\"estimate\":")
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap();
+        assert_eq!(text.parse::<f64>().unwrap().to_bits(), e.estimate.to_bits());
+    }
+
+    #[test]
+    fn estimation_json_null_interval_and_escaping() {
+        let e = Estimation {
+            estimate: 2.0,
+            interval: None,
+            estimator: "A\"B\\".to_string(),
+            d: 1,
+            r: 2,
+            n: 3,
+        };
+        let json = e.to_json();
+        assert!(json.contains("\"interval\":null"), "{json}");
+        assert!(json.contains("A\\\"B\\\\"), "{json}");
+        // Non-finite floats degrade to null rather than invalid JSON.
+        let bad = Estimation {
+            estimate: f64::NAN,
+            interval: Some((0.0, f64::INFINITY)),
+            estimator: "X".to_string(),
+            d: 1,
+            r: 1,
+            n: 1,
+        };
+        let json = bad.to_json();
+        assert!(json.contains("\"estimate\":null"), "{json}");
+        assert!(json.contains("\"upper\":null"), "{json}");
     }
 }

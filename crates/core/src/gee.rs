@@ -12,7 +12,7 @@
 //! error — and Theorem 2 shows the resulting expected ratio error is
 //! `O(sqrt(n/r))`, matching the Theorem 1 lower bound up to ≈ e.
 
-use crate::estimator::DistinctEstimator;
+use crate::estimator::{DistinctEstimator, Estimation};
 use crate::profile::FrequencyProfile;
 
 /// The Guaranteed-Error Estimator.
@@ -77,6 +77,28 @@ impl DistinctEstimator for Gee {
         // d - f1 = Σ_{i≥2} f_i.
         self.singleton_coefficient(profile) * f1 + (d - f1)
     }
+
+    /// GEE's full result carries the paper's §4 confidence bounds:
+    /// `LOWER = d` (unconditionally valid) and
+    /// `UPPER = Σ_{i>1} f_i + (n/r)·f₁` clamped to `n` (exceeds `D` with
+    /// high probability). The bounds depend only on the sample, not on
+    /// the singleton exponent, so every `Gee` variant reports the same
+    /// interval.
+    fn estimate_full(&self, profile: &FrequencyProfile) -> Estimation {
+        let d = profile.distinct_in_sample() as f64;
+        let f1 = profile.f(1) as f64;
+        let n = profile.table_size() as f64;
+        let scale = n / profile.sample_size() as f64;
+        let upper = ((d - f1) + scale * f1).min(n);
+        Estimation {
+            estimate: self.estimate(profile),
+            interval: Some((d, upper)),
+            estimator: self.name().to_string(),
+            d: profile.distinct_in_sample(),
+            r: profile.sample_size(),
+            n: profile.table_size(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +161,26 @@ mod tests {
     #[should_panic(expected = "exponent")]
     fn rejects_out_of_range_exponent() {
         Gee::with_singleton_exponent(1.5);
+    }
+
+    #[test]
+    fn estimate_full_carries_paper_bounds() {
+        // n = 10_000, r = 100, f1 = 40, f2 = 30 → d = 70, scale = 100.
+        let p = FrequencyProfile::from_spectrum(10_000, vec![40, 30]).unwrap();
+        let full = Gee::default().estimate_full(&p);
+        assert_eq!(full.estimator, "GEE");
+        assert_eq!((full.d, full.r, full.n), (70, 100, 10_000));
+        let (lower, upper) = full.interval.expect("GEE carries bounds");
+        assert_eq!(lower, 70.0);
+        assert_eq!(upper, 30.0 + 100.0 * 40.0);
+        assert!(lower <= full.estimate && full.estimate <= upper);
+        // The upper bound is clamped to n.
+        let all_singletons = FrequencyProfile::from_spectrum(50, vec![10]).unwrap();
+        let (_, upper) = Gee::default()
+            .estimate_full(&all_singletons)
+            .interval
+            .unwrap();
+        assert_eq!(upper, 50.0);
     }
 
     #[test]

@@ -78,7 +78,8 @@ pub mod skew;
 pub use ae::AdaptiveEstimator;
 pub use bounds::{gee_confidence_interval, ConfidenceInterval};
 pub use error::{ratio_error, relative_error};
-pub use estimator::{sanity_clamp, DistinctEstimator};
+pub use estimator::{sanity_clamp, DistinctEstimator, Estimation};
 pub use gee::Gee;
 pub use hybrid::{HybGee, HybSkew, HybVar};
 pub use profile::{FrequencyProfile, ProfileError};
+pub use registry::UnknownEstimator;

@@ -1,14 +1,21 @@
 //! Name-based estimator registry.
 //!
-//! The experiment harness, `ANALYZE` command, and CLI all refer to
-//! estimators by the names the paper uses (`"GEE"`, `"AE"`, `"HYBGEE"`,
-//! `"HYBSKEW"`, `"DUJ2A"`, `"HYBVAR"`, …). This module maps those names to
-//! boxed trait objects.
+//! The experiment harness, `ANALYZE` command, CLI, and the `dve serve`
+//! daemon all refer to estimators by the names the paper uses (`"GEE"`,
+//! `"AE"`, `"HYBGEE"`, `"HYBSKEW"`, `"DUJ2A"`, `"HYBVAR"`, …). This
+//! module maps those names to boxed trait objects.
+//!
+//! Lookup is **fallible**: [`by_name`] / [`by_names`] return a typed
+//! [`UnknownEstimator`] error that carries the offending name, the full
+//! list of valid names, and a did-you-mean suggestion — callers decide
+//! whether that is an HTTP 400, a CLI exit code, or a panic. The static
+//! experiment grids use [`by_names_strict`], which keeps the old
+//! panic-on-typo contract so a harness typo still fails loudly.
 
 use crate::ae::{AdaptiveEstimator, AeForm};
 use crate::bootstrap::{Bootstrap, CoverageScaleUp};
 use crate::chao::{Chao, ChaoLee};
-use crate::estimator::DistinctEstimator;
+use crate::estimator::{DistinctEstimator, Estimation};
 use crate::gee::Gee;
 use crate::goodman::Goodman;
 use crate::hybrid::{HybGee, HybSkew, HybVar};
@@ -52,18 +59,103 @@ pub const ALL_ESTIMATORS: &[&str] = &[
 /// The six estimators the paper's §6 experiments plot.
 pub const PAPER_ESTIMATORS: &[&str] = &["GEE", "AE", "HYBGEE", "HYBSKEW", "DUJ2A", "HYBVAR"];
 
-/// Creates an estimator by name (case-insensitive). Returns `None` for an
-/// unknown name.
+/// A lookup against a name the registry does not know.
+///
+/// Carries everything a caller needs to produce a good diagnostic: the
+/// offending name, the valid names, and a closest-match suggestion.
+/// `Display` renders all three, so `format!("{err}")` is already a
+/// complete user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownEstimator {
+    name: String,
+}
+
+impl UnknownEstimator {
+    /// The name that failed to resolve.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Every name the registry accepts (same slice as [`ALL_ESTIMATORS`]).
+    pub fn valid_names(&self) -> &'static [&'static str] {
+        ALL_ESTIMATORS
+    }
+
+    /// The registered name closest to the failed one (case-insensitive
+    /// Levenshtein distance ≤ 2), if any — the "did you mean" hint.
+    pub fn suggestion(&self) -> Option<&'static str> {
+        ALL_ESTIMATORS
+            .iter()
+            .map(|&candidate| (edit_distance(&self.name, candidate), candidate))
+            // min_by_key keeps the first of equally-close names, so ties
+            // resolve in the paper's registry order (GEE before AE).
+            .min_by_key(|&(dist, _)| dist)
+            .filter(|&(dist, _)| dist <= 2)
+            .map(|(_, candidate)| candidate)
+    }
+}
+
+impl std::fmt::Display for UnknownEstimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown estimator: {}", self.name)?;
+        if let Some(hint) = self.suggestion() {
+            write!(f, " (did you mean {hint}?)")?;
+        }
+        write!(f, "; valid names: {}", ALL_ESTIMATORS.join(", "))
+    }
+}
+
+impl std::error::Error for UnknownEstimator {}
+
+/// Case-insensitive Levenshtein distance, for the did-you-mean hint.
+/// Inputs are short estimator names, so the O(|a|·|b|) DP is fine.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<u8> = a.bytes().map(|c| c.to_ascii_uppercase()).collect();
+    let b: Vec<u8> = b.bytes().map(|c| c.to_ascii_uppercase()).collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            curr[j + 1] = sub.min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Resolves a name (case-insensitively) to its canonical registered
+/// spelling, without allocating: the hot path of every lookup.
+///
+/// ```
+/// use dve_core::registry::canonical_name;
+/// assert_eq!(canonical_name("gee"), Some("GEE"));
+/// assert_eq!(canonical_name("HyBgEe"), Some("HYBGEE"));
+/// assert_eq!(canonical_name("nope"), None);
+/// ```
+pub fn canonical_name(name: &str) -> Option<&'static str> {
+    ALL_ESTIMATORS
+        .iter()
+        .copied()
+        .find(|candidate| candidate.eq_ignore_ascii_case(name))
+}
+
+/// Creates an estimator by name (case-insensitive).
 ///
 /// ```
 /// use dve_core::registry::by_name;
-/// assert!(by_name("gee").is_some());
-/// assert!(by_name("HYBGEE").is_some());
-/// assert!(by_name("no-such-estimator").is_none());
+/// assert!(by_name("gee").is_ok());
+/// assert!(by_name("HYBGEE").is_ok());
+/// let err = by_name("GE").err().unwrap();
+/// assert_eq!(err.name(), "GE");
+/// assert_eq!(err.suggestion(), Some("GEE"));
 /// ```
-pub fn by_name(name: &str) -> Option<Box<dyn DistinctEstimator>> {
-    let canonical = name.to_ascii_uppercase();
-    Some(match canonical.as_str() {
+pub fn by_name(name: &str) -> Result<Box<dyn DistinctEstimator>, UnknownEstimator> {
+    let canonical = canonical_name(name).ok_or_else(|| UnknownEstimator {
+        name: name.to_string(),
+    })?;
+    Ok(match canonical {
         "GEE" => Box::new(Gee::default()),
         "AE" => Box::new(AdaptiveEstimator::new()),
         "AE-EXP" => Box::new(AdaptiveEstimator::with_form(AeForm::ExpApprox)),
@@ -87,21 +179,26 @@ pub fn by_name(name: &str) -> Option<Box<dyn DistinctEstimator>> {
         "MOM-INF" => Box::new(MethodOfMomentsInfinite),
         "SAMPLE-D" => Box::new(SampleDistinct),
         "SCALEUP" => Box::new(LinearScaleUp),
-        _ => return None,
+        other => unreachable!("canonical_name returned unregistered {other}"),
     })
 }
 
-/// Instantiates every estimator named in `names`.
+/// Instantiates every estimator named in `names`, failing on the first
+/// unknown name.
+pub fn by_names(names: &[&str]) -> Result<Vec<Box<dyn DistinctEstimator>>, UnknownEstimator> {
+    names.iter().map(|n| by_name(n)).collect()
+}
+
+/// [`by_names`] for static configuration (experiment grids, committed
+/// baselines) where a bad name is a bug in this repository, not user
+/// input.
 ///
 /// # Panics
 ///
 /// Panics on an unknown name — harness configuration is static and a typo
 /// should fail loudly.
-pub fn by_names(names: &[&str]) -> Vec<Box<dyn DistinctEstimator>> {
-    names
-        .iter()
-        .map(|n| by_name(n).unwrap_or_else(|| panic!("unknown estimator name: {n}")))
-        .collect()
+pub fn by_names_strict(names: &[&str]) -> Vec<Box<dyn DistinctEstimator>> {
+    by_names(names).unwrap_or_else(|e| panic!("unknown estimator name: {}", e.name()))
 }
 
 /// An estimator wrapper that records per-estimator telemetry into the
@@ -128,6 +225,13 @@ impl DistinctEstimator for Instrumented {
         self.calls.inc();
         dve_obs::time(&self.latency, || self.inner.estimate_raw(profile))
     }
+
+    fn estimate_full(&self, profile: &crate::profile::FrequencyProfile) -> Estimation {
+        // Delegate so estimator-specific intervals (GEE's bounds)
+        // survive the wrapper; record the same call telemetry.
+        self.calls.inc();
+        dve_obs::time(&self.latency, || self.inner.estimate_full(profile))
+    }
 }
 
 /// Wraps an estimator with the [`Instrumented`] telemetry recorder.
@@ -144,7 +248,7 @@ pub fn instrument(inner: Box<dyn DistinctEstimator>) -> Box<dyn DistinctEstimato
 
 /// [`by_name`] plus telemetry: the returned estimator reports call
 /// counts and `estimate()` latency under its registry name.
-pub fn by_name_instrumented(name: &str) -> Option<Box<dyn DistinctEstimator>> {
+pub fn by_name_instrumented(name: &str) -> Result<Box<dyn DistinctEstimator>, UnknownEstimator> {
     by_name(name).map(instrument)
 }
 
@@ -176,6 +280,15 @@ impl DistinctEstimator for Audited {
         );
         v
     }
+
+    fn estimate_full(&self, profile: &crate::profile::FrequencyProfile) -> Estimation {
+        let full = self.inner.estimate_full(profile);
+        dve_obs::audit::record_ratio_error(
+            self.inner.name(),
+            crate::error::ratio_error(full.estimate.max(1.0), self.truth),
+        );
+        full
+    }
 }
 
 /// Wraps an estimator so every estimate is scored against `truth`.
@@ -192,9 +305,17 @@ pub fn audit_against(inner: Box<dyn DistinctEstimator>, truth: f64) -> Box<dyn D
     Box::new(Audited { inner, truth })
 }
 
-/// [`by_names`] plus telemetry, with the same panic-on-typo contract.
-pub fn by_names_instrumented(names: &[&str]) -> Vec<Box<dyn DistinctEstimator>> {
-    by_names(names).into_iter().map(instrument).collect()
+/// [`by_names`] plus telemetry, failing on the first unknown name.
+pub fn by_names_instrumented(
+    names: &[&str],
+) -> Result<Vec<Box<dyn DistinctEstimator>>, UnknownEstimator> {
+    Ok(by_names(names)?.into_iter().map(instrument).collect())
+}
+
+/// [`by_names_strict`] plus telemetry, with the same panic-on-typo
+/// contract — the variant the static experiment grids use.
+pub fn by_names_strict_instrumented(names: &[&str]) -> Vec<Box<dyn DistinctEstimator>> {
+    by_names_strict(names).into_iter().map(instrument).collect()
 }
 
 #[cfg(test)]
@@ -205,8 +326,9 @@ mod tests {
     #[test]
     fn every_registered_name_resolves() {
         for name in ALL_ESTIMATORS {
-            let est = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            let est = by_name(name).unwrap_or_else(|_| panic!("{name} missing"));
             assert_eq!(&est.name(), name, "registry name mismatch for {name}");
+            assert_eq!(canonical_name(name), Some(*name));
         }
     }
 
@@ -224,9 +346,48 @@ mod tests {
     }
 
     #[test]
-    fn unknown_name_is_none() {
-        assert!(by_name("HLL").is_none());
-        assert!(by_name("").is_none());
+    fn unknown_name_is_typed_error() {
+        let err = by_name("HLL").err().unwrap();
+        assert_eq!(err.name(), "HLL");
+        assert_eq!(err.valid_names(), ALL_ESTIMATORS);
+        assert!(by_name("").is_err());
+        assert!(by_names_instrumented(&["GEE", "nope"]).is_err());
+    }
+
+    #[test]
+    fn error_display_carries_hint_and_valid_names() {
+        let err = by_name("GE").err().unwrap();
+        assert_eq!(err.suggestion(), Some("GEE"));
+        let msg = err.to_string();
+        assert!(msg.contains("unknown estimator: GE"), "{msg}");
+        assert!(msg.contains("did you mean GEE?"), "{msg}");
+        assert!(msg.contains("HYBSKEW"), "{msg}");
+        // Far-away names get no suggestion but still list valid names.
+        let err = by_name("zzzzzzzz").err().unwrap();
+        assert_eq!(err.suggestion(), None);
+        assert!(!err.to_string().contains("did you mean"));
+    }
+
+    #[test]
+    fn suggestion_tolerates_case_and_small_typos() {
+        assert_eq!(by_name("hybge").err().unwrap().suggestion(), Some("HYBGEE"));
+        assert_eq!(
+            by_name("shloser").err().unwrap().suggestion(),
+            Some("SHLOSSER")
+        );
+        assert_eq!(
+            by_name("mom-inf ").err().unwrap().suggestion(),
+            Some("MOM-INF")
+        );
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("GEE", "gee"), 0);
+        assert_eq!(edit_distance("GEE", "GE"), 1);
+        assert_eq!(edit_distance("AE", "GEE"), 2);
     }
 
     #[test]
@@ -246,8 +407,8 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "unknown estimator")]
-    fn by_names_panics_on_typo() {
-        by_names(&["GEE", "GE"]);
+    fn by_names_strict_panics_on_typo() {
+        by_names_strict(&["GEE", "GE"]);
     }
 
     #[test]
@@ -273,8 +434,24 @@ mod tests {
     }
 
     #[test]
-    fn by_names_instrumented_resolves_paper_set() {
-        let ests = by_names_instrumented(PAPER_ESTIMATORS);
+    fn instrumented_estimate_full_preserves_interval_and_records() {
+        let p = FrequencyProfile::from_spectrum(100_000, vec![30, 12, 4, 1]).unwrap();
+        let plain = by_name("GEE").unwrap().estimate_full(&p);
+        let calls_before = dve_obs::global()
+            .counter_labeled("core.estimate.calls", "GEE")
+            .get();
+        let wrapped = by_name_instrumented("GEE").unwrap().estimate_full(&p);
+        assert_eq!(plain, wrapped);
+        assert!(wrapped.interval.is_some(), "GEE interval lost in wrapper");
+        let calls_after = dve_obs::global()
+            .counter_labeled("core.estimate.calls", "GEE")
+            .get();
+        assert_eq!(calls_after - calls_before, 1);
+    }
+
+    #[test]
+    fn by_names_strict_instrumented_resolves_paper_set() {
+        let ests = by_names_strict_instrumented(PAPER_ESTIMATORS);
         let names: Vec<&str> = ests.iter().map(|e| e.name()).collect();
         assert_eq!(names, PAPER_ESTIMATORS.to_vec());
     }
@@ -298,6 +475,17 @@ mod tests {
             (1700..=2300).contains(&recorded),
             "recorded ratio {recorded} ‰ should be ≈ 2000 ‰"
         );
+    }
+
+    #[test]
+    fn audited_estimate_full_passes_through_and_records() {
+        let p = FrequencyProfile::from_spectrum(100_000, vec![30, 12, 4, 1]).unwrap();
+        let expected = by_name("AE").unwrap().estimate_full(&p);
+        let audited = audit_against(by_name("AE").unwrap(), expected.estimate.max(1.0));
+        let hist = dve_obs::audit::ratio_error_histogram("AE");
+        let before = hist.count();
+        assert_eq!(audited.estimate_full(&p), expected);
+        assert_eq!(hist.count(), before + 1);
     }
 
     #[test]

@@ -194,7 +194,7 @@ pub fn run_audit(config: &AuditConfig) -> AuditReport {
     // Satellite of the parallel refactor: the estimator set is resolved
     // once per sweep and shared by every worker (estimators are
     // `Send + Sync`), never re-looked-up inside the trial loop.
-    let ests = estimators::by_names_instrumented(&names);
+    let ests = estimators::by_names_strict_instrumented(&names);
     let audit_ae_forms = names.iter().any(|n| n.eq_ignore_ascii_case("AE"));
     let jobs = dve_par::resolve_jobs((config.jobs > 0).then_some(config.jobs));
 

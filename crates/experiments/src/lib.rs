@@ -17,7 +17,8 @@
 //!   parallel timings for the audit sweep and ANALYZE, with a
 //!   determinism check and the `BENCH_perf.json` regression gate;
 //! * [`minijson`] — the dependency-free JSON reader the gates parse
-//!   baselines with.
+//!   baselines with (re-exported from `dve-obs`, where the serve API
+//!   shares it).
 //!
 //! Run everything with the bundled binary:
 //!
@@ -32,10 +33,10 @@
 pub mod audit;
 pub mod config;
 pub mod figures;
-pub mod minijson;
 pub mod perf;
 pub mod report;
 pub mod runner;
 
+pub use dve_obs::minijson;
 pub use figures::{all_experiments, experiment_by_id, ExperimentCtx};
 pub use report::ExperimentReport;

@@ -107,7 +107,7 @@ pub fn run_point_jobs(
 ) -> Vec<EstimatorPoint> {
     assert!(trials > 0, "need at least one trial");
     assert!(true_distinct > 0, "column must have at least one value");
-    let estimators = registry::by_names_instrumented(estimator_names);
+    let estimators = registry::by_names_strict_instrumented(estimator_names);
     let truth = true_distinct as f64;
     let jobs = dve_par::resolve_jobs((jobs > 0).then_some(jobs));
 

@@ -70,6 +70,7 @@
 pub mod audit;
 pub mod event;
 pub mod metrics;
+pub mod minijson;
 pub mod prom;
 pub mod registry;
 pub mod span;

@@ -1,11 +1,13 @@
-//! A dependency-free JSON reader for the audit baseline format.
+//! A dependency-free JSON reader.
 //!
-//! The audit subsystem both writes and *reads* `BENCH_accuracy.json`
-//! (the `--check` regression gate parses a committed baseline). The
-//! writer is hand-rolled like the rest of the workspace's telemetry
-//! output; this module is the matching reader: a small recursive-descent
-//! parser for the full JSON grammar, kept independent of `serde_json` so
-//! the CI gate works identically in offline/stub builds.
+//! The workspace hand-rolls all of its JSON *writers* (telemetry
+//! snapshots, audit baselines, the serve API responses); this module is
+//! the matching reader: a small recursive-descent parser for the full
+//! JSON grammar, kept independent of `serde_json` so the CI gates and
+//! the `dve serve` request parser work identically in offline/stub
+//! builds. It started life next to the audit regression gate in
+//! `dve-experiments` and moved here once the serve daemon needed the
+//! same reader for request bodies.
 //!
 //! It favors clarity over speed — baselines are a few kilobytes — and
 //! reports errors with a byte offset for debuggability.
@@ -315,7 +317,7 @@ mod tests {
     fn round_trips_snapshot_json() {
         // The obs registry's hand-rolled writer must be readable by this
         // parser — they are two halves of the same contract.
-        let r = dve_obs::Registry::new();
+        let r = crate::Registry::new();
         r.counter_labeled("a.count", "x\"y").add(3);
         r.histogram("lat_ns").record(1000);
         let parsed = parse(&r.snapshot().to_json()).unwrap();

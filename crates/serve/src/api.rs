@@ -1,0 +1,434 @@
+//! Request routing and the stable `/v1` request/response contract.
+//!
+//! Every response body is JSON except `GET /metrics` (Prometheus text
+//! exposition). Errors use one envelope everywhere:
+//!
+//! ```json
+//! {"error":{"code":"unknown_estimator","message":"unknown estimator: GE (did you mean GEE?); …"}}
+//! ```
+//!
+//! Request bodies are decoded with the workspace's dependency-free
+//! [`dve_obs::minijson`] reader — the same parser the CI accuracy gates
+//! trust — so malformed JSON is a structured 400, never a panic.
+
+use crate::http::Request;
+use crate::pipeline::{self, PipelineError};
+use dve_obs::minijson::{self, JsonValue};
+use dve_storage::analyze::AnalyzeError;
+use dve_storage::{
+    analyze_table_jobs, columns_to_json, AnalyzeOptions, Column, DataType, Field, Schema, Table,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A fully rendered response, ready for [`crate::http::write_response`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// The error envelope every failure uses.
+    pub fn error(status: u16, code: &str, message: &str) -> Self {
+        let mut body = String::with_capacity(64 + message.len());
+        body.push_str("{\"error\":{\"code\":\"");
+        body.push_str(code);
+        body.push_str("\",\"message\":\"");
+        escape_into(&mut body, message);
+        body.push_str("\"}}");
+        Response::json(status, body)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// The route label used for `serve.requests` metrics.
+pub fn route_label(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        (_, "/healthz") => "healthz",
+        (_, "/metrics") => "metrics",
+        (_, "/v1/estimators") => "estimators",
+        (_, "/v1/estimate") => "estimate",
+        (_, "/v1/analyze") => "analyze",
+        _ => "other",
+    }
+}
+
+/// Routes one parsed request to its handler.
+pub fn handle(req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}".to_string()),
+        ("GET", "/v1/estimators") => estimators(),
+        ("GET", "/metrics") => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: dve_obs::global().snapshot().to_prometheus(),
+        },
+        ("POST", "/v1/estimate") => estimate(&req.body),
+        ("POST", "/v1/analyze") => analyze(&req.body),
+        (_, "/healthz" | "/metrics" | "/v1/estimators" | "/v1/estimate" | "/v1/analyze") => {
+            Response::error(405, "method_not_allowed", "wrong method for this path")
+        }
+        (_, path) => Response::error(404, "not_found", &format!("no such path: {path}")),
+    }
+}
+
+fn estimators() -> Response {
+    let mut body = String::from("{\"estimators\":[");
+    for (i, name) in dve_core::registry::ALL_ESTIMATORS.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push('"');
+        body.push_str(name);
+        body.push('"');
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+/// Decodes the shared `estimator`/`fraction`/`seed` knobs with their
+/// defaults (AE, 1%, 42 — the CLI's defaults).
+struct CommonKnobs {
+    estimator: String,
+    fraction: f64,
+    seed: u64,
+}
+
+fn common_knobs(root: &JsonValue) -> Result<CommonKnobs, Response> {
+    let estimator = match root.get("estimator") {
+        None => "AE".to_string(),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| Response::error(400, "bad_request", "\"estimator\" must be a string"))?
+            .to_string(),
+    };
+    let fraction = match root.get("fraction") {
+        None => 0.01,
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| Response::error(400, "bad_request", "\"fraction\" must be a number"))?,
+    };
+    let seed = match root.get("seed") {
+        None => 42,
+        Some(v) => v.as_u64().ok_or_else(|| {
+            Response::error(
+                400,
+                "bad_request",
+                "\"seed\" must be a non-negative integer",
+            )
+        })?,
+    };
+    Ok(CommonKnobs {
+        estimator,
+        fraction,
+        seed,
+    })
+}
+
+fn parse_body(body: &[u8]) -> Result<JsonValue, Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Response::error(400, "malformed_json", "request body is not UTF-8"))?;
+    minijson::parse(text).map_err(|e| Response::error(400, "malformed_json", &e))
+}
+
+fn pipeline_error(err: PipelineError) -> Response {
+    let code = match &err {
+        PipelineError::UnknownEstimator(_) => "unknown_estimator",
+        _ => "bad_request",
+    };
+    Response::error(400, code, &err.to_string())
+}
+
+/// `POST /v1/estimate` — two input modes:
+///
+/// * `{"n": 10000, "spectrum": [40, 30], "estimator": "GEE"}` — the
+///   client sampled elsewhere and ships the frequency spectrum;
+/// * `{"values": ["a", "b", …], "fraction": 0.05, "seed": 7}` — raw
+///   values; the daemon samples, profiles, and estimates.
+fn estimate(body: &[u8]) -> Response {
+    let root = match parse_body(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let knobs = match common_knobs(&root) {
+        Ok(k) => k,
+        Err(resp) => return resp,
+    };
+
+    let outcome = match (root.get("spectrum"), root.get("values")) {
+        (Some(_), Some(_)) => {
+            return Response::error(
+                400,
+                "bad_request",
+                "provide either \"spectrum\" or \"values\", not both",
+            )
+        }
+        (Some(spec), None) => {
+            let Some(items) = spec.as_array() else {
+                return Response::error(400, "bad_request", "\"spectrum\" must be an array");
+            };
+            let mut spectrum = Vec::with_capacity(items.len());
+            for item in items {
+                let Some(f) = item.as_u64() else {
+                    return Response::error(
+                        400,
+                        "bad_request",
+                        "\"spectrum\" entries must be non-negative integers",
+                    );
+                };
+                spectrum.push(f);
+            }
+            let Some(n) = root.get("n").and_then(JsonValue::as_u64) else {
+                return Response::error(
+                    400,
+                    "bad_request",
+                    "spectrum mode requires \"n\" (the table row count)",
+                );
+            };
+            pipeline::estimate_spectrum(n, spectrum, &knobs.estimator)
+        }
+        (None, Some(values)) => {
+            let Some(items) = values.as_array() else {
+                return Response::error(400, "bad_request", "\"values\" must be an array");
+            };
+            let mut strings = Vec::with_capacity(items.len());
+            for item in items {
+                match item {
+                    JsonValue::Str(s) => strings.push(s.clone()),
+                    JsonValue::Num(v) => strings.push(format!("{v}")),
+                    _ => {
+                        return Response::error(
+                            400,
+                            "bad_request",
+                            "\"values\" entries must be strings or numbers",
+                        )
+                    }
+                }
+            }
+            pipeline::estimate_values(&strings, &knobs.estimator, knobs.fraction, knobs.seed)
+        }
+        (None, None) => {
+            return Response::error(
+                400,
+                "bad_request",
+                "provide \"spectrum\" (with \"n\") or \"values\"",
+            )
+        }
+    };
+
+    match outcome {
+        Ok(out) => Response::json(200, out.to_json()),
+        Err(err) => pipeline_error(err),
+    }
+}
+
+/// `POST /v1/analyze` — inline rows, analyzed exactly like
+/// `dve analyze` analyzes a stored table:
+///
+/// ```json
+/// {"columns": [{"name": "city", "values": ["ann arbor", null, "troy"]}],
+///  "estimator": "AE", "fraction": 0.5, "seed": 42}
+/// ```
+fn analyze(body: &[u8]) -> Response {
+    let root = match parse_body(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let knobs = match common_knobs(&root) {
+        Ok(k) => k,
+        Err(resp) => return resp,
+    };
+
+    let Some(cols) = root.get("columns").and_then(JsonValue::as_array) else {
+        return Response::error(400, "bad_request", "\"columns\" must be a non-empty array");
+    };
+    if cols.is_empty() {
+        return Response::error(400, "bad_request", "\"columns\" must be a non-empty array");
+    }
+    let mut fields = Vec::with_capacity(cols.len());
+    let mut columns = Vec::with_capacity(cols.len());
+    for (i, col) in cols.iter().enumerate() {
+        let Some(name) = col.get("name").and_then(JsonValue::as_str) else {
+            return Response::error(
+                400,
+                "bad_request",
+                &format!("columns[{i}] needs a \"name\""),
+            );
+        };
+        let Some(values) = col.get("values").and_then(JsonValue::as_array) else {
+            return Response::error(
+                400,
+                "bad_request",
+                &format!("columns[{i}] needs a \"values\" array"),
+            );
+        };
+        let mut rendered: Vec<Option<String>> = Vec::with_capacity(values.len());
+        for v in values {
+            match v {
+                JsonValue::Null => rendered.push(None),
+                JsonValue::Str(s) => rendered.push(Some(s.clone())),
+                JsonValue::Num(x) => rendered.push(Some(format!("{x}"))),
+                JsonValue::Bool(b) => rendered.push(Some(b.to_string())),
+                _ => {
+                    return Response::error(
+                        400,
+                        "bad_request",
+                        &format!("columns[{i}] values must be scalars or null"),
+                    )
+                }
+            }
+        }
+        let opts: Vec<Option<&str>> = rendered.iter().map(|v| v.as_deref()).collect();
+        fields.push(Field::nullable(name, DataType::Str));
+        columns.push(Column::from_strs_opt(&opts));
+    }
+    let table = match Table::new(Schema::new(fields), columns) {
+        Ok(t) => t,
+        Err(e) => return Response::error(400, "bad_request", &e.to_string()),
+    };
+
+    let options = AnalyzeOptions {
+        sampling_fraction: knobs.fraction,
+        estimator: knobs.estimator,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(knobs.seed);
+    match analyze_table_jobs(&table, &options, 0, &mut rng) {
+        Ok(stats) => Response::json(200, format!("{{\"columns\":{}}}", columns_to_json(&stats))),
+        Err(AnalyzeError::UnknownEstimator(err)) => {
+            Response::error(400, "unknown_estimator", &err.to_string())
+        }
+        Err(e) => Response::error(400, "bad_request", &e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(path: &str, body: &str) -> Response {
+        handle(&Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            body: body.as_bytes().to_vec(),
+        })
+    }
+
+    fn get(path: &str) -> Response {
+        handle(&Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            body: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn healthz_and_estimators() {
+        assert_eq!(get("/healthz").status, 200);
+        let resp = get("/v1/estimators");
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"GEE\""));
+        assert!(resp.body.contains("\"AE\""));
+    }
+
+    #[test]
+    fn estimate_spectrum_mode_matches_pipeline() {
+        let resp = post(
+            "/v1/estimate",
+            r#"{"estimator":"GEE","n":10000,"spectrum":[40,30]}"#,
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let expected = pipeline::estimate_spectrum(10_000, vec![40, 30], "GEE").unwrap();
+        assert_eq!(resp.body, expected.to_json());
+    }
+
+    #[test]
+    fn estimate_values_mode_matches_pipeline() {
+        let resp = post(
+            "/v1/estimate",
+            r#"{"values":["a","b","a","c","b","a"],"fraction":0.5,"seed":7}"#,
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let values = ["a", "b", "a", "c", "b", "a"];
+        let expected = pipeline::estimate_values(&values, "AE", 0.5, 7).unwrap();
+        assert_eq!(resp.body, expected.to_json());
+    }
+
+    #[test]
+    fn estimate_rejects_bad_shapes() {
+        assert_eq!(post("/v1/estimate", "{not json").status, 400);
+        assert!(post("/v1/estimate", "{not json")
+            .body
+            .contains("malformed_json"));
+        assert_eq!(post("/v1/estimate", "{}").status, 400);
+        assert_eq!(
+            post("/v1/estimate", r#"{"n":10,"spectrum":[1],"values":["a"]}"#).status,
+            400
+        );
+        assert_eq!(post("/v1/estimate", r#"{"spectrum":[1]}"#).status, 400);
+        assert_eq!(
+            post("/v1/estimate", r#"{"n":10,"spectrum":[1.5]}"#).status,
+            400
+        );
+        let resp = post(
+            "/v1/estimate",
+            r#"{"n":10,"spectrum":[1],"estimator":"GE"}"#,
+        );
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("unknown_estimator"), "{}", resp.body);
+        assert!(resp.body.contains("did you mean GEE?"), "{}", resp.body);
+    }
+
+    #[test]
+    fn analyze_roundtrip_and_errors() {
+        let resp = post(
+            "/v1/analyze",
+            r#"{"columns":[{"name":"city","values":["a",null,"b","a"]}],"fraction":1.0}"#,
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"column\":\"city\""), "{}", resp.body);
+        assert!(resp.body.contains("\"estimation\":{"), "{}", resp.body);
+
+        assert_eq!(post("/v1/analyze", r#"{"columns":[]}"#).status, 400);
+        assert_eq!(
+            post("/v1/analyze", r#"{"columns":[{"name":"c"}]}"#).status,
+            400
+        );
+        // Ragged columns are a table-construction error, reported as 400.
+        let ragged = post(
+            "/v1/analyze",
+            r#"{"columns":[{"name":"a","values":["x"]},{"name":"b","values":["x","y"]}]}"#,
+        );
+        assert_eq!(ragged.status, 400, "{}", ragged.body);
+    }
+
+    #[test]
+    fn unknown_routes_and_methods() {
+        assert_eq!(get("/nope").status, 404);
+        assert_eq!(post("/healthz", "").status, 405);
+        assert_eq!(get("/v1/estimate").status, 405);
+    }
+}

@@ -1,0 +1,261 @@
+//! A deliberately small HTTP/1.1 reader/writer over `TcpStream`.
+//!
+//! The daemon needs exactly one request per connection (`Connection:
+//! close` semantics), bounded header/body sizes, and read deadlines —
+//! nothing else. Hand-rolling those ~200 lines keeps the workspace's
+//! zero-external-dependency discipline and makes every failure mode an
+//! explicit enum variant the server maps onto a status code.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on the request line + headers. Requests are tiny JSON
+/// bodies; 16 KiB of headers is already pathological.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request: method, path, and the (possibly empty) body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), as sent.
+    pub method: String,
+    /// Request path (`/v1/estimate`), query string stripped.
+    pub path: String,
+    /// The request body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read. Each variant maps to one status
+/// code in the server's error handling.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The client did not deliver the request within the read deadline
+    /// (→ 408).
+    Timeout,
+    /// The declared `Content-Length` exceeds the configured limit
+    /// (→ 413).
+    BodyTooLarge {
+        /// The configured limit the request exceeded, in bytes.
+        limit: usize,
+    },
+    /// The bytes on the wire are not an HTTP/1.1 request we accept
+    /// (→ 400).
+    Malformed(String),
+    /// The connection failed mid-read (no response possible).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Timeout => write!(f, "timed out reading the request"),
+            ReadError::BodyTooLarge { limit } => {
+                write!(f, "request body exceeds the {limit}-byte limit")
+            }
+            ReadError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            ReadError::Io(e) => write!(f, "i/o error reading the request: {e}"),
+        }
+    }
+}
+
+fn classify_io(e: std::io::Error) -> ReadError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ReadError::Timeout,
+        _ => ReadError::Io(e),
+    }
+}
+
+/// Reads one request from `stream`, enforcing the read deadline and the
+/// body-size limit. The deadline is approximate (it is applied as a
+/// per-`read(2)` timeout, so a byte-at-a-time trickler can stretch it),
+/// which is all a load-shedding daemon needs.
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body_bytes: usize,
+    read_timeout: Duration,
+) -> Result<Request, ReadError> {
+    stream
+        .set_read_timeout(Some(read_timeout))
+        .map_err(ReadError::Io)?;
+
+    // Accumulate until the blank line that ends the header block.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ReadError::Malformed(format!(
+                "header block exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let k = stream.read(&mut chunk).map_err(classify_io)?;
+        if k == 0 {
+            return Err(ReadError::Malformed(
+                "connection closed before the header block ended".to_string(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..k]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ReadError::Malformed("header block is not UTF-8".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(ReadError::Malformed(format!(
+                "bad request line: {request_line:?}"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ReadError::Malformed(format!(
+            "unsupported protocol version: {version}"
+        )));
+    }
+
+    let mut content_length: usize = 0;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().map_err(|_| {
+                ReadError::Malformed(format!("bad content-length: {}", value.trim()))
+            })?;
+        }
+    }
+    if content_length > max_body_bytes {
+        return Err(ReadError::BodyTooLarge {
+            limit: max_body_bytes,
+        });
+    }
+
+    // Body: whatever arrived past the head, then read the rest.
+    let body_start = head_end + 4; // skip the \r\n\r\n separator
+    let mut body: Vec<u8> = buf[body_start.min(buf.len())..].to_vec();
+    while body.len() < content_length {
+        let k = stream.read(&mut chunk).map_err(classify_io)?;
+        if k == 0 {
+            return Err(ReadError::Malformed(
+                "connection closed before the declared body arrived".to_string(),
+            ));
+        }
+        body.extend_from_slice(&chunk[..k]);
+    }
+    body.truncate(content_length);
+
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The reason phrase for every status the daemon emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete one-shot response (`Connection: close`) and
+/// flushes it. Write failures are returned for accounting but the
+/// connection is torn down either way.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_text(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            // Keep the connection open so a short read means "timeout",
+            // not "closed".
+            std::thread::sleep(Duration::from_millis(400));
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let got = read_request(&mut stream, 1024, Duration::from_millis(200));
+        client.join().unwrap();
+        got
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = roundtrip(
+            b"POST /v1/estimate?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/estimate");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = roundtrip(b"GET /healthz HTTP/1.1\r\nHost: h\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_by_declared_length() {
+        let err = roundtrip(b"POST /v1/estimate HTTP/1.1\r\nContent-Length: 9999\r\n\r\n")
+            .err()
+            .unwrap();
+        assert!(matches!(err, ReadError::BodyTooLarge { limit: 1024 }));
+    }
+
+    #[test]
+    fn slow_client_times_out() {
+        let err = roundtrip(b"POST /v1/estimate HTTP/1.1\r\nContent-Le")
+            .err()
+            .unwrap();
+        assert!(matches!(err, ReadError::Timeout), "{err:?}");
+    }
+
+    #[test]
+    fn garbage_is_malformed() {
+        let err = roundtrip(b"NONSENSE\r\n\r\n").err().unwrap();
+        assert!(matches!(err, ReadError::Malformed(_)), "{err:?}");
+    }
+}

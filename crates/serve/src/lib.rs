@@ -1,0 +1,411 @@
+//! # dve-serve — the estimation service daemon behind `dve serve`
+//!
+//! Distinct-value estimators live inside long-running services: query
+//! optimizers call them per column on every plan, and distributed
+//! deployments estimate NDV over sampled partitions behind an RPC
+//! boundary. This crate runs the workspace's full pipeline as such a
+//! daemon — hand-rolled HTTP/1.1 over [`std::net::TcpListener`], in
+//! keeping with the zero-external-dependency discipline (no tokio, no
+//! hyper).
+//!
+//! ## Endpoints
+//!
+//! | Route | Purpose |
+//! |---|---|
+//! | `POST /v1/estimate` | frequency spectrum or raw values in, [`dve_core::Estimation`] + GEE interval out |
+//! | `POST /v1/analyze` | inline rows → per-column optimizer statistics via `analyze_table_jobs` |
+//! | `GET /metrics` | the `dve-obs` Prometheus text exposition |
+//! | `GET /healthz` | liveness |
+//! | `GET /v1/estimators` | registry listing |
+//!
+//! ## Robustness model
+//!
+//! Accepted connections enter a **bounded queue**; when it is full the
+//! accept loop immediately answers `429` and bumps the `serve.shed`
+//! counter instead of letting latency grow without bound (load
+//! shedding). The queue is drained by a fixed pool of workers running
+//! on [`dve_par::run_indexed`] — the same deterministic pool the audit
+//! sweeps use. Each worker enforces a **read deadline** while parsing
+//! (slow client → `408`) and a **handle deadline** measured from accept
+//! time (request sat queued too long → `504`). Oversized bodies are
+//! refused with `413` before being read. Malformed JSON and unknown
+//! estimator names are structured `400`s with an error envelope.
+//!
+//! Shutdown is graceful: on [`ServerHandle::shutdown`] or SIGTERM/
+//! SIGINT (see [`signal`]) the accept loop stops, already-queued
+//! requests are drained and answered, and [`Server::run`] returns.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use dve_serve::{ServeConfig, Server};
+//!
+//! let server = Server::bind(ServeConfig::default()).unwrap();
+//! println!("listening on {}", server.local_addr().unwrap());
+//! server.run().unwrap();
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http;
+pub mod pipeline;
+pub mod signal;
+
+pub use api::Response;
+pub use pipeline::{EstimateOutcome, PipelineError};
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration. [`ServeConfig::default`] is tuned for a small
+/// sidecar: localhost, a 64-deep queue, 1 MiB bodies, 5 s read / 10 s
+/// handle deadlines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7171`. Use port `0` for an
+    /// ephemeral port (tests).
+    pub addr: String,
+    /// Worker threads draining the queue; `0` resolves through
+    /// [`dve_par::resolve_jobs`] (`--jobs` override → `DVE_JOBS` → host
+    /// parallelism).
+    pub jobs: usize,
+    /// Accepted connections allowed to wait for a worker before new
+    /// arrivals are shed with `429`.
+    pub queue_depth: usize,
+    /// Largest request body accepted; longer declarations get `413`.
+    pub max_body_bytes: usize,
+    /// Per-request read deadline; slower clients get `408`.
+    pub read_timeout: Duration,
+    /// Deadline from accept to the start of handling; requests that sat
+    /// queued longer get `504` instead of stale processing.
+    pub handle_deadline: Duration,
+    /// Artificial pause inserted before handling each request — a fault
+    /// -injection knob for tests and load drills (exercises queue
+    /// buildup, shedding, and the handle deadline). Zero in production.
+    pub handle_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7171".to_string(),
+            jobs: 0,
+            queue_depth: 64,
+            max_body_bytes: 1024 * 1024,
+            read_timeout: Duration::from_secs(5),
+            handle_deadline: Duration::from_secs(10),
+            handle_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// One accepted connection waiting for a worker.
+struct Job {
+    stream: TcpStream,
+    accepted_at: Instant,
+}
+
+/// The bounded handoff between the accept loop and the worker pool:
+/// a mutex-guarded deque with a condvar for parked workers. `close`
+/// wakes everyone; workers drain what is already queued, then exit.
+struct RequestQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    depth: usize,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl RequestQueue {
+    fn new(depth: usize) -> Self {
+        RequestQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(depth),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            depth,
+        }
+    }
+
+    /// Enqueues unless the queue is at depth (or closed); the job is
+    /// handed back on refusal so the caller can shed it.
+    fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed || state.jobs.len() >= self.depth {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed *and*
+    /// drained — the drain is what makes shutdown graceful.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue lock");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Remote control for a running [`Server`]: cloneable, sendable, and
+/// the only way (besides a signal) to stop `run`.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Requests a graceful shutdown: stop accepting, drain the queue,
+    /// return from [`Server::run`].
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A bound (but not yet running) daemon.
+pub struct Server {
+    config: ServeConfig,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// How often the accept loop re-checks the shutdown flag while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+impl Server {
+    /// Binds the listen socket. The daemon starts serving on [`run`].
+    ///
+    /// [`run`]: Server::run
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            config,
+            listener,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually-bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shutdown: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Serves until [`ServerHandle::shutdown`] or a termination signal
+    /// (if [`signal::install`] was called), then drains in-flight and
+    /// queued requests and returns.
+    ///
+    /// The calling thread runs the accept loop; request handling is fed
+    /// into the [`dve_par`] worker pool (`config.jobs` threads, `0` =
+    /// the process default).
+    pub fn run(self) -> std::io::Result<()> {
+        let jobs = dve_par::resolve_jobs(match self.config.jobs {
+            0 => None,
+            j => Some(j),
+        });
+        let queue = RequestQueue::new(self.config.queue_depth);
+        let obs = dve_obs::global();
+        let shed_total = obs.counter("serve.shed");
+
+        std::thread::scope(|s| {
+            let accept = s.spawn(|| {
+                loop {
+                    if self.shutdown.load(Ordering::Relaxed) || signal::requested() {
+                        break;
+                    }
+                    match self.listener.accept() {
+                        Ok((stream, _peer)) => {
+                            // The listener is non-blocking (so the loop
+                            // can poll the shutdown flag); accepted
+                            // streams must not inherit that on any
+                            // platform — workers rely on timeouts.
+                            let _ = stream.set_nonblocking(false);
+                            let job = Job {
+                                stream,
+                                accepted_at: Instant::now(),
+                            };
+                            if let Err(refused) = queue.try_push(job) {
+                                // Load shedding: answer 429 right here in
+                                // the accept thread — cheap, bounded work
+                                // that keeps the queue's latency promise.
+                                shed_total.inc();
+                                respond(
+                                    refused,
+                                    &self.config,
+                                    Response::error(
+                                        429,
+                                        "overloaded",
+                                        "request queue is full, retry later",
+                                    ),
+                                );
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        // Transient per-connection accept errors (e.g.
+                        // ECONNABORTED) — keep serving.
+                        Err(_) => {}
+                    }
+                }
+                queue.close();
+            });
+
+            // Feed the queue into the deterministic worker pool: one
+            // long-lived worker loop per pool slot, each draining jobs
+            // until close-and-empty.
+            dve_par::run_indexed(jobs, jobs, |_w| {
+                while let Some(job) = queue.pop() {
+                    serve_one(job, &self.config);
+                }
+            });
+            accept.join().expect("accept loop never panics");
+            Ok(())
+        })
+    }
+}
+
+/// Reads, routes, and answers one queued connection, recording the
+/// `serve.*` telemetry.
+fn serve_one(job: Job, config: &ServeConfig) {
+    let obs = dve_obs::global();
+    let started = Instant::now();
+
+    // Handle deadline: if the request sat queued past the deadline, the
+    // client is better served by a fast 504 than a stale answer.
+    if job.accepted_at.elapsed() > config.handle_deadline {
+        obs.counter_labeled("serve.requests", "expired").inc();
+        respond(
+            job,
+            config,
+            Response::error(
+                504,
+                "deadline_exceeded",
+                "request sat queued past the deadline",
+            ),
+        );
+        return;
+    }
+
+    if !config.handle_delay.is_zero() {
+        std::thread::sleep(config.handle_delay);
+    }
+
+    let mut job = job;
+    let response =
+        match http::read_request(&mut job.stream, config.max_body_bytes, config.read_timeout) {
+            Ok(req) => {
+                obs.counter_labeled("serve.requests", api::route_label(&req.method, &req.path))
+                    .inc();
+                api::handle(&req)
+            }
+            Err(err) => {
+                obs.counter_labeled("serve.requests", "unreadable").inc();
+                match err {
+                    http::ReadError::Timeout => {
+                        Response::error(408, "read_timeout", "timed out reading the request")
+                    }
+                    http::ReadError::BodyTooLarge { limit } => Response::error(
+                        413,
+                        "body_too_large",
+                        &format!("request body exceeds the {limit}-byte limit"),
+                    ),
+                    http::ReadError::Malformed(msg) => Response::error(400, "bad_request", &msg),
+                    // Connection already failed; nothing to answer.
+                    http::ReadError::Io(_) => return,
+                }
+            }
+        };
+
+    respond(job, config, response);
+    obs.histogram("serve.request_ns")
+        .record(started.elapsed().as_nanos() as u64);
+}
+
+/// Writes `response` and tears the connection down, counting the status.
+fn respond(mut job: Job, config: &ServeConfig, response: Response) {
+    dve_obs::global()
+        .counter_labeled("serve.responses", &response.status.to_string())
+        .inc();
+    // A client that never reads must not wedge the writer either.
+    let _ = job.stream.set_write_timeout(Some(config.read_timeout));
+    // A failed write means the client is gone; nothing useful remains.
+    let _ = http::write_response(
+        &mut job.stream,
+        response.status,
+        response.content_type,
+        &response.body,
+    );
+    let _ = job.stream.shutdown(std::net::Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_sheds_at_depth_and_drains_after_close() {
+        let q = RequestQueue::new(1);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mk = || {
+            let _c = TcpStream::connect(addr).unwrap();
+            let (stream, _) = listener.accept().unwrap();
+            Job {
+                stream,
+                accepted_at: Instant::now(),
+            }
+        };
+        assert!(q.try_push(mk()).is_ok());
+        assert!(q.try_push(mk()).is_err(), "depth-1 queue must refuse");
+        q.close();
+        assert!(q.pop().is_some(), "queued job survives close (drain)");
+        assert!(q.pop().is_none(), "closed and drained");
+        assert!(q.try_push(mk()).is_err(), "closed queue refuses pushes");
+    }
+
+    #[test]
+    fn handle_stops_run() {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let handle = server.handle();
+        let t = std::thread::spawn(move || server.run());
+        std::thread::sleep(Duration::from_millis(60));
+        handle.shutdown();
+        t.join().unwrap().unwrap();
+    }
+}

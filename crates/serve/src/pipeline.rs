@@ -1,0 +1,203 @@
+//! The estimation pipeline shared by `dve estimate` and `/v1/estimate`.
+//!
+//! Both entry points MUST produce byte-identical results for the same
+//! input, so the whole hash → sample → profile → estimate chain lives
+//! here once and the CLI and the daemon both call it. The serve
+//! integration test pins that contract by comparing the daemon's JSON
+//! against an in-process call of these functions.
+
+use dve_core::bounds::{gee_confidence_interval, ConfidenceInterval};
+use dve_core::estimator::{DistinctEstimator, Estimation};
+use dve_core::profile::FrequencyProfile;
+use dve_core::registry::{self, UnknownEstimator};
+use dve_sample::SamplingScheme;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Everything one estimate request produces: the requested estimator's
+/// full result plus GEE's `[LOWER, UPPER]` interval, which is valid for
+/// the sample regardless of which estimator produced the point estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateOutcome {
+    /// The requested estimator's typed result.
+    pub estimation: Estimation,
+    /// GEE's confidence interval for the same sample.
+    pub gee: ConfidenceInterval,
+}
+
+impl EstimateOutcome {
+    /// The stable response encoding: the [`Estimation`] JSON contract
+    /// under `"estimation"`, GEE's bounds under `"gee_interval"`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"estimation\":{},\"gee_interval\":{{\"lower\":{},\"upper\":{}}}}}",
+            self.estimation.to_json(),
+            self.gee.lower,
+            self.gee.upper,
+        )
+    }
+}
+
+/// Why the pipeline rejected a request. Maps to exit code 2 in the CLI
+/// and HTTP 400 in the daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The estimator name is not in the registry.
+    UnknownEstimator(UnknownEstimator),
+    /// The sampling fraction is outside `(0, 1]`.
+    BadFraction(f64),
+    /// No input values / empty spectrum.
+    EmptyInput,
+    /// The provided spectrum is internally inconsistent (e.g. implies a
+    /// sample larger than the table).
+    BadSpectrum(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::UnknownEstimator(err) => write!(f, "{err}"),
+            PipelineError::BadFraction(v) => {
+                write!(f, "sampling fraction must be in (0, 1], got {v}")
+            }
+            PipelineError::EmptyInput => write!(f, "input is empty"),
+            PipelineError::BadSpectrum(msg) => write!(f, "bad frequency spectrum: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<UnknownEstimator> for PipelineError {
+    fn from(err: UnknownEstimator) -> Self {
+        PipelineError::UnknownEstimator(err)
+    }
+}
+
+fn outcome(estimator: &dyn DistinctEstimator, profile: &FrequencyProfile) -> EstimateOutcome {
+    EstimateOutcome {
+        estimation: estimator.estimate_full(profile),
+        gee: gee_confidence_interval(profile),
+    }
+}
+
+/// Estimates distinct values among `values`: hash every value, draw a
+/// without-replacement sample of `round(fraction · n)` rows with a
+/// `ChaCha8` stream seeded by `seed`, profile it, and run the named
+/// estimator — the exact chain `dve estimate` runs, instrumented the
+/// same way.
+pub fn estimate_values<S: AsRef<str>>(
+    values: &[S],
+    estimator_name: &str,
+    fraction: f64,
+    seed: u64,
+) -> Result<EstimateOutcome, PipelineError> {
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err(PipelineError::BadFraction(fraction));
+    }
+    let estimator = registry::by_name_instrumented(estimator_name)?;
+    if values.is_empty() {
+        return Err(PipelineError::EmptyInput);
+    }
+    let n = values.len() as u64;
+    let r = ((n as f64 * fraction).round() as u64).clamp(1, n);
+    // 64-bit hashes: a collision among request-sized inputs is
+    // negligible, and hashing first lets every input type share the
+    // u64 sampler → profile → estimator pipeline.
+    let hashes: Vec<u64> = values
+        .iter()
+        .map(|v| dve_sketch::hash_bytes(v.as_ref().as_bytes()))
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let profile =
+        dve_sample::sample_profile(&hashes, r, SamplingScheme::WithoutReplacement, &mut rng)
+            .map_err(|e| PipelineError::BadSpectrum(e.to_string()))?;
+    Ok(outcome(estimator.as_ref(), &profile))
+}
+
+/// Estimates distinct values from an already-summarized frequency
+/// spectrum (`spectrum[i - 1] = f_i`, table size `n`) — the mode for
+/// clients that sampled elsewhere (e.g. per-partition scans) and ship
+/// only the sufficient statistic.
+pub fn estimate_spectrum(
+    n: u64,
+    spectrum: Vec<u64>,
+    estimator_name: &str,
+) -> Result<EstimateOutcome, PipelineError> {
+    let estimator = registry::by_name_instrumented(estimator_name)?;
+    if n == 0 || spectrum.iter().all(|&f| f == 0) {
+        return Err(PipelineError::EmptyInput);
+    }
+    let profile = FrequencyProfile::from_spectrum(n, spectrum)
+        .map_err(|e| PipelineError::BadSpectrum(e.to_string()))?;
+    Ok(outcome(estimator.as_ref(), &profile))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectrum_mode_matches_gee_by_hand() {
+        // n = 10_000, f1 = 40, f2 = 30 → GEE = 10·40 + 30 = 430.
+        let out = estimate_spectrum(10_000, vec![40, 30], "GEE").unwrap();
+        assert_eq!(out.estimation.estimate, 430.0);
+        assert_eq!(out.estimation.interval, Some((70.0, 4030.0)));
+        assert_eq!(out.gee.lower, 70.0);
+        assert_eq!(out.gee.upper, 4030.0);
+        let json = out.to_json();
+        assert!(
+            json.contains("\"estimation\":{\"estimator\":\"GEE\""),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"gee_interval\":{\"lower\":70,\"upper\":4030}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn values_mode_is_deterministic_in_the_seed() {
+        let values: Vec<String> = (0..500).map(|i| format!("v{}", i % 97)).collect();
+        let a = estimate_values(&values, "AE", 0.2, 7).unwrap();
+        let b = estimate_values(&values, "AE", 0.2, 7).unwrap();
+        let c = estimate_values(&values, "AE", 0.2, 8).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        // A different seed draws a different sample (with overwhelming
+        // probability for this input), but stays a valid estimate.
+        assert!(c.estimation.estimate >= c.estimation.d as f64);
+    }
+
+    #[test]
+    fn non_gee_estimators_still_report_the_gee_interval() {
+        let out = estimate_spectrum(10_000, vec![40, 30], "SHLOSSER").unwrap();
+        assert_eq!(out.estimation.estimator, "SHLOSSER");
+        assert_eq!(out.estimation.interval, None);
+        assert_eq!((out.gee.lower, out.gee.upper), (70.0, 4030.0));
+    }
+
+    #[test]
+    fn error_paths_are_typed() {
+        assert!(matches!(
+            estimate_spectrum(10_000, vec![1], "NOPE"),
+            Err(PipelineError::UnknownEstimator(_))
+        ));
+        assert!(matches!(
+            estimate_values(&["a"], "GEE", 1.5, 0),
+            Err(PipelineError::BadFraction(_))
+        ));
+        assert!(matches!(
+            estimate_values::<&str>(&[], "GEE", 0.5, 0),
+            Err(PipelineError::EmptyInput)
+        ));
+        assert!(matches!(
+            estimate_spectrum(0, vec![], "GEE"),
+            Err(PipelineError::EmptyInput)
+        ));
+        // Spectrum implying r > n is inconsistent.
+        assert!(matches!(
+            estimate_spectrum(3, vec![10], "GEE"),
+            Err(PipelineError::BadSpectrum(_))
+        ));
+    }
+}

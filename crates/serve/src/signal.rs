@@ -1,0 +1,60 @@
+//! SIGTERM/SIGINT → graceful-shutdown flag, with zero dependencies.
+//!
+//! The workspace has no `libc` crate, so the one libc call we need is
+//! declared directly. The handler only stores a relaxed atomic — the
+//! only thing that is async-signal-safe anyway — and the accept loop
+//! polls [`requested`] between `accept` attempts.
+//!
+//! On non-Unix targets [`install`] is a no-op: the daemon still shuts
+//! down cleanly via [`crate::ServerHandle::shutdown`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has arrived since [`install`].
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::Relaxed)
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// POSIX `signal(2)`. The handler type is the C `void (*)(int)`;
+        /// the return value (the previous disposition) is only checked
+        /// against `SIG_ERR`, so `usize` is an adequate spelling.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        // Safety: `on_signal` is async-signal-safe (a single relaxed
+        // atomic store) and stays alive for the process lifetime.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM handlers. Idempotent; call once from the
+/// binary before [`crate::Server::run`]. Library users (tests) normally
+/// skip this and stop the daemon via [`crate::ServerHandle::shutdown`].
+pub fn install() {
+    imp::install();
+}

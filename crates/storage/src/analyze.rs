@@ -45,10 +45,11 @@ pub enum AnalyzeError {
     EmptyTable,
     /// The sampling fraction is outside `(0, 1]`.
     BadSamplingFraction,
-    /// Unknown estimator name.
+    /// Unknown estimator name (the typed registry error, with valid
+    /// names and the did-you-mean hint).
     UnknownEstimator(
-        /// The offending name.
-        String,
+        /// The registry's lookup error.
+        dve_core::registry::UnknownEstimator,
     ),
 }
 
@@ -59,8 +60,14 @@ impl std::fmt::Display for AnalyzeError {
             AnalyzeError::BadSamplingFraction => {
                 write!(f, "sampling fraction must be in (0, 1]")
             }
-            AnalyzeError::UnknownEstimator(name) => write!(f, "unknown estimator: {name}"),
+            AnalyzeError::UnknownEstimator(err) => write!(f, "{err}"),
         }
+    }
+}
+
+impl From<dve_core::registry::UnknownEstimator> for AnalyzeError {
+    fn from(err: dve_core::registry::UnknownEstimator) -> Self {
+        AnalyzeError::UnknownEstimator(err)
     }
 }
 
@@ -101,8 +108,7 @@ pub fn analyze_table_jobs<R: Rng + ?Sized>(
     if !(options.sampling_fraction > 0.0 && options.sampling_fraction <= 1.0) {
         return Err(AnalyzeError::BadSamplingFraction);
     }
-    let estimator = registry::by_name_instrumented(&options.estimator)
-        .ok_or_else(|| AnalyzeError::UnknownEstimator(options.estimator.clone()))?;
+    let estimator = registry::by_name_instrumented(&options.estimator)?;
     let r = ((n as f64 * options.sampling_fraction).round() as u64).clamp(1, n);
     let jobs = dve_par::resolve_jobs((jobs > 0).then_some(jobs));
 
@@ -211,8 +217,7 @@ pub fn analyze_partitions<R: Rng + ?Sized>(
     if !(options.sampling_fraction > 0.0 && options.sampling_fraction <= 1.0) {
         return Err(AnalyzeError::BadSamplingFraction);
     }
-    let estimator = registry::by_name_instrumented(&options.estimator)
-        .ok_or_else(|| AnalyzeError::UnknownEstimator(options.estimator.clone()))?;
+    let estimator = registry::by_name_instrumented(&options.estimator)?;
     let ncols = first.schema().len();
     let obs = dve_obs::global();
     let analyze_ns = obs.histogram("storage.analyze_ns");
@@ -406,17 +411,20 @@ mod tests {
             ),
             Err(AnalyzeError::BadSamplingFraction)
         );
-        assert_eq!(
-            analyze_table(
-                &table,
-                &AnalyzeOptions {
-                    sampling_fraction: 0.1,
-                    estimator: "NOPE".into()
-                },
-                &mut rng(4)
-            ),
-            Err(AnalyzeError::UnknownEstimator("NOPE".into()))
-        );
+        let err = analyze_table(
+            &table,
+            &AnalyzeOptions {
+                sampling_fraction: 0.1,
+                estimator: "NOPE".into(),
+            },
+            &mut rng(4),
+        )
+        .unwrap_err();
+        match &err {
+            AnalyzeError::UnknownEstimator(e) => assert_eq!(e.name(), "NOPE"),
+            other => panic!("expected UnknownEstimator, got {other:?}"),
+        }
+        assert!(err.to_string().contains("unknown estimator: NOPE"));
     }
 
     #[test]

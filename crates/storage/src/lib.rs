@@ -45,6 +45,6 @@ pub use column::Column;
 pub use persist::{load_table, read_table, save_table, write_table};
 pub use planner::{execute_group_by, plan_group_by, GroupByStrategy};
 pub use query::{count_distinct, filter_rows, Filter, Predicate};
-pub use stats::ColumnStatistics;
+pub use stats::{columns_to_json, ColumnStatistics};
 pub use table::{Catalog, Field, Schema, Table};
 pub use value::{DataType, Value};

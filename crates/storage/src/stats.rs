@@ -5,6 +5,7 @@
 //! costing joins and aggregations.
 
 use dve_core::bounds::ConfidenceInterval;
+use dve_core::estimator::Estimation;
 
 /// Statistics for one column, as a catalog would store them.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +42,61 @@ impl ColumnStatistics {
     pub fn equality_selectivity(&self) -> f64 {
         1.0 / self.distinct_estimate.max(1.0)
     }
+
+    /// The statistics re-shaped as the typed [`Estimation`] result
+    /// surface: `r`/`n` are the catalog-level sample and table sizes
+    /// (including NULL rows; the profile behind the estimate covers the
+    /// non-NULL sub-population), `d` is the distinct non-NULL values
+    /// seen, and the interval is GEE's `[LOWER, UPPER]`.
+    pub fn estimation(&self) -> Estimation {
+        Estimation {
+            estimate: self.distinct_estimate,
+            interval: Some((self.interval.lower, self.interval.upper)),
+            estimator: self.estimator.clone(),
+            d: self.sample_distinct,
+            r: self.sample_rows,
+            n: self.row_count,
+        }
+    }
+
+    /// Serializes the column statistics as one JSON object embedding the
+    /// shared [`Estimation`] encoding — the same bytes `dve serve`'s
+    /// `/v1/analyze` and `dve analyze --format json` emit per column.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(192);
+        out.push_str("{\"column\":\"");
+        for c in self.column.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push_str(&format!(
+            "\",\"null_count_estimate\":{},\"estimation\":{}}}",
+            self.null_count_estimate,
+            self.estimation().to_json()
+        ));
+        out
+    }
+}
+
+/// Serializes a slice of column statistics as a JSON array (the
+/// `columns` payload shared by `dve analyze --format json` and the
+/// `/v1/analyze` endpoint).
+pub fn columns_to_json(stats: &[ColumnStatistics]) -> String {
+    let mut out = String::with_capacity(64 + 192 * stats.len());
+    out.push('[');
+    for (i, s) in stats.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&s.to_json());
+    }
+    out.push(']');
+    out
 }
 
 #[cfg(test)]

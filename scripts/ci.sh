@@ -30,3 +30,69 @@ trap 'rm -rf "$tmpdir"' EXIT
 ./target/release/dve audit --grid quick --deterministic --jobs 1 --out "$tmpdir/j1.json"
 ./target/release/dve audit --grid quick --deterministic --jobs 4 --out "$tmpdir/j4.json"
 cmp "$tmpdir/j1.json" "$tmpdir/j4.json"
+
+# Serve smoke: boot the daemon on a private port, exercise every
+# endpoint through real HTTP, lint the Prometheus exposition, then
+# verify SIGTERM drains and exits 0 within the deadline.
+serve_port=17171
+./target/release/dve serve --addr "127.0.0.1:$serve_port" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+
+for _ in $(seq 1 50); do
+    if curl -sf "http://127.0.0.1:$serve_port/healthz" >"$tmpdir/healthz.json" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+grep -q '"status":"ok"' "$tmpdir/healthz.json"
+
+curl -sf "http://127.0.0.1:$serve_port/v1/estimators" | grep -q '"GEE"'
+
+curl -sf -X POST "http://127.0.0.1:$serve_port/v1/estimate" \
+    -d '{"estimator":"GEE","n":10000,"spectrum":[40,30]}' >"$tmpdir/estimate.json"
+grep -q '"estimate":430' "$tmpdir/estimate.json"
+grep -q '"gee_interval":{"lower":70,"upper":4030}' "$tmpdir/estimate.json"
+
+# Malformed input must produce the structured 4xx envelope, not a 5xx.
+code="$(curl -s -o "$tmpdir/err.json" -w '%{http_code}' \
+    -X POST "http://127.0.0.1:$serve_port/v1/estimate" -d '{nope')"
+test "$code" = 400
+grep -q '"code":"malformed_json"' "$tmpdir/err.json"
+
+# Prometheus exposition lint: every non-comment line must be
+# `name{labels} value` or `name value`, every metric must carry a
+# TYPE comment, and the serve.* family must be present.
+curl -sf "http://127.0.0.1:$serve_port/metrics" >"$tmpdir/metrics.prom"
+awk '
+    /^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* / { if ($2 == "TYPE") typed[$3] = 1; next }
+    /^#/ { print "bad comment line: " $0; bad = 1; next }
+    /^$/ { next }
+    {
+        if ($0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]/) {
+            print "bad sample line: " $0; bad = 1; next
+        }
+        name = $1; sub(/\{.*/, "", name)
+        base = name
+        sub(/_(count|sum|bucket)$/, "", base)
+        if (!(name in typed) && !(base in typed)) {
+            print "sample without TYPE: " name; bad = 1
+        }
+    }
+    END { exit bad }
+' "$tmpdir/metrics.prom"
+grep -q '^serve_requests_total' "$tmpdir/metrics.prom"
+grep -q '^serve_shed_total' "$tmpdir/metrics.prom"
+
+# Graceful shutdown: SIGTERM must drain and exit 0 within the deadline.
+kill -TERM "$serve_pid"
+serve_rc=0
+for _ in $(seq 1 50); do
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+wait "$serve_pid" || serve_rc=$?
+test "$serve_rc" = 0
+trap 'rm -rf "$tmpdir"' EXIT

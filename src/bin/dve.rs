@@ -1,9 +1,17 @@
 //! `dve` — distinct-value estimation from the command line.
 //!
 //! ```text
-//! dve estimate [--estimator AE] [--fraction 0.01] [--seed 42] [FILE]
+//! dve estimate [--estimator AE] [--fraction 0.01] [--seed 42]
+//!              [--format table|json] [FILE]
 //!     Estimate the number of distinct lines in FILE (or stdin) from a
 //!     random sample, with GEE's [LOWER, UPPER] confidence interval.
+//!     --format json emits the same Estimation JSON `dve serve` returns.
+//!
+//! dve serve [--addr 127.0.0.1:7171] [--queue 64] [--max-body BYTES]
+//!           [--read-timeout-ms 5000] [--handle-timeout-ms 10000]
+//!     Run the estimation daemon: POST /v1/estimate, POST /v1/analyze,
+//!     GET /metrics, GET /healthz, GET /v1/estimators. Bounded accept
+//!     queue with 429 load shedding; graceful shutdown on SIGTERM.
 //!
 //! dve exact [FILE]
 //!     Exact distinct count (full scan, hash set).
@@ -57,11 +65,8 @@
 //!   `jsonl:PATH`/`off`); diagnostics go through it as structured
 //!   events on stderr by default.
 
-use distinct_values::core::bounds::gee_confidence_interval;
-use distinct_values::core::estimator::DistinctEstimator;
 use distinct_values::core::registry;
 use distinct_values::obs::Event;
-use distinct_values::sample::SamplingScheme;
 use distinct_values::sketch::{hll::HyperLogLog, DistinctSketch};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -93,6 +98,7 @@ fn main() {
         "generate" => cmd_generate(&args[1..]),
         "import" => cmd_import(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "estimators" => {
             for name in registry::ALL_ESTIMATORS {
                 println!("{name}");
@@ -239,47 +245,82 @@ fn cmd_estimate(args: &[String]) {
     let estimator_name: String = flag_parse(&flags, "estimator", "AE".to_string());
     let fraction: f64 = flag_parse(&flags, "fraction", 0.01);
     let seed: u64 = flag_parse(&flags, "seed", 42);
-    if !(fraction > 0.0 && fraction <= 1.0) {
-        fail(2, "--fraction must be in (0, 1]".to_string());
-    }
-    let Some(estimator) = registry::by_name_instrumented(&estimator_name) else {
-        fail(
-            2,
-            format!("unknown estimator {estimator_name} (see `dve estimators`)"),
-        );
-    };
+    let format: String = flag_parse(&flags, "format", "table".to_string());
 
     let lines = read_lines(&positional);
-    let n = lines.len() as u64;
-    if n == 0 {
-        fail(1, "input is empty".to_string());
+    // The hash → sample → profile → estimate chain is shared with
+    // `dve serve`'s `/v1/estimate`, so CLI and daemon results are
+    // byte-identical for the same input.
+    let outcome =
+        distinct_values::serve::pipeline::estimate_values(&lines, &estimator_name, fraction, seed)
+            .unwrap_or_else(|err| match err {
+                distinct_values::serve::PipelineError::EmptyInput => fail(1, err.to_string()),
+                distinct_values::serve::PipelineError::UnknownEstimator(_) => {
+                    fail(2, format!("{err} (see `dve estimators`)"))
+                }
+                _ => fail(2, err.to_string()),
+            });
+    let est = &outcome.estimation;
+    match format.as_str() {
+        "json" => println!("{}", outcome.to_json()),
+        "table" => {
+            println!("rows:               {}", est.n);
+            println!("sampled:            {} ({:.2}%)", est.r, fraction * 100.0);
+            println!("distinct in sample: {}", est.d);
+            println!("estimate ({}):      {:.0}", est.estimator, est.estimate);
+            println!(
+                "GEE interval:       [{:.0}, {:.0}]",
+                outcome.gee.lower, outcome.gee.upper
+            );
+        }
+        other => fail(2, format!("invalid --format {other} (table|json)")),
     }
-    let r = ((n as f64 * fraction).round() as u64).clamp(1, n);
-    // Hash once so the whole run goes through the same instrumented
-    // sampler → profile → estimator pipeline the experiment harness uses
-    // (64-bit hashes; a collision among CLI-sized inputs is negligible).
-    let hashes: Vec<u64> = lines
-        .iter()
-        .map(|l| distinct_values::sketch::hash_bytes(l.as_bytes()))
-        .collect();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let profile = distinct_values::sample::sample_profile(
-        &hashes,
-        r,
-        SamplingScheme::WithoutReplacement,
-        &mut rng,
-    )
-    .expect("non-empty sample");
-    let estimate = estimator.estimate(&profile);
-    let interval = gee_confidence_interval(&profile);
-    println!("rows:               {n}");
-    println!("sampled:            {r} ({:.2}%)", fraction * 100.0);
-    println!("distinct in sample: {}", profile.distinct_in_sample());
-    println!("estimate ({}):      {:.0}", estimator.name(), estimate);
-    println!(
-        "GEE interval:       [{:.0}, {:.0}]",
-        interval.lower, interval.upper
-    );
+}
+
+fn cmd_serve(args: &[String]) {
+    use distinct_values::serve::{signal, ServeConfig, Server};
+    let (flags, positional) = parse_flags(args);
+    if let Some(extra) = positional.first() {
+        fail(2, format!("serve takes no positional arguments: {extra}"));
+    }
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        addr: flag_parse(&flags, "addr", defaults.addr.clone()),
+        jobs: 0, // resolved via the global --jobs / DVE_JOBS chain
+        queue_depth: flag_parse(&flags, "queue", defaults.queue_depth),
+        max_body_bytes: flag_parse(&flags, "max-body", defaults.max_body_bytes),
+        read_timeout: std::time::Duration::from_millis(flag_parse(
+            &flags,
+            "read-timeout-ms",
+            defaults.read_timeout.as_millis() as u64,
+        )),
+        handle_deadline: std::time::Duration::from_millis(flag_parse(
+            &flags,
+            "handle-timeout-ms",
+            defaults.handle_deadline.as_millis() as u64,
+        )),
+        handle_delay: std::time::Duration::ZERO,
+    };
+    if config.queue_depth == 0 {
+        fail(2, "--queue must be at least 1".to_string());
+    }
+    let server =
+        Server::bind(config).unwrap_or_else(|e| fail(1, format!("cannot bind listener: {e}")));
+    let addr = server
+        .local_addr()
+        .unwrap_or_else(|e| fail(1, format!("cannot resolve listen address: {e}")));
+    signal::install();
+    Event::info("serve.listening")
+        .message(format!(
+            "listening on http://{addr} (SIGTERM/ctrl-c to stop)"
+        ))
+        .emit();
+    server
+        .run()
+        .unwrap_or_else(|e| fail(1, format!("serve failed: {e}")));
+    Event::info("serve.stopped")
+        .message("drained in-flight requests; bye".to_string())
+        .emit();
 }
 
 fn cmd_audit(args: &[String]) {
@@ -546,6 +587,10 @@ fn cmd_analyze(args: &[String]) {
     let fraction: f64 = flag_parse(&flags, "fraction", 0.01);
     let estimator: String = flag_parse(&flags, "estimator", "AE".to_string());
     let seed: u64 = flag_parse(&flags, "seed", 42);
+    let format: String = flag_parse(&flags, "format", "table".to_string());
+    if format != "table" && format != "json" {
+        fail(2, format!("invalid --format {format} (table|json)"));
+    }
     let table = distinct_values::storage::persist::load_table(std::path::Path::new(path))
         .unwrap_or_else(|e| fail(1, format!("cannot load {path}: {e}")));
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -557,7 +602,22 @@ fn cmd_analyze(args: &[String]) {
         },
         &mut rng,
     )
-    .unwrap_or_else(|e| fail(1, format!("analyze failed: {e}")));
+    .unwrap_or_else(|e| {
+        let code = match e {
+            distinct_values::storage::analyze::AnalyzeError::UnknownEstimator(_) => 2,
+            _ => 1,
+        };
+        fail(code, format!("analyze failed: {e}"))
+    });
+    if format == "json" {
+        // The same per-column encoding `dve serve`'s `/v1/analyze`
+        // returns: ColumnStatistics → the shared Estimation contract.
+        println!(
+            "{{\"columns\":{}}}",
+            distinct_values::storage::columns_to_json(&stats)
+        );
+        return;
+    }
     println!(
         "{:>16} {:>10} {:>12} {:>10} {:>24}",
         "column", "nulls~", "distinct~", "sampled", "GEE interval"
@@ -578,12 +638,14 @@ fn cmd_analyze(args: &[String]) {
 fn usage_and_exit(code: i32) -> ! {
     println!(
         "dve — distinct-value estimation (PODS 2000 reproduction)\n\n\
-         usage:\n  dve estimate [--estimator AE] [--fraction 0.01] [--seed 42] [FILE|-]\n  \
+         usage:\n  dve estimate [--estimator AE] [--fraction 0.01] [--seed 42] [--format table|json] [FILE|-]\n  \
+         dve serve [--addr 127.0.0.1:7171] [--queue 64] [--max-body BYTES]\n            \
+         [--read-timeout-ms 5000] [--handle-timeout-ms 10000]\n  \
          dve exact [FILE|-]\n  \
          dve sketch [--hll-p 12] [FILE|-]\n  \
          dve generate --rows N [--zipf Z] [--dup K] [--seed S]\n  \
          dve import --out TABLE.dvet [--column NAME] [FILE|-]\n  \
-         dve analyze TABLE.dvet [--fraction 0.01] [--estimator AE] [--seed 42]\n  \
+         dve analyze TABLE.dvet [--fraction 0.01] [--estimator AE] [--seed 42] [--format table|json]\n  \
          dve audit [--grid full|quick] [--trials N] [--seed S] [--out PATH]\n            \
          [--check BASELINE.json] [--tolerance T] [--coverage-tolerance C]\n            \
          [--latency-factor L] [--deterministic]\n  \

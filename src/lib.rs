@@ -33,6 +33,10 @@
 //! * [`par`] — the deterministic scoped worker pool (std-only, no work
 //!   stealing across result order) behind the parallel audit sweeps and
 //!   `ANALYZE`, with the `--jobs` / `DVE_JOBS` resolution chain.
+//! * [`serve`] — the `dve serve` estimation daemon: hand-rolled HTTP/1.1
+//!   over `TcpListener` exposing `/v1/estimate`, `/v1/analyze`,
+//!   `/metrics`, `/healthz`, and `/v1/estimators`, with a bounded accept
+//!   queue, load shedding, request deadlines, and graceful shutdown.
 //!
 //! ## Quickstart
 //!
@@ -55,5 +59,6 @@ pub use dve_numeric as numeric;
 pub use dve_obs as obs;
 pub use dve_par as par;
 pub use dve_sample as sample;
+pub use dve_serve as serve;
 pub use dve_sketch as sketch;
 pub use dve_storage as storage;
