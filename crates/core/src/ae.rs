@@ -27,12 +27,33 @@
 //! `(1−L/(rm))^r → e^{−L/m}`) is also provided ([`AeForm::ExpApprox`])
 //! and compared in the ablation bench. The estimate is
 //! `D̂ = d + m̂ − f₁ − f₂`, clamped to `[d, n]` as always.
+//!
+//! Both displayed equations model `r` *independent* draws (sampling with
+//! replacement). When the [`SampleDesign`] declares the sample was drawn
+//! **without replacement**, the miss/singleton probabilities become
+//! hypergeometric: a class occupying `c` of the table's `n` rows is missed
+//! with probability `C(n−c, r)/C(n, r)` and seen exactly once with
+//! probability `c·C(n−c, r−1)/C(n, r)`. Substituting those for the
+//! binomial `(1−p)^r` / `r·p·(1−p)^{r−1}` terms (with the same class-size
+//! guesses `c = i·n/r` for `i ≥ 3` and `c_m = L·n/(r·m)` for the low
+//! block) yields the WOR fixed point solved by [`AdaptiveEstimator::solve_m_for`].
+//! This closes the WOR bias documented in ROADMAP.md: on the noise-free
+//! 900-distinct / 20%-WOR fixture the WR form returns ≈ 1009 (+12%) while
+//! the hypergeometric form lands within 5% of the truth.
 
+use crate::design::SampleDesign;
 use crate::estimator::DistinctEstimator;
 use crate::profile::FrequencyProfile;
 use dve_numeric::poly::pow1m;
 use dve_numeric::roots::brent;
+use dve_numeric::special::ln_gamma;
 use std::sync::{Arc, OnceLock};
+
+/// `ln C(x, y)` for real (non-integer) arguments via `ln Γ`. Requires
+/// `x ≥ y ≥ 0`; callers guard the degenerate regions before calling.
+fn ln_choose_real(x: f64, y: f64) -> f64 {
+    ln_gamma(x + 1.0) - ln_gamma(y + 1.0) - ln_gamma(x - y + 1.0)
+}
 
 /// Residual evaluations per `solve_m` call (`core.ae.solve_iters`).
 fn solve_iters_hist() -> &'static Arc<dve_obs::Histogram> {
@@ -75,17 +96,34 @@ impl AdaptiveEstimator {
         Self { form }
     }
 
-    /// The residual `g(m) = m − f₁ − f₂ − f₁·K(m)` whose root is `m̂`.
-    /// Exposed for the solver-convergence bench and tests.
+    /// The residual `g(m) = m − f₁ − f₂ − f₁·K(m)` whose root is `m̂`,
+    /// under the paper's with-replacement model. Exposed for the
+    /// solver-convergence bench and tests.
     pub fn residual(&self, profile: &FrequencyProfile, m: f64) -> f64 {
+        self.residual_for(profile, SampleDesign::WithReplacement, m)
+    }
+
+    /// The residual under an explicit sampling design: the with-replacement
+    /// form reproduces [`AdaptiveEstimator::residual`] bit-for-bit, while
+    /// the without-replacement form swaps the binomial terms for their
+    /// hypergeometric analogs (see the module docs).
+    pub fn residual_for(&self, profile: &FrequencyProfile, design: SampleDesign, m: f64) -> f64 {
         let f1 = profile.f(1) as f64;
         let f2 = profile.f(2) as f64;
-        m - f1 - f2 - f1 * self.k_of_m(profile, m)
+        m - f1 - f2 - f1 * self.k_of_m(profile, design, m)
     }
 
     /// The adaptive coefficient `K(m)` for a hypothesized low-frequency
-    /// class count `m`.
-    fn k_of_m(&self, profile: &FrequencyProfile, m: f64) -> f64 {
+    /// class count `m`, dispatching on the sampling design.
+    fn k_of_m(&self, profile: &FrequencyProfile, design: SampleDesign, m: f64) -> f64 {
+        match design {
+            SampleDesign::WithReplacement => self.k_of_m_wr(profile, m),
+            SampleDesign::WithoutReplacement { n } => self.k_of_m_wor(profile, n, m),
+        }
+    }
+
+    /// `K(m)` under the paper's with-replacement model (binomial terms).
+    fn k_of_m_wr(&self, profile: &FrequencyProfile, m: f64) -> f64 {
         let r = profile.sample_size() as f64;
         let f1 = profile.f(1) as f64;
         let f2 = profile.f(2) as f64;
@@ -126,6 +164,120 @@ impl AdaptiveEstimator {
         (num + lo_num) / den
     }
 
+    /// `K(m)` under sampling without replacement (hypergeometric terms).
+    ///
+    /// A class occupying `c` of the table's `n` rows is missed by a WOR
+    /// sample of `r` rows with probability `P₀(c) = C(n−c, r)/C(n, r)`,
+    /// seen exactly once with `P₁(c) = c·C(n−c, r−1)/C(n, r)` and exactly
+    /// twice with `P₂(c) = C(c,2)·C(n−c, r−2)/C(n, r)`. The `i ≥ 3`
+    /// classes keep the WR size guess `c = i·n/r`.
+    ///
+    /// The low block differs from the WR form in one more way than the
+    /// binomial→hypergeometric swap. The paper sizes the `m` low classes
+    /// by raw mass conservation, `c_m = L·n/(r·m)` — but membership in
+    /// the low block is *conditioned on being observed at most twice*, so
+    /// the observed mass `L = f₁ + 2f₂` systematically understates the
+    /// classes' true size (unseen members contribute nothing, and seen
+    /// members were seen ≤ 2 times by construction). The hypergeometric
+    /// model makes the conditioning exact: a size-`c` class that landed
+    /// in the low block has expected observed mass
+    /// `(P₁ + 2P₂)/(P₀ + P₁ + P₂)`, so `c_m` is the root of
+    ///
+    /// ```text
+    /// (P₁(c_m) + 2·P₂(c_m)) / (P₀(c_m) + P₁(c_m) + P₂(c_m)) = L/m
+    /// ```
+    ///
+    /// and the block contributes `m·P₀/S` misses and `m·P₁/S` singletons
+    /// (`S = P₀+P₁+P₂`). On the ROADMAP fixture this lands within 1% of
+    /// the truth, where the raw-mass variant still overshoots ≈ 6%. Both
+    /// [`AeForm`] variants use these exact hypergeometric terms: the
+    /// `e^{−i}` shortcut is an approximation *to the binomial*, so it has
+    /// no separate WOR analog worth distinguishing.
+    fn k_of_m_wor(&self, profile: &FrequencyProfile, design_n: u64, m: f64) -> f64 {
+        let r = profile.sample_size() as f64;
+        let f1 = profile.f(1) as f64;
+        let f2 = profile.f(2) as f64;
+        let low_mass = f1 + 2.0 * f2; // rows contributed by f1/f2 classes
+                                      // Guard n ≥ r so every C(·,·) below is well defined even if the
+                                      // caller hands a design smaller than the observed sample. A WOR
+                                      // sample of the whole declared table hides nothing: K = 0.
+        let n = (design_n as f64).max(r);
+        if n <= r {
+            return 0.0;
+        }
+        let ln_total = ln_choose_real(n, r);
+        // P₀(c): zero once c > n − r (a class too big to hide from a WOR
+        // sample of r rows is certainly seen).
+        let p0 = |c: f64| {
+            if c <= n - r {
+                (ln_choose_real(n - c, r) - ln_total).exp()
+            } else {
+                0.0
+            }
+        };
+        // P₁(c): zero once c > n − r + 1 (the class must be seen twice).
+        let p1 = |c: f64| {
+            if c <= n - r + 1.0 {
+                c * (ln_choose_real(n - c, r - 1.0) - ln_total).exp()
+            } else {
+                0.0
+            }
+        };
+        // P₂(c): zero once c > n − r + 2 (seen at least three times), and
+        // zero outright for r < 2 (a one-row sample cannot see anything
+        // twice).
+        let p2 = |c: f64| {
+            if r >= 2.0 && c <= n - r + 2.0 {
+                0.5 * c * (c - 1.0) * (ln_choose_real(n - c, r - 2.0) - ln_total).exp()
+            } else {
+                0.0
+            }
+        };
+        let (mut num, mut den) = (0.0, 0.0);
+        for (i, f) in profile.spectrum() {
+            if i < 3 {
+                continue;
+            }
+            let f = f as f64;
+            let c = i as f64 * n / r;
+            num += p0(c) * f;
+            den += p1(c) * f;
+        }
+        // Low-frequency block: solve the truncated-mass equation for c_m
+        // by bisection. The conditional mean is ~0 as c → 0 and exactly 2
+        // as c → n − r + 2 (only P₂ survives), while the target
+        // L/m = (f₁ + 2f₂)/m < 2 because m ≥ f₁ + f₂ — so the root is
+        // always bracketed.
+        let target = low_mass / m;
+        let (mut c_lo, mut c_hi) = (1e-9, n - r + 1.9);
+        for _ in 0..64 {
+            let mid = 0.5 * (c_lo + c_hi);
+            let s = p0(mid) + p1(mid) + p2(mid);
+            let ratio = if s > 0.0 {
+                (p1(mid) + 2.0 * p2(mid)) / s
+            } else {
+                2.0
+            };
+            if ratio < target {
+                c_lo = mid;
+            } else {
+                c_hi = mid;
+            }
+        }
+        let c_m = 0.5 * (c_lo + c_hi);
+        let s = p0(c_m) + p1(c_m) + p2(c_m);
+        let (lo_num, lo_den) = if s > 0.0 {
+            (m * p0(c_m) / s, m * p1(c_m) / s)
+        } else {
+            (0.0, 0.0)
+        };
+        let den = den + lo_den;
+        if den == 0.0 {
+            return 0.0;
+        }
+        (num + lo_num) / den
+    }
+
     /// Solves for `m̂` on `[f₁ + f₂, n]`.
     ///
     /// Boundary behavior:
@@ -134,6 +286,14 @@ impl AdaptiveEstimator {
     ///   samples) — the data is consistent with everything being distinct;
     ///   return the upper boundary `n` (the clamp caps `D̂` at `n`).
     pub fn solve_m(&self, profile: &FrequencyProfile) -> f64 {
+        self.solve_m_for(profile, SampleDesign::WithReplacement)
+    }
+
+    /// Solves the fixed point for an explicit sampling design; the
+    /// with-replacement design reproduces [`AdaptiveEstimator::solve_m`]
+    /// bit-for-bit. Bracket and boundary behavior are shared across
+    /// designs (see [`AdaptiveEstimator::solve_m`]).
+    pub fn solve_m_for(&self, profile: &FrequencyProfile, design: SampleDesign) -> f64 {
         let f1 = profile.f(1) as f64;
         let f2 = profile.f(2) as f64;
         let n = profile.table_size() as f64;
@@ -143,7 +303,7 @@ impl AdaptiveEstimator {
         let iters = std::cell::Cell::new(0u64);
         let mut residual = |m: f64| {
             iters.set(iters.get() + 1);
-            self.residual(profile, m)
+            self.residual_for(profile, design, m)
         };
         // Start strictly above f1 + f2 so p = L/(rm) is well defined and
         // below 1 (m ≥ (f1 + 2f2)/r holds because m ≥ f1 + f2 ≥ L/r for
@@ -210,6 +370,25 @@ impl DistinctEstimator for AdaptiveEstimator {
         }
         let m = self.solve_m(profile);
         d + m - f1 - f2
+    }
+
+    /// AE is design-aware: under [`SampleDesign::WithoutReplacement`] the
+    /// fixed point is solved in its hypergeometric form, correcting the
+    /// overestimation the with-replacement model shows on WOR samples.
+    fn estimate_raw_for(&self, profile: &FrequencyProfile, design: SampleDesign) -> f64 {
+        match design {
+            SampleDesign::WithReplacement => self.estimate_raw(profile),
+            SampleDesign::WithoutReplacement { .. } => {
+                let d = profile.distinct_in_sample() as f64;
+                let f1 = profile.f(1) as f64;
+                let f2 = profile.f(2) as f64;
+                if profile.sampling_fraction() >= 1.0 {
+                    return d;
+                }
+                let m = self.solve_m_for(profile, design);
+                d + m - f1 - f2
+            }
+        }
     }
 }
 
@@ -343,27 +522,80 @@ mod tests {
             .collect()
     }
 
-    /// Pins the AE without-replacement bias documented in ROADMAP.md: AE
-    /// models the sample as `r` independent draws, but `ANALYZE` and the
-    /// CLI sample without replacement, so on the noise-free (rounded
-    /// hypergeometric-expectation) 900-distinct spectrum at 20% WOR
-    /// sampling AE overestimates by ≈ 12%, returning ≈ 1009 instead of
-    /// 900 (the ROADMAP quotes ≈ 1002 for its unrounded variant of the
-    /// same spectrum). This test freezes that number so a future
-    /// hypergeometric-corrected AE form shows up as a deliberate test
-    /// change — not a silent accuracy shift in the audit trajectory.
+    /// The WOR bias formerly pinned here (and documented in ROADMAP.md)
+    /// is now *corrected* when the caller declares the design: on the
+    /// noise-free (rounded hypergeometric-expectation) 900-distinct
+    /// spectrum at 20% WOR sampling the with-replacement model still
+    /// returns ≈ 1009 (+12%) — frozen below so the paper-faithful path
+    /// never drifts silently — while the hypergeometric form lands within
+    /// ratio error 1.05 of the true 900.
     #[test]
-    fn ae_wor_bias_is_pinned() {
+    fn ae_wor_design_corrects_the_pinned_bias() {
         // 900 classes × 10 rows, r = 1800 (20%), expected WOR spectrum.
         let spectrum = wor_expected_spectrum(900, 10, 1_800);
         let p = FrequencyProfile::from_spectrum(9_000, spectrum).unwrap();
-        let est = AdaptiveEstimator::new().estimate(&p);
+        let ae = AdaptiveEstimator::new();
+        let wr = ae.estimate(&p);
         assert!(
-            (est - 1008.7).abs() < 3.0,
-            "AE WOR bias moved: expected ≈ 1009 (the documented ~+12% bias \
-             over the true 900), got {est}. If this is the hypergeometric \
-             correction landing, update this pin and the ROADMAP entry."
+            (wr - 1008.7).abs() < 3.0,
+            "the paper-faithful WR estimate moved: expected ≈ 1009 (the \
+             documented ~+12% bias over the true 900), got {wr}"
         );
+        let wor = ae.estimate_for(&p, SampleDesign::wor(9_000));
+        let err = ratio_error(wor.max(1.0), 900.0);
+        assert!(
+            err <= 1.05,
+            "hypergeometric AE should land within 5% of 900, got {wor} \
+             (ratio error {err})"
+        );
+        assert!(
+            wor < wr,
+            "the WOR correction must pull the estimate down: {wor} vs {wr}"
+        );
+    }
+
+    #[test]
+    fn wor_solved_m_satisfies_the_hypergeometric_equation() {
+        let spectrum = wor_expected_spectrum(900, 10, 1_800);
+        let p = FrequencyProfile::from_spectrum(9_000, spectrum).unwrap();
+        let ae = AdaptiveEstimator::new();
+        let design = SampleDesign::wor(9_000);
+        let m = ae.solve_m_for(&p, design);
+        let resid = ae.residual_for(&p, design, m);
+        assert!(
+            resid.abs() < 1e-3 * m,
+            "WOR residual {resid} too large at m = {m}"
+        );
+        // The WR wrappers stay bit-identical to the design-blind calls.
+        assert_eq!(
+            ae.solve_m(&p),
+            ae.solve_m_for(&p, SampleDesign::WithReplacement)
+        );
+        assert_eq!(
+            ae.residual(&p, m),
+            ae.residual_for(&p, SampleDesign::WithReplacement, m)
+        );
+    }
+
+    #[test]
+    fn wor_design_as_large_as_the_sample_degrades_to_d() {
+        // design n == r: a WOR sample of the whole (declared) table can
+        // hide nothing, so K = 0, m = f1 + f2 and the estimate is d.
+        let p = FrequencyProfile::from_spectrum(10_000, vec![40, 30]).unwrap();
+        let est = AdaptiveEstimator::new().estimate_for(&p, SampleDesign::wor(100));
+        assert_eq!(est, 70.0);
+    }
+
+    #[test]
+    fn both_forms_share_the_wor_correction() {
+        // ExpApprox approximates the *binomial*; under a WOR design both
+        // forms solve the same exact hypergeometric equation.
+        let spectrum = wor_expected_spectrum(900, 10, 1_800);
+        let p = FrequencyProfile::from_spectrum(9_000, spectrum).unwrap();
+        let design = SampleDesign::wor(9_000);
+        let exact = AdaptiveEstimator::with_form(AeForm::ExactBinomial).estimate_for(&p, design);
+        let approx = AdaptiveEstimator::with_form(AeForm::ExpApprox).estimate_for(&p, design);
+        assert_eq!(exact, approx);
     }
 
     #[test]

@@ -59,8 +59,10 @@ impl ConfidenceInterval {
 pub fn gee_confidence_interval(profile: &FrequencyProfile) -> ConfidenceInterval {
     use crate::estimator::DistinctEstimator;
     // GEE's `estimate_full` is the single source of the §4 bounds; this
-    // view re-shapes it for callers that want the interval type.
-    let full = Gee::default().estimate_full(profile);
+    // view re-shapes it for callers that want the interval type. The
+    // bounds are design-independent, so the paper's default design is
+    // passed unconditionally.
+    let full = Gee::default().estimate_full(profile, crate::design::SampleDesign::WithReplacement);
     let (lower, upper) = full
         .interval
         .expect("GEE always reports its confidence bounds");

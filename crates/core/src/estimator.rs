@@ -17,6 +17,7 @@
 //!   `dve serve` responses, `dve analyze --format json`, and the
 //!   catalog statistics all serialize this one struct.
 
+use crate::design::SampleDesign;
 use crate::profile::FrequencyProfile;
 
 /// A complete estimation result: the point estimate plus everything a
@@ -134,7 +135,22 @@ pub trait DistinctEstimator: Send + Sync {
     /// The estimator's formula applied verbatim, **without** the sanity
     /// clamp. May legitimately return values outside `[d, n]` or even
     /// non-finite values for degenerate inputs.
+    ///
+    /// Equivalent to [`estimate_raw_for`](Self::estimate_raw_for) under
+    /// the paper's [`SampleDesign::WithReplacement`] model.
     fn estimate_raw(&self, profile: &FrequencyProfile) -> f64;
+
+    /// [`estimate_raw`](Self::estimate_raw) conditioned on the sampling
+    /// design. The default ignores the design and evaluates the paper's
+    /// with-replacement formula — correct for the many estimators whose
+    /// derivation never references the class-inclusion probabilities.
+    /// Design-aware estimators (AE) override this to solve the matching
+    /// (e.g. hypergeometric) form when the design says
+    /// [`SampleDesign::WithoutReplacement`].
+    fn estimate_raw_for(&self, profile: &FrequencyProfile, design: SampleDesign) -> f64 {
+        let _ = design;
+        self.estimate_raw(profile)
+    }
 
     /// The estimate with the paper's sanity bounds applied:
     /// `d ≤ D̂ ≤ n`.
@@ -146,15 +162,27 @@ pub trait DistinctEstimator: Send + Sync {
         )
     }
 
-    /// The typed result surface: the clamped estimate plus provenance.
+    /// The design-conditioned estimate with the sanity clamp applied.
+    /// Identical to [`estimate`](Self::estimate) under
+    /// [`SampleDesign::WithReplacement`].
+    fn estimate_for(&self, profile: &FrequencyProfile, design: SampleDesign) -> f64 {
+        sanity_clamp(
+            self.estimate_raw_for(profile, design),
+            profile.distinct_in_sample(),
+            profile.table_size(),
+        )
+    }
+
+    /// The typed result surface: the clamped estimate plus provenance,
+    /// conditioned on the sampling design.
     ///
-    /// The default implementation wraps [`estimate`](Self::estimate)
+    /// The default implementation wraps [`estimate_for`](Self::estimate_for)
     /// with `interval: None`; estimators that carry self-reported bounds
     /// (GEE) override it. Wrappers (`Box`, references, the registry's
     /// instrumentation) forward it, so the override survives boxing.
-    fn estimate_full(&self, profile: &FrequencyProfile) -> Estimation {
+    fn estimate_full(&self, profile: &FrequencyProfile, design: SampleDesign) -> Estimation {
         Estimation {
-            estimate: self.estimate(profile),
+            estimate: self.estimate_for(profile, design),
             interval: None,
             estimator: self.name().to_string(),
             d: profile.distinct_in_sample(),
@@ -171,8 +199,11 @@ impl<T: DistinctEstimator + ?Sized> DistinctEstimator for Box<T> {
     fn estimate_raw(&self, profile: &FrequencyProfile) -> f64 {
         (**self).estimate_raw(profile)
     }
-    fn estimate_full(&self, profile: &FrequencyProfile) -> Estimation {
-        (**self).estimate_full(profile)
+    fn estimate_raw_for(&self, profile: &FrequencyProfile, design: SampleDesign) -> f64 {
+        (**self).estimate_raw_for(profile, design)
+    }
+    fn estimate_full(&self, profile: &FrequencyProfile, design: SampleDesign) -> Estimation {
+        (**self).estimate_full(profile, design)
     }
 }
 
@@ -183,8 +214,11 @@ impl<T: DistinctEstimator + ?Sized> DistinctEstimator for &T {
     fn estimate_raw(&self, profile: &FrequencyProfile) -> f64 {
         (**self).estimate_raw(profile)
     }
-    fn estimate_full(&self, profile: &FrequencyProfile) -> Estimation {
-        (**self).estimate_full(profile)
+    fn estimate_raw_for(&self, profile: &FrequencyProfile, design: SampleDesign) -> f64 {
+        (**self).estimate_raw_for(profile, design)
+    }
+    fn estimate_full(&self, profile: &FrequencyProfile, design: SampleDesign) -> Estimation {
+        (**self).estimate_full(profile, design)
     }
 }
 
@@ -239,13 +273,31 @@ mod tests {
     #[test]
     fn estimate_full_defaults_wrap_estimate() {
         let p = profile();
-        let full = Fixed(42.0).estimate_full(&p);
+        let full = Fixed(42.0).estimate_full(&p, SampleDesign::WithReplacement);
         assert_eq!(full.estimate, 42.0);
         assert_eq!(full.interval, None);
         assert_eq!(full.estimator, "FIXED");
         assert_eq!((full.d, full.r, full.n), (3, 4, 100));
         // The clamp applies to the full surface too.
-        assert_eq!(Fixed(1e12).estimate_full(&p).estimate, 100.0);
+        assert_eq!(
+            Fixed(1e12)
+                .estimate_full(&p, SampleDesign::WithReplacement)
+                .estimate,
+            100.0
+        );
+    }
+
+    #[test]
+    fn design_blind_estimators_ignore_the_design() {
+        let p = profile();
+        assert_eq!(
+            Fixed(42.0).estimate_for(&p, SampleDesign::wor(100)),
+            Fixed(42.0).estimate(&p)
+        );
+        assert_eq!(
+            Fixed(42.0).estimate_raw_for(&p, SampleDesign::wor(100)),
+            42.0
+        );
     }
 
     #[test]
@@ -258,9 +310,9 @@ mod tests {
             fn estimate_raw(&self, _p: &FrequencyProfile) -> f64 {
                 5.0
             }
-            fn estimate_full(&self, p: &FrequencyProfile) -> Estimation {
+            fn estimate_full(&self, p: &FrequencyProfile, design: SampleDesign) -> Estimation {
                 Estimation {
-                    estimate: self.estimate(p),
+                    estimate: self.estimate_for(p, design),
                     interval: Some((1.0, 9.0)),
                     estimator: self.name().to_string(),
                     d: p.distinct_in_sample(),
@@ -270,10 +322,11 @@ mod tests {
             }
         }
         let p = profile();
+        let wr = SampleDesign::WithReplacement;
         let boxed: Box<dyn DistinctEstimator> = Box::new(WithBounds);
-        assert_eq!(boxed.estimate_full(&p).interval, Some((1.0, 9.0)));
+        assert_eq!(boxed.estimate_full(&p, wr).interval, Some((1.0, 9.0)));
         let by_ref: &dyn DistinctEstimator = &WithBounds;
-        assert_eq!(by_ref.estimate_full(&p).interval, Some((1.0, 9.0)));
+        assert_eq!(by_ref.estimate_full(&p, wr).interval, Some((1.0, 9.0)));
     }
 
     #[test]

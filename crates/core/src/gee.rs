@@ -12,6 +12,7 @@
 //! error — and Theorem 2 shows the resulting expected ratio error is
 //! `O(sqrt(n/r))`, matching the Theorem 1 lower bound up to ≈ e.
 
+use crate::design::SampleDesign;
 use crate::estimator::{DistinctEstimator, Estimation};
 use crate::profile::FrequencyProfile;
 
@@ -81,10 +82,11 @@ impl DistinctEstimator for Gee {
     /// GEE's full result carries the paper's §4 confidence bounds:
     /// `LOWER = d` (unconditionally valid) and
     /// `UPPER = Σ_{i>1} f_i + (n/r)·f₁` clamped to `n` (exceeds `D` with
-    /// high probability). The bounds depend only on the sample, not on
-    /// the singleton exponent, so every `Gee` variant reports the same
-    /// interval.
-    fn estimate_full(&self, profile: &FrequencyProfile) -> Estimation {
+    /// high probability). The bounds depend only on the sample — not on
+    /// the singleton exponent or the sampling design (both bound
+    /// arguments hold under either design), so every `Gee` variant
+    /// reports the same interval.
+    fn estimate_full(&self, profile: &FrequencyProfile, _design: SampleDesign) -> Estimation {
         let d = profile.distinct_in_sample() as f64;
         let f1 = profile.f(1) as f64;
         let n = profile.table_size() as f64;
@@ -167,17 +169,22 @@ mod tests {
     fn estimate_full_carries_paper_bounds() {
         // n = 10_000, r = 100, f1 = 40, f2 = 30 → d = 70, scale = 100.
         let p = FrequencyProfile::from_spectrum(10_000, vec![40, 30]).unwrap();
-        let full = Gee::default().estimate_full(&p);
+        let full = Gee::default().estimate_full(&p, SampleDesign::WithReplacement);
         assert_eq!(full.estimator, "GEE");
         assert_eq!((full.d, full.r, full.n), (70, 100, 10_000));
         let (lower, upper) = full.interval.expect("GEE carries bounds");
         assert_eq!(lower, 70.0);
         assert_eq!(upper, 30.0 + 100.0 * 40.0);
         assert!(lower <= full.estimate && full.estimate <= upper);
+        // The bounds are design-independent.
+        assert_eq!(
+            Gee::default().estimate_full(&p, SampleDesign::wor(10_000)),
+            full
+        );
         // The upper bound is clamped to n.
         let all_singletons = FrequencyProfile::from_spectrum(50, vec![10]).unwrap();
         let (_, upper) = Gee::default()
-            .estimate_full(&all_singletons)
+            .estimate_full(&all_singletons, SampleDesign::WithReplacement)
             .interval
             .unwrap();
         assert_eq!(upper, 50.0);

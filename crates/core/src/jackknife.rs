@@ -250,10 +250,7 @@ impl DistinctEstimator for Duj2a {
         let abundant_rows_in_pop = abundant_rows_in_sample / q;
         let n_rare =
             ((profile.table_size() as f64) - abundant_rows_in_pop).max(rare.sample_size() as f64);
-        let rare = match FrequencyProfile::from_spectrum(
-            n_rare.round() as u64,
-            rare.spectrum_slice().to_vec(),
-        ) {
+        let rare = match FrequencyProfile::from_spectrum(n_rare.round() as u64, rare.to_dense()) {
             Ok(p) => p,
             Err(_) => return d,
         };

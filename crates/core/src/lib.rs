@@ -8,9 +8,13 @@
 //! ## The problem
 //!
 //! A column of `n` rows holds `D` distinct values. From a uniform random
-//! sample of `r` rows — summarized as a [`profile::FrequencyProfile`]
-//! (`f_i` = number of values occurring exactly `i` times in the sample) —
-//! estimate `D`. The quality metric is the multiplicative
+//! sample of `r` rows — summarized as a [`spectrum::Spectrum`]
+//! (`f_i` = number of values occurring exactly `i` times in the sample;
+//! sparse, incrementally buildable via [`spectrum::SpectrumBuilder`],
+//! and shard-mergeable) — estimate `D`. Samples carry a
+//! [`design::SampleDesign`] saying whether they were drawn with or
+//! without replacement; design-aware estimators (AE) solve the matching
+//! fixed-point form. The quality metric is the multiplicative
 //! [`error::ratio_error`], and Theorem 1 of the paper (implemented in the
 //! `dve-lowerbound` crate) shows **every** estimator must incur ratio
 //! error `Ω(sqrt(n/r))` on some input.
@@ -62,6 +66,7 @@ pub mod ae;
 pub mod bootstrap;
 pub mod bounds;
 pub mod chao;
+pub mod design;
 pub mod error;
 pub mod estimator;
 pub mod gee;
@@ -74,12 +79,15 @@ pub mod profile;
 pub mod registry;
 pub mod shlosser;
 pub mod skew;
+pub mod spectrum;
 
 pub use ae::AdaptiveEstimator;
 pub use bounds::{gee_confidence_interval, ConfidenceInterval};
+pub use design::SampleDesign;
 pub use error::{ratio_error, relative_error};
 pub use estimator::{sanity_clamp, DistinctEstimator, Estimation};
 pub use gee::Gee;
 pub use hybrid::{HybGee, HybSkew, HybVar};
 pub use profile::{FrequencyProfile, ProfileError};
 pub use registry::UnknownEstimator;
+pub use spectrum::{Spectrum, SpectrumBuilder, SpectrumError};

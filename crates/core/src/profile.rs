@@ -1,465 +1,10 @@
-//! The frequency profile of a random sample — the sufficient statistic
-//! every estimator in this crate consumes.
+//! Historical names for the canonical spectrum type.
 //!
-//! Following the paper's §2: a table column has `n` rows; a uniform random
-//! sample of `r` rows is taken; `f_i` is the number of distinct values that
-//! occur exactly `i` times in the sample, and `d = Σ f_i` is the number of
-//! distinct values observed. The estimators never see raw values — only
-//! `(n, r, f₁, f₂, …)`.
+//! The frequency-of-frequencies statistic used to live here as a dense
+//! `FrequencyProfile`; it is now the sparse, mergeable
+//! [`crate::spectrum::Spectrum`]. This module remains as a thin
+//! re-export so the original paths (`dve_core::profile::FrequencyProfile`
+//! and `ProfileError`) keep working — they are the same types, not
+//! copies, so the two names interconvert freely.
 
-use std::collections::HashMap;
-use std::hash::Hash;
-
-/// Errors raised while constructing a [`FrequencyProfile`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ProfileError {
-    /// The sample was empty (`r = 0`); no estimator is defined there.
-    EmptySample,
-    /// The claimed table size was zero.
-    EmptyTable,
-    /// The sample describes more rows than the table holds
-    /// (`r > n`), impossible under without-replacement sampling and a sign
-    /// of mismatched inputs under with-replacement sampling too, since the
-    /// paper's sampling fractions never exceed 1.
-    SampleLargerThanTable {
-        /// Rows implied by the frequency spectrum.
-        sample_rows: u64,
-        /// Claimed table size.
-        table_rows: u64,
-    },
-    /// More distinct values were observed than the table has rows.
-    MoreClassesThanRows {
-        /// Distinct values observed in the sample.
-        distinct: u64,
-        /// Claimed table size.
-        table_rows: u64,
-    },
-}
-
-impl std::fmt::Display for ProfileError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ProfileError::EmptySample => write!(f, "sample is empty (r = 0)"),
-            ProfileError::EmptyTable => write!(f, "table is empty (n = 0)"),
-            ProfileError::SampleLargerThanTable {
-                sample_rows,
-                table_rows,
-            } => write!(
-                f,
-                "sample has {sample_rows} rows but table only has {table_rows}"
-            ),
-            ProfileError::MoreClassesThanRows {
-                distinct,
-                table_rows,
-            } => write!(
-                f,
-                "sample shows {distinct} distinct values but table only has {table_rows} rows"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for ProfileError {}
-
-/// The frequency-of-frequencies summary of a sample of `r` rows drawn from
-/// a table of `n` rows.
-///
-/// Invariants maintained by every constructor:
-///
-/// * `n ≥ 1`, `1 ≤ r ≤ n`;
-/// * `Σ i · f_i = r` (the spectrum accounts for every sampled row);
-/// * `d = Σ f_i ≤ min(r, n)`.
-///
-/// The internal spectrum is dense: `freq[i - 1] = f_i`. Trailing zero
-/// entries are trimmed so `max_frequency` is exact.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FrequencyProfile {
-    /// Table size `n`.
-    n: u64,
-    /// Sample size `r` (= Σ i·f_i).
-    r: u64,
-    /// Distinct values in the sample `d` (= Σ f_i).
-    d: u64,
-    /// `freq[i - 1]` = number of values occurring exactly `i` times.
-    freq: Vec<u64>,
-}
-
-impl FrequencyProfile {
-    /// Builds a profile from the per-class occurrence counts observed in
-    /// the sample (one entry per distinct value, its multiplicity in the
-    /// sample). Zero counts are ignored.
-    ///
-    /// ```
-    /// use dve_core::profile::FrequencyProfile;
-    /// // Sample [a, a, a, b, b, c] from a 1000-row table.
-    /// let p = FrequencyProfile::from_sample_counts(1000, [3, 2, 1]).unwrap();
-    /// assert_eq!(p.sample_size(), 6);
-    /// assert_eq!(p.distinct_in_sample(), 3);
-    /// assert_eq!(p.f(1), 1);
-    /// assert_eq!(p.f(3), 1);
-    /// ```
-    pub fn from_sample_counts(
-        n: u64,
-        counts: impl IntoIterator<Item = u64>,
-    ) -> Result<Self, ProfileError> {
-        let mut freq: Vec<u64> = Vec::new();
-        for c in counts {
-            if c == 0 {
-                continue;
-            }
-            let idx = (c - 1) as usize;
-            if idx >= freq.len() {
-                freq.resize(idx + 1, 0);
-            }
-            freq[idx] += 1;
-        }
-        Self::from_spectrum(n, freq)
-    }
-
-    /// Builds a profile directly from a frequency spectrum
-    /// (`spectrum[i - 1] = f_i`).
-    pub fn from_spectrum(n: u64, mut spectrum: Vec<u64>) -> Result<Self, ProfileError> {
-        while spectrum.last() == Some(&0) {
-            spectrum.pop();
-        }
-        if n == 0 {
-            return Err(ProfileError::EmptyTable);
-        }
-        let mut r: u64 = 0;
-        let mut d: u64 = 0;
-        for (idx, &f) in spectrum.iter().enumerate() {
-            r += (idx as u64 + 1) * f;
-            d += f;
-        }
-        if r == 0 {
-            return Err(ProfileError::EmptySample);
-        }
-        if r > n {
-            return Err(ProfileError::SampleLargerThanTable {
-                sample_rows: r,
-                table_rows: n,
-            });
-        }
-        if d > n {
-            return Err(ProfileError::MoreClassesThanRows {
-                distinct: d,
-                table_rows: n,
-            });
-        }
-        Ok(Self {
-            n,
-            r,
-            d,
-            freq: spectrum,
-        })
-    }
-
-    /// Merges per-chunk `value → count` maps into one, summing counts
-    /// per value. The result is order-independent (count addition
-    /// commutes), so any partition of a sample into chunks — and any
-    /// merge order — yields the same map, and therefore the same
-    /// profile. This is the merge phase of split-count-merge profiling:
-    /// parallel workers count disjoint chunks of a sample, the
-    /// coordinator merges.
-    ///
-    /// ```
-    /// use dve_core::profile::FrequencyProfile;
-    /// use std::collections::HashMap;
-    /// let a = HashMap::from([(7u64, 2u64), (9, 1)]);
-    /// let b = HashMap::from([(7u64, 1u64), (4, 3)]);
-    /// let merged = FrequencyProfile::merge_counts([a, b]);
-    /// assert_eq!(merged[&7], 3);
-    /// assert_eq!(merged[&4], 3);
-    /// assert_eq!(merged[&9], 1);
-    /// ```
-    pub fn merge_counts<K: Hash + Eq>(
-        chunks: impl IntoIterator<Item = HashMap<K, u64>>,
-    ) -> HashMap<K, u64> {
-        let mut iter = chunks.into_iter();
-        let Some(mut merged) = iter.next() else {
-            return HashMap::new();
-        };
-        for chunk in iter {
-            // Merge the smaller map into the larger one.
-            let (mut dst, src) = if chunk.len() > merged.len() {
-                (chunk, merged)
-            } else {
-                (merged, chunk)
-            };
-            for (v, c) in src {
-                *dst.entry(v).or_insert(0) += c;
-            }
-            merged = dst;
-        }
-        merged
-    }
-
-    /// Builds a profile from per-chunk `value → count` maps — the
-    /// one-call form of [`FrequencyProfile::merge_counts`] followed by
-    /// [`FrequencyProfile::from_sample_counts`]. Equal to the single-pass
-    /// profile of the concatenated chunks, for any chunking.
-    pub fn from_count_chunks<K: Hash + Eq>(
-        n: u64,
-        chunks: impl IntoIterator<Item = HashMap<K, u64>>,
-    ) -> Result<Self, ProfileError> {
-        Self::from_sample_counts(n, Self::merge_counts(chunks).into_values())
-    }
-
-    /// Builds a profile by hashing raw sampled values.
-    ///
-    /// This is the convenience path examples use; the experiment harness
-    /// builds counts in the samplers instead to avoid re-hashing.
-    pub fn from_values<V: Hash + Eq>(
-        n: u64,
-        values: impl IntoIterator<Item = V>,
-    ) -> Result<Self, ProfileError> {
-        let mut counts: HashMap<V, u64> = HashMap::new();
-        for v in values {
-            *counts.entry(v).or_insert(0) += 1;
-        }
-        Self::from_sample_counts(n, counts.into_values())
-    }
-
-    /// Table size `n`.
-    pub fn table_size(&self) -> u64 {
-        self.n
-    }
-
-    /// Sample size `r`.
-    pub fn sample_size(&self) -> u64 {
-        self.r
-    }
-
-    /// Number of distinct values in the sample, `d`.
-    pub fn distinct_in_sample(&self) -> u64 {
-        self.d
-    }
-
-    /// Sampling fraction `q = r / n`.
-    pub fn sampling_fraction(&self) -> f64 {
-        self.r as f64 / self.n as f64
-    }
-
-    /// `f_i`: the number of values occurring exactly `i` times in the
-    /// sample. Returns 0 for `i = 0` and any `i` beyond the maximum
-    /// observed frequency.
-    pub fn f(&self, i: u64) -> u64 {
-        if i == 0 {
-            return 0;
-        }
-        self.freq.get((i - 1) as usize).copied().unwrap_or(0)
-    }
-
-    /// Largest frequency with `f_i > 0`.
-    pub fn max_frequency(&self) -> u64 {
-        self.freq.len() as u64
-    }
-
-    /// Iterates over `(i, f_i)` pairs with `f_i > 0`, ascending in `i`.
-    pub fn spectrum(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.freq
-            .iter()
-            .enumerate()
-            .filter(|(_, &f)| f > 0)
-            .map(|(idx, &f)| (idx as u64 + 1, f))
-    }
-
-    /// The dense spectrum slice (`slice[i-1] = f_i`). Mostly for tests.
-    pub fn spectrum_slice(&self) -> &[u64] {
-        &self.freq
-    }
-
-    /// Number of "rare" classes: distinct values with sample frequency
-    /// `≤ cutoff`. Used by DUJ2A-style estimators that treat abundant
-    /// classes separately.
-    pub fn distinct_with_freq_at_most(&self, cutoff: u64) -> u64 {
-        self.spectrum()
-            .take_while(|&(i, _)| i <= cutoff)
-            .map(|(_, f)| f)
-            .sum()
-    }
-
-    /// Number of sampled rows contributed by classes with frequency
-    /// `≤ cutoff`.
-    pub fn rows_with_freq_at_most(&self, cutoff: u64) -> u64 {
-        self.spectrum()
-            .take_while(|&(i, _)| i <= cutoff)
-            .map(|(i, f)| i * f)
-            .sum()
-    }
-
-    /// Restricts the profile to classes with sample frequency `≤ cutoff`,
-    /// keeping `n` unchanged and shrinking `r` accordingly. Returns `None`
-    /// if no class survives. Used by DUJ2A.
-    pub fn restrict_to_freq_at_most(&self, cutoff: u64) -> Option<Self> {
-        let keep = (cutoff as usize).min(self.freq.len());
-        let spectrum: Vec<u64> = self.freq[..keep].to_vec();
-        Self::from_spectrum(self.n, spectrum).ok()
-    }
-
-    /// Per-class counts reconstructed from the spectrum, i.e. a vector with
-    /// `f_i` copies of `i`. This is what the χ² uniformity test consumes.
-    /// Ascending order; length `d`.
-    pub fn class_counts(&self) -> Vec<u64> {
-        let mut out = Vec::with_capacity(self.d as usize);
-        for (i, f) in self.spectrum() {
-            for _ in 0..f {
-                out.push(i);
-            }
-        }
-        out
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn from_counts_basic() {
-        let p = FrequencyProfile::from_sample_counts(100, [5, 1, 1, 2]).unwrap();
-        assert_eq!(p.sample_size(), 9);
-        assert_eq!(p.distinct_in_sample(), 4);
-        assert_eq!(p.f(1), 2);
-        assert_eq!(p.f(2), 1);
-        assert_eq!(p.f(5), 1);
-        assert_eq!(p.f(3), 0);
-        assert_eq!(p.f(0), 0);
-        assert_eq!(p.max_frequency(), 5);
-        assert_eq!(p.table_size(), 100);
-    }
-
-    #[test]
-    fn zero_counts_ignored() {
-        let p = FrequencyProfile::from_sample_counts(10, [0, 3, 0, 1]).unwrap();
-        assert_eq!(p.distinct_in_sample(), 2);
-        assert_eq!(p.sample_size(), 4);
-    }
-
-    #[test]
-    fn spectrum_roundtrip_and_invariant() {
-        let p = FrequencyProfile::from_spectrum(50, vec![3, 0, 2, 0, 0, 1]).unwrap();
-        // r = 3·1 + 2·3 + 1·6 = 15, d = 6.
-        assert_eq!(p.sample_size(), 15);
-        assert_eq!(p.distinct_in_sample(), 6);
-        let collected: Vec<_> = p.spectrum().collect();
-        assert_eq!(collected, vec![(1, 3), (3, 2), (6, 1)]);
-    }
-
-    #[test]
-    fn trailing_zeros_trimmed() {
-        let p = FrequencyProfile::from_spectrum(50, vec![2, 1, 0, 0]).unwrap();
-        assert_eq!(p.max_frequency(), 2);
-        assert_eq!(p.spectrum_slice(), &[2, 1]);
-    }
-
-    #[test]
-    fn from_values_hashes() {
-        let p = FrequencyProfile::from_values(1000, ["a", "b", "a", "c", "a"]).unwrap();
-        assert_eq!(p.sample_size(), 5);
-        assert_eq!(p.distinct_in_sample(), 3);
-        assert_eq!(p.f(1), 2);
-        assert_eq!(p.f(3), 1);
-    }
-
-    #[test]
-    fn sampling_fraction() {
-        let p = FrequencyProfile::from_sample_counts(200, [1, 1]).unwrap();
-        assert!((p.sampling_fraction() - 0.01).abs() < 1e-15);
-    }
-
-    #[test]
-    fn error_cases() {
-        assert_eq!(
-            FrequencyProfile::from_sample_counts(100, std::iter::empty()),
-            Err(ProfileError::EmptySample)
-        );
-        assert_eq!(
-            FrequencyProfile::from_sample_counts(0, [1u64]),
-            Err(ProfileError::EmptyTable)
-        );
-        assert!(matches!(
-            FrequencyProfile::from_sample_counts(3, [2, 2]),
-            Err(ProfileError::SampleLargerThanTable { .. })
-        ));
-    }
-
-    #[test]
-    fn errors_display() {
-        let e = FrequencyProfile::from_sample_counts(3, [2u64, 2]).unwrap_err();
-        assert!(e.to_string().contains("sample has 4 rows"));
-        assert!(!ProfileError::EmptySample.to_string().is_empty());
-        assert!(!ProfileError::EmptyTable.to_string().is_empty());
-    }
-
-    #[test]
-    fn rare_class_helpers() {
-        let p = FrequencyProfile::from_spectrum(100, vec![4, 3, 0, 1]).unwrap();
-        // f1=4, f2=3, f4=1 → r = 4 + 6 + 4 = 14, d = 8.
-        assert_eq!(p.distinct_with_freq_at_most(1), 4);
-        assert_eq!(p.distinct_with_freq_at_most(2), 7);
-        assert_eq!(p.distinct_with_freq_at_most(10), 8);
-        assert_eq!(p.rows_with_freq_at_most(2), 10);
-        let rare = p.restrict_to_freq_at_most(2).unwrap();
-        assert_eq!(rare.sample_size(), 10);
-        assert_eq!(rare.distinct_in_sample(), 7);
-        assert_eq!(rare.table_size(), 100);
-    }
-
-    #[test]
-    fn restrict_everything_away_returns_none() {
-        let p = FrequencyProfile::from_spectrum(100, vec![0, 0, 5]).unwrap();
-        assert!(p.restrict_to_freq_at_most(2).is_none());
-    }
-
-    #[test]
-    fn class_counts_reconstruction() {
-        let p = FrequencyProfile::from_spectrum(100, vec![2, 1]).unwrap();
-        assert_eq!(p.class_counts(), vec![1, 1, 2]);
-    }
-
-    #[test]
-    fn merge_counts_equals_single_pass() {
-        // Count a value stream in one pass and in three chunks; the
-        // resulting profiles must be identical.
-        let values: Vec<u64> = (0..1_000u64).map(|i| (i * i) % 37).collect();
-        let count = |vs: &[u64]| {
-            let mut m: HashMap<u64, u64> = HashMap::new();
-            for &v in vs {
-                *m.entry(v).or_insert(0) += 1;
-            }
-            m
-        };
-        let single = FrequencyProfile::from_sample_counts(2_000, count(&values).into_values());
-        let chunked = FrequencyProfile::from_count_chunks(
-            2_000,
-            values.chunks(301).map(count).collect::<Vec<_>>(),
-        );
-        assert_eq!(single, chunked);
-    }
-
-    #[test]
-    fn merge_counts_edge_cases() {
-        let empty: Vec<HashMap<u64, u64>> = vec![];
-        assert!(FrequencyProfile::merge_counts(empty).is_empty());
-        assert_eq!(
-            FrequencyProfile::from_count_chunks::<u64>(10, vec![HashMap::new(), HashMap::new()]),
-            Err(ProfileError::EmptySample)
-        );
-        // Merge order must not matter.
-        let a = HashMap::from([(1u64, 1u64), (2, 5)]);
-        let b = HashMap::from([(2u64, 2u64), (3, 1)]);
-        assert_eq!(
-            FrequencyProfile::merge_counts([a.clone(), b.clone()]),
-            FrequencyProfile::merge_counts([b, a])
-        );
-    }
-
-    #[test]
-    fn full_scan_profile() {
-        // r = n is legal: a 100% "sample".
-        let p = FrequencyProfile::from_sample_counts(4, [2, 2]).unwrap();
-        assert_eq!(p.sample_size(), 4);
-        assert_eq!(p.sampling_fraction(), 1.0);
-    }
-}
+pub use crate::spectrum::{Spectrum as FrequencyProfile, SpectrumError as ProfileError};

@@ -226,11 +226,28 @@ impl DistinctEstimator for Instrumented {
         dve_obs::time(&self.latency, || self.inner.estimate_raw(profile))
     }
 
-    fn estimate_full(&self, profile: &crate::profile::FrequencyProfile) -> Estimation {
+    fn estimate_raw_for(
+        &self,
+        profile: &crate::profile::FrequencyProfile,
+        design: crate::design::SampleDesign,
+    ) -> f64 {
+        // Delegate so design-aware overrides (AE's hypergeometric form)
+        // survive the wrapper; record the same call telemetry.
+        self.calls.inc();
+        dve_obs::time(&self.latency, || {
+            self.inner.estimate_raw_for(profile, design)
+        })
+    }
+
+    fn estimate_full(
+        &self,
+        profile: &crate::profile::FrequencyProfile,
+        design: crate::design::SampleDesign,
+    ) -> Estimation {
         // Delegate so estimator-specific intervals (GEE's bounds)
         // survive the wrapper; record the same call telemetry.
         self.calls.inc();
-        dve_obs::time(&self.latency, || self.inner.estimate_full(profile))
+        dve_obs::time(&self.latency, || self.inner.estimate_full(profile, design))
     }
 }
 
@@ -281,8 +298,25 @@ impl DistinctEstimator for Audited {
         v
     }
 
-    fn estimate_full(&self, profile: &crate::profile::FrequencyProfile) -> Estimation {
-        let full = self.inner.estimate_full(profile);
+    fn estimate_raw_for(
+        &self,
+        profile: &crate::profile::FrequencyProfile,
+        design: crate::design::SampleDesign,
+    ) -> f64 {
+        let v = self.inner.estimate_for(profile, design);
+        dve_obs::audit::record_ratio_error(
+            self.inner.name(),
+            crate::error::ratio_error(v.max(1.0), self.truth),
+        );
+        v
+    }
+
+    fn estimate_full(
+        &self,
+        profile: &crate::profile::FrequencyProfile,
+        design: crate::design::SampleDesign,
+    ) -> Estimation {
+        let full = self.inner.estimate_full(profile, design);
         dve_obs::audit::record_ratio_error(
             self.inner.name(),
             crate::error::ratio_error(full.estimate.max(1.0), self.truth),
@@ -435,12 +469,13 @@ mod tests {
 
     #[test]
     fn instrumented_estimate_full_preserves_interval_and_records() {
+        let wr = crate::design::SampleDesign::WithReplacement;
         let p = FrequencyProfile::from_spectrum(100_000, vec![30, 12, 4, 1]).unwrap();
-        let plain = by_name("GEE").unwrap().estimate_full(&p);
+        let plain = by_name("GEE").unwrap().estimate_full(&p, wr);
         let calls_before = dve_obs::global()
             .counter_labeled("core.estimate.calls", "GEE")
             .get();
-        let wrapped = by_name_instrumented("GEE").unwrap().estimate_full(&p);
+        let wrapped = by_name_instrumented("GEE").unwrap().estimate_full(&p, wr);
         assert_eq!(plain, wrapped);
         assert!(wrapped.interval.is_some(), "GEE interval lost in wrapper");
         let calls_after = dve_obs::global()
@@ -479,13 +514,30 @@ mod tests {
 
     #[test]
     fn audited_estimate_full_passes_through_and_records() {
+        let wr = crate::design::SampleDesign::WithReplacement;
         let p = FrequencyProfile::from_spectrum(100_000, vec![30, 12, 4, 1]).unwrap();
-        let expected = by_name("AE").unwrap().estimate_full(&p);
+        let expected = by_name("AE").unwrap().estimate_full(&p, wr);
         let audited = audit_against(by_name("AE").unwrap(), expected.estimate.max(1.0));
         let hist = dve_obs::audit::ratio_error_histogram("AE");
         let before = hist.count();
-        assert_eq!(audited.estimate_full(&p), expected);
+        assert_eq!(audited.estimate_full(&p, wr), expected);
         assert_eq!(hist.count(), before + 1);
+    }
+
+    #[test]
+    fn wrappers_forward_the_design_to_ae() {
+        // A 20% WOR sample: AE's hypergeometric form must survive both
+        // the instrumentation and the audit wrapper.
+        let p = FrequencyProfile::from_spectrum(1_000, vec![80, 40, 15, 5]).unwrap();
+        let design = crate::design::SampleDesign::wor(1_000);
+        let plain = by_name("AE").unwrap().estimate_for(&p, design);
+        let instrumented = by_name_instrumented("AE").unwrap();
+        assert_eq!(instrumented.estimate_for(&p, design), plain);
+        let audited = audit_against(by_name("AE").unwrap(), 200.0);
+        assert_eq!(audited.estimate_for(&p, design), plain);
+        // And the design genuinely changes AE's answer on this profile.
+        let wr_estimate = by_name("AE").unwrap().estimate(&p);
+        assert_ne!(plain, wr_estimate, "WOR correction had no effect");
     }
 
     #[test]

@@ -23,7 +23,9 @@
 use crate::minijson::{self, JsonValue};
 use crate::runner::trial_seed;
 use dve_core::bounds::gee_confidence_interval;
+use dve_core::design::SampleDesign;
 use dve_core::error::ratio_error;
+use dve_core::estimator::DistinctEstimator;
 use dve_core::registry as estimators;
 use dve_sample::{sample_profile, SamplingScheme};
 use dve_sketch::shadow::ShadowTruth;
@@ -262,7 +264,9 @@ pub fn run_audit(config: &AuditConfig) -> AuditReport {
             let errors: Vec<f64> = ests
                 .iter()
                 .map(|est| {
-                    let v = est.estimate(&profile).max(1.0);
+                    // The audit samples without replacement, so tell
+                    // design-aware estimators (AE) the true design.
+                    let v = est.estimate_for(&profile, SampleDesign::wor(n)).max(1.0);
                     let err = ratio_error(v, ds.truth);
                     dve_obs::audit::record_ratio_error(est.name(), err);
                     err

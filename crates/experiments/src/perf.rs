@@ -1,9 +1,10 @@
 //! Wall-time benchmark for the parallel execution layer.
 //!
-//! Times the two hot paths that [`dve_par`] drives — the audit sweep and
-//! table ANALYZE — once at `jobs = 1` and once at `jobs = N`, checking on
-//! the way that the parallel results are **bit-identical** to serial
-//! (that check is the part of the gate that never depends on the host).
+//! Times the hot paths that [`dve_par`] drives — the audit sweep, table
+//! ANALYZE, and chunked spectrum construction — once at `jobs = 1` and
+//! once at `jobs = N`, checking on the way that the parallel results are
+//! **bit-identical** to serial (that check is the part of the gate that
+//! never depends on the host).
 //!
 //! The report is written to `BENCH_perf.json` with the same
 //! hand-rolled-writer / [`minijson`]-reader discipline as
@@ -42,7 +43,11 @@ pub struct PerfConfig {
     pub audit_trials: u32,
     /// Rows in the synthetic ANALYZE table.
     pub analyze_rows: u64,
-    /// Base RNG seed for both scenarios.
+    /// Sampled values fed to the spectrum-merge scenario (chunked
+    /// [`SpectrumBuilder`](dve_core::spectrum::SpectrumBuilder) ingest
+    /// vs one-shot).
+    pub merge_values: u64,
+    /// Base RNG seed for all scenarios.
     pub seed: u64,
 }
 
@@ -54,6 +59,7 @@ impl PerfConfig {
             jobs: 0,
             audit_trials: 8,
             analyze_rows: 60_000,
+            merge_values: 2_000_000,
             seed: 42,
         }
     }
@@ -63,6 +69,7 @@ impl PerfConfig {
         Self {
             audit_trials: 48,
             analyze_rows: 600_000,
+            merge_values: 20_000_000,
             ..Self::quick()
         }
     }
@@ -72,7 +79,7 @@ impl PerfConfig {
 /// determinism verdict.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfScenario {
-    /// Scenario name (`"audit_quick"`, `"analyze"`).
+    /// Scenario name (`"audit_quick"`, `"analyze"`, `"spectrum_merge"`).
     pub name: String,
     /// Wall time of the `jobs = 1` run, ns.
     pub serial_ns: u64,
@@ -191,6 +198,28 @@ pub fn run_bench(config: &PerfConfig) -> PerfReport {
         serial_ns,
         parallel_ns,
         serial_stats == parallel_stats,
+    ));
+
+    // Scenario 3: spectrum construction — chunked builder ingest with a
+    // per-chunk merge vs one-shot counting over the same values. The
+    // merge is value-level, so any chunking must be bit-identical.
+    let values: Vec<u64> = (0..config.merge_values)
+        .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16) % 65_536)
+        .collect();
+    let n = config.merge_values;
+    let t0 = Instant::now();
+    let serial_spectrum =
+        dve_sample::profile_of_values(n, &values).expect("bench values are non-empty");
+    let serial_ns = t0.elapsed().as_nanos() as u64;
+    let t0 = Instant::now();
+    let parallel_spectrum = dve_sample::profile_of_values_chunked(n, &values, jobs)
+        .expect("bench values are non-empty");
+    let parallel_ns = t0.elapsed().as_nanos() as u64;
+    scenarios.push(scenario(
+        "spectrum_merge",
+        serial_ns,
+        parallel_ns,
+        serial_spectrum == parallel_spectrum,
     ));
 
     let report = PerfReport {
@@ -400,6 +429,7 @@ mod tests {
             jobs: 3,
             audit_trials: 2,
             analyze_rows: 4_000,
+            merge_values: 50_000,
             seed: 7,
         }
     }
@@ -409,7 +439,7 @@ mod tests {
         let report = run_bench(&tiny_config());
         assert_eq!(report.jobs, 3);
         let names: Vec<&str> = report.scenarios.iter().map(|s| s.name.as_str()).collect();
-        assert_eq!(names, ["audit_quick", "analyze"]);
+        assert_eq!(names, ["audit_quick", "analyze", "spectrum_merge"]);
         for s in &report.scenarios {
             assert!(s.deterministic, "{} diverged from serial", s.name);
             assert!(s.serial_ns > 0 && s.parallel_ns > 0, "{s:?}");
@@ -489,6 +519,7 @@ mod tests {
         let table = report.to_table();
         assert!(table.contains("audit_quick"));
         assert!(table.contains("analyze"));
+        assert!(table.contains("spectrum_merge"));
         assert!(table.contains("speedup"));
     }
 }

@@ -18,9 +18,11 @@
 //!   rows. Cheaper I/O but *biased* for clustered layouts; included so the
 //!   examples can demonstrate why the paper's experiments randomize tuple
 //!   placement.
-//! * [`profile`] — build a [`dve_core::profile::FrequencyProfile`]
-//!   from any sample, plus the one-call [`profile::sample_profile`]
-//!   convenience that the experiment harness uses.
+//! * [`profile`] — build a [`dve_core::spectrum::Spectrum`] from any
+//!   sample, plus the one-call [`profile::sample_profile`] convenience
+//!   that the experiment harness uses. Each [`SamplingScheme`] also
+//!   declares the [`dve_core::design::SampleDesign`] it realizes, so
+//!   design-aware estimators can be told how the sample was drawn.
 //!
 //! All samplers are deterministic given the caller-supplied RNG, which is
 //! how every experiment in `dve-experiments` stays reproducible.

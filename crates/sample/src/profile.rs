@@ -5,7 +5,9 @@
 //! offers the one-call [`sample_profile`] used throughout the experiment
 //! harness.
 
+use dve_core::design::SampleDesign;
 use dve_core::profile::{FrequencyProfile, ProfileError};
+use dve_core::spectrum::SpectrumBuilder;
 use rand::Rng;
 use std::collections::HashMap;
 
@@ -47,6 +49,21 @@ impl SamplingScheme {
             SamplingScheme::Sequential => "sequential",
             SamplingScheme::Bernoulli => "bernoulli",
             SamplingScheme::Block { .. } => "block",
+        }
+    }
+
+    /// The [`SampleDesign`] the scheme realizes on a table of `n` rows —
+    /// what estimators should assume about inclusion probabilities.
+    ///
+    /// [`SamplingScheme::WithReplacement`] is the paper's i.i.d. model;
+    /// every other scheme draws each row at most once, so Reservoir,
+    /// Sequential, Bernoulli and Block sampling all declare
+    /// [`SampleDesign::WithoutReplacement`] alongside the eponymous
+    /// scheme.
+    pub fn design(&self, n: u64) -> SampleDesign {
+        match self {
+            SamplingScheme::WithReplacement => SampleDesign::WithReplacement,
+            _ => SampleDesign::wor(n),
         }
     }
 
@@ -160,12 +177,10 @@ pub fn profile_of_values_chunked(
 /// so no raw sample ever crosses partitions — only `(value → count)` maps.
 #[derive(Debug, Clone, Default)]
 pub struct SampleAccumulator {
-    counts: HashMap<u64, u64>,
-    /// Total rows of the (partition of the) table this accumulator's
-    /// samples were drawn from.
-    table_rows: u64,
-    /// Rows sampled so far.
-    sampled_rows: u64,
+    /// Value-level accumulation is delegated to the canonical core
+    /// builder; this type only adds the sampler-facing vocabulary
+    /// (partitions, samples of raw values).
+    builder: SpectrumBuilder,
 }
 
 impl SampleAccumulator {
@@ -177,36 +192,31 @@ impl SampleAccumulator {
     /// Absorbs a sample of `values` drawn from a partition of
     /// `partition_rows` rows.
     pub fn add_sample(&mut self, partition_rows: u64, values: &[u64]) {
-        self.table_rows += partition_rows;
-        self.sampled_rows += values.len() as u64;
+        self.builder.add_table_rows(partition_rows);
         for &v in values {
-            *self.counts.entry(v).or_insert(0) += 1;
+            self.builder.observe(v);
         }
     }
 
     /// Merges another accumulator (another partition's worker) into this
     /// one.
     pub fn merge(&mut self, other: &SampleAccumulator) {
-        self.table_rows += other.table_rows;
-        self.sampled_rows += other.sampled_rows;
-        for (&v, &c) in &other.counts {
-            *self.counts.entry(v).or_insert(0) += c;
-        }
+        self.builder.merge_from(&other.builder);
     }
 
     /// Total rows across absorbed partitions.
     pub fn table_rows(&self) -> u64 {
-        self.table_rows
+        self.builder.table_rows()
     }
 
     /// Total sampled rows.
     pub fn sampled_rows(&self) -> u64 {
-        self.sampled_rows
+        self.builder.sampled_rows()
     }
 
     /// Finalizes into a frequency profile over the union of partitions.
     pub fn finish(&self) -> Result<FrequencyProfile, ProfileError> {
-        FrequencyProfile::from_sample_counts(self.table_rows, self.counts.values().copied())
+        self.builder.finish()
     }
 
     /// Finalizes against an explicitly supplied population size — used
@@ -216,7 +226,7 @@ impl SampleAccumulator {
         &self,
         table_rows: u64,
     ) -> Result<FrequencyProfile, ProfileError> {
-        FrequencyProfile::from_sample_counts(table_rows, self.counts.values().copied())
+        self.builder.finish_with_table_rows(table_rows)
     }
 }
 
@@ -374,6 +384,23 @@ mod tests {
         let after = obs.counter_labeled("sample.rows_scanned", "wor").get();
         assert_eq!(after - before, 100);
         assert!(obs.histogram_labeled("sample.build_ns", "wor").count() >= 1);
+    }
+
+    #[test]
+    fn schemes_declare_their_design() {
+        assert_eq!(
+            SamplingScheme::WithReplacement.design(500),
+            SampleDesign::WithReplacement
+        );
+        for scheme in [
+            SamplingScheme::WithoutReplacement,
+            SamplingScheme::Reservoir,
+            SamplingScheme::Sequential,
+            SamplingScheme::Bernoulli,
+            SamplingScheme::Block { block_size: 32 },
+        ] {
+            assert_eq!(scheme.design(500), SampleDesign::wor(500), "{scheme:?}");
+        }
     }
 
     #[test]

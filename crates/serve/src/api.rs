@@ -13,6 +13,7 @@
 
 use crate::http::Request;
 use crate::pipeline::{self, PipelineError};
+use dve_core::design::SampleDesign;
 use dve_obs::minijson::{self, JsonValue};
 use dve_storage::analyze::AnalyzeError;
 use dve_storage::{
@@ -163,12 +164,37 @@ fn pipeline_error(err: PipelineError) -> Response {
     Response::error(400, code, &err.to_string())
 }
 
-/// `POST /v1/estimate` — two input modes:
+/// The optional `"design"` knob: which sampling model the estimator
+/// should assume. `None` keeps the mode's default (with-replacement for
+/// `spectrum`/`shards`, the sampler's without-replacement design for
+/// `values`).
+fn design_knob(root: &JsonValue) -> Result<Option<&'static str>, Response> {
+    match root.get("design") {
+        None => Ok(None),
+        Some(v) => match v.as_str() {
+            Some("wr") => Ok(Some("wr")),
+            Some("wor") => Ok(Some("wor")),
+            _ => Err(Response::error(
+                400,
+                "bad_request",
+                "\"design\" must be \"wr\" or \"wor\"",
+            )),
+        },
+    }
+}
+
+/// `POST /v1/estimate` — three input modes (exactly one per request):
 ///
 /// * `{"n": 10000, "spectrum": [40, 30], "estimator": "GEE"}` — the
 ///   client sampled elsewhere and ships the frequency spectrum;
+/// * `{"shards": [{"n": 5000, "spectrum": [20, 15]}, …]}` — per-shard
+///   spectra from a horizontally partitioned table, merged server-side
+///   before one estimate over the union;
 /// * `{"values": ["a", "b", …], "fraction": 0.05, "seed": 7}` — raw
 ///   values; the daemon samples, profiles, and estimates.
+///
+/// All modes accept `"design": "wr" | "wor"` to pick the sampling model
+/// design-aware estimators assume.
 fn estimate(body: &[u8]) -> Response {
     let root = match parse_body(body) {
         Ok(v) => v,
@@ -178,16 +204,28 @@ fn estimate(body: &[u8]) -> Response {
         Ok(k) => k,
         Err(resp) => return resp,
     };
+    let design = match design_knob(&root) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
 
-    let outcome = match (root.get("spectrum"), root.get("values")) {
-        (Some(_), Some(_)) => {
-            return Response::error(
-                400,
-                "bad_request",
-                "provide either \"spectrum\" or \"values\", not both",
-            )
-        }
-        (Some(spec), None) => {
+    let (spectrum_v, values_v, shards_v) =
+        (root.get("spectrum"), root.get("values"), root.get("shards"));
+    if [spectrum_v, values_v, shards_v]
+        .iter()
+        .filter(|m| m.is_some())
+        .count()
+        > 1
+    {
+        return Response::error(
+            400,
+            "bad_request",
+            "provide exactly one of \"spectrum\", \"values\", or \"shards\"",
+        );
+    }
+
+    let outcome = match (spectrum_v, values_v, shards_v) {
+        (Some(spec), None, None) => {
             let Some(items) = spec.as_array() else {
                 return Response::error(400, "bad_request", "\"spectrum\" must be an array");
             };
@@ -209,9 +247,66 @@ fn estimate(body: &[u8]) -> Response {
                     "spectrum mode requires \"n\" (the table row count)",
                 );
             };
-            pipeline::estimate_spectrum(n, spectrum, &knobs.estimator)
+            match design {
+                Some("wor") => pipeline::estimate_spectrum_designed(
+                    n,
+                    spectrum,
+                    &knobs.estimator,
+                    SampleDesign::wor(n),
+                ),
+                _ => pipeline::estimate_spectrum(n, spectrum, &knobs.estimator),
+            }
         }
-        (None, Some(values)) => {
+        (None, None, Some(shards_json)) => {
+            let Some(items) = shards_json.as_array() else {
+                return Response::error(
+                    400,
+                    "bad_request",
+                    "\"shards\" must be an array of {\"n\", \"spectrum\"} objects",
+                );
+            };
+            let mut shards = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let Some(n) = item.get("n").and_then(JsonValue::as_u64) else {
+                    return Response::error(
+                        400,
+                        "bad_request",
+                        &format!("shards[{i}] needs \"n\" (the shard row count)"),
+                    );
+                };
+                let Some(spec) = item.get("spectrum").and_then(JsonValue::as_array) else {
+                    return Response::error(
+                        400,
+                        "bad_request",
+                        &format!("shards[{i}] needs a \"spectrum\" array"),
+                    );
+                };
+                let mut spectrum = Vec::with_capacity(spec.len());
+                for f in spec {
+                    let Some(f) = f.as_u64() else {
+                        return Response::error(
+                            400,
+                            "bad_request",
+                            &format!("shards[{i}] spectrum entries must be non-negative integers"),
+                        );
+                    };
+                    spectrum.push(f);
+                }
+                shards.push((n, spectrum));
+            }
+            match design {
+                Some("wor") => {
+                    let total: u64 = shards.iter().map(|(n, _)| *n).sum();
+                    pipeline::estimate_shards_designed(
+                        shards,
+                        &knobs.estimator,
+                        SampleDesign::wor(total),
+                    )
+                }
+                _ => pipeline::estimate_shards(shards, &knobs.estimator),
+            }
+        }
+        (None, Some(values), None) => {
             let Some(items) = values.as_array() else {
                 return Response::error(400, "bad_request", "\"values\" must be an array");
             };
@@ -229,13 +324,27 @@ fn estimate(body: &[u8]) -> Response {
                     }
                 }
             }
-            pipeline::estimate_values(&strings, &knobs.estimator, knobs.fraction, knobs.seed)
+            match design {
+                Some("wr") => pipeline::estimate_values_with_design(
+                    &strings,
+                    &knobs.estimator,
+                    knobs.fraction,
+                    knobs.seed,
+                    Some(SampleDesign::WithReplacement),
+                ),
+                _ => pipeline::estimate_values(
+                    &strings,
+                    &knobs.estimator,
+                    knobs.fraction,
+                    knobs.seed,
+                ),
+            }
         }
-        (None, None) => {
+        _ => {
             return Response::error(
                 400,
                 "bad_request",
-                "provide \"spectrum\" (with \"n\") or \"values\"",
+                "provide \"spectrum\" (with \"n\"), \"shards\", or \"values\"",
             )
         }
     };
@@ -375,6 +484,77 @@ mod tests {
         let values = ["a", "b", "a", "c", "b", "a"];
         let expected = pipeline::estimate_values(&values, "AE", 0.5, 7).unwrap();
         assert_eq!(resp.body, expected.to_json());
+    }
+
+    #[test]
+    fn estimate_shards_mode_merges_before_estimating() {
+        // Two half-shards must answer byte-identically to the summed
+        // single-spectrum request.
+        let single = post(
+            "/v1/estimate",
+            r#"{"estimator":"GEE","n":10000,"spectrum":[40,30]}"#,
+        );
+        let sharded = post(
+            "/v1/estimate",
+            r#"{"estimator":"GEE","shards":[{"n":5000,"spectrum":[20,15]},{"n":5000,"spectrum":[20,15]}]}"#,
+        );
+        assert_eq!(single.status, 200, "{}", single.body);
+        assert_eq!(sharded.status, 200, "{}", sharded.body);
+        assert_eq!(single.body, sharded.body);
+    }
+
+    #[test]
+    fn estimate_design_knob_switches_the_model() {
+        let wr = post(
+            "/v1/estimate",
+            r#"{"estimator":"AE","n":1000,"spectrum":[80,40,15,5],"design":"wr"}"#,
+        );
+        let default = post(
+            "/v1/estimate",
+            r#"{"estimator":"AE","n":1000,"spectrum":[80,40,15,5]}"#,
+        );
+        let wor = post(
+            "/v1/estimate",
+            r#"{"estimator":"AE","n":1000,"spectrum":[80,40,15,5],"design":"wor"}"#,
+        );
+        assert_eq!(wr.status, 200, "{}", wr.body);
+        assert_eq!(wor.status, 200, "{}", wor.body);
+        // Spectrum mode defaults to the paper's WR model.
+        assert_eq!(wr.body, default.body);
+        assert_ne!(wr.body, wor.body);
+        let bad = post(
+            "/v1/estimate",
+            r#"{"n":1000,"spectrum":[80],"design":"sideways"}"#,
+        );
+        assert_eq!(bad.status, 400);
+        assert!(bad.body.contains("\\\"design\\\""), "{}", bad.body);
+    }
+
+    #[test]
+    fn estimate_rejects_bad_shard_shapes() {
+        for (body, needle) in [
+            (r#"{"shards":{}}"#, "must be an array"),
+            (
+                r#"{"shards":[{"spectrum":[1]}]}"#,
+                "shards[0] needs \\\"n\\\"",
+            ),
+            (
+                r#"{"shards":[{"n":10}]}"#,
+                "shards[0] needs a \\\"spectrum\\\"",
+            ),
+            (
+                r#"{"shards":[{"n":10,"spectrum":[1.5]}]}"#,
+                "non-negative integers",
+            ),
+            (
+                r#"{"n":10,"spectrum":[1],"shards":[{"n":10,"spectrum":[1]}]}"#,
+                "exactly one of",
+            ),
+        ] {
+            let resp = post("/v1/estimate", body);
+            assert_eq!(resp.status, 400, "{body}");
+            assert!(resp.body.contains(needle), "{body} → {}", resp.body);
+        }
     }
 
     #[test]

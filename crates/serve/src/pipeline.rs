@@ -7,6 +7,7 @@
 //! against an in-process call of these functions.
 
 use dve_core::bounds::{gee_confidence_interval, ConfidenceInterval};
+use dve_core::design::SampleDesign;
 use dve_core::estimator::{DistinctEstimator, Estimation};
 use dve_core::profile::FrequencyProfile;
 use dve_core::registry::{self, UnknownEstimator};
@@ -74,9 +75,13 @@ impl From<UnknownEstimator> for PipelineError {
     }
 }
 
-fn outcome(estimator: &dyn DistinctEstimator, profile: &FrequencyProfile) -> EstimateOutcome {
+fn outcome(
+    estimator: &dyn DistinctEstimator,
+    profile: &FrequencyProfile,
+    design: SampleDesign,
+) -> EstimateOutcome {
     EstimateOutcome {
-        estimation: estimator.estimate_full(profile),
+        estimation: estimator.estimate_full(profile, design),
         gee: gee_confidence_interval(profile),
     }
 }
@@ -86,11 +91,31 @@ fn outcome(estimator: &dyn DistinctEstimator, profile: &FrequencyProfile) -> Est
 /// `ChaCha8` stream seeded by `seed`, profile it, and run the named
 /// estimator — the exact chain `dve estimate` runs, instrumented the
 /// same way.
+///
+/// The sample is drawn without replacement and the estimate is computed
+/// under the matching [`SampleDesign::WithoutReplacement`]; use
+/// [`estimate_values_with_design`] to force the paper's
+/// with-replacement model instead.
 pub fn estimate_values<S: AsRef<str>>(
     values: &[S],
     estimator_name: &str,
     fraction: f64,
     seed: u64,
+) -> Result<EstimateOutcome, PipelineError> {
+    estimate_values_with_design(values, estimator_name, fraction, seed, None)
+}
+
+/// [`estimate_values`] with an explicit estimation design. `None` uses
+/// the design the sampler actually realizes (without replacement over
+/// the `n` input values); `Some(design)` overrides the model the
+/// estimator assumes — e.g. [`SampleDesign::WithReplacement`] to
+/// reproduce the paper's published equations on the same sample.
+pub fn estimate_values_with_design<S: AsRef<str>>(
+    values: &[S],
+    estimator_name: &str,
+    fraction: f64,
+    seed: u64,
+    design: Option<SampleDesign>,
 ) -> Result<EstimateOutcome, PipelineError> {
     if !(fraction > 0.0 && fraction <= 1.0) {
         return Err(PipelineError::BadFraction(fraction));
@@ -108,21 +133,37 @@ pub fn estimate_values<S: AsRef<str>>(
         .iter()
         .map(|v| dve_sketch::hash_bytes(v.as_ref().as_bytes()))
         .collect();
+    let scheme = SamplingScheme::WithoutReplacement;
+    let design = design.unwrap_or_else(|| scheme.design(n));
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let profile =
-        dve_sample::sample_profile(&hashes, r, SamplingScheme::WithoutReplacement, &mut rng)
-            .map_err(|e| PipelineError::BadSpectrum(e.to_string()))?;
-    Ok(outcome(estimator.as_ref(), &profile))
+    let profile = dve_sample::sample_profile(&hashes, r, scheme, &mut rng)
+        .map_err(|e| PipelineError::BadSpectrum(e.to_string()))?;
+    Ok(outcome(estimator.as_ref(), &profile, design))
 }
 
 /// Estimates distinct values from an already-summarized frequency
 /// spectrum (`spectrum[i - 1] = f_i`, table size `n`) — the mode for
 /// clients that sampled elsewhere (e.g. per-partition scans) and ship
 /// only the sufficient statistic.
+///
+/// The spectrum carries no record of how its sample was drawn, so this
+/// mode defaults to the paper's with-replacement model; clients that
+/// sampled without replacement can say so via
+/// [`estimate_spectrum_designed`].
 pub fn estimate_spectrum(
     n: u64,
     spectrum: Vec<u64>,
     estimator_name: &str,
+) -> Result<EstimateOutcome, PipelineError> {
+    estimate_spectrum_designed(n, spectrum, estimator_name, SampleDesign::WithReplacement)
+}
+
+/// [`estimate_spectrum`] under an explicit [`SampleDesign`].
+pub fn estimate_spectrum_designed(
+    n: u64,
+    spectrum: Vec<u64>,
+    estimator_name: &str,
+    design: SampleDesign,
 ) -> Result<EstimateOutcome, PipelineError> {
     let estimator = registry::by_name_instrumented(estimator_name)?;
     if n == 0 || spectrum.iter().all(|&f| f == 0) {
@@ -130,7 +171,52 @@ pub fn estimate_spectrum(
     }
     let profile = FrequencyProfile::from_spectrum(n, spectrum)
         .map_err(|e| PipelineError::BadSpectrum(e.to_string()))?;
-    Ok(outcome(estimator.as_ref(), &profile))
+    Ok(outcome(estimator.as_ref(), &profile, design))
+}
+
+/// Estimates distinct values from **per-shard** spectra: each shard
+/// ships `(n, spectrum)` for its own partition and the daemon merges the
+/// sufficient statistics with [`FrequencyProfile::merge`] before
+/// estimating once over the union.
+///
+/// Merging sums `n`, `r`, and the f-vectors, which is exact when shards
+/// partition the table *horizontally with disjoint sampled rows* — the
+/// same contract as [`dve_sample::SampleAccumulator`], except only the
+/// spectra travel. A single shard is exactly [`estimate_spectrum`]:
+/// shipping `[(n, s)]` and `(n, s)` produce byte-identical responses.
+pub fn estimate_shards(
+    shards: Vec<(u64, Vec<u64>)>,
+    estimator_name: &str,
+) -> Result<EstimateOutcome, PipelineError> {
+    estimate_shards_designed(shards, estimator_name, SampleDesign::WithReplacement)
+}
+
+/// [`estimate_shards`] under an explicit [`SampleDesign`].
+pub fn estimate_shards_designed(
+    shards: Vec<(u64, Vec<u64>)>,
+    estimator_name: &str,
+    design: SampleDesign,
+) -> Result<EstimateOutcome, PipelineError> {
+    let estimator = registry::by_name_instrumented(estimator_name)?;
+    if shards.is_empty() {
+        return Err(PipelineError::EmptyInput);
+    }
+    let mut merged: Option<FrequencyProfile> = None;
+    for (i, (n, spectrum)) in shards.into_iter().enumerate() {
+        if n == 0 || spectrum.iter().all(|&f| f == 0) {
+            return Err(PipelineError::BadSpectrum(format!(
+                "shard {i} is empty (every shard needs rows and a non-zero spectrum)"
+            )));
+        }
+        let shard = FrequencyProfile::from_spectrum(n, spectrum)
+            .map_err(|e| PipelineError::BadSpectrum(format!("shard {i}: {e}")))?;
+        merged = Some(match merged {
+            None => shard,
+            Some(acc) => acc.merge(&shard),
+        });
+    }
+    let profile = merged.expect("non-empty shard list merges to a profile");
+    Ok(outcome(estimator.as_ref(), &profile, design))
 }
 
 #[cfg(test)]
@@ -174,6 +260,81 @@ mod tests {
         assert_eq!(out.estimation.estimator, "SHLOSSER");
         assert_eq!(out.estimation.interval, None);
         assert_eq!((out.gee.lower, out.gee.upper), (70.0, 4030.0));
+    }
+
+    #[test]
+    fn sharded_estimate_is_byte_identical_to_the_merged_spectrum() {
+        // Two value-disjoint shards whose spectra sum to the single-shot
+        // request: the responses must match byte for byte.
+        let single = estimate_spectrum(10_000, vec![40, 30], "GEE").unwrap();
+        let sharded =
+            estimate_shards(vec![(5_000, vec![20, 15]), (5_000, vec![20, 15])], "GEE").unwrap();
+        assert_eq!(single.to_json(), sharded.to_json());
+        // One shard degenerates to the plain spectrum mode.
+        let one = estimate_shards(vec![(10_000, vec![40, 30])], "GEE").unwrap();
+        assert_eq!(single.to_json(), one.to_json());
+    }
+
+    #[test]
+    fn design_knob_reaches_the_estimator() {
+        // AE is design-aware: the WOR design must change its estimate on
+        // a low-skew spectrum, while design-blind GEE never moves.
+        let spectrum = vec![80u64, 40, 15, 5];
+        let wr = estimate_spectrum(1_000, spectrum.clone(), "AE").unwrap();
+        let wor =
+            estimate_spectrum_designed(1_000, spectrum.clone(), "AE", SampleDesign::wor(1_000))
+                .unwrap();
+        assert_ne!(wr.estimation.estimate, wor.estimation.estimate);
+        let gee_wr = estimate_spectrum(1_000, spectrum.clone(), "GEE").unwrap();
+        let gee_wor =
+            estimate_spectrum_designed(1_000, spectrum, "GEE", SampleDesign::wor(1_000)).unwrap();
+        assert_eq!(gee_wr.to_json(), gee_wor.to_json());
+    }
+
+    #[test]
+    fn values_mode_defaults_to_the_sampler_design() {
+        // The values pipeline samples without replacement, so its default
+        // must equal the explicit WOR design and (for AE) differ from the
+        // forced with-replacement model.
+        let values: Vec<String> = (0..500).map(|i| format!("v{}", i % 97)).collect();
+        let default = estimate_values(&values, "AE", 0.2, 7).unwrap();
+        let explicit = estimate_values_with_design(
+            &values,
+            "AE",
+            0.2,
+            7,
+            Some(SampleDesign::wor(values.len() as u64)),
+        )
+        .unwrap();
+        assert_eq!(default.to_json(), explicit.to_json());
+        let wr =
+            estimate_values_with_design(&values, "AE", 0.2, 7, Some(SampleDesign::WithReplacement))
+                .unwrap();
+        assert_ne!(default.estimation.estimate, wr.estimation.estimate);
+    }
+
+    #[test]
+    fn shard_error_paths_are_typed() {
+        assert!(matches!(
+            estimate_shards(vec![], "GEE"),
+            Err(PipelineError::EmptyInput)
+        ));
+        match estimate_shards(vec![(5_000, vec![20, 15]), (0, vec![])], "GEE") {
+            Err(PipelineError::BadSpectrum(msg)) => {
+                assert!(msg.contains("shard 1"), "{msg}");
+            }
+            other => panic!("expected BadSpectrum, got {other:?}"),
+        }
+        match estimate_shards(vec![(3, vec![10])], "GEE") {
+            Err(PipelineError::BadSpectrum(msg)) => {
+                assert!(msg.contains("shard 0"), "{msg}");
+            }
+            other => panic!("expected BadSpectrum, got {other:?}"),
+        }
+        assert!(matches!(
+            estimate_shards(vec![(10, vec![5])], "NOPE"),
+            Err(PipelineError::UnknownEstimator(_))
+        ));
     }
 
     #[test]

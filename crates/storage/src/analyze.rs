@@ -14,10 +14,10 @@
 use crate::stats::ColumnStatistics;
 use crate::table::Table;
 use dve_core::bounds::{gee_confidence_interval, ConfidenceInterval};
-use dve_core::profile::FrequencyProfile;
+use dve_core::design::SampleDesign;
 use dve_core::registry;
+use dve_core::spectrum::SpectrumBuilder;
 use rand::Rng;
-use std::collections::HashMap;
 
 /// Options for [`analyze_table`].
 #[derive(Debug, Clone, PartialEq)]
@@ -92,9 +92,14 @@ pub fn analyze_table<R: Rng + ?Sized>(
 /// The row sample is drawn serially from `rng` — the sample is identical
 /// to the serial implementation's for a given RNG state. Column
 /// profiling then fans `(column × row-chunk)` counting tasks across the
-/// worker pool; per-chunk `HashMap` counts are merged with
-/// [`FrequencyProfile::merge_counts`]. Count merging commutes, so the
+/// worker pool; each task accumulates into its own
+/// [`SpectrumBuilder`] and the per-chunk builders are merged with
+/// [`SpectrumBuilder::merge_from`]. Builder merging commutes, so the
 /// returned statistics are **bit-identical for every `jobs` value**.
+///
+/// The sample is drawn without replacement, so each column's estimate is
+/// computed under [`SampleDesign::WithoutReplacement`] — design-aware
+/// estimators (AE) use the hypergeometric fixed point here.
 pub fn analyze_table_jobs<R: Rng + ?Sized>(
     table: &Table,
     options: &AnalyzeOptions,
@@ -129,32 +134,31 @@ pub fn analyze_table_jobs<R: Rng + ?Sized>(
     let chunk_count = jobs.div_ceil(ncols).max(1);
     let per_chunk = rows.len().div_ceil(chunk_count).max(1);
     let row_chunks: Vec<&[u64]> = rows.chunks(per_chunk).collect();
-    let counted: Vec<(HashMap<u64, u64>, u64)> =
+    let counted: Vec<(SpectrumBuilder, u64)> =
         dve_par::run_indexed(jobs, ncols * row_chunks.len(), |task| {
             let column = table.column(task / row_chunks.len());
             let chunk = row_chunks[task % row_chunks.len()];
-            let mut counts: HashMap<u64, u64> = HashMap::new();
+            let mut builder = SpectrumBuilder::new();
             let mut nulls = 0u64;
             for &row in chunk {
                 match column.hash_code(row as usize) {
-                    Some(h) => *counts.entry(h).or_insert(0) += 1,
+                    Some(h) => builder.observe(h),
                     None => nulls += 1,
                 }
             }
-            (counts, nulls)
+            (builder, nulls)
         });
 
     let mut counted = counted.into_iter();
     let mut out = Vec::with_capacity(ncols);
     for field in table.schema().fields().iter() {
-        let mut chunk_maps = Vec::with_capacity(row_chunks.len());
+        let mut acc = SpectrumBuilder::new();
         let mut nulls_in_sample = 0u64;
         for _ in 0..row_chunks.len() {
-            let (m, nulls) = counted.next().expect("one result per counting task");
-            chunk_maps.push(m);
+            let (b, nulls) = counted.next().expect("one result per counting task");
+            acc.merge_from(&b);
             nulls_in_sample += nulls;
         }
-        let counts = FrequencyProfile::merge_counts(chunk_maps);
         let null_count_estimate = ((nulls_in_sample as f64 / r as f64) * n as f64).round() as u64;
         let non_null_r = r - nulls_in_sample;
         // Table size for the non-NULL sub-population, never below the
@@ -179,9 +183,10 @@ pub fn analyze_table_jobs<R: Rng + ?Sized>(
                 estimator: estimator.name().to_string(),
             }
         } else {
-            let profile = FrequencyProfile::from_sample_counts(n_eff, counts.into_values())
+            let profile = acc
+                .finish_with_table_rows(n_eff)
                 .expect("non-empty non-null sample");
-            let estimate = estimator.estimate(&profile);
+            let estimate = estimator.estimate_for(&profile, SampleDesign::wor(n_eff));
             ColumnStatistics {
                 column: field.name.clone(),
                 row_count: n,
@@ -289,7 +294,7 @@ pub fn analyze_partitions<R: Rng + ?Sized>(
                 estimator: estimator.name().to_string(),
             },
             Ok(profile) => {
-                let estimate = estimator.estimate(&profile);
+                let estimate = estimator.estimate_for(&profile, SampleDesign::wor(n_eff));
                 ColumnStatistics {
                     column: field.name.clone(),
                     row_count: total_rows,

@@ -54,6 +54,14 @@ curl -sf -X POST "http://127.0.0.1:$serve_port/v1/estimate" \
 grep -q '"estimate":430' "$tmpdir/estimate.json"
 grep -q '"gee_interval":{"lower":70,"upper":4030}' "$tmpdir/estimate.json"
 
+# Sharded estimation: two value-disjoint half-table shards merged
+# server-side must answer byte-identically to the single merged
+# spectrum above.
+curl -sf -X POST "http://127.0.0.1:$serve_port/v1/estimate" \
+    -d '{"estimator":"GEE","shards":[{"n":5000,"spectrum":[20,15]},{"n":5000,"spectrum":[20,15]}]}' \
+    >"$tmpdir/shards.json"
+cmp "$tmpdir/shards.json" "$tmpdir/estimate.json"
+
 # Malformed input must produce the structured 4xx envelope, not a 5xx.
 code="$(curl -s -o "$tmpdir/err.json" -w '%{http_code}' \
     -X POST "http://127.0.0.1:$serve_port/v1/estimate" -d '{nope')"

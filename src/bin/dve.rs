@@ -2,10 +2,13 @@
 //!
 //! ```text
 //! dve estimate [--estimator AE] [--fraction 0.01] [--seed 42]
-//!              [--format table|json] [FILE]
+//!              [--design wr|wor] [--format table|json] [FILE]
 //!     Estimate the number of distinct lines in FILE (or stdin) from a
 //!     random sample, with GEE's [LOWER, UPPER] confidence interval.
 //!     --format json emits the same Estimation JSON `dve serve` returns.
+//!     The sampler draws without replacement; --design wor (default)
+//!     tells design-aware estimators so, --design wr forces the paper's
+//!     with-replacement model.
 //!
 //! dve serve [--addr 127.0.0.1:7171] [--queue 64] [--max-body BYTES]
 //!           [--read-timeout-ms 5000] [--handle-timeout-ms 10000]
@@ -40,7 +43,8 @@
 //! dve bench [--quick|--full] [--out PATH] [--check BASELINE.json]
 //!           [--latency-factor 25] [--min-speedup 1.5]
 //!     Wall-time benchmark of the parallel execution layer: times the
-//!     audit sweep and ANALYZE at jobs=1 vs jobs=N, verifies the
+//!     audit sweep, ANALYZE, and chunked spectrum construction at
+//!     jobs=1 vs jobs=N, verifies the
 //!     parallel results are bit-identical to serial, and writes
 //!     BENCH_perf.json (or, with --check, gates against the committed
 //!     baseline and exits non-zero on a regression).
@@ -246,20 +250,34 @@ fn cmd_estimate(args: &[String]) {
     let fraction: f64 = flag_parse(&flags, "fraction", 0.01);
     let seed: u64 = flag_parse(&flags, "seed", 42);
     let format: String = flag_parse(&flags, "format", "table".to_string());
+    let design: String = flag_parse(&flags, "design", "wor".to_string());
+    // The CLI samples without replacement, so "wor" (the default) tells
+    // design-aware estimators the truth; "wr" forces the paper's
+    // with-replacement model for faithful-to-publication numbers.
+    let forced_design = match design.as_str() {
+        "wor" => None,
+        "wr" => Some(distinct_values::core::design::SampleDesign::WithReplacement),
+        other => fail(2, format!("invalid --design {other} (wr|wor)")),
+    };
 
     let lines = read_lines(&positional);
     // The hash → sample → profile → estimate chain is shared with
     // `dve serve`'s `/v1/estimate`, so CLI and daemon results are
     // byte-identical for the same input.
-    let outcome =
-        distinct_values::serve::pipeline::estimate_values(&lines, &estimator_name, fraction, seed)
-            .unwrap_or_else(|err| match err {
-                distinct_values::serve::PipelineError::EmptyInput => fail(1, err.to_string()),
-                distinct_values::serve::PipelineError::UnknownEstimator(_) => {
-                    fail(2, format!("{err} (see `dve estimators`)"))
-                }
-                _ => fail(2, err.to_string()),
-            });
+    let outcome = distinct_values::serve::pipeline::estimate_values_with_design(
+        &lines,
+        &estimator_name,
+        fraction,
+        seed,
+        forced_design,
+    )
+    .unwrap_or_else(|err| match err {
+        distinct_values::serve::PipelineError::EmptyInput => fail(1, err.to_string()),
+        distinct_values::serve::PipelineError::UnknownEstimator(_) => {
+            fail(2, format!("{err} (see `dve estimators`)"))
+        }
+        _ => fail(2, err.to_string()),
+    });
     let est = &outcome.estimation;
     match format.as_str() {
         "json" => println!("{}", outcome.to_json()),
@@ -638,7 +656,8 @@ fn cmd_analyze(args: &[String]) {
 fn usage_and_exit(code: i32) -> ! {
     println!(
         "dve — distinct-value estimation (PODS 2000 reproduction)\n\n\
-         usage:\n  dve estimate [--estimator AE] [--fraction 0.01] [--seed 42] [--format table|json] [FILE|-]\n  \
+         usage:\n  dve estimate [--estimator AE] [--fraction 0.01] [--seed 42] [--design wr|wor]\n               \
+         [--format table|json] [FILE|-]\n  \
          dve serve [--addr 127.0.0.1:7171] [--queue 64] [--max-body BYTES]\n            \
          [--read-timeout-ms 5000] [--handle-timeout-ms 10000]\n  \
          dve exact [FILE|-]\n  \

@@ -5,8 +5,10 @@
 //! storage → par) to catch any layer quietly reintroducing
 //! order-dependence.
 
+use distinct_values::core::spectrum::{Spectrum, SpectrumBuilder};
 use distinct_values::experiments::audit::{run_audit, AuditConfig};
 use distinct_values::storage::{analyze_table_jobs, AnalyzeOptions, Table};
+use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -52,4 +54,90 @@ fn repeated_parallel_runs_agree_with_each_other() {
     let a = run_audit(&config).without_walltime();
     let b = run_audit(&config).without_walltime();
     assert_eq!(a, b);
+}
+
+/// Builds a finalized [`Spectrum`] from a sparse `(freq, count)` list
+/// with `extra_rows` added to the table size, offsetting the value hash
+/// space by `base` so different shards can be made value-disjoint.
+fn shard_spectrum(classes: &[(u64, u64)], extra_rows: u64, base: u64) -> Spectrum {
+    let mut b = SpectrumBuilder::new();
+    let mut next = base;
+    for &(freq, count) in classes {
+        for _ in 0..count {
+            b.observe_count(next, freq);
+            next += 1;
+        }
+    }
+    // The table holds at least the sampled rows, plus any unsampled ones.
+    b.add_table_rows(b.sampled_rows() + extra_rows);
+    b.finish().expect("non-empty shard spectrum")
+}
+
+fn sparse_classes() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((1u64..40, 1u64..30), 1..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Spectrum::merge` of value-disjoint shards is commutative:
+    /// shard order cannot move a single field.
+    #[test]
+    fn spectrum_merge_is_commutative(
+        a in sparse_classes(),
+        b in sparse_classes(),
+        extra in 0u64..1_000,
+    ) {
+        let sa = shard_spectrum(&a, extra, 0);
+        let sb = shard_spectrum(&b, 0, 1 << 32);
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+    }
+
+    /// …and associative: any merge tree over the same shards yields the
+    /// same spectrum, which is what lets `analyze` and the serve API
+    /// fold shards in arrival order.
+    #[test]
+    fn spectrum_merge_is_associative(
+        a in sparse_classes(),
+        b in sparse_classes(),
+        c in sparse_classes(),
+    ) {
+        let sa = shard_spectrum(&a, 0, 0);
+        let sb = shard_spectrum(&b, 0, 1 << 32);
+        let sc = shard_spectrum(&c, 0, 2 << 32);
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+    }
+
+    /// Chunked ingestion through [`SpectrumBuilder::merge_from`] is
+    /// bit-identical to one-shot ingestion for *any* split of the rows —
+    /// even when the same value lands in several chunks (the builder
+    /// merges at value level, unlike finalized-[`Spectrum::merge`],
+    /// which requires value-disjoint shards).
+    #[test]
+    fn chunked_ingest_matches_one_shot_for_any_split(
+        values in proptest::collection::vec(0u64..200, 1..600),
+        splits in proptest::collection::vec(0usize..600, 0..5),
+    ) {
+        let mut one_shot = SpectrumBuilder::new();
+        one_shot.add_table_rows(values.len() as u64);
+        for &v in &values {
+            one_shot.observe(v);
+        }
+
+        let mut cuts: Vec<usize> = splits.iter().map(|&s| s % (values.len() + 1)).collect();
+        cuts.push(0);
+        cuts.push(values.len());
+        cuts.sort_unstable();
+        let mut acc = SpectrumBuilder::new();
+        acc.add_table_rows(values.len() as u64);
+        for pair in cuts.windows(2) {
+            let mut chunk = SpectrumBuilder::new();
+            for &v in &values[pair[0]..pair[1]] {
+                chunk.observe(v);
+            }
+            acc.merge_from(&chunk);
+        }
+
+        prop_assert_eq!(one_shot.finish().unwrap(), acc.finish().unwrap());
+    }
 }
