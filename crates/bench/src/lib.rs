@@ -78,6 +78,30 @@ mod alloc_probe {
     }
 
     #[test]
+    fn tracing_off_is_allocation_free_on_the_span_path() {
+        use dve_obs::trace;
+
+        // The serve hot path opens several spans per request; with the
+        // collector disarmed each must cost one relaxed atomic load and
+        // nothing else — no ids drawn, no detail closures run, no heap.
+        trace::set_tracing(false);
+        // Warm thread-local state outside the measured window.
+        drop(trace::span("bench.warmup"));
+        let _ = trace::current_thread_id();
+
+        let count = allocations_in(|| {
+            for _ in 0..1000 {
+                let g = trace::span("bench.hot").detail(|| "never built".to_string());
+                drop(g);
+                drop(trace::root_span("bench.hot_root"));
+                let _ = trace::with_span("bench.hot_fn", || std::hint::black_box(7u64));
+                let _ = std::hint::black_box(trace::current());
+            }
+        });
+        assert_eq!(count, 0, "disabled tracing allocated {count} times");
+    }
+
+    #[test]
     fn probe_actually_counts() {
         // Guard against the probe silently going dead (e.g. a future
         // allocator change): a Vec allocation must register.

@@ -208,6 +208,8 @@ pub fn run_audit(config: &AuditConfig) -> AuditReport {
     let datasets: Vec<AuditDataset> = dve_par::run_indexed(jobs, dataset_grid.len(), |i| {
         let (zi, di) = dataset_grid[i];
         let (zipf, dup) = (config.zipfs[zi], config.dups[di]);
+        let _span =
+            dve_obs::trace::span("audit.dataset").detail(|| format!("zipf={zipf} dup={dup}"));
         let dataset_seed = trial_seed(config.seed, (zi * 101 + di) as u32);
         let mut rng = ChaCha8Rng::seed_from_u64(dataset_seed);
         let (column, claimed_d) = dve_datagen::paper_column(config.base_rows, zipf, dup, &mut rng);
@@ -248,6 +250,8 @@ pub fn run_audit(config: &AuditConfig) -> AuditReport {
             let (dsi, fraction) = cell_grid[task / trials];
             let trial = (task % trials) as u32;
             let ds = &datasets[dsi];
+            let _span = dve_obs::trace::span("audit.cell_trial")
+                .detail(|| format!("zipf={} dup={} f={fraction} trial={trial}", ds.zipf, ds.dup));
             let n = ds.column.len() as u64;
             let r = ((n as f64 * fraction).round() as u64).clamp(1, n);
 

@@ -101,6 +101,10 @@ pub struct PerfReport {
     pub host_parallelism: u64,
     /// Worker threads used for the parallel side.
     pub jobs: u64,
+    /// Whether the speedup gate was armed on the measuring host (≥ 4
+    /// cores). A baseline recorded with this `false` carries wall times
+    /// from a box whose `speedup` numbers are noise, not signal.
+    pub speedup_gate_armed: bool,
     /// All benchmarked scenarios.
     pub scenarios: Vec<PerfScenario>,
 }
@@ -226,6 +230,7 @@ pub fn run_bench(config: &PerfConfig) -> PerfReport {
         version: SCHEMA_VERSION,
         host_parallelism: host_parallelism(),
         jobs: jobs as u64,
+        speedup_gate_armed: host_parallelism() >= 4,
         scenarios,
     };
     for s in &report.scenarios {
@@ -322,8 +327,9 @@ impl PerfReport {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
         out.push_str(&format!(
-            "{{\n  \"version\": {},\n  \"host_parallelism\": {},\n  \"jobs\": {},\n  \"scenarios\": [\n",
-            self.version, self.host_parallelism, self.jobs
+            "{{\n  \"version\": {},\n  \"host_parallelism\": {},\n  \"jobs\": {},\n  \
+             \"speedup_gate_armed\": {},\n  \"scenarios\": [\n",
+            self.version, self.host_parallelism, self.jobs, self.speedup_gate_armed
         ));
         for (i, s) in self.scenarios.iter().enumerate() {
             out.push_str(&format!(
@@ -392,10 +398,17 @@ impl PerfReport {
                 },
             });
         }
+        let host_parallelism = field("host_parallelism")?;
         Ok(Self {
             version,
-            host_parallelism: field("host_parallelism")?,
+            host_parallelism,
             jobs: field("jobs")?,
+            // Baselines written before the field existed armed the gate
+            // purely on core count, so that is the lenient default.
+            speedup_gate_armed: match root.get("speedup_gate_armed") {
+                Some(JsonValue::Bool(b)) => *b,
+                _ => host_parallelism >= 4,
+            },
             scenarios,
         })
     }
@@ -468,6 +481,16 @@ mod tests {
         )
         .unwrap_err()
         .contains("scenario 0"));
+    }
+
+    #[test]
+    fn speedup_gate_armed_defaults_from_core_count() {
+        // Baselines written before the field existed stay parseable, with
+        // the armed bit inferred the way check_against always has.
+        let old = "{\"version\":1,\"host_parallelism\":8,\"jobs\":2,\"scenarios\":[]}";
+        assert!(PerfReport::from_json(old).unwrap().speedup_gate_armed);
+        let old = "{\"version\":1,\"host_parallelism\":1,\"jobs\":2,\"scenarios\":[]}";
+        assert!(!PerfReport::from_json(old).unwrap().speedup_gate_armed);
     }
 
     #[test]

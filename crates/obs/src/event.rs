@@ -479,6 +479,59 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_sink_survives_a_concurrent_writer_burst_without_torn_lines() {
+        // The DVE_LOG jsonl sink is shared by every thread in the
+        // process (serve workers, the accept loop, pool workers). A
+        // multi-thread burst must come out as complete, parseable lines
+        // — the Mutex around the writer is the contract under test.
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                // Write byte-at-a-time: if the sink ever emitted outside
+                // its lock, interleaving would be maximal and the parse
+                // check below would catch it.
+                let mut out = self.0.lock().unwrap();
+                out.extend_from_slice(&data[..1]);
+                Ok(1)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = Arc::new(JsonlSink::new(Box::new(Shared(Arc::clone(&buf)))));
+        const THREADS: usize = 8;
+        const EVENTS: usize = 50;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let sink = Arc::clone(&sink);
+                s.spawn(move || {
+                    for i in 0..EVENTS {
+                        sink.emit(
+                            &Event::info("burst.event")
+                                .field_u64("thread", t as u64)
+                                .field_u64("seq", i as u64)
+                                .field_str("payload", "x".repeat(64)),
+                        );
+                    }
+                });
+            }
+        });
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), THREADS * EVENTS);
+        let mut seen = std::collections::HashSet::new();
+        for line in lines {
+            let doc = crate::minijson::parse(line)
+                .unwrap_or_else(|e| panic!("torn jsonl line {line:?}: {e}"));
+            let t = doc.get("thread").and_then(|v| v.as_u64()).unwrap();
+            let i = doc.get("seq").and_then(|v| v.as_u64()).unwrap();
+            assert!(seen.insert((t, i)), "duplicate event ({t},{i})");
+        }
+        assert_eq!(seen.len(), THREADS * EVENTS);
+    }
+
+    #[test]
     fn spec_parsing_selects_sinks() {
         // Behavioral probe: the off sink drops, pretty passes by level.
         let e = Event::debug("x");

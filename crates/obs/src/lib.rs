@@ -24,6 +24,10 @@
 //!   per-estimator ratio-error histograms, GEE interval coverage
 //!   counters, and AE solver form-agreement telemetry, all addressed
 //!   through the same global registry.
+//! * **Causal tracing** — propagated `trace_id`/`span_id`/`parent_id`
+//!   contexts with a bounded sharded collector and a Chrome trace-event
+//!   exporter ([`trace`]). Off by default; disabled spans cost one
+//!   relaxed load and zero allocations.
 //!
 //! ## Recording
 //!
@@ -74,6 +78,7 @@ pub mod minijson;
 pub mod prom;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use event::{
     emit, set_sink, sink, Event, EventSink, JsonlSink, Level, NullSink, PrettySink, VecSink,

@@ -8,10 +8,12 @@
 //! The free-form instrument label is exposed as a single `label="…"`
 //! pair, escaped per the exposition format rules.
 //!
-//! Output follows the [text exposition format]: one `# TYPE` comment per
-//! family followed by its samples, families separated as they appear in
-//! the (sorted) snapshot. No `# HELP` lines are emitted — the registry
-//! carries no help strings, and they are optional in the format.
+//! Output follows the [text exposition format]: one `# HELP` and one
+//! `# TYPE` comment per family followed by its samples, families
+//! separated as they appear in the (sorted) snapshot. Help strings come
+//! from a curated table for the workspace's known families
+//! ([`help_for`]), with a generated fallback for everything else, and
+//! are escaped per the format rules (`\` → `\\`, newline → `\n`).
 //!
 //! [text exposition format]:
 //!     https://prometheus.io/docs/instrumenting/exposition_formats/
@@ -37,6 +39,44 @@ pub fn sanitize_metric_name(name: &str) -> String {
     }
     if out.is_empty() {
         out.push('_');
+    }
+    out
+}
+
+/// The help string for a *registry* metric name (the dotted name,
+/// before sanitization). Known families get curated text; unknown ones
+/// a generated line, so every exposed family carries a `# HELP`.
+pub fn help_for(name: &str) -> String {
+    let curated = match name {
+        "serve.requests" => "Requests received, by route label.",
+        "serve.responses" => "Responses written, by HTTP status.",
+        "serve.shed" => "Requests shed with 429 because the queue was full.",
+        "serve.queue_depth" => "Accepted requests currently waiting for a worker.",
+        "serve.queue_wait_ns" => "Time requests spent queued before handling, ns.",
+        "serve.request_ns" => "Wall time from handling start to response, ns.",
+        "par.tasks_total" => "Tasks submitted to the worker pool.",
+        "par.worker_busy_ns" => "Per-worker time inside task functions, ns.",
+        "par.queue_wait_ns" => "Per-worker time outside task functions, ns.",
+        "par.jobs" => "Worker count of the most recent pool run.",
+        _ => "",
+    };
+    if curated.is_empty() {
+        format!("Metric {name} (see the dve-obs registry).")
+    } else {
+        curated.to_string()
+    }
+}
+
+/// Escapes a `# HELP` text per the exposition format: `\` → `\\`,
+/// newline → `\n` (quotes are legal in help text).
+pub fn escape_help_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
     }
     out
 }
@@ -90,6 +130,8 @@ impl MetricsSnapshot {
     /// (version 0.0.4), ready to serve from a `/metrics` endpoint or
     /// pipe into `promtool check metrics`.
     ///
+    /// Every family leads with its `# HELP` and `# TYPE` comments:
+    ///
     /// * counters → `<name>_total` with `# TYPE … counter`;
     /// * gauges → `# TYPE … gauge`;
     /// * histograms → summaries: `quantile="0.5|0.95|0.99"` samples plus
@@ -101,7 +143,10 @@ impl MetricsSnapshot {
         for c in &self.counters {
             let family = format!("{}_total", sanitize_metric_name(&c.name));
             if family != last_family {
-                out.push_str(&format!("# TYPE {family} counter\n"));
+                out.push_str(&format!(
+                    "# HELP {family} {}\n# TYPE {family} counter\n",
+                    escape_help_text(&help_for(&c.name))
+                ));
                 last_family.clone_from(&family);
             }
             out.push_str(&format!(
@@ -113,7 +158,10 @@ impl MetricsSnapshot {
         for g in &self.gauges {
             let family = sanitize_metric_name(&g.name);
             if family != last_family {
-                out.push_str(&format!("# TYPE {family} gauge\n"));
+                out.push_str(&format!(
+                    "# HELP {family} {}\n# TYPE {family} gauge\n",
+                    escape_help_text(&help_for(&g.name))
+                ));
                 last_family.clone_from(&family);
             }
             out.push_str(&format!(
@@ -125,7 +173,10 @@ impl MetricsSnapshot {
         for h in &self.histograms {
             let family = sanitize_metric_name(&h.name);
             if family != last_family {
-                out.push_str(&format!("# TYPE {family} summary\n"));
+                out.push_str(&format!(
+                    "# HELP {family} {}\n# TYPE {family} summary\n",
+                    escape_help_text(&help_for(&h.name))
+                ));
                 last_family.clone_from(&family);
             }
             for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
@@ -186,10 +237,46 @@ mod tests {
         assert!(text.contains("# TYPE audit_rows_total counter\n"));
         assert!(text.contains("audit_rows_total{label=\"AE\"} 7\n"));
         assert!(text.contains("audit_rows_total{label=\"GEE\"} 3\n"));
-        // One TYPE line per family, not per sample.
+        // One HELP + TYPE pair per family, not per sample.
         assert_eq!(text.matches("# TYPE audit_rows_total").count(), 1);
+        assert_eq!(text.matches("# HELP audit_rows_total").count(), 1);
         assert!(text.contains("# TYPE queue_depth gauge\n"));
         assert!(text.contains("queue_depth -2\n"));
+    }
+
+    #[test]
+    fn every_family_carries_help_and_type() {
+        let _guard = crate::test_lock();
+        let r = Registry::new();
+        r.counter_labeled("serve.requests", "estimate").inc();
+        r.gauge("serve.queue_depth").set(3);
+        r.histogram("serve.request_ns").record(1000);
+        r.counter("made.up.family").inc();
+        let text = r.snapshot().to_prometheus();
+        // Curated help for the known families, generated for the rest.
+        assert!(text.contains("# HELP serve_requests_total Requests received, by route label.\n"));
+        assert!(text.contains(
+            "# HELP serve_queue_depth Accepted requests currently waiting for a worker.\n"
+        ));
+        assert!(text.contains("# HELP serve_request_ns "));
+        assert!(text.contains("# HELP made_up_family_total Metric made.up.family"));
+        // Every TYPE line is immediately preceded by its HELP line.
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let family = rest.split(' ').next().unwrap();
+                assert!(
+                    i > 0 && lines[i - 1].starts_with(&format!("# HELP {family} ")),
+                    "TYPE without preceding HELP: {line}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn help_text_escaping() {
+        assert_eq!(escape_help_text("plain \"quoted\""), "plain \"quoted\"");
+        assert_eq!(escape_help_text("a\\b\nc"), "a\\\\b\\nc");
     }
 
     #[test]
@@ -229,7 +316,7 @@ mod tests {
         r.histogram("c").record(5);
         for line in r.snapshot().to_prometheus().lines() {
             assert!(
-                line.starts_with("# TYPE ") || {
+                line.starts_with("# TYPE ") || line.starts_with("# HELP ") || {
                     // `name{labels} value`: value parses as a number.
                     let v = line.rsplit(' ').next().unwrap();
                     v.parse::<f64>().is_ok() || v == "NaN" || v == "+Inf" || v == "-Inf"

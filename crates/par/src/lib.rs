@@ -160,7 +160,14 @@ where
 
     let chunk = chunk_size(tasks, jobs);
     let cursor = AtomicUsize::new(0);
+    // Workers are fresh OS threads with no thread-local trace context;
+    // adopting the caller's context here is what keeps a request trace
+    // causal across the pool boundary. Tracing never touches `f`'s
+    // results, so the determinism contract is unaffected.
+    let parent_ctx = dve_obs::trace::current();
     let worker = |_w: usize| {
+        let _adopt = dve_obs::trace::adopt(parent_ctx);
+        let _span = dve_obs::trace::span("par.worker");
         let spawned = Instant::now();
         let mut busy = Duration::ZERO;
         let mut out: Vec<(usize, T)> = Vec::with_capacity(tasks / jobs + 1);
@@ -324,6 +331,51 @@ mod tests {
             counts.lock().unwrap()[i] += 1;
         });
         assert!(counts.into_inner().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn trace_context_propagates_across_workers() {
+        use dve_obs::trace;
+        // No other test in this binary toggles tracing, so the global
+        // switch is safe to flip here.
+        trace::set_tracing(true);
+        trace::clear();
+        let root_ctx = {
+            let root = trace::root_span("par.test_root");
+            let ctx = root.context().expect("tracing is on");
+            let _inner: Vec<()> = run_indexed(4, 8, |_i| {
+                let _s = trace::span("par.test_task");
+                std::thread::sleep(Duration::from_millis(1));
+            });
+            ctx
+        };
+        let spans = trace::spans_for(root_ctx.trace_id);
+        trace::set_tracing(false);
+
+        let root = spans
+            .iter()
+            .find(|s| s.name == "par.test_root")
+            .expect("root span recorded");
+        let workers: Vec<_> = spans.iter().filter(|s| s.name == "par.worker").collect();
+        let tasks: Vec<_> = spans.iter().filter(|s| s.name == "par.test_task").collect();
+        assert!(!workers.is_empty(), "worker spans recorded: {spans:?}");
+        assert_eq!(tasks.len(), 8, "{spans:?}");
+        // Every span belongs to the one trace and links back to the root.
+        for w in &workers {
+            assert_eq!(w.trace_id, root_ctx.trace_id);
+            assert_eq!(w.parent_id, Some(root.span_id), "worker parent");
+        }
+        let worker_ids: Vec<_> = workers.iter().map(|w| w.span_id).collect();
+        for t in &tasks {
+            assert_eq!(t.trace_id, root_ctx.trace_id);
+            let p = t.parent_id.expect("task spans have a parent");
+            assert!(worker_ids.contains(&p), "task parented to a worker span");
+        }
+        // The pool really did fan the trace out across OS threads.
+        let mut tids: Vec<u64> = workers.iter().map(|w| w.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert!(tids.len() >= 2, "expected >=2 worker threads: {tids:?}");
     }
 
     #[test]

@@ -15,12 +15,14 @@ use crate::http::Request;
 use crate::pipeline::{self, PipelineError};
 use dve_core::design::SampleDesign;
 use dve_obs::minijson::{self, JsonValue};
+use dve_obs::trace;
 use dve_storage::analyze::AnalyzeError;
 use dve_storage::{
     analyze_table_jobs, columns_to_json, AnalyzeOptions, Column, DataType, Field, Schema, Table,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
 
 /// A fully rendered response, ready for [`crate::http::write_response`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,27 +76,116 @@ pub fn route_label(method: &str, path: &str) -> &'static str {
         (_, "/v1/estimators") => "estimators",
         (_, "/v1/estimate") => "estimate",
         (_, "/v1/analyze") => "analyze",
+        (_, p) if p == "/v1/traces" || p.starts_with("/v1/traces/") => "traces",
         _ => "other",
     }
 }
 
-/// Routes one parsed request to its handler.
+/// The daemon-level facts `/healthz` reports alongside liveness.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeStatus {
+    /// When the daemon started serving.
+    pub started: Instant,
+    /// Resolved worker-pool size (after `--jobs`/`DVE_JOBS` resolution).
+    pub jobs: usize,
+    /// Configured queue depth (the shed threshold).
+    pub queue_capacity: usize,
+    /// Accepted requests currently waiting for a worker.
+    pub queue_len: usize,
+}
+
+impl Default for ServeStatus {
+    fn default() -> Self {
+        ServeStatus {
+            started: Instant::now(),
+            jobs: 0,
+            queue_capacity: 0,
+            queue_len: 0,
+        }
+    }
+}
+
+/// Routes one parsed request to its handler, with a default (zeroed)
+/// [`ServeStatus`] — unit tests and embedders that do not run the
+/// daemon loop.
 pub fn handle(req: &Request) -> Response {
+    handle_with_status(req, &ServeStatus::default())
+}
+
+/// Routes one parsed request to its handler.
+pub fn handle_with_status(req: &Request, status: &ServeStatus) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}".to_string()),
+        ("GET", "/healthz") => healthz(status),
         ("GET", "/v1/estimators") => estimators(),
         ("GET", "/metrics") => Response {
             status: 200,
             content_type: "text/plain; version=0.0.4",
             body: dve_obs::global().snapshot().to_prometheus(),
         },
+        ("GET", "/v1/traces") => traces_index(),
+        ("GET", p) if p.starts_with("/v1/traces/") => trace_by_id(&p["/v1/traces/".len()..]),
         ("POST", "/v1/estimate") => estimate(&req.body),
         ("POST", "/v1/analyze") => analyze(&req.body),
         (_, "/healthz" | "/metrics" | "/v1/estimators" | "/v1/estimate" | "/v1/analyze") => {
             Response::error(405, "method_not_allowed", "wrong method for this path")
         }
+        (_, p) if p == "/v1/traces" || p.starts_with("/v1/traces/") => {
+            Response::error(405, "method_not_allowed", "wrong method for this path")
+        }
         (_, path) => Response::error(404, "not_found", &format!("no such path: {path}")),
     }
+}
+
+/// `GET /healthz` — liveness plus the facts an operator checks first:
+/// uptime, version, pool size, and queue pressure.
+fn healthz(status: &ServeStatus) -> Response {
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"ok\",\"version\":\"{}\",\"uptime_s\":{},\"jobs\":{},\"queue_depth\":{},\"queue_capacity\":{}}}",
+            env!("CARGO_PKG_VERSION"),
+            status.started.elapsed().as_secs(),
+            status.jobs,
+            status.queue_len,
+            status.queue_capacity,
+        ),
+    )
+}
+
+/// `GET /v1/traces` — the recent-traces index, newest first.
+fn traces_index() -> Response {
+    let mut body = String::from("{\"traces\":[");
+    for (i, t) in trace::recent_traces().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"trace_id\":\"{}\",\"root\":\"{}\",\"start_us\":{},\"dur_us\":{},\"spans\":{}}}",
+            t.trace_id,
+            t.root_name,
+            t.start_ns / 1_000,
+            t.dur_ns / 1_000,
+            t.spans,
+        ));
+    }
+    body.push_str(&format!("],\"dropped_spans\":{}}}", trace::dropped_spans()));
+    Response::json(200, body)
+}
+
+/// `GET /v1/traces/{id}` — one trace as Chrome trace-event JSON
+/// (loadable in Perfetto / `chrome://tracing`).
+fn trace_by_id(id: &str) -> Response {
+    let spans = trace::spans_for(trace::TraceId::parse(id));
+    if spans.is_empty() {
+        return Response::error(
+            404,
+            "trace_not_found",
+            &format!(
+                "no buffered trace with id {id:?} (evicted, never recorded, or tracing is off)"
+            ),
+        );
+    }
+    Response::json(200, trace::export_chrome_trace(&spans))
 }
 
 fn estimators() -> Response {
@@ -350,7 +441,10 @@ fn estimate(body: &[u8]) -> Response {
     };
 
     match outcome {
-        Ok(out) => Response::json(200, out.to_json()),
+        Ok(out) => {
+            let _serialize = trace::span("serve.serialize");
+            Response::json(200, out.to_json())
+        }
         Err(err) => pipeline_error(err),
     }
 }
@@ -426,7 +520,10 @@ fn analyze(body: &[u8]) -> Response {
     };
     let mut rng = ChaCha8Rng::seed_from_u64(knobs.seed);
     match analyze_table_jobs(&table, &options, 0, &mut rng) {
-        Ok(stats) => Response::json(200, format!("{{\"columns\":{}}}", columns_to_json(&stats))),
+        Ok(stats) => {
+            let _serialize = trace::span("serve.serialize");
+            Response::json(200, format!("{{\"columns\":{}}}", columns_to_json(&stats)))
+        }
         Err(AnalyzeError::UnknownEstimator(err)) => {
             Response::error(400, "unknown_estimator", &err.to_string())
         }
@@ -442,6 +539,7 @@ mod tests {
         handle(&Request {
             method: "POST".to_string(),
             path: path.to_string(),
+            headers: Vec::new(),
             body: body.as_bytes().to_vec(),
         })
     }
@@ -450,17 +548,75 @@ mod tests {
         handle(&Request {
             method: "GET".to_string(),
             path: path.to_string(),
+            headers: Vec::new(),
             body: Vec::new(),
         })
     }
 
     #[test]
     fn healthz_and_estimators() {
-        assert_eq!(get("/healthz").status, 200);
+        let health = get("/healthz");
+        assert_eq!(health.status, 200);
+        for needle in [
+            "\"status\":\"ok\"",
+            "\"version\":\"",
+            "\"uptime_s\":",
+            "\"jobs\":0",
+            "\"queue_depth\":0",
+            "\"queue_capacity\":0",
+        ] {
+            assert!(health.body.contains(needle), "{needle} ∉ {}", health.body);
+        }
         let resp = get("/v1/estimators");
         assert_eq!(resp.status, 200);
         assert!(resp.body.contains("\"GEE\""));
         assert!(resp.body.contains("\"AE\""));
+    }
+
+    #[test]
+    fn healthz_reports_the_given_status() {
+        let status = ServeStatus {
+            started: Instant::now() - std::time::Duration::from_secs(5),
+            jobs: 3,
+            queue_capacity: 64,
+            queue_len: 2,
+        };
+        let resp = handle_with_status(
+            &Request {
+                method: "GET".to_string(),
+                path: "/healthz".to_string(),
+                headers: Vec::new(),
+                body: Vec::new(),
+            },
+            &status,
+        );
+        assert!(resp.body.contains("\"jobs\":3"), "{}", resp.body);
+        assert!(resp.body.contains("\"queue_depth\":2"), "{}", resp.body);
+        assert!(resp.body.contains("\"queue_capacity\":64"), "{}", resp.body);
+        let uptime = resp
+            .body
+            .split("\"uptime_s\":")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap();
+        assert!(uptime >= 5, "{uptime}");
+    }
+
+    #[test]
+    fn traces_index_and_lookup() {
+        // The index route always answers, even with tracing off.
+        let idx = get("/v1/traces");
+        assert_eq!(idx.status, 200);
+        assert!(idx.body.contains("\"traces\":["), "{}", idx.body);
+        assert!(idx.body.contains("\"dropped_spans\":"), "{}", idx.body);
+        // Unknown ids are a structured 404.
+        let missing = get("/v1/traces/00000000deadbeef");
+        assert_eq!(missing.status, 404);
+        assert!(missing.body.contains("trace_not_found"), "{}", missing.body);
+        // Wrong methods are 405, like every other route.
+        assert_eq!(post("/v1/traces", "").status, 405);
+        assert_eq!(post("/v1/traces/abc", "").status, 405);
     }
 
     #[test]

@@ -14,15 +14,29 @@ use std::time::Duration;
 /// bodies; 16 KiB of headers is already pathological.
 const MAX_HEAD_BYTES: usize = 16 * 1024;
 
-/// A parsed request: method, path, and the (possibly empty) body.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A parsed request: method, path, headers, and the (possibly empty)
+/// body.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Request {
     /// Request method (`GET`, `POST`, …), as sent.
     pub method: String,
     /// Request path (`/v1/estimate`), query string stripped.
     pub path: String,
+    /// Header `(name, value)` pairs in wire order, names as sent (use
+    /// [`Request::header`] for case-insensitive lookup), values trimmed.
+    pub headers: Vec<(String, String)>,
     /// The request body, exactly `Content-Length` bytes.
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header named `name` (ASCII case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Why a request could not be read. Each variant maps to one status
@@ -119,15 +133,18 @@ pub fn read_request(
     }
 
     let mut content_length: usize = 0;
+    let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
-            content_length = value.trim().parse().map_err(|_| {
-                ReadError::Malformed(format!("bad content-length: {}", value.trim()))
-            })?;
+        let (name, value) = (name.trim(), value.trim());
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| ReadError::Malformed(format!("bad content-length: {value}")))?;
         }
+        headers.push((name.to_string(), value.to_string()));
     }
     if content_length > max_body_bytes {
         return Err(ReadError::BodyTooLarge {
@@ -153,6 +170,7 @@ pub fn read_request(
     Ok(Request {
         method: method.to_string(),
         path,
+        headers,
         body,
     })
 }
@@ -235,6 +253,16 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/healthz");
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn headers_are_kept_and_looked_up_case_insensitively() {
+        let req =
+            roundtrip(b"GET / HTTP/1.1\r\nHost: h\r\nX-Dve-Trace-Id:  abc123 \r\n\r\n").unwrap();
+        assert_eq!(req.header("x-dve-trace-id"), Some("abc123"));
+        assert_eq!(req.header("X-DVE-TRACE-ID"), Some("abc123"));
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.header("absent"), None);
     }
 
     #[test]

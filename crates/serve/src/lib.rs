@@ -56,6 +56,7 @@ pub mod signal;
 pub use api::Response;
 pub use pipeline::{EstimateOutcome, PipelineError};
 
+use dve_obs::trace;
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -88,6 +89,10 @@ pub struct ServeConfig {
     /// -injection knob for tests and load drills (exercises queue
     /// buildup, shedding, and the handle deadline). Zero in production.
     pub handle_delay: Duration,
+    /// Whether to record causal traces ([`dve_obs::trace`]) for every
+    /// request. On by default: the collector is bounded and a disabled
+    /// request path would be undebuggable exactly when it matters.
+    pub trace: bool,
 }
 
 impl Default for ServeConfig {
@@ -100,6 +105,7 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(5),
             handle_deadline: Duration::from_secs(10),
             handle_delay: Duration::ZERO,
+            trace: true,
         }
     }
 }
@@ -108,6 +114,9 @@ impl Default for ServeConfig {
 struct Job {
     stream: TcpStream,
     accepted_at: Instant,
+    /// [`trace::current_thread_id`] of the accept loop — queue-wait
+    /// spans are attributed to the thread that made the request wait.
+    accept_tid: u64,
 }
 
 /// The bounded handoff between the accept loop and the worker pool:
@@ -162,6 +171,11 @@ impl RequestQueue {
             }
             state = self.ready.wait(state).expect("queue lock");
         }
+    }
+
+    /// Jobs currently waiting (the `serve.queue_depth` gauge's source).
+    fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").jobs.len()
     }
 
     fn close(&self) {
@@ -233,12 +247,22 @@ impl Server {
             0 => None,
             j => Some(j),
         });
+        trace::set_tracing(self.config.trace);
         let queue = RequestQueue::new(self.config.queue_depth);
         let obs = dve_obs::global();
         let shed_total = obs.counter("serve.shed");
+        let queue_depth = obs.gauge("serve.queue_depth");
+        let started = Instant::now();
+        let status = api::ServeStatus {
+            started,
+            jobs,
+            queue_capacity: self.config.queue_depth,
+            queue_len: 0,
+        };
 
         std::thread::scope(|s| {
             let accept = s.spawn(|| {
+                let accept_tid = trace::current_thread_id();
                 loop {
                     if self.shutdown.load(Ordering::Relaxed) || signal::requested() {
                         break;
@@ -253,21 +277,17 @@ impl Server {
                             let job = Job {
                                 stream,
                                 accepted_at: Instant::now(),
+                                accept_tid,
                             };
-                            if let Err(refused) = queue.try_push(job) {
-                                // Load shedding: answer 429 right here in
-                                // the accept thread — cheap, bounded work
-                                // that keeps the queue's latency promise.
-                                shed_total.inc();
-                                respond(
-                                    refused,
-                                    &self.config,
-                                    Response::error(
-                                        429,
-                                        "overloaded",
-                                        "request queue is full, retry later",
-                                    ),
-                                );
+                            match queue.try_push(job) {
+                                Ok(()) => queue_depth.set(queue.len() as i64),
+                                Err(refused) => {
+                                    // Load shedding: answer 429 right here in
+                                    // the accept thread — cheap, bounded work
+                                    // that keeps the queue's latency promise.
+                                    shed_total.inc();
+                                    shed(refused, &self.config);
+                                }
                             }
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -286,7 +306,8 @@ impl Server {
             // until close-and-empty.
             dve_par::run_indexed(jobs, jobs, |_w| {
                 while let Some(job) = queue.pop() {
-                    serve_one(job, &self.config);
+                    queue_depth.set(queue.len() as i64);
+                    serve_one(job, &self.config, &status, &queue);
                 }
             });
             accept.join().expect("accept loop never panics");
@@ -295,16 +316,67 @@ impl Server {
     }
 }
 
+/// Answers a shed connection with `429` from the accept thread, and —
+/// because shed requests are exactly the ones whose latency sources need
+/// explaining — records a complete trace for it: the queue was full, so
+/// the whole (sub-millisecond) request *is* queue wait.
+fn shed(job: Job, config: &ServeConfig) {
+    let wait_start = trace::instant_ns(job.accepted_at);
+    let root = trace::record_root_span(
+        "serve.request",
+        trace::TraceId::new(),
+        wait_start,
+        trace::now_ns().saturating_sub(wait_start),
+        job.accept_tid,
+        Some("shed 429".to_string()),
+    );
+    if let Some(ctx) = root {
+        trace::record_span(
+            "serve.queue_wait",
+            ctx,
+            wait_start,
+            trace::now_ns().saturating_sub(wait_start),
+            job.accept_tid,
+            Some("queue full".to_string()),
+        );
+    }
+    dve_obs::global()
+        .histogram("serve.queue_wait_ns")
+        .record(job.accepted_at.elapsed().as_nanos() as u64);
+    respond(
+        job,
+        config,
+        Response::error(429, "overloaded", "request queue is full, retry later"),
+    );
+}
+
 /// Reads, routes, and answers one queued connection, recording the
-/// `serve.*` telemetry.
-fn serve_one(job: Job, config: &ServeConfig) {
+/// `serve.*` telemetry and the request's causal trace.
+fn serve_one(job: Job, config: &ServeConfig, status: &api::ServeStatus, queue: &RequestQueue) {
     let obs = dve_obs::global();
     let started = Instant::now();
+    let wait_ns = started
+        .saturating_duration_since(job.accepted_at)
+        .as_nanos() as u64;
+    obs.histogram("serve.queue_wait_ns").record(wait_ns);
 
     // Handle deadline: if the request sat queued past the deadline, the
     // client is better served by a fast 504 than a stale answer.
     if job.accepted_at.elapsed() > config.handle_deadline {
         obs.counter_labeled("serve.requests", "expired").inc();
+        let root = trace::root_span("serve.request")
+            .started_at(job.accepted_at)
+            .detail(|| "expired 504".to_string());
+        if let Some(ctx) = root.context() {
+            trace::record_span(
+                "serve.queue_wait",
+                ctx,
+                trace::instant_ns(job.accepted_at),
+                wait_ns,
+                job.accept_tid,
+                None,
+            );
+        }
         respond(
             job,
             config,
@@ -322,34 +394,121 @@ fn serve_one(job: Job, config: &ServeConfig) {
     }
 
     let mut job = job;
-    let response =
-        match http::read_request(&mut job.stream, config.max_body_bytes, config.read_timeout) {
-            Ok(req) => {
-                obs.counter_labeled("serve.requests", api::route_label(&req.method, &req.path))
-                    .inc();
-                api::handle(&req)
-            }
-            Err(err) => {
-                obs.counter_labeled("serve.requests", "unreadable").inc();
-                match err {
-                    http::ReadError::Timeout => {
-                        Response::error(408, "read_timeout", "timed out reading the request")
-                    }
-                    http::ReadError::BodyTooLarge { limit } => Response::error(
-                        413,
-                        "body_too_large",
-                        &format!("request body exceeds the {limit}-byte limit"),
-                    ),
-                    http::ReadError::Malformed(msg) => Response::error(400, "bad_request", &msg),
-                    // Connection already failed; nothing to answer.
-                    http::ReadError::Io(_) => return,
-                }
-            }
-        };
+    let read_start = Instant::now();
+    let read = http::read_request(&mut job.stream, config.max_body_bytes, config.read_timeout);
+    let read_ns = read_start.elapsed().as_nanos() as u64;
 
+    // The root span opens only now — the trace id (`X-Dve-Trace-Id`)
+    // travels in the header block — and is backdated to accept time so
+    // it covers the whole request. Phases that finished before it
+    // existed (queue wait, the wire read) are attached out-of-band.
+    let mut root = match &read {
+        Ok(req) => match req.header("x-dve-trace-id") {
+            Some(id) => trace::root_span_with_id("serve.request", trace::TraceId::parse(id)),
+            None => trace::root_span("serve.request"),
+        },
+        Err(_) => trace::root_span("serve.request"),
+    }
+    .started_at(job.accepted_at);
+    let root_ctx = root.context();
+    if let Some(ctx) = root_ctx {
+        trace::record_span(
+            "serve.queue_wait",
+            ctx,
+            trace::instant_ns(job.accepted_at),
+            wait_ns,
+            job.accept_tid,
+            None,
+        );
+        trace::record_span(
+            "serve.parse",
+            ctx,
+            trace::instant_ns(read_start),
+            read_ns,
+            trace::current_thread_id(),
+            None,
+        );
+    }
+
+    let mut route = "unreadable";
+    let response = match read {
+        Ok(req) => {
+            route = api::route_label(&req.method, &req.path);
+            obs.counter_labeled("serve.requests", route).inc();
+            let status = api::ServeStatus {
+                queue_len: queue.len(),
+                ..*status
+            };
+            api::handle_with_status(&req, &status)
+        }
+        Err(err) => {
+            obs.counter_labeled("serve.requests", "unreadable").inc();
+            match err {
+                http::ReadError::Timeout => {
+                    Response::error(408, "read_timeout", "timed out reading the request")
+                }
+                http::ReadError::BodyTooLarge { limit } => Response::error(
+                    413,
+                    "body_too_large",
+                    &format!("request body exceeds the {limit}-byte limit"),
+                ),
+                http::ReadError::Malformed(msg) => Response::error(400, "bad_request", &msg),
+                // Connection already failed; nothing to answer.
+                http::ReadError::Io(_) => return,
+            }
+        }
+    };
+
+    let response_status = response.status;
+    root.set_detail(|| format!("{route} {response_status}"));
     respond(job, config, response);
-    obs.histogram("serve.request_ns")
-        .record(started.elapsed().as_nanos() as u64);
+    drop(root);
+    let total_ns = started.elapsed().as_nanos() as u64;
+    obs.histogram("serve.request_ns").record(total_ns);
+    slow_request_log(root_ctx, route, response_status, wait_ns + total_ns);
+}
+
+/// `DVE_TRACE_SLOW_MS` threshold, read once.
+fn slow_threshold_ms() -> Option<u64> {
+    static T: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+    *T.get_or_init(|| {
+        std::env::var("DVE_TRACE_SLOW_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    })
+}
+
+/// Emits a `serve.slow_request` warning through the event sink when the
+/// request (queue wait included) exceeded `DVE_TRACE_SLOW_MS`, with the
+/// trace id and a per-phase breakdown pulled from the trace buffers.
+fn slow_request_log(
+    root_ctx: Option<dve_obs::trace::TraceContext>,
+    route: &str,
+    status: u16,
+    total_ns: u64,
+) {
+    let Some(threshold_ms) = slow_threshold_ms() else {
+        return;
+    };
+    if total_ns < threshold_ms.saturating_mul(1_000_000) {
+        return;
+    }
+    let mut event = dve_obs::Event::warn("serve.slow_request")
+        .field_str("route", route)
+        .field_u64("status", u64::from(status))
+        .field_f64("total_ms", total_ns as f64 / 1e6);
+    if let Some(ctx) = root_ctx {
+        event = event.field_str("trace_id", ctx.trace_id.to_string());
+        for span in trace::spans_for(ctx.trace_id) {
+            if span.parent_id.is_some() {
+                event = event.field_f64(
+                    format!("{}_ms", span.name.replace('.', "_")),
+                    span.dur_ns as f64 / 1e6,
+                );
+            }
+        }
+    }
+    event.emit();
 }
 
 /// Writes `response` and tears the connection down, counting the status.
@@ -384,6 +543,7 @@ mod tests {
             Job {
                 stream,
                 accepted_at: Instant::now(),
+                accept_tid: trace::current_thread_id(),
             }
         };
         assert!(q.try_push(mk()).is_ok());

@@ -11,6 +11,7 @@ use dve_core::design::SampleDesign;
 use dve_core::estimator::{DistinctEstimator, Estimation};
 use dve_core::profile::FrequencyProfile;
 use dve_core::registry::{self, UnknownEstimator};
+use dve_obs::trace;
 use dve_sample::SamplingScheme;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -80,10 +81,12 @@ fn outcome(
     profile: &FrequencyProfile,
     design: SampleDesign,
 ) -> EstimateOutcome {
-    EstimateOutcome {
-        estimation: estimator.estimate_full(profile, design),
-        gee: gee_confidence_interval(profile),
-    }
+    let mut estimate_span = trace::span("pipeline.estimate");
+    let estimation = estimator.estimate_full(profile, design);
+    estimate_span.set_detail(|| estimation.estimator.to_string());
+    drop(estimate_span);
+    let gee = trace::with_span("pipeline.gee_interval", || gee_confidence_interval(profile));
+    EstimateOutcome { estimation, gee }
 }
 
 /// Estimates distinct values among `values`: hash every value, draw a
@@ -126,6 +129,7 @@ pub fn estimate_values_with_design<S: AsRef<str>>(
     }
     let n = values.len() as u64;
     let r = ((n as f64 * fraction).round() as u64).clamp(1, n);
+    let build_span = trace::span("pipeline.spectrum_build").detail(|| format!("n={n} r={r}"));
     // 64-bit hashes: a collision among request-sized inputs is
     // negligible, and hashing first lets every input type share the
     // u64 sampler → profile → estimator pipeline.
@@ -138,6 +142,7 @@ pub fn estimate_values_with_design<S: AsRef<str>>(
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let profile = dve_sample::sample_profile(&hashes, r, scheme, &mut rng)
         .map_err(|e| PipelineError::BadSpectrum(e.to_string()))?;
+    drop(build_span);
     Ok(outcome(estimator.as_ref(), &profile, design))
 }
 
@@ -169,8 +174,10 @@ pub fn estimate_spectrum_designed(
     if n == 0 || spectrum.iter().all(|&f| f == 0) {
         return Err(PipelineError::EmptyInput);
     }
+    let build_span = trace::span("pipeline.spectrum_build").detail(|| format!("n={n}"));
     let profile = FrequencyProfile::from_spectrum(n, spectrum)
         .map_err(|e| PipelineError::BadSpectrum(e.to_string()))?;
+    drop(build_span);
     Ok(outcome(estimator.as_ref(), &profile, design))
 }
 

@@ -136,7 +136,10 @@ pub fn analyze_table_jobs<R: Rng + ?Sized>(
     let row_chunks: Vec<&[u64]> = rows.chunks(per_chunk).collect();
     let counted: Vec<(SpectrumBuilder, u64)> =
         dve_par::run_indexed(jobs, ncols * row_chunks.len(), |task| {
-            let column = table.column(task / row_chunks.len());
+            let col_idx = task / row_chunks.len();
+            let _span = dve_obs::trace::span("analyze.column_chunk")
+                .detail(|| format!("col={col_idx} chunk={}", task % row_chunks.len()));
+            let column = table.column(col_idx);
             let chunk = row_chunks[task % row_chunks.len()];
             let mut builder = SpectrumBuilder::new();
             let mut nulls = 0u64;

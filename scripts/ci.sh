@@ -69,11 +69,15 @@ test "$code" = 400
 grep -q '"code":"malformed_json"' "$tmpdir/err.json"
 
 # Prometheus exposition lint: every non-comment line must be
-# `name{labels} value` or `name value`, every metric must carry a
-# TYPE comment, and the serve.* family must be present.
+# `name{labels} value` or `name value`, and every metric must carry
+# both a HELP and a TYPE comment; the serve.* family must be present.
 curl -sf "http://127.0.0.1:$serve_port/metrics" >"$tmpdir/metrics.prom"
 awk '
-    /^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* / { if ($2 == "TYPE") typed[$3] = 1; next }
+    /^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* / {
+        if ($2 == "TYPE") typed[$3] = 1
+        if ($2 == "HELP") helped[$3] = 1
+        next
+    }
     /^#/ { print "bad comment line: " $0; bad = 1; next }
     /^$/ { next }
     {
@@ -86,11 +90,33 @@ awk '
         if (!(name in typed) && !(base in typed)) {
             print "sample without TYPE: " name; bad = 1
         }
+        if (!(name in helped) && !(base in helped)) {
+            print "sample without HELP: " name; bad = 1
+        }
     }
     END { exit bad }
 ' "$tmpdir/metrics.prom"
 grep -q '^serve_requests_total' "$tmpdir/metrics.prom"
 grep -q '^serve_shed_total' "$tmpdir/metrics.prom"
+grep -q '^serve_queue_depth' "$tmpdir/metrics.prom"
+
+# Trace smoke: a traced request must yield a causally linked,
+# Perfetto-loadable Chrome trace spanning the accept and worker
+# threads. `dve trace-check` re-parses the JSON with the same
+# dependency-free reader the gates use and asserts the span graph.
+curl -sf -X POST "http://127.0.0.1:$serve_port/v1/estimate" \
+    -H 'X-Dve-Trace-Id: c1c1c1c1' \
+    -d '{"estimator":"GEE","n":10000,"spectrum":[40,30]}' >/dev/null
+curl -sf "http://127.0.0.1:$serve_port/v1/traces/c1c1c1c1" >"$tmpdir/trace.json"
+./target/release/dve trace-check "$tmpdir/trace.json" \
+    --min-spans 5 --min-threads 2 --min-linked 4
+curl -sf "http://127.0.0.1:$serve_port/v1/traces" | grep -q 'c1c1c1c1'
+
+# The CLI profiler writes the same format; gate it through the same
+# validator.
+./target/release/dve estimate --fraction 0.5 --trace "$tmpdir/cli-trace.json" \
+    "$tmpdir/j1.json" >/dev/null
+./target/release/dve trace-check "$tmpdir/cli-trace.json" --min-spans 3 --min-linked 2
 
 # Graceful shutdown: SIGTERM must drain and exit 0 within the deadline.
 kill -TERM "$serve_pid"

@@ -2,19 +2,34 @@
 //!
 //! ```text
 //! dve estimate [--estimator AE] [--fraction 0.01] [--seed 42]
-//!              [--design wr|wor] [--format table|json] [FILE]
+//!              [--design wr|wor] [--format table|json]
+//!              [--trace TRACE.json] [FILE]
 //!     Estimate the number of distinct lines in FILE (or stdin) from a
 //!     random sample, with GEE's [LOWER, UPPER] confidence interval.
 //!     --format json emits the same Estimation JSON `dve serve` returns.
 //!     The sampler draws without replacement; --design wor (default)
 //!     tells design-aware estimators so, --design wr forces the paper's
-//!     with-replacement model.
+//!     with-replacement model. --trace writes a Chrome trace-event
+//!     profile of the run (Perfetto / chrome://tracing); `dve analyze`
+//!     takes the same flag, and `dve bench --profile` profiles the
+//!     whole benchmark.
 //!
 //! dve serve [--addr 127.0.0.1:7171] [--queue 64] [--max-body BYTES]
 //!           [--read-timeout-ms 5000] [--handle-timeout-ms 10000]
+//!           [--trace on|off]
 //!     Run the estimation daemon: POST /v1/estimate, POST /v1/analyze,
-//!     GET /metrics, GET /healthz, GET /v1/estimators. Bounded accept
-//!     queue with 429 load shedding; graceful shutdown on SIGTERM.
+//!     GET /metrics, GET /healthz, GET /v1/estimators,
+//!     GET /v1/traces[/{id}]. Bounded accept queue with 429 load
+//!     shedding; graceful shutdown on SIGTERM. Every request is traced
+//!     (accept → queue → parse → estimate → serialize); clients pick
+//!     the trace id with an `X-Dve-Trace-Id` header and fetch the
+//!     Chrome trace-event JSON from /v1/traces/{id}.
+//!
+//! dve trace-check TRACE.json|- [--min-spans N] [--min-threads N]
+//!                 [--min-linked N]
+//!     Validate a Chrome trace-event file: JSON shape, complete
+//!     (ph=X) events, and causal parent links that resolve within
+//!     their trace. The CI smoke test gates on this.
 //!
 //! dve exact [FILE]
 //!     Exact distinct count (full scan, hash set).
@@ -70,7 +85,7 @@
 //!   events on stderr by default.
 
 use distinct_values::core::registry;
-use distinct_values::obs::Event;
+use distinct_values::obs::{trace, Event};
 use distinct_values::sketch::{hll::HyperLogLog, DistinctSketch};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -103,6 +118,7 @@ fn main() {
         "import" => cmd_import(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "trace-check" => cmd_trace_check(&args[1..]),
         "estimators" => {
             for name in registry::ALL_ESTIMATORS {
                 println!("{name}");
@@ -230,6 +246,36 @@ fn flag_parse<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str,
     }
 }
 
+/// Arms the tracer when `--trace FILE` (or `--profile FILE`) was given;
+/// returns the output path so [`write_trace_file`] can finish the job.
+fn arm_tracer(flags: &HashMap<String, String>, flag: &str) -> Option<String> {
+    let path = flags.get(flag)?.clone();
+    trace::set_tracing(true);
+    Some(path)
+}
+
+/// Writes the Chrome trace-event JSON for `ctx`'s trace to `path`
+/// (`-` for stdout). Call after the root span guard has been dropped so
+/// the root itself is in the collector.
+fn write_trace_file(path: &str, ctx: Option<trace::TraceContext>) {
+    let Some(ctx) = ctx else { return };
+    let spans = trace::spans_for(ctx.trace_id);
+    let json = trace::export_chrome_trace(&spans);
+    if path == "-" {
+        println!("{json}");
+        return;
+    }
+    std::fs::write(path, &json).unwrap_or_else(|e| fail(1, format!("cannot write {path}: {e}")));
+    Event::info("cli.trace.written")
+        .message(format!(
+            "wrote {} spans of trace {} to {path} (load in Perfetto / chrome://tracing)",
+            spans.len(),
+            ctx.trace_id
+        ))
+        .field_u64("spans", spans.len() as u64)
+        .emit();
+}
+
 fn read_lines(positional: &[String]) -> Vec<String> {
     let reader: Box<dyn Read> = match positional.first().map(String::as_str) {
         None | Some("-") => Box::new(std::io::stdin()),
@@ -260,24 +306,34 @@ fn cmd_estimate(args: &[String]) {
         other => fail(2, format!("invalid --design {other} (wr|wor)")),
     };
 
+    let trace_out = arm_tracer(&flags, "trace");
+
     let lines = read_lines(&positional);
     // The hash → sample → profile → estimate chain is shared with
     // `dve serve`'s `/v1/estimate`, so CLI and daemon results are
     // byte-identical for the same input.
-    let outcome = distinct_values::serve::pipeline::estimate_values_with_design(
-        &lines,
-        &estimator_name,
-        fraction,
-        seed,
-        forced_design,
-    )
-    .unwrap_or_else(|err| match err {
-        distinct_values::serve::PipelineError::EmptyInput => fail(1, err.to_string()),
-        distinct_values::serve::PipelineError::UnknownEstimator(_) => {
-            fail(2, format!("{err} (see `dve estimators`)"))
-        }
-        _ => fail(2, err.to_string()),
-    });
+    let (outcome, root_ctx) = {
+        let root = trace::root_span("cli.estimate");
+        let ctx = root.context();
+        let outcome = distinct_values::serve::pipeline::estimate_values_with_design(
+            &lines,
+            &estimator_name,
+            fraction,
+            seed,
+            forced_design,
+        )
+        .unwrap_or_else(|err| match err {
+            distinct_values::serve::PipelineError::EmptyInput => fail(1, err.to_string()),
+            distinct_values::serve::PipelineError::UnknownEstimator(_) => {
+                fail(2, format!("{err} (see `dve estimators`)"))
+            }
+            _ => fail(2, err.to_string()),
+        });
+        (outcome, ctx)
+    };
+    if let Some(path) = trace_out {
+        write_trace_file(&path, root_ctx);
+    }
     let est = &outcome.estimation;
     match format.as_str() {
         "json" => println!("{}", outcome.to_json()),
@@ -318,6 +374,11 @@ fn cmd_serve(args: &[String]) {
             defaults.handle_deadline.as_millis() as u64,
         )),
         handle_delay: std::time::Duration::ZERO,
+        trace: match flags.get("trace").map(String::as_str) {
+            None | Some("on") => true,
+            Some("off") => false,
+            Some(other) => fail(2, format!("invalid --trace {other} (on|off)")),
+        },
     };
     if config.queue_depth == 0 {
         fail(2, "--queue must be at least 1".to_string());
@@ -451,7 +512,17 @@ fn cmd_bench(args: &[String]) {
         PerfConfig::quick()
     };
 
-    let report = run_bench(&config);
+    // --profile wraps the whole bench in a root span so the per-chunk /
+    // per-cell spans the parallel paths emit land in one causal trace.
+    let profile_out = arm_tracer(&flags, "profile");
+    let (report, root_ctx) = {
+        let root = trace::root_span("cli.bench");
+        let ctx = root.context();
+        (run_bench(&config), ctx)
+    };
+    if let Some(path) = profile_out {
+        write_trace_file(&path, root_ctx);
+    }
     eprint!("{}", report.to_table());
 
     match flags.get("check") {
@@ -510,6 +581,62 @@ fn cmd_bench(args: &[String]) {
             }
         }
     }
+}
+
+fn cmd_trace_check(args: &[String]) {
+    let (flags, positional) = parse_flags(args);
+    let Some(path) = positional.first() else {
+        fail(
+            2,
+            "trace-check requires a TRACE.json path (or -)".to_string(),
+        );
+    };
+    let min_spans: usize = flag_parse(&flags, "min-spans", 1);
+    let min_threads: usize = flag_parse(&flags, "min-threads", 1);
+    let min_linked: usize = flag_parse(&flags, "min-linked", 0);
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .unwrap_or_else(|e| fail(1, format!("cannot read stdin: {e}")));
+        buf
+    } else {
+        std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(1, format!("cannot read {path}: {e}")))
+    };
+    let check = trace::validate_chrome_trace(&text)
+        .unwrap_or_else(|e| fail(1, format!("{path}: invalid trace: {e}")));
+    if check.spans < min_spans {
+        fail(
+            1,
+            format!(
+                "{path}: {} spans, expected at least {min_spans}",
+                check.spans
+            ),
+        );
+    }
+    if check.threads < min_threads {
+        fail(
+            1,
+            format!(
+                "{path}: spans cover {} thread(s), expected at least {min_threads}",
+                check.threads
+            ),
+        );
+    }
+    if check.linked < min_linked {
+        fail(
+            1,
+            format!(
+                "{path}: {} causally linked span(s), expected at least {min_linked}",
+                check.linked
+            ),
+        );
+    }
+    println!(
+        "trace ok: {} spans across {} thread(s), {} root(s), {} causally linked",
+        check.spans, check.threads, check.roots, check.linked
+    );
 }
 
 fn cmd_exact(args: &[String]) {
@@ -609,24 +736,33 @@ fn cmd_analyze(args: &[String]) {
     if format != "table" && format != "json" {
         fail(2, format!("invalid --format {format} (table|json)"));
     }
+    let trace_out = arm_tracer(&flags, "trace");
     let table = distinct_values::storage::persist::load_table(std::path::Path::new(path))
         .unwrap_or_else(|e| fail(1, format!("cannot load {path}: {e}")));
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let stats = distinct_values::storage::analyze_table(
-        &table,
-        &distinct_values::storage::AnalyzeOptions {
-            sampling_fraction: fraction,
-            estimator,
-        },
-        &mut rng,
-    )
-    .unwrap_or_else(|e| {
-        let code = match e {
-            distinct_values::storage::analyze::AnalyzeError::UnknownEstimator(_) => 2,
-            _ => 1,
-        };
-        fail(code, format!("analyze failed: {e}"))
-    });
+    let (stats, root_ctx) = {
+        let root = trace::root_span("cli.analyze");
+        let ctx = root.context();
+        let stats = distinct_values::storage::analyze_table(
+            &table,
+            &distinct_values::storage::AnalyzeOptions {
+                sampling_fraction: fraction,
+                estimator,
+            },
+            &mut rng,
+        )
+        .unwrap_or_else(|e| {
+            let code = match e {
+                distinct_values::storage::analyze::AnalyzeError::UnknownEstimator(_) => 2,
+                _ => 1,
+            };
+            fail(code, format!("analyze failed: {e}"))
+        });
+        (stats, ctx)
+    };
+    if let Some(out) = trace_out {
+        write_trace_file(&out, root_ctx);
+    }
     if format == "json" {
         // The same per-column encoding `dve serve`'s `/v1/analyze`
         // returns: ColumnStatistics → the shared Estimation contract.
@@ -657,22 +793,27 @@ fn usage_and_exit(code: i32) -> ! {
     println!(
         "dve — distinct-value estimation (PODS 2000 reproduction)\n\n\
          usage:\n  dve estimate [--estimator AE] [--fraction 0.01] [--seed 42] [--design wr|wor]\n               \
-         [--format table|json] [FILE|-]\n  \
+         [--format table|json] [--trace TRACE.json] [FILE|-]\n  \
          dve serve [--addr 127.0.0.1:7171] [--queue 64] [--max-body BYTES]\n            \
-         [--read-timeout-ms 5000] [--handle-timeout-ms 10000]\n  \
+         [--read-timeout-ms 5000] [--handle-timeout-ms 10000] [--trace on|off]\n  \
          dve exact [FILE|-]\n  \
          dve sketch [--hll-p 12] [FILE|-]\n  \
          dve generate --rows N [--zipf Z] [--dup K] [--seed S]\n  \
          dve import --out TABLE.dvet [--column NAME] [FILE|-]\n  \
-         dve analyze TABLE.dvet [--fraction 0.01] [--estimator AE] [--seed 42] [--format table|json]\n  \
+         dve analyze TABLE.dvet [--fraction 0.01] [--estimator AE] [--seed 42]\n            \
+         [--format table|json] [--trace TRACE.json]\n  \
          dve audit [--grid full|quick] [--trials N] [--seed S] [--out PATH]\n            \
          [--check BASELINE.json] [--tolerance T] [--coverage-tolerance C]\n            \
          [--latency-factor L] [--deterministic]\n  \
          dve bench [--quick|--full] [--out PATH] [--check BASELINE.json]\n            \
-         [--latency-factor L] [--min-speedup S]\n  \
+         [--latency-factor L] [--min-speedup S] [--profile TRACE.json]\n  \
+         dve trace-check TRACE.json|- [--min-spans N] [--min-threads N] [--min-linked N]\n  \
          dve estimators\n\n\
          global: --jobs N                     worker threads (results identical for every N)\n        \
-         --metrics json|pretty|prom   dump process metrics after the command"
+         --metrics json|pretty|prom   dump process metrics after the command\n\n\
+         traces are Chrome trace-event JSON: open in Perfetto (ui.perfetto.dev) or\n\
+         chrome://tracing; `dve serve` echoes X-Dve-Trace-Id and serves\n\
+         GET /v1/traces/{{id}}"
     );
     std::process::exit(code);
 }

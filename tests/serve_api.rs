@@ -88,7 +88,16 @@ fn happy_paths_and_metrics() {
     let addr = server.addr;
 
     let (status, body) = get(addr, "/healthz");
-    assert_eq!((status, body.as_str()), (200, "{\"status\":\"ok\"}"));
+    assert_eq!(status, 200, "{body}");
+    for key in [
+        "\"status\":\"ok\"",
+        "\"version\":\"",
+        "\"uptime_s\":",
+        "\"jobs\":2",
+        "\"queue_capacity\":",
+    ] {
+        assert!(body.contains(key), "healthz missing {key}: {body}");
+    }
 
     let (status, body) = get(addr, "/v1/estimators");
     assert_eq!(status, 200);
@@ -173,6 +182,67 @@ fn happy_paths_and_metrics() {
     );
     assert!(prom.contains("serve_shed_total"), "{prom}");
     assert!(prom.contains("serve_request_ns_count"), "{prom}");
+
+    server.stop();
+}
+
+#[test]
+fn traced_request_end_to_end() {
+    // A client-chosen trace id must flow accept → queue → parse →
+    // estimator math → serialize, and come back causally linked across
+    // at least two OS threads (accept loop + worker) via
+    // GET /v1/traces/{id}.
+    let server = boot(ServeConfig {
+        jobs: 2,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr;
+
+    let body = r#"{"estimator":"GEE","n":10000,"spectrum":[40,30]}"#;
+    let (status, _) = roundtrip(
+        addr,
+        &format!(
+            "POST /v1/estimate HTTP/1.1\r\nHost: t\r\nX-Dve-Trace-Id: cafe1234\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert_eq!(status, 200);
+
+    // 1-16 hex chars parse literally, so the canonical id is zero-padded.
+    let (status, trace_json) = get(addr, "/v1/traces/cafe1234");
+    assert_eq!(status, 200, "{trace_json}");
+    let check = distinct_values::obs::trace::validate_chrome_trace(&trace_json)
+        .expect("served trace is valid Chrome trace-event JSON");
+    assert!(check.spans >= 5, "{check:?}\n{trace_json}");
+    assert_eq!(check.roots, 1, "{trace_json}");
+    assert_eq!(check.linked, check.spans - 1, "{trace_json}");
+    assert!(
+        check.threads >= 2,
+        "expected accept + worker threads: {check:?}\n{trace_json}"
+    );
+    for name in [
+        "serve.request",
+        "serve.queue_wait",
+        "serve.parse",
+        "pipeline.spectrum_build",
+        "pipeline.estimate",
+        "serve.serialize",
+    ] {
+        assert!(
+            trace_json.contains(&format!("\"name\":\"{name}\"")),
+            "missing span {name}: {trace_json}"
+        );
+    }
+    assert!(
+        trace_json.contains("\"trace_id\":\"00000000cafe1234\""),
+        "{trace_json}"
+    );
+
+    // The recent-trace index lists it.
+    let (status, index) = get(addr, "/v1/traces");
+    assert_eq!(status, 200);
+    assert!(index.contains("00000000cafe1234"), "{index}");
 
     server.stop();
 }
