@@ -102,6 +102,43 @@ mod alloc_probe {
     }
 
     #[test]
+    fn monitoring_off_is_allocation_free_on_the_request_path() {
+        use dve_serve::Monitor;
+
+        // With `--shadow-sample-rate 0.0` the per-request monitoring
+        // cost must be a single float compare: no trace lookup, no
+        // coin, no heap. This is the contract that lets the monitor sit
+        // on every values-mode request unconditionally.
+        let off = Monitor::disabled();
+        assert!(!off.should_sample()); // warm-up
+        let count = allocations_in(|| {
+            for _ in 0..1000 {
+                assert!(!std::hint::black_box(&off).should_sample());
+            }
+        });
+        assert_eq!(count, 0, "disabled monitor allocated {count} times");
+    }
+
+    #[test]
+    fn windowed_histogram_record_is_allocation_free() {
+        use dve_obs::window::{WindowedHistogram, WINDOWS};
+
+        // The shadow sampler records into windowed histograms on the
+        // (sampled) request path; ring slots are preallocated at
+        // construction, so steady-state record() — rotations included —
+        // must never touch the heap.
+        let hist = WindowedHistogram::new();
+        hist.record(1); // warm-up
+        let count = allocations_in(|| {
+            for i in 0..10_000u64 {
+                hist.record(std::hint::black_box(i * 37 % 5_000));
+            }
+        });
+        assert_eq!(count, 0, "windowed record allocated {count} times");
+        assert!(hist.stats(WINDOWS[2].1).count >= 10_000);
+    }
+
+    #[test]
     fn probe_actually_counts() {
         // Guard against the probe silently going dead (e.g. a future
         // allocator change): a Vec allocation must register.

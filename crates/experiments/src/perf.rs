@@ -1,7 +1,8 @@
 //! Wall-time benchmark for the parallel execution layer.
 //!
 //! Times the hot paths that [`dve_par`] drives — the audit sweep, table
-//! ANALYZE, and chunked spectrum construction — once at `jobs = 1` and
+//! ANALYZE, chunked spectrum construction, and sliding-window histogram
+//! ingest — once at `jobs = 1` and
 //! once at `jobs = N`, checking on the way that the parallel results are
 //! **bit-identical** to serial (that check is the part of the gate that
 //! never depends on the host).
@@ -22,6 +23,7 @@
 
 use crate::audit::{run_audit, AuditConfig};
 use crate::minijson::{self, JsonValue};
+use dve_obs::window::{ManualClock, WindowClock, WindowedHistogram, WINDOWS};
 use dve_storage::{analyze_table_jobs, AnalyzeOptions, Column, Field, Schema, Table};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -47,6 +49,9 @@ pub struct PerfConfig {
     /// [`SpectrumBuilder`](dve_core::spectrum::SpectrumBuilder) ingest
     /// vs one-shot).
     pub merge_values: u64,
+    /// Observations recorded per chunk in the windowed-histogram
+    /// scenario (the monitoring hot path, under rotation pressure).
+    pub window_records: u64,
     /// Base RNG seed for all scenarios.
     pub seed: u64,
 }
@@ -60,6 +65,7 @@ impl PerfConfig {
             audit_trials: 8,
             analyze_rows: 60_000,
             merge_values: 2_000_000,
+            window_records: 2_000_000,
             seed: 42,
         }
     }
@@ -70,6 +76,7 @@ impl PerfConfig {
             audit_trials: 48,
             analyze_rows: 600_000,
             merge_values: 20_000_000,
+            window_records: 20_000_000,
             ..Self::quick()
         }
     }
@@ -79,7 +86,8 @@ impl PerfConfig {
 /// determinism verdict.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfScenario {
-    /// Scenario name (`"audit_quick"`, `"analyze"`, `"spectrum_merge"`).
+    /// Scenario name (`"audit_quick"`, `"analyze"`, `"spectrum_merge"`,
+    /// `"windowed_histogram"`).
     pub name: String,
     /// Wall time of the `jobs = 1` run, ns.
     pub serial_ns: u64,
@@ -224,6 +232,46 @@ pub fn run_bench(config: &PerfConfig) -> PerfReport {
         serial_ns,
         parallel_ns,
         serial_spectrum == parallel_spectrum,
+    ));
+
+    // Scenario 4: sliding-window histogram ingest — the monitoring hot
+    // path. Each chunk owns a recorder driven by a manual clock that
+    // jumps every few thousand records, so the ring rotates (CAS-claim
+    // slot resets) under load exactly as it does in a long-lived daemon.
+    // Single-writer recorders are exactly reproducible, so the per-chunk
+    // window stats must match bit-for-bit at any job count.
+    const WINDOW_CHUNKS: usize = 8;
+    let records = config.window_records;
+    let seed = config.seed;
+    let window_chunk = move |chunk: usize| {
+        let clock = ManualClock::new();
+        clock.set_ns(seed.wrapping_add(chunk as u64) % 1_000);
+        let hist = WindowedHistogram::with_clock(WindowClock::Manual(clock.clone()));
+        let step = (records / 720).max(1);
+        let mut x = seed ^ ((chunk as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        for i in 0..records {
+            if i % step == 0 {
+                clock.advance_secs(7);
+            }
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            hist.record(x >> 40);
+        }
+        let s = hist.stats(WINDOWS[2].1);
+        (s.count, s.sum, s.p50.to_bits(), s.p99.to_bits())
+    };
+    let t0 = Instant::now();
+    let serial_windows = dve_par::run_indexed(1, WINDOW_CHUNKS, window_chunk);
+    let serial_ns = t0.elapsed().as_nanos() as u64;
+    let t0 = Instant::now();
+    let parallel_windows = dve_par::run_indexed(jobs, WINDOW_CHUNKS, window_chunk);
+    let parallel_ns = t0.elapsed().as_nanos() as u64;
+    scenarios.push(scenario(
+        "windowed_histogram",
+        serial_ns,
+        parallel_ns,
+        serial_windows == parallel_windows,
     ));
 
     let report = PerfReport {
@@ -416,12 +464,12 @@ impl PerfReport {
     /// Human-readable jobs=1 vs jobs=N wall-time table.
     pub fn to_table(&self) -> String {
         let mut out = format!(
-            "perf bench: jobs=1 vs jobs={} (host parallelism {})\n{:<14} {:>12} {:>12} {:>9} {:>14}\n",
+            "perf bench: jobs=1 vs jobs={} (host parallelism {})\n{:<20} {:>12} {:>12} {:>9} {:>14}\n",
             self.jobs, self.host_parallelism, "scenario", "serial ms", "parallel ms", "speedup", "deterministic"
         );
         for s in &self.scenarios {
             out.push_str(&format!(
-                "{:<14} {:>12.1} {:>12.1} {:>8.2}x {:>14}\n",
+                "{:<20} {:>12.1} {:>12.1} {:>8.2}x {:>14}\n",
                 s.name,
                 s.serial_ns as f64 / 1e6,
                 s.parallel_ns as f64 / 1e6,
@@ -443,6 +491,7 @@ mod tests {
             audit_trials: 2,
             analyze_rows: 4_000,
             merge_values: 50_000,
+            window_records: 50_000,
             seed: 7,
         }
     }
@@ -452,7 +501,15 @@ mod tests {
         let report = run_bench(&tiny_config());
         assert_eq!(report.jobs, 3);
         let names: Vec<&str> = report.scenarios.iter().map(|s| s.name.as_str()).collect();
-        assert_eq!(names, ["audit_quick", "analyze", "spectrum_merge"]);
+        assert_eq!(
+            names,
+            [
+                "audit_quick",
+                "analyze",
+                "spectrum_merge",
+                "windowed_histogram"
+            ]
+        );
         for s in &report.scenarios {
             assert!(s.deterministic, "{} diverged from serial", s.name);
             assert!(s.serial_ns > 0 && s.parallel_ns > 0, "{s:?}");
@@ -543,6 +600,7 @@ mod tests {
         assert!(table.contains("audit_quick"));
         assert!(table.contains("analyze"));
         assert!(table.contains("spectrum_merge"));
+        assert!(table.contains("windowed_histogram"));
         assert!(table.contains("speedup"));
     }
 }

@@ -28,6 +28,12 @@
 //!   contexts with a bounded sharded collector and a Chrome trace-event
 //!   exporter ([`trace`]). Off by default; disabled spans cost one
 //!   relaxed load and zero allocations.
+//! * **Sliding windows & SLOs** — rotating-ring [`WindowedCounter`]/
+//!   [`WindowedHistogram`] instruments with `p50/p95/p99` over the last
+//!   `1m`/`5m`/`1h` ([`window`], injectable clock for deterministic
+//!   tests), and [`SloTracker`] error budgets with Google-SRE two-window
+//!   burn-rate alerting ([`slo`]) feeding structured events into the
+//!   `DVE_LOG` sink.
 //!
 //! ## Recording
 //!
@@ -77,8 +83,10 @@ pub mod metrics;
 pub mod minijson;
 pub mod prom;
 pub mod registry;
+pub mod slo;
 pub mod span;
 pub mod trace;
+pub mod window;
 
 pub use event::{
     emit, set_sink, sink, Event, EventSink, JsonlSink, Level, NullSink, PrettySink, VecSink,
@@ -87,7 +95,12 @@ pub use metrics::{Counter, Gauge, Histogram};
 pub use registry::{
     global, CounterSample, GaugeSample, HistogramSample, MetricsSnapshot, Registry,
 };
+pub use slo::{SloConfig, SloTracker};
 pub use span::{time, Span, Timer};
+pub use window::{
+    global_windows, ManualClock, WindowClock, WindowRegistry, WindowSnapshot, WindowStats,
+    WindowedCounter, WindowedHistogram,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

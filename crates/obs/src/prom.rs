@@ -58,6 +58,23 @@ pub fn help_for(name: &str) -> String {
         "par.worker_busy_ns" => "Per-worker time inside task functions, ns.",
         "par.queue_wait_ns" => "Per-worker time outside task functions, ns.",
         "par.jobs" => "Worker count of the most recent pool run.",
+        "trace.dropped_spans" => "Spans dropped because their collector shard ring was full.",
+        "trace.shard_occupancy" => "Buffered spans per collector shard (label = shard index).",
+        "window.ratio_error_permille" => {
+            "Sliding-window shadow-truth ratio error, permille, by estimator and window."
+        }
+        "window.shadow_samples" => {
+            "Shadow-sampled requests inside the sliding window, by estimator."
+        }
+        "window.shadow_covered" => {
+            "Shadow samples whose exact count landed inside the reported interval, by estimator."
+        }
+        "slo.shadow_sampled" => "Shadow-sampled requests since process start, by estimator.",
+        "slo.coverage" => "Shadow-truth interval coverage rate inside the window.",
+        "slo.good_rate" => "Good-event (covered, ratio within bound) rate inside the window.",
+        "slo.burn_rate" => "Error-budget burn rate inside the window (1 = spending on target).",
+        "slo.budget_remaining" => "Fraction of the slow-window error budget still unspent.",
+        "slo.alert_state" => "Two-window burn alert state (0 = ok, 1 = burning).",
         _ => "",
     };
     if curated.is_empty() {

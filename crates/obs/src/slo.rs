@@ -1,0 +1,248 @@
+//! Error budgets and multi-window burn-rate alerting over the
+//! [`crate::window`] primitives, Google-SRE style.
+//!
+//! An SLO is an objective on the fraction of *good* events (for the
+//! guarantee monitor: shadow-sampled requests whose exact distinct count
+//! landed inside the reported interval with an acceptable ratio error).
+//! The **error budget** is `1 − target`; the **burn rate** over a window
+//! is the observed bad fraction divided by the budget, so burn rate 1
+//! means "spending the budget exactly as fast as the objective allows"
+//! and burn rate 10 means the budget is gone in a tenth of the period.
+//!
+//! Alerting uses the classic two-window rule: fire only when **both**
+//! the fast window (5m — is it burning *now*?) and the slow window
+//! (1h — has it been burning long enough to matter?) exceed the
+//! threshold. That keeps one-off blips from paging while still catching
+//! sustained regressions quickly. Transitions emit structured
+//! [`crate::Event`]s (`<name>.alert`) through the `DVE_LOG` sink.
+
+use crate::window::{WindowClock, WindowedCounter, WINDOWS};
+use crate::Event;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Configuration of one tracked objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloConfig {
+    /// Event-name prefix for alert events (`<name>.alert`).
+    pub name: String,
+    /// Objective on the good-event fraction, in `(0, 1)`.
+    pub target: f64,
+    /// Burn-rate level at which both windows must sit to alert.
+    pub burn_threshold: f64,
+    /// Fast ("is it burning now?") window, ns.
+    pub fast_window_ns: u64,
+    /// Slow ("has it mattered for a while?") window, ns.
+    pub slow_window_ns: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            name: "slo".to_string(),
+            target: 0.9,
+            burn_threshold: 2.0,
+            fast_window_ns: WINDOWS[1].1,
+            slow_window_ns: WINDOWS[2].1,
+        }
+    }
+}
+
+impl SloConfig {
+    /// The error budget: the allowed bad-event fraction, floored at a
+    /// tiny positive value so a `target` of 1.0 cannot divide by zero.
+    pub fn budget(&self) -> f64 {
+        (1.0 - self.target).max(1e-9)
+    }
+}
+
+/// Tracks one objective: windowed good/total counts, burn rates, and
+/// the two-window alert state.
+#[derive(Debug)]
+pub struct SloTracker {
+    config: SloConfig,
+    good: WindowedCounter,
+    total: WindowedCounter,
+    burning: AtomicBool,
+}
+
+impl SloTracker {
+    /// A tracker on the monotonic clock.
+    pub fn new(config: SloConfig) -> Self {
+        Self::with_clock(config, WindowClock::Monotonic)
+    }
+
+    /// A tracker on an explicit clock (deterministic tests).
+    pub fn with_clock(config: SloConfig, clock: WindowClock) -> Self {
+        SloTracker {
+            config,
+            good: WindowedCounter::with_clock(clock.clone()),
+            total: WindowedCounter::with_clock(clock),
+            burning: AtomicBool::new(false),
+        }
+    }
+
+    /// The tracked objective.
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Records one event and re-evaluates the alert state.
+    pub fn record(&self, good: bool) {
+        self.total.inc();
+        if good {
+            self.good.inc();
+        }
+        self.evaluate();
+    }
+
+    /// Events observed inside `window_ns`.
+    pub fn samples(&self, window_ns: u64) -> u64 {
+        self.total.sum(window_ns)
+    }
+
+    /// Good-event fraction inside `window_ns`, `None` when empty.
+    pub fn good_rate(&self, window_ns: u64) -> Option<f64> {
+        let total = self.total.sum(window_ns);
+        (total > 0).then(|| self.good.sum(window_ns) as f64 / total as f64)
+    }
+
+    /// Bad fraction divided by the error budget; 0 for an empty window.
+    pub fn burn_rate(&self, window_ns: u64) -> f64 {
+        match self.good_rate(window_ns) {
+            None => 0.0,
+            Some(good) => (1.0 - good) / self.config.budget(),
+        }
+    }
+
+    /// Fraction of the slow-window error budget still unspent, in
+    /// `[0, 1]`.
+    pub fn budget_remaining(&self) -> f64 {
+        (1.0 - self.burn_rate(self.config.slow_window_ns)).clamp(0.0, 1.0)
+    }
+
+    /// Current alert state, re-evaluated on read so decayed windows
+    /// resolve alerts even when no new events arrive.
+    pub fn burning(&self) -> bool {
+        self.evaluate()
+    }
+
+    /// Applies the two-window rule and emits an alert event on every
+    /// transition. Returns the post-evaluation state.
+    fn evaluate(&self) -> bool {
+        let fast = self.burn_rate(self.config.fast_window_ns);
+        let slow = self.burn_rate(self.config.slow_window_ns);
+        let now_burning = self.samples(self.config.fast_window_ns) > 0
+            && fast > self.config.burn_threshold
+            && slow > self.config.burn_threshold;
+        let was = self.burning.swap(now_burning, Ordering::AcqRel);
+        if was != now_burning {
+            let event = if now_burning {
+                Event::warn(format!("{}.alert", self.config.name))
+                    .message("error budget is burning (fast and slow windows over threshold)")
+                    .field_str("state", "burning")
+            } else {
+                Event::info(format!("{}.alert", self.config.name))
+                    .message("error budget burn resolved")
+                    .field_str("state", "ok")
+            };
+            event
+                .field_f64("burn_rate_fast", fast)
+                .field_f64("burn_rate_slow", slow)
+                .field_f64("burn_threshold", self.config.burn_threshold)
+                .field_f64("target", self.config.target)
+                .field_f64("budget_remaining", self.budget_remaining())
+                .emit();
+        }
+        now_burning
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::ManualClock;
+    use crate::VecSink;
+    use std::sync::Arc;
+
+    fn tracker(target: f64, threshold: f64) -> (ManualClock, SloTracker) {
+        let clock = ManualClock::new();
+        let t = SloTracker::with_clock(
+            SloConfig {
+                target,
+                burn_threshold: threshold,
+                ..SloConfig::default()
+            },
+            WindowClock::Manual(clock.clone()),
+        );
+        (clock, t)
+    }
+
+    #[test]
+    fn healthy_stream_never_burns() {
+        let _guard = crate::test_lock();
+        let (_, t) = tracker(0.9, 2.0);
+        for i in 0..100 {
+            t.record(i % 20 != 0); // 95% good > 90% target
+        }
+        assert!(!t.burning());
+        assert!(t.burn_rate(t.config().fast_window_ns) < 1.0);
+        assert_eq!(
+            t.budget_remaining(),
+            1.0 - t.burn_rate(t.config().slow_window_ns)
+        );
+        assert_eq!(t.good_rate(WINDOWS[2].1), Some(0.95));
+    }
+
+    #[test]
+    fn all_bad_stream_burns_and_decays_back() {
+        let _guard = crate::test_lock();
+        let sink = Arc::new(VecSink::new());
+        let prev = crate::sink();
+        crate::set_sink(sink.clone());
+        let (clock, t) = tracker(0.9, 2.0);
+        for _ in 0..50 {
+            t.record(false); // burn rate = 1.0 / 0.1 = 10 in both windows
+        }
+        assert!(t.burning());
+        assert_eq!(t.budget_remaining(), 0.0);
+        // The transition emitted exactly one warning.
+        let fired: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| e.name == "slo.alert")
+            .collect();
+        assert_eq!(fired.len(), 1, "{fired:?}");
+        assert_eq!(fired[0].level, crate::Level::Warn);
+        // An hour later both windows are empty → resolved, with an info
+        // event for the transition back.
+        clock.advance_secs(3_700);
+        assert!(!t.burning());
+        let resolved: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| e.name == "slo.alert")
+            .collect();
+        assert_eq!(resolved.len(), 2, "{resolved:?}");
+        assert_eq!(resolved[1].level, crate::Level::Info);
+        crate::set_sink(prev);
+    }
+
+    #[test]
+    fn empty_windows_do_not_alert() {
+        let _guard = crate::test_lock();
+        let (_, t) = tracker(0.99, 1.0);
+        assert!(!t.burning());
+        assert_eq!(t.burn_rate(WINDOWS[1].1), 0.0);
+        assert_eq!(t.good_rate(WINDOWS[1].1), None);
+        assert_eq!(t.budget_remaining(), 1.0);
+    }
+
+    #[test]
+    fn budget_guards_a_perfect_target() {
+        let cfg = SloConfig {
+            target: 1.0,
+            ..SloConfig::default()
+        };
+        assert!(cfg.budget() > 0.0);
+    }
+}

@@ -85,7 +85,12 @@ pub fn set_tracing(on: bool) {
 }
 
 /// The standard SplitMix64 mixer — full-period, well-distributed 64-bit
-/// ids from a sequential counter.
+/// ids from a sequential counter. Public so deterministic derived coins
+/// (e.g. the serve shadow sampler keyed by trace id) share one mixer.
+pub fn mix64(x: u64) -> u64 {
+    splitmix64(x)
+}
+
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = x;
@@ -350,6 +355,19 @@ pub fn recent_traces() -> Vec<TraceSummary> {
 /// Spans evicted from the ring buffers since process start.
 pub fn dropped_spans() -> u64 {
     collector().dropped.load(Ordering::Relaxed)
+}
+
+/// Spans currently buffered in each collector shard ring, indexed by
+/// shard (`SHARDS` entries). Exported as per-shard occupancy gauges on
+/// the daemon's `/metrics` so operators can see the buffers filling
+/// before [`dropped_spans`] starts climbing.
+pub fn shard_occupancy() -> [usize; SHARDS] {
+    let c = collector();
+    let mut out = [0usize; SHARDS];
+    for (slot, shard) in out.iter_mut().zip(&c.shards) {
+        *slot = shard.lock().unwrap_or_else(|e| e.into_inner()).len();
+    }
+    out
 }
 
 /// Empties the collector and the recent-traces index (tests, and the CLI

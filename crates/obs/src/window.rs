@@ -1,0 +1,798 @@
+//! Sliding-window time-series instruments: [`WindowedCounter`] and
+//! [`WindowedHistogram`].
+//!
+//! Both are built as a **rotating ring of bucketed sub-windows** behind
+//! relaxed atomics: time is divided into fixed-width buckets
+//! (`bucket_ns`, one minute by default) and the ring holds enough slots
+//! to cover the longest reporting window (one hour). Recording tags the
+//! slot for the current bucket with its absolute bucket index (the
+//! *epoch*); a slot whose epoch is stale is lazily reclaimed by the
+//! first writer that lands on it (compare-exchange on the epoch, then a
+//! reset). Reads sum only the slots whose epoch falls inside the
+//! requested window, so expiry needs no background thread.
+//!
+//! Reporting windows are the fixed [`WINDOWS`] set (`1m`/`5m`/`1h`,
+//! Google-SRE style fast/slow pairs); a window query covers the current
+//! *partial* bucket plus the preceding full buckets, so the `1m` view is
+//! the in-progress minute.
+//!
+//! **Rotation is monitoring-grade, not accounting-grade**: a writer that
+//! lands on a slot concurrently with its reclamation can have that one
+//! observation wiped by the reset. The loss is bounded by (writers ×
+//! rotations) — nanoseconds of exposure per minute-long bucket — and the
+//! torn-rotation proptest in `tests/parallel_determinism.rs` pins the
+//! bound. Single-threaded use (and every deterministic-clock test) is
+//! exact.
+//!
+//! The clock is injectable ([`WindowClock::Manual`]) so rotation,
+//! expiry, and quantile behavior are deterministically testable; the
+//! default [`WindowClock::Monotonic`] reads a process-global
+//! [`std::time::Instant`] epoch.
+
+use crate::metrics::{bucket_bounds, bucket_index, BUCKETS};
+use crate::prom::{escape_label_value, help_for, sanitize_metric_name};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+const NS_PER_SEC: u64 = 1_000_000_000;
+
+/// Default sub-window (ring bucket) width: one minute.
+pub const DEFAULT_BUCKET_NS: u64 = 60 * NS_PER_SEC;
+/// Default ring length: 60 one-minute buckets, covering the 1h window.
+pub const DEFAULT_SLOTS: usize = 60;
+
+/// The fixed reporting windows every instrument answers for:
+/// `(label, width_ns)`.
+pub const WINDOWS: [(&str, u64); 3] = [
+    ("1m", 60 * NS_PER_SEC),
+    ("5m", 300 * NS_PER_SEC),
+    ("1h", 3_600 * NS_PER_SEC),
+];
+
+/// A hand-advanced clock for deterministic window tests.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock(Arc<AtomicU64>);
+
+impl ManualClock {
+    /// A manual clock starting at 0 ns.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current reading, ns.
+    pub fn now_ns(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Moves the clock forward by `ns`.
+    pub fn advance_ns(&self, ns: u64) {
+        self.0.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Moves the clock forward by whole seconds.
+    pub fn advance_secs(&self, secs: u64) {
+        self.advance_ns(secs * NS_PER_SEC);
+    }
+
+    /// Sets the clock to an absolute reading.
+    pub fn set_ns(&self, ns: u64) {
+        self.0.store(ns, Ordering::Relaxed);
+    }
+}
+
+/// Where a windowed instrument reads time from.
+#[derive(Debug, Clone, Default)]
+pub enum WindowClock {
+    /// Nanoseconds since a process-global [`Instant`] epoch.
+    #[default]
+    Monotonic,
+    /// A hand-advanced test clock.
+    Manual(ManualClock),
+}
+
+impl WindowClock {
+    /// Current reading, ns.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            WindowClock::Monotonic => {
+                static EPOCH: OnceLock<Instant> = OnceLock::new();
+                EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+            }
+            WindowClock::Manual(c) => c.now_ns(),
+        }
+    }
+}
+
+/// One ring slot of a [`WindowedCounter`]. `epoch` holds the absolute
+/// bucket index + 1 (0 = never written).
+#[derive(Debug)]
+struct CounterSlot {
+    epoch: AtomicU64,
+    value: AtomicU64,
+}
+
+/// A counter whose value is readable over the sliding [`WINDOWS`]
+/// instead of process lifetime.
+#[derive(Debug)]
+pub struct WindowedCounter {
+    clock: WindowClock,
+    bucket_ns: u64,
+    slots: Box<[CounterSlot]>,
+}
+
+impl Default for WindowedCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WindowedCounter {
+    /// A windowed counter with the default layout and monotonic clock.
+    pub fn new() -> Self {
+        Self::with_clock(WindowClock::Monotonic)
+    }
+
+    /// A windowed counter with the default layout and the given clock.
+    pub fn with_clock(clock: WindowClock) -> Self {
+        Self::with_layout(clock, DEFAULT_BUCKET_NS, DEFAULT_SLOTS)
+    }
+
+    /// A windowed counter with an explicit bucket width and ring length
+    /// (tests and benches shrink both to force rotation cheaply).
+    pub fn with_layout(clock: WindowClock, bucket_ns: u64, slots: usize) -> Self {
+        WindowedCounter {
+            clock,
+            bucket_ns: bucket_ns.max(1),
+            slots: (0..slots.max(1))
+                .map(|_| CounterSlot {
+                    epoch: AtomicU64::new(0),
+                    value: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Adds one to the current bucket.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` to the current bucket.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        let idx = self.clock.now_ns() / self.bucket_ns;
+        let slot = &self.slots[(idx % self.slots.len() as u64) as usize];
+        let tag = idx + 1;
+        let seen = slot.epoch.load(Ordering::Acquire);
+        if seen != tag
+            && slot
+                .epoch
+                .compare_exchange(seen, tag, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            slot.value.store(0, Ordering::Release);
+        }
+        slot.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sum of the current partial bucket plus the preceding full buckets
+    /// covering `window_ns` (clamped to the ring's reach).
+    pub fn sum(&self, window_ns: u64) -> u64 {
+        let cur = self.clock.now_ns() / self.bucket_ns;
+        let span = (window_ns / self.bucket_ns)
+            .max(1)
+            .min(self.slots.len() as u64);
+        let lo = cur.saturating_sub(span - 1) + 1; // epochs are idx + 1
+        let hi = cur + 1;
+        self.slots
+            .iter()
+            .filter(|s| {
+                let e = s.epoch.load(Ordering::Acquire);
+                e >= lo && e <= hi
+            })
+            .map(|s| s.value.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// One ring slot of a [`WindowedHistogram`]: a full log-bucketed
+/// histogram plus exact `count`/`sum`/`min`/`max`, tagged with its
+/// bucket epoch.
+#[derive(Debug)]
+struct HistSlot {
+    epoch: AtomicU64,
+    counts: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistSlot {
+    fn reset(&self) {
+        for b in self.counts.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Aggregate statistics of one reporting window of a
+/// [`WindowedHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// Observations inside the window.
+    pub count: u64,
+    /// Sum of observations inside the window.
+    pub sum: u64,
+    /// Smallest observation, if any.
+    pub min: Option<u64>,
+    /// Largest observation, if any.
+    pub max: Option<u64>,
+    /// Median (log-bucket midpoint, clamped to `[min, max]`).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl WindowStats {
+    const EMPTY: WindowStats = WindowStats {
+        count: 0,
+        sum: 0,
+        min: None,
+        max: None,
+        p50: 0.0,
+        p95: 0.0,
+        p99: 0.0,
+    };
+}
+
+/// A histogram whose quantiles are readable over the sliding
+/// [`WINDOWS`], sharing the log-bucket layout of [`crate::Histogram`]
+/// (≈ 12.5% relative bucket width).
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    clock: WindowClock,
+    bucket_ns: u64,
+    slots: Box<[HistSlot]>,
+}
+
+impl Default for WindowedHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WindowedHistogram {
+    /// A windowed histogram with the default layout and monotonic clock.
+    pub fn new() -> Self {
+        Self::with_clock(WindowClock::Monotonic)
+    }
+
+    /// A windowed histogram with the default layout and the given clock.
+    pub fn with_clock(clock: WindowClock) -> Self {
+        Self::with_layout(clock, DEFAULT_BUCKET_NS, DEFAULT_SLOTS)
+    }
+
+    /// A windowed histogram with an explicit bucket width and ring
+    /// length.
+    pub fn with_layout(clock: WindowClock, bucket_ns: u64, slots: usize) -> Self {
+        WindowedHistogram {
+            clock,
+            bucket_ns: bucket_ns.max(1),
+            slots: (0..slots.max(1))
+                .map(|_| HistSlot {
+                    epoch: AtomicU64::new(0),
+                    counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                    count: AtomicU64::new(0),
+                    sum: AtomicU64::new(0),
+                    min: AtomicU64::new(u64::MAX),
+                    max: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Records one observation into the current bucket. Allocation-free.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        let idx = self.clock.now_ns() / self.bucket_ns;
+        let slot = &self.slots[(idx % self.slots.len() as u64) as usize];
+        let tag = idx + 1;
+        let seen = slot.epoch.load(Ordering::Acquire);
+        if seen != tag
+            && slot
+                .epoch
+                .compare_exchange(seen, tag, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            slot.reset();
+        }
+        slot.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.sum.fetch_add(v, Ordering::Relaxed);
+        slot.min.fetch_min(v, Ordering::Relaxed);
+        slot.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Merged statistics over the current partial bucket plus the
+    /// preceding full buckets covering `window_ns`.
+    pub fn stats(&self, window_ns: u64) -> WindowStats {
+        let cur = self.clock.now_ns() / self.bucket_ns;
+        let span = (window_ns / self.bucket_ns)
+            .max(1)
+            .min(self.slots.len() as u64);
+        let lo = cur.saturating_sub(span - 1) + 1;
+        let hi = cur + 1;
+
+        let mut merged = vec![0u64; BUCKETS];
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for slot in self.slots.iter() {
+            let e = slot.epoch.load(Ordering::Acquire);
+            if e < lo || e > hi {
+                continue;
+            }
+            for (m, b) in merged.iter_mut().zip(slot.counts.iter()) {
+                *m += b.load(Ordering::Relaxed);
+            }
+            count += slot.count.load(Ordering::Relaxed);
+            sum += slot.sum.load(Ordering::Relaxed);
+            min = min.min(slot.min.load(Ordering::Relaxed));
+            max = max.max(slot.max.load(Ordering::Relaxed));
+        }
+        if count == 0 {
+            return WindowStats::EMPTY;
+        }
+        let percentile = |q: f64| -> f64 {
+            let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut cum = 0u64;
+            for (idx, &b) in merged.iter().enumerate() {
+                cum += b;
+                if cum >= target {
+                    let (blo, bhi) = bucket_bounds(idx);
+                    let mid = blo as f64 + (bhi - blo) as f64 / 2.0;
+                    return mid.clamp(min as f64, max as f64);
+                }
+            }
+            max as f64
+        };
+        WindowStats {
+            count,
+            sum,
+            min: Some(min),
+            max: Some(max),
+            p50: percentile(0.5),
+            p95: percentile(0.95),
+            p99: percentile(0.99),
+        }
+    }
+}
+
+/// A process-global get-or-insert registry of windowed instruments,
+/// mirroring [`crate::Registry`] for the flat ones. Keys are
+/// `(name, label)`; all instruments use the default layout and the
+/// monotonic clock.
+#[derive(Debug, Default)]
+pub struct WindowRegistry {
+    counters: RwLock<BTreeMap<(String, String), Arc<WindowedCounter>>>,
+    histograms: RwLock<BTreeMap<(String, String), Arc<WindowedHistogram>>>,
+}
+
+/// The process-global [`WindowRegistry`].
+pub fn global_windows() -> &'static WindowRegistry {
+    static REGISTRY: OnceLock<WindowRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(WindowRegistry::default)
+}
+
+fn get_or_insert<T: Default>(
+    map: &RwLock<BTreeMap<(String, String), Arc<T>>>,
+    name: &str,
+    label: &str,
+) -> Arc<T> {
+    if let Some(found) = map
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(&(name.to_string(), label.to_string()))
+    {
+        return Arc::clone(found);
+    }
+    let mut write = map.write().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(
+        write
+            .entry((name.to_string(), label.to_string()))
+            .or_default(),
+    )
+}
+
+impl WindowRegistry {
+    /// An empty registry (tests; production uses [`global_windows`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The windowed counter for `(name, label)`, created on first use.
+    pub fn counter(&self, name: &str, label: &str) -> Arc<WindowedCounter> {
+        get_or_insert(&self.counters, name, label)
+    }
+
+    /// The windowed histogram for `(name, label)`, created on first use.
+    pub fn histogram(&self, name: &str, label: &str) -> Arc<WindowedHistogram> {
+        get_or_insert(&self.histograms, name, label)
+    }
+
+    /// Drops every instrument (tests that need a clean slate).
+    pub fn clear(&self) {
+        self.counters
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        self.histograms
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+
+    /// A point-in-time view of every windowed instrument across the
+    /// fixed [`WINDOWS`].
+    pub fn snapshot(&self) -> WindowSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|((name, label), c)| WindowedCounterSample {
+                name: name.clone(),
+                label: label.clone(),
+                windows: WINDOWS.map(|(w, ns)| (w, c.sum(ns))).to_vec(),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|((name, label), h)| WindowedHistogramSample {
+                name: name.clone(),
+                label: label.clone(),
+                windows: WINDOWS.map(|(w, ns)| (w, h.stats(ns))).to_vec(),
+            })
+            .collect();
+        WindowSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// One windowed counter in a [`WindowSnapshot`].
+#[derive(Debug, Clone)]
+pub struct WindowedCounterSample {
+    /// Dotted metric name.
+    pub name: String,
+    /// Free-form label (`""` = unlabeled).
+    pub label: String,
+    /// `(window label, sum)` per reporting window.
+    pub windows: Vec<(&'static str, u64)>,
+}
+
+/// One windowed histogram in a [`WindowSnapshot`].
+#[derive(Debug, Clone)]
+pub struct WindowedHistogramSample {
+    /// Dotted metric name.
+    pub name: String,
+    /// Free-form label (`""` = unlabeled).
+    pub label: String,
+    /// `(window label, stats)` per reporting window.
+    pub windows: Vec<(&'static str, WindowStats)>,
+}
+
+/// An exemplar attached to a windowed-histogram `_count` sample in the
+/// Prometheus exposition: the trace id of one sampled request and the
+/// value it observed (OpenMetrics `# {trace_id="…"} value` syntax).
+#[derive(Debug, Clone)]
+pub struct Exemplar {
+    /// The sampled request's trace id, hex.
+    pub trace_id: String,
+    /// The observation the sample recorded.
+    pub value: f64,
+}
+
+/// A point-in-time view of a [`WindowRegistry`].
+#[derive(Debug, Clone, Default)]
+pub struct WindowSnapshot {
+    /// Windowed counters, sorted by `(name, label)`.
+    pub counters: Vec<WindowedCounterSample>,
+    /// Windowed histograms, sorted by `(name, label)`.
+    pub histograms: Vec<WindowedHistogramSample>,
+}
+
+impl WindowSnapshot {
+    /// Whether the snapshot holds no instruments at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// An aligned human-readable table of every instrument × window.
+    pub fn to_pretty(&self) -> String {
+        if self.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("windowed metrics\n");
+        for c in &self.counters {
+            out.push_str(&format!("  {} {}\n", c.name, c.label));
+            for (w, v) in &c.windows {
+                out.push_str(&format!("    {w:>3}  count {v}\n"));
+            }
+        }
+        for h in &self.histograms {
+            out.push_str(&format!("  {} {}\n", h.name, h.label));
+            for (w, s) in &h.windows {
+                out.push_str(&format!(
+                    "    {w:>3}  count {}  p50 {:.1}  p95 {:.1}  p99 {:.1}\n",
+                    s.count, s.p50, s.p95, s.p99
+                ));
+            }
+        }
+        out
+    }
+
+    /// Prometheus text exposition without exemplars.
+    pub fn to_prometheus(&self) -> String {
+        self.to_prometheus_with(&|_, _| None)
+    }
+
+    /// Prometheus text exposition. Counters expose as gauges (their
+    /// value is a sliding-window sum, not monotone), histograms as
+    /// summaries with a `window` label. `exemplar(name, label)` may
+    /// attach an OpenMetrics exemplar to that histogram's `_count`
+    /// samples.
+    pub fn to_prometheus_with(&self, exemplar: &dyn Fn(&str, &str) -> Option<Exemplar>) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        let lead = |out: &mut String, last: &mut String, name: &str, kind: &str| {
+            let family = sanitize_metric_name(name);
+            if family != *last {
+                out.push_str(&format!(
+                    "# HELP {family} {}\n# TYPE {family} {kind}\n",
+                    crate::prom::escape_help_text(&help_for(name))
+                ));
+                *last = family.clone();
+            }
+            family
+        };
+        for c in &self.counters {
+            let family = lead(&mut out, &mut last_family, &c.name, "gauge");
+            for (w, v) in &c.windows {
+                out.push_str(&format!(
+                    "{family}{{{}window=\"{w}\"}} {v}\n",
+                    label_prefix(&c.label)
+                ));
+            }
+        }
+        for h in &self.histograms {
+            let family = lead(&mut out, &mut last_family, &h.name, "summary");
+            let ex = exemplar(&h.name, &h.label);
+            for (w, s) in &h.windows {
+                for (q, v) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
+                    out.push_str(&format!(
+                        "{family}{{{}window=\"{w}\",quantile=\"{q}\"}} {v}\n",
+                        label_prefix(&h.label)
+                    ));
+                }
+                out.push_str(&format!(
+                    "{family}_sum{{{}window=\"{w}\"}} {}\n",
+                    label_prefix(&h.label),
+                    s.sum
+                ));
+                out.push_str(&format!(
+                    "{family}_count{{{}window=\"{w}\"}} {}",
+                    label_prefix(&h.label),
+                    s.count
+                ));
+                if let Some(ex) = &ex {
+                    out.push_str(&format!(
+                        " # {{trace_id=\"{}\"}} {}",
+                        escape_label_value(&ex.trace_id),
+                        ex.value
+                    ));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+fn label_prefix(label: &str) -> String {
+    if label.is_empty() {
+        String::new()
+    } else {
+        format!("label=\"{}\",", escape_label_value(label))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manual() -> (ManualClock, WindowClock) {
+        let c = ManualClock::new();
+        (c.clone(), WindowClock::Manual(c))
+    }
+
+    #[test]
+    fn counter_sums_per_window() {
+        let _guard = crate::test_lock();
+        let (clock, wc) = manual();
+        let c = WindowedCounter::with_clock(wc);
+        c.add(5);
+        clock.advance_secs(120); // two buckets later
+        c.add(7);
+        assert_eq!(c.sum(WINDOWS[0].1), 7, "1m sees only the current bucket");
+        assert_eq!(c.sum(WINDOWS[1].1), 12, "5m sees both");
+        assert_eq!(c.sum(WINDOWS[2].1), 12);
+    }
+
+    #[test]
+    fn counter_buckets_expire() {
+        let _guard = crate::test_lock();
+        let (clock, wc) = manual();
+        let c = WindowedCounter::with_clock(wc);
+        c.add(3);
+        clock.advance_secs(3_599);
+        assert_eq!(c.sum(WINDOWS[2].1), 3, "still inside the hour");
+        clock.advance_secs(61);
+        assert_eq!(c.sum(WINDOWS[2].1), 0, "expired out of the hour");
+    }
+
+    #[test]
+    fn ring_slot_reuse_resets_stale_counts() {
+        let _guard = crate::test_lock();
+        let (clock, wc) = manual();
+        // 2-slot ring, 1 s buckets: bucket 0 and bucket 2 share slot 0.
+        let c = WindowedCounter::with_layout(wc, NS_PER_SEC, 2);
+        c.add(10);
+        clock.advance_secs(2);
+        c.add(1);
+        assert_eq!(c.sum(NS_PER_SEC), 1, "stale slot was reset, not summed");
+        assert_eq!(c.sum(2 * NS_PER_SEC), 1, "old epoch is out of range");
+    }
+
+    #[test]
+    fn histogram_quantiles_across_rotation_boundary() {
+        let _guard = crate::test_lock();
+        let (clock, wc) = manual();
+        let h = WindowedHistogram::with_clock(wc);
+        for v in 1..=500u64 {
+            h.record(v);
+        }
+        clock.advance_secs(60); // next bucket
+        for v in 501..=1_000u64 {
+            h.record(v);
+        }
+        // 1m window: only the second bucket's half.
+        let recent = h.stats(WINDOWS[0].1);
+        assert_eq!(recent.count, 500);
+        assert_eq!(recent.min, Some(501));
+        // 5m window: merged across the rotation boundary — quantiles of
+        // the full 1..=1000 stream, within log-bucket resolution.
+        let merged = h.stats(WINDOWS[1].1);
+        assert_eq!(merged.count, 1_000);
+        assert_eq!(merged.sum, 500_500);
+        assert_eq!(merged.min, Some(1));
+        assert_eq!(merged.max, Some(1_000));
+        for (q, truth) in [
+            (merged.p50, 500.0),
+            (merged.p95, 950.0),
+            (merged.p99, 990.0),
+        ] {
+            assert!((q - truth).abs() / truth < 0.10, "got {q}, want ≈ {truth}");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_expire() {
+        let _guard = crate::test_lock();
+        let (clock, wc) = manual();
+        let h = WindowedHistogram::with_clock(wc);
+        h.record(42);
+        clock.advance_secs(3_700);
+        assert_eq!(h.stats(WINDOWS[2].1), WindowStats::EMPTY);
+        h.record(7);
+        let s = h.stats(WINDOWS[0].1);
+        assert_eq!((s.count, s.min, s.max), (1, Some(7), Some(7)));
+        assert_eq!(s.p50, 7.0, "single value quantiles clamp exactly");
+    }
+
+    #[test]
+    fn disabled_gate_stops_recording() {
+        let _guard = crate::test_lock();
+        let (_, wc) = manual();
+        let c = WindowedCounter::with_clock(wc.clone());
+        let h = WindowedHistogram::with_clock(wc);
+        crate::set_enabled(false);
+        c.inc();
+        h.record(9);
+        crate::set_enabled(true);
+        assert_eq!(c.sum(WINDOWS[2].1), 0);
+        assert_eq!(h.stats(WINDOWS[2].1).count, 0);
+    }
+
+    #[test]
+    fn registry_get_or_insert_and_snapshot() {
+        let _guard = crate::test_lock();
+        let r = WindowRegistry::new();
+        r.counter("w.hits", "AE").add(2);
+        r.counter("w.hits", "AE").add(3);
+        r.histogram("w.err", "AE").record(1_500);
+        let snap = r.snapshot();
+        assert!(!snap.is_empty());
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters[0].windows[2], ("1h", 5));
+        assert_eq!(snap.histograms[0].windows[0].0, "1m");
+        assert_eq!(snap.histograms[0].windows[0].1.count, 1);
+        let pretty = snap.to_pretty();
+        assert!(pretty.contains("w.hits AE"), "{pretty}");
+        assert!(pretty.contains("p95"), "{pretty}");
+        r.clear();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn prometheus_rendering_with_exemplars() {
+        let _guard = crate::test_lock();
+        let r = WindowRegistry::new();
+        r.counter("window.shadow_samples", "GEE").inc();
+        r.histogram("window.ratio_error_permille", "GEE")
+            .record(1_020);
+        let text = r.snapshot().to_prometheus_with(&|name, label| {
+            (name == "window.ratio_error_permille" && label == "GEE").then(|| Exemplar {
+                trace_id: "c0ffee".to_string(),
+                value: 1_020.0,
+            })
+        });
+        assert!(
+            text.contains("# TYPE window_shadow_samples gauge\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP window_ratio_error_permille "),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE window_ratio_error_permille summary\n"));
+        assert!(
+            text.contains("window_shadow_samples{label=\"GEE\",window=\"1m\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "window_ratio_error_permille{label=\"GEE\",window=\"5m\",quantile=\"0.5\"} "
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("_count{label=\"GEE\",window=\"1h\"} 1 # {trace_id=\"c0ffee\"} 1020\n"),
+            "{text}"
+        );
+        // Without the hook, no exemplars appear.
+        assert!(!r.snapshot().to_prometheus().contains(" # {"));
+    }
+}

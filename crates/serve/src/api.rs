@@ -12,6 +12,7 @@
 //! trust — so malformed JSON is a structured 400, never a panic.
 
 use crate::http::Request;
+use crate::monitor::Monitor;
 use crate::pipeline::{self, PipelineError};
 use dve_core::design::SampleDesign;
 use dve_obs::minijson::{self, JsonValue};
@@ -22,6 +23,7 @@ use dve_storage::{
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A fully rendered response, ready for [`crate::http::write_response`].
@@ -76,13 +78,15 @@ pub fn route_label(method: &str, path: &str) -> &'static str {
         (_, "/v1/estimators") => "estimators",
         (_, "/v1/estimate") => "estimate",
         (_, "/v1/analyze") => "analyze",
+        (_, "/v1/slo") => "slo",
         (_, p) if p == "/v1/traces" || p.starts_with("/v1/traces/") => "traces",
         _ => "other",
     }
 }
 
-/// The daemon-level facts `/healthz` reports alongside liveness.
-#[derive(Debug, Clone, Copy)]
+/// The daemon-level facts `/healthz` reports alongside liveness, plus
+/// the per-server guarantee [`Monitor`] behind `/v1/slo`.
+#[derive(Debug, Clone)]
 pub struct ServeStatus {
     /// When the daemon started serving.
     pub started: Instant,
@@ -92,6 +96,8 @@ pub struct ServeStatus {
     pub queue_capacity: usize,
     /// Accepted requests currently waiting for a worker.
     pub queue_len: usize,
+    /// Shadow-truth sampler + SLO tracker for this server.
+    pub monitor: Arc<Monitor>,
 }
 
 impl Default for ServeStatus {
@@ -101,6 +107,7 @@ impl Default for ServeStatus {
             jobs: 0,
             queue_capacity: 0,
             queue_len: 0,
+            monitor: Arc::new(Monitor::disabled()),
         }
     }
 }
@@ -117,18 +124,16 @@ pub fn handle_with_status(req: &Request, status: &ServeStatus) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(status),
         ("GET", "/v1/estimators") => estimators(),
-        ("GET", "/metrics") => Response {
-            status: 200,
-            content_type: "text/plain; version=0.0.4",
-            body: dve_obs::global().snapshot().to_prometheus(),
-        },
-        ("GET", "/v1/traces") => traces_index(),
+        ("GET", "/metrics") => metrics(status),
+        ("GET", "/v1/slo") => Response::json(200, status.monitor.slo_json()),
+        ("GET", "/v1/traces") => traces_index(req),
         ("GET", p) if p.starts_with("/v1/traces/") => trace_by_id(&p["/v1/traces/".len()..]),
-        ("POST", "/v1/estimate") => estimate(&req.body),
+        ("POST", "/v1/estimate") => estimate(&req.body, &status.monitor),
         ("POST", "/v1/analyze") => analyze(&req.body),
-        (_, "/healthz" | "/metrics" | "/v1/estimators" | "/v1/estimate" | "/v1/analyze") => {
-            Response::error(405, "method_not_allowed", "wrong method for this path")
-        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/estimators" | "/v1/estimate" | "/v1/analyze" | "/v1/slo",
+        ) => Response::error(405, "method_not_allowed", "wrong method for this path"),
         (_, p) if p == "/v1/traces" || p.starts_with("/v1/traces/") => {
             Response::error(405, "method_not_allowed", "wrong method for this path")
         }
@@ -152,10 +157,42 @@ fn healthz(status: &ServeStatus) -> Response {
     )
 }
 
-/// `GET /v1/traces` — the recent-traces index, newest first.
-fn traces_index() -> Response {
+/// `GET /metrics` — Prometheus text exposition: the process-wide
+/// registry snapshot (with trace-collector pressure gauges refreshed
+/// first), the windowed shadow-error series, and the `slo_*` gauges.
+fn metrics(status: &ServeStatus) -> Response {
+    let registry = dve_obs::global();
+    registry
+        .gauge("trace.dropped_spans")
+        .set(trace::dropped_spans() as i64);
+    for (shard, len) in trace::shard_occupancy().iter().enumerate() {
+        registry
+            .gauge_labeled("trace.shard_occupancy", &format!("{shard}"))
+            .set(*len as i64);
+    }
+    let mut body = registry.snapshot().to_prometheus();
+    body.push_str(&status.monitor.prometheus());
+    Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4",
+        body,
+    }
+}
+
+/// How many index entries `GET /v1/traces` returns when `?limit=` is
+/// absent, out of range, or unparseable — also the hard cap.
+const TRACES_LIMIT_CAP: usize = 100;
+
+/// `GET /v1/traces` — the recent-traces index, newest first. `?limit=N`
+/// trims the answer; N is capped at [`TRACES_LIMIT_CAP`].
+fn traces_index(req: &Request) -> Response {
+    let limit = req
+        .query_param("limit")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(TRACES_LIMIT_CAP)
+        .min(TRACES_LIMIT_CAP);
     let mut body = String::from("{\"traces\":[");
-    for (i, t) in trace::recent_traces().iter().enumerate() {
+    for (i, t) in trace::recent_traces().iter().take(limit).enumerate() {
         if i > 0 {
             body.push(',');
         }
@@ -286,7 +323,12 @@ fn design_knob(root: &JsonValue) -> Result<Option<&'static str>, Response> {
 ///
 /// All modes accept `"design": "wr" | "wor"` to pick the sampling model
 /// design-aware estimators assume.
-fn estimate(body: &[u8]) -> Response {
+///
+/// When the [`Monitor`]'s deterministic coin selects a `values`-mode
+/// request, the exact distinct count is computed alongside the estimate
+/// and the observed error recorded — the response bytes are identical
+/// either way.
+fn estimate(body: &[u8], monitor: &Monitor) -> Response {
     let root = match parse_body(body) {
         Ok(v) => v,
         Err(resp) => return resp,
@@ -415,20 +457,30 @@ fn estimate(body: &[u8]) -> Response {
                     }
                 }
             }
-            match design {
-                Some("wr") => pipeline::estimate_values_with_design(
+            let design = match design {
+                Some("wr") => Some(SampleDesign::WithReplacement),
+                _ => None,
+            };
+            if monitor.should_sample() {
+                pipeline::estimate_values_shadowed(
                     &strings,
                     &knobs.estimator,
                     knobs.fraction,
                     knobs.seed,
-                    Some(SampleDesign::WithReplacement),
-                ),
-                _ => pipeline::estimate_values(
+                    design,
+                )
+                .map(|(out, obs)| {
+                    monitor.observe(&out, &obs);
+                    out
+                })
+            } else {
+                pipeline::estimate_values_with_design(
                     &strings,
                     &knobs.estimator,
                     knobs.fraction,
                     knobs.seed,
-                ),
+                    design,
+                )
             }
         }
         _ => {
@@ -539,15 +591,21 @@ mod tests {
         handle(&Request {
             method: "POST".to_string(),
             path: path.to_string(),
+            query: String::new(),
             headers: Vec::new(),
             body: body.as_bytes().to_vec(),
         })
     }
 
     fn get(path: &str) -> Response {
+        let (path, query) = match path.split_once('?') {
+            Some((p, q)) => (p.to_string(), q.to_string()),
+            None => (path.to_string(), String::new()),
+        };
         handle(&Request {
             method: "GET".to_string(),
-            path: path.to_string(),
+            path,
+            query,
             headers: Vec::new(),
             body: Vec::new(),
         })
@@ -580,11 +638,13 @@ mod tests {
             jobs: 3,
             queue_capacity: 64,
             queue_len: 2,
+            ..ServeStatus::default()
         };
         let resp = handle_with_status(
             &Request {
                 method: "GET".to_string(),
                 path: "/healthz".to_string(),
+                query: String::new(),
                 headers: Vec::new(),
                 body: Vec::new(),
             },
@@ -610,6 +670,13 @@ mod tests {
         assert_eq!(idx.status, 200);
         assert!(idx.body.contains("\"traces\":["), "{}", idx.body);
         assert!(idx.body.contains("\"dropped_spans\":"), "{}", idx.body);
+        // ?limit=N trims the index; junk falls back to the cap.
+        assert_eq!(
+            get("/v1/traces?limit=0").body.matches("trace_id").count(),
+            0
+        );
+        assert_eq!(get("/v1/traces?limit=abc").status, 200);
+        assert_eq!(get("/v1/traces?limit=9999").status, 200);
         // Unknown ids are a structured 404.
         let missing = get("/v1/traces/00000000deadbeef");
         assert_eq!(missing.status, 404);
@@ -617,6 +684,44 @@ mod tests {
         // Wrong methods are 405, like every other route.
         assert_eq!(post("/v1/traces", "").status, 405);
         assert_eq!(post("/v1/traces/abc", "").status, 405);
+    }
+
+    #[test]
+    fn slo_endpoint_and_metrics_pressure_gauges() {
+        let slo = get("/v1/slo");
+        assert_eq!(slo.status, 200);
+        for needle in [
+            "\"shadow_sample_rate\":0",
+            "\"alert\":\"ok\"",
+            "\"burn_rate\":{\"5m\":",
+            "\"estimators\":[",
+        ] {
+            assert!(slo.body.contains(needle), "{needle} ∉ {}", slo.body);
+        }
+        assert_eq!(post("/v1/slo", "").status, 405);
+
+        let metrics = get("/metrics");
+        assert_eq!(metrics.status, 200);
+        for needle in [
+            "# TYPE trace_dropped_spans gauge",
+            "trace_shard_occupancy{label=\"0\"}",
+            "trace_shard_occupancy{label=\"7\"}",
+            "# TYPE slo_alert_state gauge",
+            "# TYPE slo_burn_rate gauge",
+        ] {
+            assert!(metrics.body.contains(needle), "{needle} ∉ {}", metrics.body);
+        }
+    }
+
+    #[test]
+    fn sampled_estimate_answers_identically_and_records() {
+        let monitor = Monitor::new(1.0);
+        let body = br#"{"values":["a","b","a","c","b","a"],"fraction":0.5,"seed":7}"#;
+        let sampled = estimate(body, &monitor);
+        let plain = estimate(body, &Monitor::disabled());
+        assert_eq!(sampled.status, 200, "{}", sampled.body);
+        assert_eq!(sampled.body, plain.body);
+        assert!(monitor.slo_json().contains("\"estimator\":\"AE\""));
     }
 
     #[test]

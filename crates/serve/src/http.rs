@@ -22,6 +22,9 @@ pub struct Request {
     pub method: String,
     /// Request path (`/v1/estimate`), query string stripped.
     pub path: String,
+    /// The raw query string (`limit=10`), without the leading `?`;
+    /// empty when the target carried none.
+    pub query: String,
     /// Header `(name, value)` pairs in wire order, names as sent (use
     /// [`Request::header`] for case-insensitive lookup), values trimmed.
     pub headers: Vec<(String, String)>,
@@ -36,6 +39,16 @@ impl Request {
             .iter()
             .find(|(n, _)| n.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
+    }
+
+    /// The first `key=value` query parameter named `key`, if any
+    /// (values are taken verbatim; the API's parameters are plain
+    /// integers, so no percent-decoding is needed).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
     }
 }
 
@@ -166,10 +179,14 @@ pub fn read_request(
     }
     body.truncate(content_length);
 
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     Ok(Request {
         method: method.to_string(),
         path,
+        query,
         headers,
         body,
     })
@@ -214,6 +231,34 @@ pub fn write_response(
     stream.flush()
 }
 
+/// A one-shot HTTP/1.1 GET client — just enough for `dve slo-check` to
+/// pull `/v1/slo` from a daemon without any external HTTP dependency.
+/// Returns `(status, body)`; the server's `Connection: close` semantics
+/// bound the read.
+pub fn fetch(addr: &str, path: &str, timeout: Duration) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let body = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("response has no header/body separator"))?
+        .1
+        .to_string();
+    Ok((status, body))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,7 +289,38 @@ mod tests {
         .unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/estimate");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("y"), None);
         assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn query_parameters_parse() {
+        let req = roundtrip(b"GET /v1/traces?limit=5&b=2 HTTP/1.1\r\nHost: h\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/v1/traces");
+        assert_eq!(req.query, "limit=5&b=2");
+        assert_eq!(req.query_param("limit"), Some("5"));
+        assert_eq!(req.query_param("b"), Some("2"));
+        let bare = roundtrip(b"GET /v1/traces HTTP/1.1\r\nHost: h\r\n\r\n").unwrap();
+        assert_eq!(bare.query, "");
+        assert_eq!(bare.query_param("limit"), None);
+    }
+
+    #[test]
+    fn fetch_client_roundtrips() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 512];
+            let _ = s.read(&mut buf);
+            write_response(&mut s, 200, "application/json", "{\"ok\":true}").unwrap();
+        });
+        let (status, body) = fetch(&addr.to_string(), "/v1/slo", Duration::from_secs(2)).unwrap();
+        server.join().unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
     }
 
     #[test]

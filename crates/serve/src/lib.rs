@@ -14,9 +14,11 @@
 //! |---|---|
 //! | `POST /v1/estimate` | frequency spectrum or raw values in, [`dve_core::Estimation`] + GEE interval out |
 //! | `POST /v1/analyze` | inline rows → per-column optimizer statistics via `analyze_table_jobs` |
-//! | `GET /metrics` | the `dve-obs` Prometheus text exposition |
+//! | `GET /metrics` | the `dve-obs` Prometheus text exposition (windowed + SLO series included) |
 //! | `GET /healthz` | liveness |
 //! | `GET /v1/estimators` | registry listing |
+//! | `GET /v1/slo` | live guarantee status: windowed shadow-truth error, coverage, burn rate |
+//! | `GET /v1/traces` | recent-traces index (`?limit=N`) |
 //!
 //! ## Robustness model
 //!
@@ -50,10 +52,12 @@
 
 pub mod api;
 pub mod http;
+pub mod monitor;
 pub mod pipeline;
 pub mod signal;
 
 pub use api::Response;
+pub use monitor::Monitor;
 pub use pipeline::{EstimateOutcome, PipelineError};
 
 use dve_obs::trace;
@@ -66,7 +70,7 @@ use std::time::{Duration, Instant};
 /// Daemon configuration. [`ServeConfig::default`] is tuned for a small
 /// sidecar: localhost, a 64-deep queue, 1 MiB bodies, 5 s read / 10 s
 /// handle deadlines.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Listen address, e.g. `127.0.0.1:7171`. Use port `0` for an
     /// ephemeral port (tests).
@@ -93,6 +97,11 @@ pub struct ServeConfig {
     /// request. On by default: the collector is bounded and a disabled
     /// request path would be undebuggable exactly when it matters.
     pub trace: bool,
+    /// Fraction of `values`-mode estimates that also compute the exact
+    /// distinct count and record the observed error (`/v1/slo`). The
+    /// coin is deterministic in the request's trace id. `0.0` disables
+    /// shadowing entirely (and costs nothing on the hot path).
+    pub shadow_sample_rate: f64,
 }
 
 impl Default for ServeConfig {
@@ -106,6 +115,7 @@ impl Default for ServeConfig {
             handle_deadline: Duration::from_secs(10),
             handle_delay: Duration::ZERO,
             trace: true,
+            shadow_sample_rate: monitor::DEFAULT_SHADOW_SAMPLE_RATE,
         }
     }
 }
@@ -258,6 +268,7 @@ impl Server {
             jobs,
             queue_capacity: self.config.queue_depth,
             queue_len: 0,
+            monitor: Arc::new(Monitor::new(self.config.shadow_sample_rate)),
         };
 
         std::thread::scope(|s| {
@@ -437,7 +448,7 @@ fn serve_one(job: Job, config: &ServeConfig, status: &api::ServeStatus, queue: &
             obs.counter_labeled("serve.requests", route).inc();
             let status = api::ServeStatus {
                 queue_len: queue.len(),
-                ..*status
+                ..status.clone()
             };
             api::handle_with_status(&req, &status)
         }

@@ -120,6 +120,18 @@ pub fn estimate_values_with_design<S: AsRef<str>>(
     seed: u64,
     design: Option<SampleDesign>,
 ) -> Result<EstimateOutcome, PipelineError> {
+    values_outcome(values, estimator_name, fraction, seed, design).map(|(out, _)| out)
+}
+
+/// The shared values-mode chain, also handing back the hashed inputs so
+/// the shadow-truth sampler can count exactly without re-hashing.
+fn values_outcome<S: AsRef<str>>(
+    values: &[S],
+    estimator_name: &str,
+    fraction: f64,
+    seed: u64,
+    design: Option<SampleDesign>,
+) -> Result<(EstimateOutcome, Vec<u64>), PipelineError> {
     if !(fraction > 0.0 && fraction <= 1.0) {
         return Err(PipelineError::BadFraction(fraction));
     }
@@ -143,7 +155,68 @@ pub fn estimate_values_with_design<S: AsRef<str>>(
     let profile = dve_sample::sample_profile(&hashes, r, scheme, &mut rng)
         .map_err(|e| PipelineError::BadSpectrum(e.to_string()))?;
     drop(build_span);
-    Ok(outcome(estimator.as_ref(), &profile, design))
+    Ok((outcome(estimator.as_ref(), &profile, design), hashes))
+}
+
+/// What the shadow-truth sampler observed for one sampled values-mode
+/// request: the (near-)exact distinct count and how the served answer
+/// compared against it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShadowObservation {
+    /// The shadow count over *all* input values — exact while the
+    /// request fits [`SHADOW_MEMORY_BUDGET`], HLL (≈ 0.4% RSE) past it.
+    pub truth: f64,
+    /// Whether `truth` came from the exact backend.
+    pub exact: bool,
+    /// Multiplicative ratio error of the served estimate:
+    /// `max(truth/est, est/truth)` (≥ 1; the paper's error metric).
+    pub ratio_error: f64,
+    /// Whether `truth` landed inside the served GEE `[lower, upper]`.
+    pub covered: bool,
+}
+
+/// Memory budget for one shadow-truth count (64 MiB). Request bodies
+/// are capped far below what it takes to overflow this, so live shadow
+/// samples are effectively always exact.
+pub const SHADOW_MEMORY_BUDGET: usize = 64 * 1024 * 1024;
+
+/// [`estimate_values_with_design`] plus a shadow-truth pass: the exact
+/// distinct count over the full input ([`dve_sketch::shadow`]) is
+/// computed alongside the estimate and compared against it. This is the
+/// expensive arm of the guarantee monitor — sampled requests pay one
+/// extra `O(n)` counting pass — so callers gate it behind the
+/// `--shadow-sample-rate` coin.
+pub fn estimate_values_shadowed<S: AsRef<str>>(
+    values: &[S],
+    estimator_name: &str,
+    fraction: f64,
+    seed: u64,
+    design: Option<SampleDesign>,
+) -> Result<(EstimateOutcome, ShadowObservation), PipelineError> {
+    use dve_sketch::DistinctSketch;
+    let (out, hashes) = values_outcome(values, estimator_name, fraction, seed, design)?;
+    let mut shadow_span = trace::span("pipeline.shadow_truth");
+    let mut shadow = dve_sketch::shadow::ShadowTruth::with_memory_budget(SHADOW_MEMORY_BUDGET);
+    for &h in &hashes {
+        shadow.insert(h);
+    }
+    let truth = shadow.estimate();
+    let est = out.estimation.estimate;
+    let ratio_error = if truth > 0.0 && est > 0.0 {
+        (truth / est).max(est / truth)
+    } else {
+        f64::INFINITY
+    };
+    let covered = truth >= out.gee.lower && truth <= out.gee.upper;
+    shadow_span.set_detail(|| format!("truth={truth} ratio={ratio_error:.3}"));
+    drop(shadow_span);
+    let obs = ShadowObservation {
+        truth,
+        exact: shadow.is_exact(),
+        ratio_error,
+        covered,
+    };
+    Ok((out, obs))
 }
 
 /// Estimates distinct values from an already-summarized frequency
@@ -318,6 +391,34 @@ mod tests {
             estimate_values_with_design(&values, "AE", 0.2, 7, Some(SampleDesign::WithReplacement))
                 .unwrap();
         assert_ne!(default.estimation.estimate, wr.estimation.estimate);
+    }
+
+    #[test]
+    fn shadowed_values_mode_observes_truth_without_changing_the_answer() {
+        let values: Vec<String> = (0..600).map(|i| format!("v{}", i % 101)).collect();
+        let (out, obs) = estimate_values_shadowed(&values, "AE", 0.5, 7, None).unwrap();
+        let plain = estimate_values(&values, "AE", 0.5, 7).unwrap();
+        assert_eq!(
+            out.to_json(),
+            plain.to_json(),
+            "the shadow pass must never change the served response"
+        );
+        assert!(obs.exact, "request-sized inputs stay on the exact backend");
+        assert_eq!(obs.truth, 101.0);
+        assert!(obs.ratio_error >= 1.0);
+        assert_eq!(
+            obs.covered,
+            obs.truth >= out.gee.lower && obs.truth <= out.gee.upper
+        );
+    }
+
+    #[test]
+    fn shadowed_values_mode_flags_a_bad_estimator() {
+        // SAMPLE-D on a tiny fraction of an all-distinct column is the
+        // synthetic bad estimator: truth/estimate ≈ 1/fraction.
+        let values: Vec<String> = (0..2_000).map(|i| format!("u{i}")).collect();
+        let (_, obs) = estimate_values_shadowed(&values, "SAMPLE-D", 0.01, 7, None).unwrap();
+        assert!(obs.ratio_error > 50.0, "ratio {}", obs.ratio_error);
     }
 
     #[test]

@@ -69,10 +69,13 @@ test "$code" = 400
 grep -q '"code":"malformed_json"' "$tmpdir/err.json"
 
 # Prometheus exposition lint: every non-comment line must be
-# `name{labels} value` or `name value`, and every metric must carry
-# both a HELP and a TYPE comment; the serve.* family must be present.
-curl -sf "http://127.0.0.1:$serve_port/metrics" >"$tmpdir/metrics.prom"
-awk '
+# `name{labels} value` or `name value` — optionally carrying an
+# OpenMetrics exemplar suffix (` # {labels} value`) — and every metric
+# must carry both a HELP and a TYPE comment (summary `_count`/`_sum`
+# and histogram `_bucket` samples inherit their family's comments);
+# the serve.* family must be present.
+lint_prom() {
+    awk '
     /^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* / {
         if ($2 == "TYPE") typed[$3] = 1
         if ($2 == "HELP") helped[$3] = 1
@@ -81,10 +84,17 @@ awk '
     /^#/ { print "bad comment line: " $0; bad = 1; next }
     /^$/ { next }
     {
-        if ($0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]/) {
-            print "bad sample line: " $0; bad = 1; next
+        line = $0
+        if (line ~ / # /) {
+            if (line !~ / # \{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\} -?[0-9][0-9.eE+-]*$/) {
+                print "bad exemplar suffix: " line; bad = 1; next
+            }
+            sub(/ # .*$/, "", line)
         }
-        name = $1; sub(/\{.*/, "", name)
+        if (line !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]/) {
+            print "bad sample line: " line; bad = 1; next
+        }
+        name = line; sub(/[{ ].*/, "", name)
         base = name
         sub(/_(count|sum|bucket)$/, "", base)
         if (!(name in typed) && !(base in typed)) {
@@ -95,10 +105,15 @@ awk '
         }
     }
     END { exit bad }
-' "$tmpdir/metrics.prom"
+' "$1"
+}
+curl -sf "http://127.0.0.1:$serve_port/metrics" >"$tmpdir/metrics.prom"
+lint_prom "$tmpdir/metrics.prom"
 grep -q '^serve_requests_total' "$tmpdir/metrics.prom"
 grep -q '^serve_shed_total' "$tmpdir/metrics.prom"
 grep -q '^serve_queue_depth' "$tmpdir/metrics.prom"
+grep -q '^trace_dropped_spans' "$tmpdir/metrics.prom"
+grep -q '^trace_shard_occupancy{label="0"}' "$tmpdir/metrics.prom"
 
 # Trace smoke: a traced request must yield a causally linked,
 # Perfetto-loadable Chrome trace spanning the accept and worker
@@ -111,6 +126,11 @@ curl -sf "http://127.0.0.1:$serve_port/v1/traces/c1c1c1c1" >"$tmpdir/trace.json"
 ./target/release/dve trace-check "$tmpdir/trace.json" \
     --min-spans 5 --min-threads 2 --min-linked 4
 curl -sf "http://127.0.0.1:$serve_port/v1/traces" | grep -q 'c1c1c1c1'
+# The index respects ?limit=N (capped server-side at 100).
+if curl -sf "http://127.0.0.1:$serve_port/v1/traces?limit=0" | grep -q 'c1c1c1c1'; then
+    echo "ci.sh: /v1/traces?limit=0 still returned trace ids" >&2
+    exit 1
+fi
 
 # The CLI profiler writes the same format; gate it through the same
 # validator.
@@ -129,4 +149,66 @@ for _ in $(seq 1 50); do
 done
 wait "$serve_pid" || serve_rc=$?
 test "$serve_rc" = 0
+trap 'rm -rf "$tmpdir"' EXIT
+
+# SLO smoke: boot a daemon that shadow-samples every values-mode
+# request, drive a mixed-estimator burst, and gate the guarantee
+# monitor end to end — /v1/slo must be valid JSON with high interval
+# coverage (`dve slo-check` parses it with the same dependency-free
+# reader and enforces the thresholds), and the windowed/SLO Prometheus
+# series must pass the exemplar-aware lint.
+slo_port=17172
+./target/release/dve serve --addr "127.0.0.1:$slo_port" --shadow-sample-rate 1.0 &
+slo_pid=$!
+trap 'kill "$slo_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+for _ in $(seq 1 50); do
+    if curl -sf "http://127.0.0.1:$slo_port/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+
+# 400 rows over 101 distinct values: at fraction 0.5 every estimator's
+# interval should cover the truth, so the error budget stays intact.
+values="$(awk 'BEGIN{for(i=0;i<400;i++)printf "%s\"v%d\"",(i?",":""),i%101}')"
+for est in GEE AE SHLOSSER GEE AE; do
+    curl -sf -X POST "http://127.0.0.1:$slo_port/v1/estimate" \
+        -d "{\"values\":[$values],\"estimator\":\"$est\",\"fraction\":0.5}" >/dev/null
+done
+
+curl -sf "http://127.0.0.1:$slo_port/v1/slo" >"$tmpdir/slo.json"
+grep -q '"alert":"ok"' "$tmpdir/slo.json"
+grep -q '"estimator":"GEE"' "$tmpdir/slo.json"
+grep -q '"ratio_error_permille":{"p50":' "$tmpdir/slo.json"
+./target/release/dve slo-check "http://127.0.0.1:$slo_port" \
+    --max-burn-rate 1.0 --min-coverage 0.9
+
+curl -sf "http://127.0.0.1:$slo_port/metrics" >"$tmpdir/slo-metrics.prom"
+lint_prom "$tmpdir/slo-metrics.prom"
+grep -q '^window_ratio_error_permille{label="GEE",window="1h",quantile="0.5"}' \
+    "$tmpdir/slo-metrics.prom"
+grep -q '^# TYPE slo_burn_rate gauge' "$tmpdir/slo-metrics.prom"
+grep -q '^# HELP slo_alert_state ' "$tmpdir/slo-metrics.prom"
+grep -q '^slo_alert_state 0' "$tmpdir/slo-metrics.prom"
+grep -q ' # {trace_id="' "$tmpdir/slo-metrics.prom"
+
+# A synthetically bad estimator (1% Bernoulli sample of an all-distinct
+# table makes SAMPLE-D undercount ~100x) must burn both windows, flip
+# the alert, and make the slo-check gate fail.
+bad="$(awk 'BEGIN{for(i=0;i<2000;i++)printf "%s\"u%d\"",(i?",":""),i}')"
+for seed in 1 2 3 4 5; do
+    curl -sf -X POST "http://127.0.0.1:$slo_port/v1/estimate" \
+        -d "{\"values\":[$bad],\"estimator\":\"SAMPLE-D\",\"fraction\":0.01,\"seed\":$seed}" \
+        >/dev/null
+done
+curl -sf "http://127.0.0.1:$slo_port/v1/slo" | grep -q '"alert":"burning"'
+slo_rc=0
+./target/release/dve slo-check "http://127.0.0.1:$slo_port" \
+    --max-burn-rate 1.0 >/dev/null || slo_rc=$?
+test "$slo_rc" = 1
+
+kill -TERM "$slo_pid"
+slo_exit=0
+wait "$slo_pid" || slo_exit=$?
+test "$slo_exit" = 0
 trap 'rm -rf "$tmpdir"' EXIT

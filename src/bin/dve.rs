@@ -16,14 +16,23 @@
 //!
 //! dve serve [--addr 127.0.0.1:7171] [--queue 64] [--max-body BYTES]
 //!           [--read-timeout-ms 5000] [--handle-timeout-ms 10000]
-//!           [--trace on|off]
+//!           [--trace on|off] [--shadow-sample-rate 0.01]
 //!     Run the estimation daemon: POST /v1/estimate, POST /v1/analyze,
-//!     GET /metrics, GET /healthz, GET /v1/estimators,
+//!     GET /metrics, GET /healthz, GET /v1/estimators, GET /v1/slo,
 //!     GET /v1/traces[/{id}]. Bounded accept queue with 429 load
 //!     shedding; graceful shutdown on SIGTERM. Every request is traced
 //!     (accept → queue → parse → estimate → serialize); clients pick
 //!     the trace id with an `X-Dve-Trace-Id` header and fetch the
-//!     Chrome trace-event JSON from /v1/traces/{id}.
+//!     Chrome trace-event JSON from /v1/traces/{id}. A deterministic
+//!     fraction of values-mode requests (--shadow-sample-rate) also
+//!     computes the exact distinct count and feeds the observed error
+//!     into the /v1/slo burn-rate tracker.
+//!
+//! dve slo-check URL [--max-burn-rate X] [--min-coverage Y]
+//!               [--timeout-ms 5000]
+//!     Fetch URL/v1/slo and exit non-zero when the error budget is
+//!     burning, a burn rate exceeds --max-burn-rate, or 1h shadow
+//!     coverage is below --min-coverage. The CI smoke test gates on it.
 //!
 //! dve trace-check TRACE.json|- [--min-spans N] [--min-threads N]
 //!                 [--min-linked N]
@@ -118,6 +127,7 @@ fn main() {
         "import" => cmd_import(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "slo-check" => cmd_slo_check(&args[1..]),
         "trace-check" => cmd_trace_check(&args[1..]),
         "estimators" => {
             for name in registry::ALL_ESTIMATORS {
@@ -132,18 +142,27 @@ fn main() {
             usage_and_exit(2);
         }
     }
+    // The windowed (sliding-window) instruments render alongside the
+    // cumulative snapshot when any exist.
+    let windows = distinct_values::obs::global_windows().snapshot();
     match metrics_mode {
         Some(MetricsMode::Json) => {
             println!("{}", distinct_values::obs::global().snapshot().to_json());
         }
         Some(MetricsMode::Pretty) => {
             print!("{}", distinct_values::obs::global().snapshot().to_pretty());
+            if !windows.is_empty() {
+                print!("{}", windows.to_pretty());
+            }
         }
         Some(MetricsMode::Prom) => {
             print!(
                 "{}",
                 distinct_values::obs::global().snapshot().to_prometheus()
             );
+            if !windows.is_empty() {
+                print!("{}", windows.to_prometheus());
+            }
         }
         None => {}
     }
@@ -379,9 +398,19 @@ fn cmd_serve(args: &[String]) {
             Some("off") => false,
             Some(other) => fail(2, format!("invalid --trace {other} (on|off)")),
         },
+        shadow_sample_rate: flag_parse(&flags, "shadow-sample-rate", defaults.shadow_sample_rate),
     };
     if config.queue_depth == 0 {
         fail(2, "--queue must be at least 1".to_string());
+    }
+    if !(0.0..=1.0).contains(&config.shadow_sample_rate) {
+        fail(
+            2,
+            format!(
+                "invalid --shadow-sample-rate {} (want 0.0..=1.0)",
+                config.shadow_sample_rate
+            ),
+        );
     }
     let server =
         Server::bind(config).unwrap_or_else(|e| fail(1, format!("cannot bind listener: {e}")));
@@ -400,6 +429,95 @@ fn cmd_serve(args: &[String]) {
     Event::info("serve.stopped")
         .message("drained in-flight requests; bye".to_string())
         .emit();
+}
+
+/// `dve slo-check URL` — fetch `/v1/slo` from a running daemon and gate
+/// on its guarantee status: exit 1 when the error budget is burning,
+/// any burn rate exceeds `--max-burn-rate`, or 1h shadow coverage sits
+/// below `--min-coverage`.
+fn cmd_slo_check(args: &[String]) {
+    use distinct_values::obs::minijson::{self, JsonValue};
+    let (flags, positional) = parse_flags(args);
+    let Some(url) = positional.first() else {
+        fail(
+            2,
+            "slo-check requires a daemon URL or ADDR:PORT".to_string(),
+        );
+    };
+    let max_burn: f64 = flag_parse(&flags, "max-burn-rate", f64::INFINITY);
+    let min_coverage: f64 = flag_parse(&flags, "min-coverage", 0.0);
+    let timeout_ms: u64 = flag_parse(&flags, "timeout-ms", 5_000);
+    let addr = url
+        .strip_prefix("http://")
+        .unwrap_or(url)
+        .trim_end_matches('/');
+    let (status, body) = distinct_values::serve::http::fetch(
+        addr,
+        "/v1/slo",
+        std::time::Duration::from_millis(timeout_ms),
+    )
+    .unwrap_or_else(|e| fail(1, format!("cannot fetch http://{addr}/v1/slo: {e}")));
+    if status != 200 {
+        fail(1, format!("GET /v1/slo answered {status}: {body}"));
+    }
+    let root = minijson::parse(&body)
+        .unwrap_or_else(|e| fail(1, format!("/v1/slo returned invalid JSON: {e}")));
+    let alert = root
+        .get("alert")
+        .and_then(JsonValue::as_str)
+        .unwrap_or_else(|| fail(1, "/v1/slo is missing \"alert\"".to_string()));
+    let burn = |window: &str| {
+        root.get("burn_rate")
+            .and_then(|b| b.get(window))
+            .and_then(JsonValue::as_f64)
+    };
+    let coverage_1h = root
+        .get("coverage")
+        .and_then(|c| c.get("1h"))
+        .and_then(JsonValue::as_f64);
+
+    let mut violations = Vec::new();
+    if alert == "burning" {
+        violations.push("error budget is burning (multi-window burn-rate alert)".to_string());
+    }
+    for window in ["5m", "1h"] {
+        if let Some(rate) = burn(window) {
+            if rate > max_burn {
+                violations.push(format!(
+                    "{window} burn rate {rate:.3} exceeds --max-burn-rate {max_burn}"
+                ));
+            }
+        }
+    }
+    if min_coverage > 0.0 {
+        match coverage_1h {
+            Some(c) if c < min_coverage => violations.push(format!(
+                "1h shadow coverage {c:.3} below --min-coverage {min_coverage}"
+            )),
+            Some(_) => {}
+            None => violations.push(format!(
+                "no shadow samples in the last 1h (cannot attest --min-coverage {min_coverage})"
+            )),
+        }
+    }
+
+    if violations.is_empty() {
+        println!(
+            "slo ok: alert={alert} burn_5m={} burn_1h={} coverage_1h={}",
+            burn("5m").map_or("n/a".to_string(), |v| format!("{v:.3}")),
+            burn("1h").map_or("n/a".to_string(), |v| format!("{v:.3}")),
+            coverage_1h.map_or("n/a".to_string(), |v| format!("{v:.3}")),
+        );
+        return;
+    }
+    for v in &violations {
+        println!("SLO VIOLATION: {v}");
+    }
+    Event::error("cli.slo.violation")
+        .message(format!("{} SLO violation(s) at {addr}", violations.len()))
+        .field_u64("violations", violations.len() as u64)
+        .emit();
+    std::process::exit(1);
 }
 
 fn cmd_audit(args: &[String]) {
@@ -795,7 +913,9 @@ fn usage_and_exit(code: i32) -> ! {
          usage:\n  dve estimate [--estimator AE] [--fraction 0.01] [--seed 42] [--design wr|wor]\n               \
          [--format table|json] [--trace TRACE.json] [FILE|-]\n  \
          dve serve [--addr 127.0.0.1:7171] [--queue 64] [--max-body BYTES]\n            \
-         [--read-timeout-ms 5000] [--handle-timeout-ms 10000] [--trace on|off]\n  \
+         [--read-timeout-ms 5000] [--handle-timeout-ms 10000] [--trace on|off]\n            \
+         [--shadow-sample-rate 0.01]\n  \
+         dve slo-check URL [--max-burn-rate X] [--min-coverage Y] [--timeout-ms 5000]\n  \
          dve exact [FILE|-]\n  \
          dve sketch [--hll-p 12] [FILE|-]\n  \
          dve generate --rows N [--zipf Z] [--dup K] [--seed S]\n  \

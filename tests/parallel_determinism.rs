@@ -7,10 +7,12 @@
 
 use distinct_values::core::spectrum::{Spectrum, SpectrumBuilder};
 use distinct_values::experiments::audit::{run_audit, AuditConfig};
+use distinct_values::obs::window::{ManualClock, WindowClock, WindowedHistogram, WINDOWS};
 use distinct_values::storage::{analyze_table_jobs, AnalyzeOptions, Table};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The headline guarantee: the same audit grid at `jobs = 1` and
 /// `jobs = 4` serializes byte-identically once wall times are zeroed —
@@ -139,5 +141,57 @@ proptest! {
         }
 
         prop_assert_eq!(one_shot.finish().unwrap(), acc.finish().unwrap());
+    }
+
+    /// Sliding-window recorders under concurrent writers and live ring
+    /// rotation (the monitoring-grade contract): rotation may tear a
+    /// bounded number of in-flight records — at most one per writer per
+    /// rotation — but can never invent counts, wedge a writer, or
+    /// produce quantiles outside the observed value range.
+    #[test]
+    fn windowed_histogram_rotation_loss_is_bounded(
+        writers in 2usize..5,
+        per_writer in 2_000u64..8_000,
+    ) {
+        let clock = ManualClock::new();
+        let hist = WindowedHistogram::with_clock(WindowClock::Manual(clock.clone()));
+        let finished = AtomicUsize::new(0);
+        let mut rotations = 0u64;
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let hist = &hist;
+                let finished = &finished;
+                s.spawn(move || {
+                    for i in 0..per_writer {
+                        hist.record((w as u64 + 1) * 1_000 + i % 997);
+                    }
+                    finished.fetch_add(1, Ordering::Release);
+                });
+            }
+            // Rotate the ring under the writers' feet. Capped at 58
+            // advances (58 × 61 s < 1 h) so no bucket ages out of the 1h
+            // window or gets its slot reused — every missing record is
+            // then attributable to a torn rotation, nothing else.
+            while finished.load(Ordering::Acquire) < writers && rotations < 58 {
+                std::thread::yield_now();
+                clock.advance_secs(61);
+                rotations += 1;
+            }
+        });
+        let stats = hist.stats(WINDOWS[2].1);
+        let total = writers as u64 * per_writer;
+        let max_loss = writers as u64 * (rotations + 1);
+        prop_assert!(stats.count <= total, "invented counts: {} > {total}", stats.count);
+        prop_assert!(
+            stats.count + max_loss >= total,
+            "lost {} records, bound is {max_loss} ({rotations} rotations × {writers} writers)",
+            total - stats.count,
+        );
+        let (min, max) = (stats.min.unwrap(), stats.max.unwrap());
+        prop_assert!(min <= max);
+        for q in [stats.p50, stats.p95, stats.p99] {
+            prop_assert!(q >= min as f64 && q <= max as f64, "quantile {q} outside [{min}, {max}]");
+        }
+        prop_assert!(stats.p50 <= stats.p95 && stats.p95 <= stats.p99);
     }
 }

@@ -248,6 +248,123 @@ fn traced_request_end_to_end() {
 }
 
 #[test]
+fn shadow_sampling_drives_slo_and_flips_the_burn_alert() {
+    // Phase 1: every values-mode request shadow-sampled
+    // (--shadow-sample-rate 1.0) under a mixed-estimator burst. Healthy
+    // estimators must report near-total interval coverage and small
+    // windowed ratio errors on /v1/slo, and the same series must reach
+    // /metrics with trace-id exemplars.
+    let server = boot(ServeConfig {
+        jobs: 2,
+        shadow_sample_rate: 1.0,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr;
+
+    let values: Vec<String> = (0..400).map(|i| format!("\"v{}\"", i % 101)).collect();
+    let values = values.join(",");
+    for (i, estimator) in ["GEE", "AE", "SHLOSSER", "GEE", "AE"].iter().enumerate() {
+        let request = format!(
+            "{{\"values\":[{values}],\"estimator\":\"{estimator}\",\"fraction\":0.5,\"seed\":{i}}}"
+        );
+        let (status, body) = post(addr, "/v1/estimate", &request);
+        assert_eq!(status, 200, "{body}");
+    }
+
+    let (status, slo) = get(addr, "/v1/slo");
+    assert_eq!(status, 200, "{slo}");
+    for needle in [
+        "\"shadow_sample_rate\":1",
+        "\"alert\":\"ok\"",
+        "\"estimator\":\"GEE\"",
+        "\"estimator\":\"AE\"",
+        "\"estimator\":\"SHLOSSER\"",
+        "\"ratio_error_permille\":{\"p50\":",
+        "\"burn_rate\":{\"5m\":",
+        "\"budget_remaining\":",
+    ] {
+        assert!(slo.contains(needle), "missing {needle}: {slo}");
+    }
+    // All shadow samples of healthy estimators at fraction 0.5 must be
+    // covered by their GEE interval: 1h coverage ≥ 0.9 (exactly 1 here).
+    let coverage: f64 = slo
+        .split("\"coverage\":{")
+        .nth(1)
+        .and_then(|s| s.split("\"1h\":").nth(1))
+        .and_then(|s| s.split(['}', ',']).next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no 1h coverage in {slo}"));
+    assert!(coverage >= 0.9, "coverage {coverage} < 0.9: {slo}");
+
+    let (status, prom) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    for needle in [
+        "window_ratio_error_permille{label=\"GEE\",window=\"1h\",quantile=\"0.5\"}",
+        "window_shadow_samples{label=\"AE\",window=\"1h\"}",
+        " # {trace_id=\"",
+        "# TYPE slo_burn_rate gauge",
+        "slo_alert_state 0",
+        "# TYPE trace_dropped_spans gauge",
+        "trace_shard_occupancy{label=\"0\"}",
+    ] {
+        assert!(prom.contains(needle), "missing {needle} in /metrics");
+    }
+    server.stop();
+
+    // Phase 2: a synthetic bad estimator — SAMPLE-D returns the sampled
+    // distinct count, ~1% of the truth on all-distinct data — must burn
+    // through the error budget and flip the multi-window alert.
+    let server = boot(ServeConfig {
+        jobs: 2,
+        shadow_sample_rate: 1.0,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr;
+    let bad_values: Vec<String> = (0..2_000).map(|i| format!("\"u{i}\"")).collect();
+    let bad_values = bad_values.join(",");
+    for seed in 0..5 {
+        let request = format!(
+            "{{\"values\":[{bad_values}],\"estimator\":\"SAMPLE-D\",\"fraction\":0.01,\"seed\":{seed}}}"
+        );
+        let (status, body) = post(addr, "/v1/estimate", &request);
+        assert_eq!(status, 200, "{body}");
+    }
+    let (status, slo) = get(addr, "/v1/slo");
+    assert_eq!(status, 200, "{slo}");
+    assert!(slo.contains("\"alert\":\"burning\""), "{slo}");
+    let (_, prom) = get(addr, "/metrics");
+    assert!(prom.contains("slo_alert_state 1"), "{prom}");
+    server.stop();
+}
+
+#[test]
+fn traces_index_respects_limit() {
+    let server = boot(ServeConfig {
+        jobs: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr;
+    for i in 0..3 {
+        let body = r#"{"estimator":"GEE","n":10000,"spectrum":[40,30]}"#;
+        let (status, _) = roundtrip(
+            addr,
+            &format!(
+                "POST /v1/estimate HTTP/1.1\r\nHost: t\r\nX-Dve-Trace-Id: ba5e{i}\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        );
+        assert_eq!(status, 200);
+    }
+    let (status, one) = get(addr, "/v1/traces?limit=1");
+    assert_eq!(status, 200);
+    assert_eq!(one.matches("\"trace_id\"").count(), 1, "{one}");
+    let (_, all) = get(addr, "/v1/traces");
+    assert!(all.matches("\"trace_id\"").count() >= 3, "{all}");
+    server.stop();
+}
+
+#[test]
 fn structured_errors() {
     let server = boot(ServeConfig {
         jobs: 1,
