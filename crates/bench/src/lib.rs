@@ -139,6 +139,32 @@ mod alloc_probe {
     }
 
     #[test]
+    fn presized_spectrum_ingest_is_allocation_free() {
+        use dve_core::hash::mix64;
+        use dve_core::spectrum::SpectrumBuilder;
+
+        // The counting hot path: a builder pre-sized from a distinct
+        // hint (as the ANALYZE fast path does) must ingest without ever
+        // touching the heap — the open-addressing table is allocated up
+        // front and `capacity_for` guarantees it never grows within the
+        // hint. A stray allocation here is a per-row cost multiplied by
+        // every sampled row of every column.
+        const DISTINCT: u64 = 4_096;
+        let mut builder = SpectrumBuilder::with_capacity(DISTINCT as usize);
+        builder.observe(mix64(u64::MAX)); // warm-up (also exercises probing)
+        let count = allocations_in(|| {
+            for i in 0..100_000u64 {
+                builder.observe_count(mix64(i % DISTINCT), 1 + i % 3);
+            }
+        });
+        assert_eq!(
+            count, 0,
+            "pre-sized spectrum ingest allocated {count} times"
+        );
+        assert_eq!(builder.distinct_observed(), DISTINCT as usize + 1);
+    }
+
+    #[test]
     fn probe_actually_counts() {
         // Guard against the probe silently going dead (e.g. a future
         // allocator change): a Vec allocation must register.

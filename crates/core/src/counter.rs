@@ -1,0 +1,365 @@
+//! An open-addressing `u64 → u64` counter — the per-chunk level of the
+//! two-level spectrum counting scheme.
+//!
+//! [`CountTable`] replaces the `HashMap<u64, u64>` that used to back
+//! [`crate::spectrum::SpectrumBuilder`]. The keys are already 64-bit
+//! value hashes (or small trusted integers), so the table skips SipHash
+//! entirely: the probe index is [`crate::hash::mix64`] of the key masked
+//! to a power-of-two capacity, collisions resolve by linear probing, and
+//! the whole table is two flat `Vec<u64>`s — **no per-entry allocation**,
+//! no bucket pointers, cache-line-friendly probes.
+//!
+//! The two-level scheme: each parallel chunk counts into its own
+//! `CountTable` (sized from column statistics or a first-chunk
+//! cardinality probe, so steady-state inserts never reallocate), and the
+//! per-chunk tables are folded into the first one ([`CountTable::absorb`]
+//! moves, never copies, the initial chunk). Count addition commutes, so
+//! any chunking and any fold order produce the same multiset of counts —
+//! the bit-identical-to-serial contract lives on that.
+//!
+//! Iteration order over a `CountTable` depends on capacity and insertion
+//! history and is therefore **not** deterministic across chunkings; the
+//! spectrum layer only ever consumes the *multiset* of counts (it
+//! re-sorts by frequency), which is chunking-invariant.
+
+use crate::hash::mix64;
+
+/// Minimum non-empty capacity (power of two).
+const MIN_CAPACITY: usize = 16;
+
+/// An open-addressing hash table from `u64` keys to `u64` counts.
+///
+/// Key `0` is used as the empty-slot sentinel internally; its count is
+/// carried in a dedicated field, so the full `u64` key space is
+/// supported.
+#[derive(Debug, Clone, Default)]
+pub struct CountTable {
+    /// Slot keys; `0` = empty. Length is `mask + 1` (power of two) or 0.
+    keys: Vec<u64>,
+    /// Slot counts, parallel to `keys`.
+    counts: Vec<u64>,
+    /// `capacity - 1` for bit-masked probing (`usize::MAX` when empty —
+    /// never used before the first allocation).
+    mask: usize,
+    /// Occupied slots (excludes the zero key).
+    occupied: usize,
+    /// Count for key `0`.
+    zero_count: u64,
+    /// Σ of all counts, maintained incrementally.
+    total: u64,
+}
+
+impl CountTable {
+    /// An empty table. Allocates nothing until the first insert.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A table pre-sized to hold `distinct_hint` distinct keys without
+    /// growing — the "sized from column stats / cardinality probe"
+    /// entry point. Inserting at most `distinct_hint` distinct keys is
+    /// guaranteed allocation-free after construction.
+    pub fn with_capacity(distinct_hint: usize) -> Self {
+        let mut t = Self::default();
+        if distinct_hint > 0 {
+            t.allocate(Self::capacity_for(distinct_hint));
+        }
+        t
+    }
+
+    /// Power-of-two capacity keeping load ≤ 7/8 for `distinct` keys.
+    fn capacity_for(distinct: usize) -> usize {
+        let needed = distinct + distinct.div_ceil(7) + 1;
+        needed.next_power_of_two().max(MIN_CAPACITY)
+    }
+
+    fn allocate(&mut self, capacity: usize) {
+        debug_assert!(capacity.is_power_of_two());
+        self.keys = vec![0; capacity];
+        self.counts = vec![0; capacity];
+        self.mask = capacity - 1;
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.occupied + usize::from(self.zero_count > 0)
+    }
+
+    /// Whether no key has been counted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Σ of all counts.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Current slot capacity (0 before the first insert).
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Adds `count` occurrences of `key`. `count = 0` is a no-op.
+    #[inline]
+    pub fn add(&mut self, key: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.total += count;
+        if key == 0 {
+            self.zero_count += count;
+            return;
+        }
+        if self.keys.is_empty() {
+            self.allocate(MIN_CAPACITY);
+        }
+        let mut i = mix64(key) as usize & self.mask;
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                self.counts[i] += count;
+                return;
+            }
+            if k == 0 {
+                self.keys[i] = key;
+                self.counts[i] = count;
+                self.occupied += 1;
+                // Load factor 7/8: grow *after* inserting so the table
+                // never probes full.
+                if self.occupied + (self.occupied >> 3) >= self.keys.len() - (self.keys.len() >> 3)
+                {
+                    self.grow();
+                }
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Adds one occurrence of `key` — the per-row observe.
+    #[inline]
+    pub fn increment(&mut self, key: u64) {
+        self.add(key, 1);
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let old_keys = std::mem::take(&mut self.keys);
+        let old_counts = std::mem::take(&mut self.counts);
+        self.allocate((old_keys.len() * 2).max(MIN_CAPACITY));
+        self.occupied = 0;
+        for (k, c) in old_keys.into_iter().zip(old_counts) {
+            if k != 0 {
+                // Re-insert without the growth check: the new table has
+                // twice the room.
+                let mut i = mix64(k) as usize & self.mask;
+                while self.keys[i] != 0 {
+                    i = (i + 1) & self.mask;
+                }
+                self.keys[i] = k;
+                self.counts[i] = c;
+                self.occupied += 1;
+            }
+        }
+    }
+
+    /// Iterates `(key, count)` pairs with `count > 0`, in an
+    /// unspecified (capacity-dependent) order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let zero = (self.zero_count > 0).then_some((0u64, self.zero_count));
+        zero.into_iter().chain(
+            self.keys
+                .iter()
+                .zip(&self.counts)
+                .filter(|&(&k, _)| k != 0)
+                .map(|(&k, &c)| (k, c)),
+        )
+    }
+
+    /// Iterates just the counts (the multiset the spectrum layer
+    /// consumes), in an unspecified order.
+    pub fn counts(&self) -> impl Iterator<Item = u64> + '_ {
+        self.iter().map(|(_, c)| c)
+    }
+
+    /// Folds `other`'s counts into `self` (counts for shared keys add).
+    pub fn merge_from(&mut self, other: &CountTable) {
+        for (k, c) in other.iter() {
+            self.add(k, c);
+        }
+    }
+
+    /// Consumes `other`, folding it into `self`. When `self` is still
+    /// empty this **moves** `other`'s storage instead of re-inserting
+    /// every entry — the first chunk of a merge fold costs nothing.
+    pub fn absorb(&mut self, other: CountTable) {
+        if self.is_empty() && self.capacity() <= other.capacity() {
+            *self = other;
+            return;
+        }
+        // Prefer inserting the smaller side into the larger.
+        if other.len() > self.len() && other.capacity() >= Self::capacity_for(self.len()) {
+            let mine = std::mem::replace(self, other);
+            self.merge_from(&mine);
+        } else {
+            self.merge_from(&other);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    fn as_map(t: &CountTable) -> HashMap<u64, u64> {
+        t.iter().collect()
+    }
+
+    #[test]
+    fn counts_like_a_hashmap() {
+        let mut t = CountTable::new();
+        let mut m: HashMap<u64, u64> = HashMap::new();
+        for i in 0..10_000u64 {
+            let key = (i * i) % 257;
+            t.increment(key);
+            *m.entry(key).or_insert(0) += 1;
+        }
+        assert_eq!(as_map(&t), m);
+        assert_eq!(t.len(), m.len());
+        assert_eq!(t.total(), 10_000);
+    }
+
+    #[test]
+    fn zero_key_is_a_real_key() {
+        let mut t = CountTable::new();
+        t.add(0, 3);
+        t.increment(0);
+        t.increment(7);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total(), 5);
+        assert_eq!(as_map(&t), HashMap::from([(0, 4), (7, 1)]));
+    }
+
+    #[test]
+    fn zero_count_is_a_no_op() {
+        let mut t = CountTable::new();
+        t.add(5, 0);
+        assert!(t.is_empty());
+        assert_eq!(t.capacity(), 0, "no-op must not allocate");
+        assert_eq!(t.counts().count(), 0);
+    }
+
+    #[test]
+    fn with_capacity_never_grows_within_hint() {
+        let mut t = CountTable::with_capacity(1_000);
+        let cap = t.capacity();
+        assert!(cap.is_power_of_two());
+        for i in 0..1_000u64 {
+            // Adversarial-ish clustered keys: sequential integers.
+            t.increment(i);
+        }
+        assert_eq!(t.capacity(), cap, "pre-sized table grew");
+        assert_eq!(t.len(), 1_000);
+    }
+
+    #[test]
+    fn grows_transparently_past_any_hint() {
+        let mut t = CountTable::with_capacity(8);
+        for i in 0..100_000u64 {
+            t.increment(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        assert_eq!(t.len(), 100_000);
+        assert_eq!(t.total(), 100_000);
+    }
+
+    #[test]
+    fn merge_and_absorb_agree_with_hashmap_union() {
+        let mut a = CountTable::new();
+        let mut b = CountTable::new();
+        for i in 0..500u64 {
+            a.add(i % 40, 2);
+            b.add(i % 70, 1);
+        }
+        let mut want = as_map(&a);
+        for (k, c) in b.iter() {
+            *want.entry(k).or_insert(0) += c;
+        }
+        let mut merged = a.clone();
+        merged.merge_from(&b);
+        assert_eq!(as_map(&merged), want);
+
+        let mut absorbed = a.clone();
+        absorbed.absorb(b.clone());
+        assert_eq!(as_map(&absorbed), want);
+
+        // Absorb into empty moves the storage outright.
+        let mut empty = CountTable::new();
+        empty.absorb(b.clone());
+        assert_eq!(as_map(&empty), as_map(&b));
+        assert_eq!(empty.capacity(), b.capacity());
+    }
+
+    #[test]
+    fn absorb_prefers_the_larger_side() {
+        let mut big = CountTable::new();
+        for i in 0..10_000u64 {
+            big.increment(i);
+        }
+        let mut small = CountTable::new();
+        small.add(3, 5);
+        let mut acc = CountTable::new();
+        acc.absorb(small.clone());
+        let want_small_then_big = {
+            let mut m = as_map(&small);
+            for (k, c) in big.iter() {
+                *m.entry(k).or_insert(0) += c;
+            }
+            m
+        };
+        acc.absorb(big);
+        assert_eq!(as_map(&acc), want_small_then_big);
+        assert_eq!(acc.len(), 10_000);
+    }
+
+    proptest! {
+        /// The tentpole contract: open-addressing counting ≡ `HashMap`
+        /// counting for arbitrary keys and counts, under arbitrary
+        /// chunking of the input stream.
+        #[test]
+        fn equivalent_to_hashmap_counting(
+            keys in proptest::collection::vec((0u64..u64::MAX, 1u64..5), 0..400),
+            cut in 0usize..400,
+        ) {
+            let mut reference: HashMap<u64, u64> = HashMap::new();
+            for &(k, c) in &keys {
+                *reference.entry(k).or_insert(0) += c;
+            }
+
+            // One-shot table.
+            let mut one = CountTable::new();
+            for &(k, c) in &keys {
+                one.add(k, c);
+            }
+            prop_assert_eq!(as_map(&one), reference.clone());
+            prop_assert_eq!(one.total(), reference.values().sum::<u64>());
+
+            // Two chunks folded with absorb (the two-level scheme).
+            let cut = cut.min(keys.len());
+            let mut first = CountTable::with_capacity(cut);
+            for &(k, c) in &keys[..cut] {
+                first.add(k, c);
+            }
+            let mut second = CountTable::new();
+            for &(k, c) in &keys[cut..] {
+                second.add(k, c);
+            }
+            let mut folded = CountTable::new();
+            folded.absorb(first);
+            folded.absorb(second);
+            prop_assert_eq!(as_map(&folded), reference);
+        }
+    }
+}

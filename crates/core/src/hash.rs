@@ -1,0 +1,269 @@
+//! Fast, dependency-free hashing for the counting hot path.
+//!
+//! Every estimator in this crate consumes a frequency spectrum, and
+//! every spectrum is built by hash-counting sampled rows — so the cost
+//! of one hash and one map probe is multiplied by every sampled row of
+//! every ANALYZE, audit cell, and serve request. The standard library's
+//! `HashMap` pays for SipHash's keyed collision resistance on every
+//! probe; nothing here is adversarial (the keys are already 64-bit
+//! value hashes, or small integers we control), so this module provides
+//! the cheap, deterministic alternatives the counting layer uses:
+//!
+//! * [`mix64`] — a **bijective** 64-bit finalizer (Pelle Evensen's
+//!   Moremur constants: xorshift-multiply rounds, like SplitMix64's
+//!   finalizer but with stronger avalanche). Bijective means hashing
+//!   `i64`/`u64` column values introduces **zero** collisions — two
+//!   distinct integers never merge into one counted class.
+//! * [`hash_bytes`] — a wyhash-style string hash: 64→128-bit
+//!   multiply-fold ([`mum`]) over 8-byte little-endian words, seeded
+//!   per-length tail handling. One multiplication per 8 bytes instead
+//!   of FNV-1a's per-byte dependency chain.
+//! * [`FastHasher`]/[`FastBuildHasher`] — an FxHash-style
+//!   [`std::hash::Hasher`] for the interior `HashMap`s that still key
+//!   on native types (dictionary builders, distinct sets). The
+//!   [`FastMap`]/[`FastSet`] aliases are drop-in replacements for
+//!   SipHash-keyed `HashMap`/`HashSet`.
+//!
+//! ## Determinism and stability
+//!
+//! All of these are pure functions with **no per-process seed** — the
+//! same input hashes identically across runs, threads, and hosts. That
+//! is a feature, not an oversight: the bit-identical-to-serial contract
+//! (`--jobs 1` ≡ `--jobs N`) and the byte-identical CLI/daemon response
+//! contract both hang off reproducible hashes. The test vectors at the
+//! bottom of this file pin the functions; changing a constant is a
+//! breaking change to every persisted hash and must fail a test, not
+//! slip through.
+
+/// 64×64 → 128-bit multiply, folded by xoring the halves — wyhash's
+/// `mum` primitive. One `mul` instruction on 64-bit targets.
+#[inline]
+pub fn mum(a: u64, b: u64) -> u64 {
+    let t = (a as u128).wrapping_mul(b as u128);
+    (t >> 64) as u64 ^ t as u64
+}
+
+/// Bijective 64-bit mixer (Moremur constants). Use for integer value
+/// hashing and open-addressing probe derivation: every bit of the input
+/// avalanches, and distinct inputs always produce distinct outputs.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x3C79_AC49_2BA7_B653);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0x1C69_B3F7_4AC4_AE35);
+    x ^ (x >> 27)
+}
+
+/// Secret constants for [`hash_bytes`] (from the wyhash family: odd,
+/// high-entropy, no shared factors).
+const SECRET: [u64; 3] = [
+    0xa076_1d64_78bd_642f,
+    0xe703_7ed1_a0b4_28db,
+    0x8ebc_6af0_9c88_c6e3,
+];
+
+/// Reads up to 8 little-endian bytes as a u64 (missing high bytes are
+/// zero). `bytes.len()` must be ≤ 8.
+#[inline]
+fn read_partial(bytes: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    buf[..bytes.len()].copy_from_slice(bytes);
+    u64::from_le_bytes(buf)
+}
+
+/// wyhash-style byte hash: deterministic, unseeded, one multiply-fold
+/// per 8-byte word. Equal byte strings hash equal; the empty string has
+/// a fixed, pinned value (see the test vectors).
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let len = bytes.len() as u64;
+    let mut h = SECRET[0] ^ len;
+    let mut rest = bytes;
+    while rest.len() >= 16 {
+        let a = u64::from_le_bytes(rest[..8].try_into().expect("8 bytes"));
+        let b = u64::from_le_bytes(rest[8..16].try_into().expect("8 bytes"));
+        h = mum(a ^ SECRET[1], b ^ h);
+        rest = &rest[16..];
+    }
+    if rest.len() >= 8 {
+        let a = u64::from_le_bytes(rest[..8].try_into().expect("8 bytes"));
+        h = mum(a ^ SECRET[1], h);
+        rest = &rest[8..];
+    }
+    if !rest.is_empty() {
+        h = mum(read_partial(rest) ^ SECRET[2], h);
+    }
+    mum(h, len ^ SECRET[2])
+}
+
+/// FxHash-style streaming hasher: folds each written word into the
+/// state with a rotate-xor-multiply. Orders of magnitude cheaper than
+/// SipHash for the short native-type keys the storage layer uses
+/// (dictionary values, row codes); **not** DoS-resistant, so never use
+/// it on attacker-controlled keys behind a network boundary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+const ROTATE: u32 = 26;
+const FOLD: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl FastHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(ROTATE) ^ word).wrapping_mul(FOLD);
+    }
+}
+
+impl std::hash::Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // One bijective finalization round so low-entropy keys (small
+        // ints) still spread across the table's high bits.
+        mix64(self.state)
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            self.fold(u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")));
+            bytes = &bytes[8..];
+        }
+        if !bytes.is_empty() {
+            // Fold the tail with its length so "a" ≠ "a\0".
+            self.fold(read_partial(bytes) ^ ((bytes.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.fold(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.fold(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`] — stateless, so every map built
+/// from it hashes identically (deterministic iteration is still *not*
+/// guaranteed; use sorted collection points as the spectrum layer
+/// does).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastBuildHasher;
+
+impl std::hash::BuildHasher for FastBuildHasher {
+    type Hasher = FastHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher::default()
+    }
+}
+
+/// A `HashMap` keyed by [`FastHasher`] — drop-in for interior maps on
+/// trusted keys.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` keyed by [`FastHasher`].
+pub type FastSet<K> = std::collections::HashSet<K, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    /// Pinned outputs. These are the published contract: persisted
+    /// value hashes, the cross-run determinism of ANALYZE, and the
+    /// `--jobs` bit-identity gate all assume these never change.
+    #[test]
+    fn mix64_test_vectors() {
+        assert_eq!(mix64(0), 0);
+        assert_eq!(mix64(1), 0x3c02_aa47_7582_92bd);
+        assert_eq!(mix64(42), 0x2cb4_a7ee_46cb_76cc);
+        assert_eq!(mix64(0xDEAD_BEEF), 0x114d_b568_d062_a65c);
+        assert_eq!(mix64(u64::MAX), 0x78a9_666a_39c1_a1b5);
+    }
+
+    #[test]
+    fn hash_bytes_test_vectors() {
+        assert_eq!(hash_bytes(b""), 0xe28f_2b20_61a2_b984);
+        assert_eq!(hash_bytes(b"a"), 0x0000_d34c_d506_1280);
+        assert_eq!(hash_bytes(b"abc"), 0x215d_bdfe_70b1_24f7);
+        assert_eq!(hash_bytes(b"hello world"), 0x6fc7_69f9_ddeb_7215);
+        assert_eq!(
+            hash_bytes(b"towards estimation error guarantees"),
+            0x77f2_29e2_673c_1a4f
+        );
+    }
+
+    #[test]
+    fn mix64_is_bijective_on_a_window() {
+        // A bijection has no collisions; spot-check a contiguous window
+        // plus structured inputs (the kind integer columns produce).
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100_000u64 {
+            assert!(seen.insert(mix64(i)), "collision at {i}");
+        }
+        for i in 1..10_000u64 {
+            assert!(seen.insert(mix64(i << 32)), "collision at {i} << 32");
+        }
+    }
+
+    #[test]
+    fn hash_bytes_discriminates_lengths_and_tails() {
+        // Prefix/padding confusions are the classic byte-hash bug.
+        assert_ne!(hash_bytes(b"a"), hash_bytes(b"a\0"));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+        assert_ne!(hash_bytes(b"12345678"), hash_bytes(b"123456780"));
+        assert_ne!(
+            hash_bytes(b"abcdefgh12345678"),
+            hash_bytes(b"abcdefgh1234567")
+        );
+        // Word-boundary lengths all distinct.
+        let inputs: Vec<Vec<u8>> = (0..64usize).map(|l| vec![7u8; l]).collect();
+        let hashes: std::collections::HashSet<u64> = inputs.iter().map(|b| hash_bytes(b)).collect();
+        assert_eq!(hashes.len(), inputs.len());
+    }
+
+    #[test]
+    fn fast_hasher_matches_across_instances() {
+        let build = FastBuildHasher;
+        let h1 = build.hash_one("category");
+        let h2 = build.hash_one("category");
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn fast_map_behaves_like_a_map() {
+        let mut m: FastMap<i64, u64> = FastMap::default();
+        for i in 0..1000i64 {
+            *m.entry(i % 37).or_insert(0) += 1;
+        }
+        assert_eq!(m.len(), 37);
+        assert_eq!(m.values().sum::<u64>(), 1000);
+        let mut s: FastSet<&str> = FastSet::default();
+        s.insert("a");
+        s.insert("b");
+        s.insert("a");
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -66,11 +66,13 @@ pub mod ae;
 pub mod bootstrap;
 pub mod bounds;
 pub mod chao;
+pub mod counter;
 pub mod design;
 pub mod error;
 pub mod estimator;
 pub mod gee;
 pub mod goodman;
+pub mod hash;
 pub mod hybrid;
 pub mod jackknife;
 pub mod mom;
@@ -83,10 +85,12 @@ pub mod spectrum;
 
 pub use ae::AdaptiveEstimator;
 pub use bounds::{gee_confidence_interval, ConfidenceInterval};
+pub use counter::CountTable;
 pub use design::SampleDesign;
 pub use error::{ratio_error, relative_error};
 pub use estimator::{sanity_clamp, DistinctEstimator, Estimation};
 pub use gee::Gee;
+pub use hash::{hash_bytes, mix64, FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use hybrid::{HybGee, HybSkew, HybVar};
 pub use profile::{FrequencyProfile, ProfileError};
 pub use registry::UnknownEstimator;

@@ -24,8 +24,16 @@
 //! Both operations are associative and commutative, so shard order never
 //! changes a result.
 
+use crate::counter::CountTable;
 use std::collections::HashMap;
 use std::hash::Hash;
+
+/// Largest `max_frequency` [`Spectrum::to_dense`] will materialize
+/// (2²² entries ≈ 32 MiB of `u64`s). A sparse spectrum with a single
+/// class of frequency 10⁹ is three machine words; its dense form is an
+/// 8 GB allocation — [`Spectrum::try_to_dense`] refuses past this cap
+/// instead of OOMing.
+pub const DENSE_CAP: u64 = 1 << 22;
 
 /// Errors raised while constructing a [`Spectrum`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +59,14 @@ pub enum SpectrumError {
         /// Claimed table size.
         table_rows: u64,
     },
+    /// A dense materialization was requested for a spectrum whose
+    /// `max_frequency` exceeds [`DENSE_CAP`].
+    DenseTooLarge {
+        /// The spectrum's largest frequency with `f_i > 0`.
+        max_frequency: u64,
+        /// The cap that was exceeded ([`DENSE_CAP`]).
+        cap: u64,
+    },
 }
 
 impl std::fmt::Display for SpectrumError {
@@ -71,6 +87,11 @@ impl std::fmt::Display for SpectrumError {
             } => write!(
                 f,
                 "sample shows {distinct} distinct values but table only has {table_rows} rows"
+            ),
+            SpectrumError::DenseTooLarge { max_frequency, cap } => write!(
+                f,
+                "dense spectrum of max_frequency {max_frequency} exceeds the {cap}-entry cap; \
+                 use the sparse iterator instead"
             ),
         }
     }
@@ -151,14 +172,15 @@ impl Spectrum {
         n: u64,
         counts: impl IntoIterator<Item = u64>,
     ) -> Result<Self, SpectrumError> {
-        let mut by_freq: HashMap<u64, u64> = HashMap::new();
+        // Frequencies are counted in an open-addressing table keyed by
+        // the frequency itself (cheap: most samples have a handful of
+        // distinct frequencies), then sorted into canonical ascending
+        // order — the result is independent of input order.
+        let mut by_freq = CountTable::new();
         for c in counts {
-            if c == 0 {
-                continue;
-            }
-            *by_freq.entry(c).or_insert(0) += 1;
+            by_freq.add(c, u64::from(c != 0));
         }
-        let mut entries: Vec<(u64, u64)> = by_freq.into_iter().collect();
+        let mut entries: Vec<(u64, u64)> = by_freq.iter().collect();
         entries.sort_unstable();
         Self::from_sparse(n, entries)
     }
@@ -344,13 +366,37 @@ impl Spectrum {
     }
 
     /// The dense spectrum vector (`vec[i-1] = f_i`), trailing zeros
-    /// trimmed. Mostly for tests and dense-format interop.
-    pub fn to_dense(&self) -> Vec<u64> {
-        let mut out = vec![0u64; self.max_frequency() as usize];
+    /// trimmed, refusing spectra whose `max_frequency` exceeds
+    /// [`DENSE_CAP`]. A dense vector is O(max frequency) regardless of
+    /// how few classes exist, so an adversarial (or merely very skewed)
+    /// spectrum could otherwise turn three sparse entries into a
+    /// multi-gigabyte allocation.
+    pub fn try_to_dense(&self) -> Result<Vec<u64>, SpectrumError> {
+        let max = self.max_frequency();
+        if max > DENSE_CAP {
+            return Err(SpectrumError::DenseTooLarge {
+                max_frequency: max,
+                cap: DENSE_CAP,
+            });
+        }
+        let mut out = vec![0u64; max as usize];
         for &(i, f) in &self.entries {
             out[(i - 1) as usize] = f;
         }
-        out
+        Ok(out)
+    }
+
+    /// The dense spectrum vector (`vec[i-1] = f_i`), trailing zeros
+    /// trimmed. Mostly for tests and dense-format interop.
+    ///
+    /// # Panics
+    ///
+    /// If `max_frequency` exceeds [`DENSE_CAP`] — use
+    /// [`Spectrum::try_to_dense`] (or stay sparse via
+    /// [`Spectrum::spectrum`]) when the input is not trusted small.
+    pub fn to_dense(&self) -> Vec<u64> {
+        self.try_to_dense()
+            .expect("spectrum too skewed for a dense vector")
     }
 
     /// Number of "rare" classes: distinct values with sample frequency
@@ -423,9 +469,16 @@ impl Spectrum {
 /// assert_eq!(s.f(3), 1); // value 7 seen 2 + 1 times
 /// assert_eq!(s.f(1), 1); // value 9
 /// ```
+///
+/// Internally the builder counts into an open-addressing
+/// [`CountTable`] — flat arrays, no SipHash, no per-entry allocation —
+/// so the per-row `observe` is a handful of arithmetic ops plus one
+/// probe. Pre-size with [`SpectrumBuilder::with_capacity`] when the
+/// distinct count is known (dictionary length, column stats, a
+/// first-chunk probe) and the observe loop is allocation-free.
 #[derive(Debug, Clone, Default)]
 pub struct SpectrumBuilder {
-    counts: HashMap<u64, u64>,
+    counts: CountTable,
     table_rows: u64,
 }
 
@@ -435,17 +488,28 @@ impl SpectrumBuilder {
         Self::default()
     }
 
-    /// Records one sampled occurrence of a (hashed) value.
-    pub fn observe(&mut self, value_hash: u64) {
-        *self.counts.entry(value_hash).or_insert(0) += 1;
+    /// A builder pre-sized for `distinct_hint` distinct values: observing
+    /// at most that many distinct hashes never reallocates the counting
+    /// table.
+    pub fn with_capacity(distinct_hint: usize) -> Self {
+        Self {
+            counts: CountTable::with_capacity(distinct_hint),
+            table_rows: 0,
+        }
     }
 
-    /// Records `count` sampled occurrences of a (hashed) value at once.
+    /// Records one sampled occurrence of a (hashed) value.
+    #[inline]
+    pub fn observe(&mut self, value_hash: u64) {
+        self.counts.increment(value_hash);
+    }
+
+    /// Records `count` sampled occurrences of a (hashed) value at once —
+    /// the RLE fast path: a run of `count` equal rows costs one probe.
     /// `count = 0` is a no-op.
+    #[inline]
     pub fn observe_count(&mut self, value_hash: u64, count: u64) {
-        if count > 0 {
-            *self.counts.entry(value_hash).or_insert(0) += count;
-        }
+        self.counts.add(value_hash, count);
     }
 
     /// Adds table rows covered by this builder's chunk (the `n` side of
@@ -459,9 +523,16 @@ impl SpectrumBuilder {
         self.table_rows
     }
 
-    /// Sampled rows observed so far (Σ counts).
+    /// Sampled rows observed so far (Σ counts). O(1).
     pub fn sampled_rows(&self) -> u64 {
-        self.counts.values().sum()
+        self.counts.total()
+    }
+
+    /// Distinct values observed so far. O(1). Feed this from a
+    /// first-chunk cardinality probe into
+    /// [`SpectrumBuilder::with_capacity`] to pre-size sibling chunks.
+    pub fn distinct_observed(&self) -> usize {
+        self.counts.len()
     }
 
     /// Folds another builder's observations into this one at the value
@@ -469,10 +540,17 @@ impl SpectrumBuilder {
     /// commutative, so any chunking and merge order of one logical
     /// sample yields the same finished spectrum.
     pub fn merge_from(&mut self, other: &SpectrumBuilder) {
-        for (&v, &c) in &other.counts {
-            *self.counts.entry(v).or_insert(0) += c;
-        }
+        self.counts.merge_from(&other.counts);
         self.table_rows += other.table_rows;
+    }
+
+    /// Consuming merge. Equivalent to [`SpectrumBuilder::merge_from`]
+    /// but when `self` is still empty it **moves** `other`'s table
+    /// instead of re-counting every entry — folding N per-chunk builders
+    /// into an empty accumulator pays for N−1 merges, not N.
+    pub fn absorb(&mut self, other: SpectrumBuilder) {
+        self.table_rows += other.table_rows;
+        self.counts.absorb(other.counts);
     }
 
     /// Finishes with the accumulated table-row total.
@@ -483,7 +561,7 @@ impl SpectrumBuilder {
     /// Finishes against an explicit table size `n` (e.g. a
     /// null-adjusted effective row count), ignoring accumulated rows.
     pub fn finish_with_table_rows(&self, n: u64) -> Result<Spectrum, SpectrumError> {
-        Spectrum::from_sample_counts(n, self.counts.values().copied())
+        Spectrum::from_sample_counts(n, self.counts.counts())
     }
 }
 
@@ -687,6 +765,65 @@ mod tests {
                 "chunk_size={chunk_size}"
             );
         }
+    }
+
+    #[test]
+    fn dense_materialization_is_capped() {
+        // One class sampled DENSE_CAP + 1 times: three sparse words, but
+        // a dense vector would be 32 MiB + 8 bytes. Must refuse, not
+        // allocate.
+        let skewed = Spectrum::from_sample_counts(DENSE_CAP + 2, [DENSE_CAP + 1]).unwrap();
+        assert_eq!(
+            skewed.try_to_dense(),
+            Err(SpectrumError::DenseTooLarge {
+                max_frequency: DENSE_CAP + 1,
+                cap: DENSE_CAP,
+            })
+        );
+        assert!(!skewed.try_to_dense().unwrap_err().to_string().is_empty());
+        // In-cap spectra round-trip unchanged.
+        let small = Spectrum::from_spectrum(50, vec![3, 0, 2]).unwrap();
+        assert_eq!(small.try_to_dense().unwrap(), vec![3, 0, 2]);
+    }
+
+    #[test]
+    fn absorb_equals_merge_from() {
+        let mut chunks = Vec::new();
+        for c in 0..4u64 {
+            let mut b = SpectrumBuilder::new();
+            for i in 0..200u64 {
+                b.observe((c * 50 + i) % 131);
+            }
+            b.add_table_rows(1_000);
+            chunks.push(b);
+        }
+        let mut by_ref = SpectrumBuilder::new();
+        for b in &chunks {
+            by_ref.merge_from(b);
+        }
+        let mut by_move = SpectrumBuilder::new();
+        for b in chunks {
+            by_move.absorb(b);
+        }
+        assert_eq!(by_move.table_rows(), 4_000);
+        assert_eq!(by_move.sampled_rows(), by_ref.sampled_rows());
+        assert_eq!(by_move.distinct_observed(), by_ref.distinct_observed());
+        assert_eq!(by_move.finish().unwrap(), by_ref.finish().unwrap());
+    }
+
+    #[test]
+    fn with_capacity_builder_matches_default() {
+        let mut sized = SpectrumBuilder::with_capacity(64);
+        let mut plain = SpectrumBuilder::new();
+        for i in 0..5_000u64 {
+            let h = i % 61;
+            sized.observe(h);
+            plain.observe(h);
+        }
+        assert_eq!(
+            sized.finish_with_table_rows(10_000).unwrap(),
+            plain.finish_with_table_rows(10_000).unwrap()
+        );
     }
 
     #[test]

@@ -1,11 +1,18 @@
 //! Wall-time benchmark for the parallel execution layer.
 //!
 //! Times the hot paths that [`dve_par`] drives — the audit sweep, table
-//! ANALYZE, chunked spectrum construction, and sliding-window histogram
-//! ingest — once at `jobs = 1` and
+//! ANALYZE, chunked spectrum construction, sliding-window histogram
+//! ingest, full-table ingest → spectrum over a mixed-encoding table,
+//! and a larger ANALYZE — once at `jobs = 1` and
 //! once at `jobs = N`, checking on the way that the parallel results are
 //! **bit-identical** to serial (that check is the part of the gate that
 //! never depends on the host).
+//!
+//! The `ingest_rows_per_sec` scenario is the throughput gauge for the
+//! counting hot path (wyhash-style hashing + open-addressing counters +
+//! dictionary/RLE fast paths): it drives every row of an RLE, a
+//! dictionary, a plain, and a `Str` column through
+//! [`Column::count_sampled_rows`] and reports serial rows/second.
 //!
 //! The report is written to `BENCH_perf.json` with the same
 //! hand-rolled-writer / [`minijson`]-reader discipline as
@@ -23,6 +30,7 @@
 
 use crate::audit::{run_audit, AuditConfig};
 use crate::minijson::{self, JsonValue};
+use dve_core::spectrum::SpectrumBuilder;
 use dve_obs::window::{ManualClock, WindowClock, WindowedHistogram, WINDOWS};
 use dve_storage::{analyze_table_jobs, AnalyzeOptions, Column, Field, Schema, Table};
 use rand::SeedableRng;
@@ -52,6 +60,12 @@ pub struct PerfConfig {
     /// Observations recorded per chunk in the windowed-histogram
     /// scenario (the monitoring hot path, under rotation pressure).
     pub window_records: u64,
+    /// Rows per column in the mixed-encoding ingest scenario (every row
+    /// of every column is counted, so total ingested rows is this times
+    /// the column count).
+    pub ingest_rows: u64,
+    /// Rows in the `analyze_large` mixed-encoding table.
+    pub analyze_large_rows: u64,
     /// Base RNG seed for all scenarios.
     pub seed: u64,
 }
@@ -66,6 +80,8 @@ impl PerfConfig {
             analyze_rows: 60_000,
             merge_values: 2_000_000,
             window_records: 2_000_000,
+            ingest_rows: 500_000,
+            analyze_large_rows: 250_000,
             seed: 42,
         }
     }
@@ -77,6 +93,8 @@ impl PerfConfig {
             analyze_rows: 600_000,
             merge_values: 20_000_000,
             window_records: 20_000_000,
+            ingest_rows: 5_000_000,
+            analyze_large_rows: 2_000_000,
             ..Self::quick()
         }
     }
@@ -87,7 +105,8 @@ impl PerfConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfScenario {
     /// Scenario name (`"audit_quick"`, `"analyze"`, `"spectrum_merge"`,
-    /// `"windowed_histogram"`).
+    /// `"windowed_histogram"`, `"ingest_rows_per_sec"`,
+    /// `"analyze_large"`).
     pub name: String,
     /// Wall time of the `jobs = 1` run, ns.
     pub serial_ns: u64,
@@ -95,6 +114,10 @@ pub struct PerfScenario {
     pub parallel_ns: u64,
     /// `serial_ns / parallel_ns` (≥ 1 means the pool helped).
     pub speedup: f64,
+    /// Serial throughput gauge: rows processed per second at
+    /// `jobs = 1`, or `0` for scenarios without a row notion. Informative
+    /// only — never gated, since absolute throughput is host-bound.
+    pub rows_per_sec: f64,
     /// Whether the parallel result was bit-identical to the serial one.
     pub deterministic: bool,
 }
@@ -156,6 +179,97 @@ fn bench_table(rows: u64, seed: u64) -> Table {
         fields.push(Field::new(name, dve_storage::DataType::Int64));
     }
     Table::new(Schema::new(fields), columns).expect("bench columns share one length")
+}
+
+/// Builds the mixed-encoding ingest columns: one column per storage
+/// fast path, so the ingest benchmark exercises the RLE run walk, the
+/// dictionary dense-count path, plain adjacent coalescing, the `Str`
+/// per-code path, and null-run skipping together.
+fn mixed_columns(rows: u64) -> (Vec<Field>, Vec<Column>) {
+    let rows = rows as usize;
+    // Sorted duplicates → RLE chunks (runs of 64).
+    let rle: Vec<i64> = (0..rows).map(|i| (i / 64) as i64).collect();
+    // Unsorted low cardinality → dictionary chunks.
+    let dict: Vec<i64> = (0..rows)
+        .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % 101) as i64)
+        .collect();
+    // Scrambled near-unique values → plain chunks.
+    let plain: Vec<i64> = (0..rows)
+        .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 3) as i64)
+        .collect();
+    // Categorical strings → the dictionary-coded `Str` path.
+    let strs: Vec<String> = (0..rows).map(|i| format!("cat{:03}", i % 57)).collect();
+    // Sorted duplicates with whole null runs → RLE + null-run skipping.
+    let nullable: Vec<Option<i64>> = (0..rows)
+        .map(|i| {
+            if (i / 128) % 10 == 0 {
+                None
+            } else {
+                Some((i / 64) as i64)
+            }
+        })
+        .collect();
+    let fields = vec![
+        Field::new("rle_sorted", dve_storage::DataType::Int64),
+        Field::new("dict_lowcard", dve_storage::DataType::Int64),
+        Field::new("plain_unique", dve_storage::DataType::Int64),
+        Field::new("str_categorical", dve_storage::DataType::Str),
+        Field::nullable("rle_nullable", dve_storage::DataType::Int64),
+    ];
+    let columns = vec![
+        Column::from_i64(&rle),
+        Column::from_i64(&dict),
+        Column::from_i64(&plain),
+        Column::from_strs(&strs),
+        Column::from_i64_opt(&nullable),
+    ];
+    (fields, columns)
+}
+
+/// Counts every row of every column into a per-column spectrum —
+/// serially in one pass per column, or chunked with an [`absorb`] fold
+/// when `jobs > 1`. The result (null count + spectrum per column) must
+/// be bit-identical at any job count.
+///
+/// [`absorb`]: SpectrumBuilder::absorb
+fn ingest_all_rows(
+    columns: &[Column],
+    rows: u64,
+    jobs: usize,
+) -> Vec<(u64, dve_core::spectrum::Spectrum)> {
+    let row_ids: Vec<u64> = (0..rows).collect();
+    columns
+        .iter()
+        .map(|column| {
+            let hint = column.distinct_hint();
+            let make_builder = |chunk_len: usize| match hint {
+                Some(d) => SpectrumBuilder::with_capacity(d.min(chunk_len)),
+                None => SpectrumBuilder::new(),
+            };
+            let (nulls, builder) = if jobs <= 1 {
+                let mut builder = make_builder(row_ids.len());
+                let nulls = column.count_sampled_rows(&row_ids, &mut builder);
+                (nulls, builder)
+            } else {
+                let parts = dve_par::map_chunks_min(jobs, &row_ids, 4_096, |chunk| {
+                    let mut builder = make_builder(chunk.len());
+                    let nulls = column.count_sampled_rows(chunk, &mut builder);
+                    (nulls, builder)
+                });
+                let mut nulls = 0;
+                let mut acc = SpectrumBuilder::new();
+                for (n, b) in parts {
+                    nulls += n;
+                    acc.absorb(b);
+                }
+                (nulls, acc)
+            };
+            let spectrum = builder
+                .finish_with_table_rows(rows)
+                .expect("ingest bench counts at least one row");
+            (nulls, spectrum)
+        })
+        .collect()
 }
 
 /// Runs both scenarios serial-then-parallel and returns the report.
@@ -274,6 +388,54 @@ pub fn run_bench(config: &PerfConfig) -> PerfReport {
         serial_windows == parallel_windows,
     ));
 
+    // Scenario 5: full-table ingest → spectrum over a mixed-encoding
+    // table (RLE, dictionary, plain, Str, nullable RLE). This is the
+    // counting hot path the fast-hash / open-addressing / fast-path work
+    // targets, so it also reports serial rows/second.
+    let (_, ingest_columns) = mixed_columns(config.ingest_rows);
+    let t0 = Instant::now();
+    let serial_ingest = ingest_all_rows(&ingest_columns, config.ingest_rows, 1);
+    let serial_ns = t0.elapsed().as_nanos() as u64;
+    let t0 = Instant::now();
+    let parallel_ingest = ingest_all_rows(&ingest_columns, config.ingest_rows, jobs);
+    let parallel_ns = t0.elapsed().as_nanos() as u64;
+    let ingested_rows = config.ingest_rows * ingest_columns.len() as u64;
+    let mut s = scenario(
+        "ingest_rows_per_sec",
+        serial_ns,
+        parallel_ns,
+        serial_ingest == parallel_ingest,
+    );
+    s.rows_per_sec = ingested_rows as f64 / (serial_ns.max(1) as f64 / 1e9);
+    scenarios.push(s);
+
+    // Scenario 6: ANALYZE end-to-end over a larger mixed-encoding table
+    // — sampling, fast-path counting, chunk merge, and estimation
+    // together, at a size where per-row costs dominate setup.
+    let (fields, columns) = mixed_columns(config.analyze_large_rows);
+    let large_table =
+        Table::new(Schema::new(fields), columns).expect("mixed columns share one length");
+    let options = AnalyzeOptions::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let t0 = Instant::now();
+    let serial_stats =
+        analyze_table_jobs(&large_table, &options, 1, &mut rng).expect("mixed table analyzes");
+    let serial_ns = t0.elapsed().as_nanos() as u64;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let t0 = Instant::now();
+    let parallel_stats =
+        analyze_table_jobs(&large_table, &options, jobs, &mut rng).expect("mixed table analyzes");
+    let parallel_ns = t0.elapsed().as_nanos() as u64;
+    let mut s = scenario(
+        "analyze_large",
+        serial_ns,
+        parallel_ns,
+        serial_stats == parallel_stats,
+    );
+    s.rows_per_sec = config.analyze_large_rows as f64 * large_table.schema().fields().len() as f64
+        / (serial_ns.max(1) as f64 / 1e9);
+    scenarios.push(s);
+
     let report = PerfReport {
         version: SCHEMA_VERSION,
         host_parallelism: host_parallelism(),
@@ -294,6 +456,7 @@ pub fn run_bench(config: &PerfConfig) -> PerfReport {
             .field_u64("serial_ns", s.serial_ns)
             .field_u64("parallel_ns", s.parallel_ns)
             .field_f64("speedup", s.speedup)
+            .field_f64("rows_per_sec", s.rows_per_sec)
             .emit();
     }
     report
@@ -305,6 +468,7 @@ fn scenario(name: &str, serial_ns: u64, parallel_ns: u64, deterministic: bool) -
         serial_ns,
         parallel_ns,
         speedup: serial_ns as f64 / (parallel_ns.max(1)) as f64,
+        rows_per_sec: 0.0,
         deterministic,
     }
 }
@@ -382,11 +546,12 @@ impl PerfReport {
         for (i, s) in self.scenarios.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"name\":\"{}\",\"serial_ns\":{},\"parallel_ns\":{},\
-                 \"speedup\":{},\"deterministic\":{}}}{}\n",
+                 \"speedup\":{},\"rows_per_sec\":{},\"deterministic\":{}}}{}\n",
                 s.name,
                 s.serial_ns,
                 s.parallel_ns,
                 json_f64(s.speedup),
+                json_f64(s.rows_per_sec),
                 s.deterministic,
                 if i + 1 < self.scenarios.len() {
                     ","
@@ -440,6 +605,13 @@ impl PerfReport {
                     .get("speedup")
                     .and_then(JsonValue::as_f64)
                     .ok_or_else(|| ctx("\"speedup\""))?,
+                // Baselines written before the throughput gauge existed
+                // simply lack the field; it is informative, not gated,
+                // so zero is the lenient default.
+                rows_per_sec: s
+                    .get("rows_per_sec")
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(0.0),
                 deterministic: match s.get("deterministic") {
                     Some(JsonValue::Bool(b)) => *b,
                     _ => return Err(ctx("boolean \"deterministic\"")),
@@ -464,16 +636,22 @@ impl PerfReport {
     /// Human-readable jobs=1 vs jobs=N wall-time table.
     pub fn to_table(&self) -> String {
         let mut out = format!(
-            "perf bench: jobs=1 vs jobs={} (host parallelism {})\n{:<20} {:>12} {:>12} {:>9} {:>14}\n",
-            self.jobs, self.host_parallelism, "scenario", "serial ms", "parallel ms", "speedup", "deterministic"
+            "perf bench: jobs=1 vs jobs={} (host parallelism {})\n{:<20} {:>12} {:>12} {:>9} {:>12} {:>14}\n",
+            self.jobs, self.host_parallelism, "scenario", "serial ms", "parallel ms", "speedup", "rows/s", "deterministic"
         );
         for s in &self.scenarios {
+            let rows_per_sec = if s.rows_per_sec > 0.0 {
+                format!("{:.3}M", s.rows_per_sec / 1e6)
+            } else {
+                "-".to_string()
+            };
             out.push_str(&format!(
-                "{:<20} {:>12.1} {:>12.1} {:>8.2}x {:>14}\n",
+                "{:<20} {:>12.1} {:>12.1} {:>8.2}x {:>12} {:>14}\n",
                 s.name,
                 s.serial_ns as f64 / 1e6,
                 s.parallel_ns as f64 / 1e6,
                 s.speedup,
+                rows_per_sec,
                 s.deterministic
             ));
         }
@@ -492,6 +670,8 @@ mod tests {
             analyze_rows: 4_000,
             merge_values: 50_000,
             window_records: 50_000,
+            ingest_rows: 20_000,
+            analyze_large_rows: 8_000,
             seed: 7,
         }
     }
@@ -507,13 +687,17 @@ mod tests {
                 "audit_quick",
                 "analyze",
                 "spectrum_merge",
-                "windowed_histogram"
+                "windowed_histogram",
+                "ingest_rows_per_sec",
+                "analyze_large"
             ]
         );
         for s in &report.scenarios {
             assert!(s.deterministic, "{} diverged from serial", s.name);
             assert!(s.serial_ns > 0 && s.parallel_ns > 0, "{s:?}");
             assert!(s.speedup > 0.0, "{s:?}");
+            let has_throughput = s.name == "ingest_rows_per_sec" || s.name == "analyze_large";
+            assert_eq!(s.rows_per_sec > 0.0, has_throughput, "{s:?}");
         }
     }
 
@@ -548,6 +732,15 @@ mod tests {
         assert!(PerfReport::from_json(old).unwrap().speedup_gate_armed);
         let old = "{\"version\":1,\"host_parallelism\":1,\"jobs\":2,\"scenarios\":[]}";
         assert!(!PerfReport::from_json(old).unwrap().speedup_gate_armed);
+    }
+
+    #[test]
+    fn rows_per_sec_defaults_to_zero_in_old_baselines() {
+        let old = "{\"version\":1,\"host_parallelism\":1,\"jobs\":2,\"scenarios\":[\
+                   {\"name\":\"analyze\",\"serial_ns\":5,\"parallel_ns\":4,\
+                   \"speedup\":1.25,\"deterministic\":true}]}";
+        let parsed = PerfReport::from_json(old).unwrap();
+        assert_eq!(parsed.scenarios[0].rows_per_sec, 0.0);
     }
 
     #[test]
@@ -601,6 +794,9 @@ mod tests {
         assert!(table.contains("analyze"));
         assert!(table.contains("spectrum_merge"));
         assert!(table.contains("windowed_histogram"));
+        assert!(table.contains("ingest_rows_per_sec"));
+        assert!(table.contains("analyze_large"));
         assert!(table.contains("speedup"));
+        assert!(table.contains("rows/s"));
     }
 }

@@ -41,7 +41,11 @@
 //!   functions;
 //! * `par.queue_wait_ns` — histogram, per-worker time spent outside task
 //!   functions (claiming chunks, waiting on the queue, thread startup);
-//! * `par.jobs` — gauge, worker count of the most recent pool run.
+//! * `par.jobs` — gauge, worker count of the most recent pool run;
+//! * `par.chunk_size` — gauge, indices claimed per queue round trip in
+//!   the most recent [`run_indexed`];
+//! * `par.data_chunk_rows` — gauge, items per data chunk in the most
+//!   recent [`map_chunks`]/[`map_chunks_min`].
 //!
 //! A healthy parallel run shows `worker_busy_ns ≫ queue_wait_ns`; an
 //! oversubscribed or contended one shows the opposite. Speedups are
@@ -131,6 +135,16 @@ fn jobs_gauge() -> &'static Arc<dve_obs::Gauge> {
     G.get_or_init(|| dve_obs::global().gauge("par.jobs"))
 }
 
+fn chunk_size_gauge() -> &'static Arc<dve_obs::Gauge> {
+    static G: OnceLock<Arc<dve_obs::Gauge>> = OnceLock::new();
+    G.get_or_init(|| dve_obs::global().gauge("par.chunk_size"))
+}
+
+fn data_chunk_rows_gauge() -> &'static Arc<dve_obs::Gauge> {
+    static G: OnceLock<Arc<dve_obs::Gauge>> = OnceLock::new();
+    G.get_or_init(|| dve_obs::global().gauge("par.data_chunk_rows"))
+}
+
 /// Chunk of the index space a worker claims per queue round trip: small
 /// enough for load balance across uneven task costs, large enough that
 /// the atomic cursor isn't contended. Four chunks per worker.
@@ -155,10 +169,12 @@ where
     tasks_total().add(tasks as u64);
     jobs_gauge().set(jobs as i64);
     if jobs <= 1 {
+        chunk_size_gauge().set(tasks.max(1) as i64);
         return (0..tasks).map(f).collect();
     }
 
     let chunk = chunk_size(tasks, jobs);
+    chunk_size_gauge().set(chunk as i64);
     let cursor = AtomicUsize::new(0);
     // Workers are fresh OS threads with no thread-local trace context;
     // adopting the caller's context here is what keeps a request trace
@@ -229,11 +245,30 @@ where
     R: Send,
     F: Fn(&'a [T]) -> R + Sync,
 {
+    map_chunks_min(jobs, data, 1, f)
+}
+
+/// [`map_chunks`] with a floor on chunk length: every chunk (except
+/// possibly the last) holds at least `min_chunk` items, so small inputs
+/// are not shredded into per-item dispatches whose pool overhead
+/// exceeds the mapped work — the granularity fix for the
+/// `spectrum_merge`/`analyze` scenarios where parallel used to lose to
+/// serial. Boundaries still depend only on
+/// `(data.len(), jobs, min_chunk)` — never on scheduling — so a
+/// front-to-back fold of the result stays deterministic. The chosen
+/// chunk length is recorded in the `par.data_chunk_rows` gauge.
+pub fn map_chunks_min<'a, T, R, F>(jobs: usize, data: &'a [T], min_chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a [T]) -> R + Sync,
+{
     if data.is_empty() {
         return Vec::new();
     }
     let jobs = jobs.max(1).min(data.len());
-    let per_chunk = data.len().div_ceil(jobs);
+    let per_chunk = data.len().div_ceil(jobs).max(min_chunk.max(1));
+    data_chunk_rows_gauge().set(per_chunk as i64);
     let chunks: Vec<&[T]> = data.chunks(per_chunk).collect();
     run_indexed(jobs, chunks.len(), |i| f(chunks[i]))
 }
@@ -305,6 +340,26 @@ mod tests {
     fn map_chunks_empty_slice() {
         let data: [u64; 0] = [];
         assert!(map_chunks(4, &data, |c| c.len()).is_empty());
+    }
+
+    #[test]
+    fn map_chunks_min_floors_granularity() {
+        let data: Vec<u64> = (0..1_000).collect();
+        // With a 400-item floor and 8 requested jobs, at most 3 chunks.
+        let lens = map_chunks_min(8, &data, 400, |c| c.len());
+        assert!(lens.len() <= 3, "{lens:?}");
+        assert_eq!(lens.iter().sum::<usize>(), 1_000);
+        assert!(lens[..lens.len() - 1].iter().all(|&l| l >= 400), "{lens:?}");
+        // Results equal the unfloored mapping, front to back.
+        let floored = map_chunks_min(4, &data, 64, |c| c.to_vec());
+        assert_eq!(floored.concat(), data);
+        // min_chunk = 0 behaves like 1 (no division by zero, no stall).
+        assert_eq!(
+            map_chunks_min(2, &data, 0, |c| c.iter().sum::<u64>())
+                .iter()
+                .sum::<u64>(),
+            data.iter().sum::<u64>()
+        );
     }
 
     #[test]

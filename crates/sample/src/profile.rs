@@ -5,11 +5,11 @@
 //! offers the one-call [`sample_profile`] used throughout the experiment
 //! harness.
 
+use dve_core::counter::CountTable;
 use dve_core::design::SampleDesign;
 use dve_core::profile::{FrequencyProfile, ProfileError};
 use dve_core::spectrum::SpectrumBuilder;
 use rand::Rng;
-use std::collections::HashMap;
 
 use crate::{bernoulli, block, reservoir, sequential, with_replacement, without_replacement};
 
@@ -125,23 +125,41 @@ pub fn sample_profile<R: Rng + ?Sized>(
 
 /// Counts value multiplicities and assembles the profile.
 pub fn profile_of_values(n: u64, values: &[u64]) -> Result<FrequencyProfile, ProfileError> {
-    let mut counts: HashMap<u64, u64> = HashMap::with_capacity(values.len());
+    // Start modest and let the table grow geometrically — most samples
+    // have far fewer distinct values than rows, so sizing for the worst
+    // case would waste the cache the open-addressing layout buys.
+    let mut counts = CountTable::with_capacity(values.len().min(4_096));
     for &v in values {
-        *counts.entry(v).or_insert(0) += 1;
+        counts.increment(v);
     }
-    FrequencyProfile::from_sample_counts(n, counts.into_values())
+    FrequencyProfile::from_sample_counts(n, counts.counts())
 }
 
-/// [`profile_of_values`] with split-count-merge parallelism: the value
-/// slice is cut into up to `jobs` contiguous chunks, each chunk is
-/// counted into its own `HashMap` on the [`dve_par`] worker pool, and
-/// the per-chunk maps are merged with
-/// [`FrequencyProfile::merge_counts`].
+/// Rows counted serially before the parallel fan-out — the first-chunk
+/// **cardinality probe**. Its distinct count sizes every parallel
+/// chunk's table so steady-state counting never reallocates.
+const PROBE_ROWS: usize = 65_536;
+
+/// Floor on parallel chunk length — chunks smaller than this cost more
+/// in pool dispatch than they save in counting.
+const MIN_CHUNK_ROWS: usize = 8_192;
+
+/// [`profile_of_values`] with split-count-merge parallelism: a serial
+/// prefix of [`PROBE_ROWS`] values is counted first and its distinct
+/// count `d₀` used to pre-size the per-chunk tables; the remaining
+/// values are cut into contiguous chunks of at least [`MIN_CHUNK_ROWS`]
+/// on the [`dve_par`] worker pool, each counted into its own
+/// open-addressing [`SpectrumBuilder`] table, and the per-chunk
+/// builders folded into the probe's with
+/// [`SpectrumBuilder::absorb`] (a move, not a copy, for the heaviest
+/// table).
 ///
-/// Count merging commutes, so the result equals [`profile_of_values`]
-/// exactly — for any `jobs` and any chunking. `jobs = 0` resolves via
-/// [`dve_par::default_jobs`] (`DVE_JOBS`, then available parallelism);
-/// `jobs = 1` degenerates to the serial single-map path.
+/// Value-level count merging commutes and every boundary depends only
+/// on `(values.len(), jobs)`, so the result equals
+/// [`profile_of_values`] exactly — for any `jobs` and any chunking.
+/// `jobs = 0` resolves via [`dve_par::default_jobs`] (`DVE_JOBS`, then
+/// available parallelism); `jobs = 1` and short inputs degenerate to
+/// the serial single-table path.
 pub fn profile_of_values_chunked(
     n: u64,
     values: &[u64],
@@ -152,17 +170,37 @@ pub fn profile_of_values_chunked(
     } else {
         jobs
     };
-    if jobs <= 1 {
+    if jobs <= 1 || values.len() <= PROBE_ROWS + MIN_CHUNK_ROWS {
         return profile_of_values(n, values);
     }
-    let chunk_counts = dve_par::map_chunks(jobs, values, |chunk| {
-        let mut counts: HashMap<u64, u64> = HashMap::with_capacity(chunk.len());
+    let (probe, rest) = values.split_at(PROBE_ROWS);
+    let mut acc = SpectrumBuilder::with_capacity(4_096);
+    for &v in probe {
+        acc.observe(v);
+    }
+    // The probe's cardinality bounds what sibling chunks will likely
+    // see: if it saturated well below its row count the data is
+    // low-cardinality and 2×d₀ headroom suffices; otherwise assume
+    // near-distinct and size by chunk length. Either way the table
+    // still grows transparently if the guess is low.
+    let d0 = acc.distinct_observed();
+    let low_card = d0 < PROBE_ROWS / 2;
+    let chunk_builders = dve_par::map_chunks_min(jobs, rest, MIN_CHUNK_ROWS, |chunk| {
+        let hint = if low_card {
+            chunk.len().min(d0 * 2 + 16)
+        } else {
+            chunk.len()
+        };
+        let mut b = SpectrumBuilder::with_capacity(hint);
         for &v in chunk {
-            *counts.entry(v).or_insert(0) += 1;
+            b.observe(v);
         }
-        counts
+        b
     });
-    FrequencyProfile::from_count_chunks(n, chunk_counts)
+    for b in chunk_builders {
+        acc.absorb(b);
+    }
+    acc.finish_with_table_rows(n)
 }
 
 /// A mergeable per-class count accumulator for **partitioned sampling**.
@@ -310,6 +348,25 @@ mod tests {
                 single,
                 "jobs={jobs}"
             );
+        }
+    }
+
+    #[test]
+    fn chunked_probe_path_equals_single_pass() {
+        // Big enough to cross PROBE_ROWS + MIN_CHUNK_ROWS and exercise
+        // the probe → pre-sized parallel chunks → absorb fold, on both
+        // the low-cardinality and near-distinct probe branches.
+        let low_card: Vec<u64> = (0..100_000u64).map(|i| (i * 2_654_435_761) % 257).collect();
+        let unique: Vec<u64> = (0..100_000u64).collect();
+        for data in [&low_card, &unique] {
+            let single = profile_of_values(200_000, data).unwrap();
+            for jobs in [2, 4, 7] {
+                assert_eq!(
+                    profile_of_values_chunked(200_000, data, jobs).unwrap(),
+                    single,
+                    "jobs={jobs}"
+                );
+            }
         }
     }
 

@@ -73,6 +73,13 @@ impl From<dve_core::registry::UnknownEstimator> for AnalyzeError {
 
 impl std::error::Error for AnalyzeError {}
 
+/// Smallest sampled-row count worth dispatching as its own counting
+/// task. Below this the pool's wakeup/collect overhead dwarfs the
+/// per-row work (a few ns each), so finer chunking only slows ANALYZE
+/// down. Chunk boundaries still depend only on `(r, jobs)` — never on
+/// scheduling — so determinism is unaffected.
+const MIN_ROWS_PER_TASK: usize = 4_096;
+
 /// Analyzes every column of `table` from one shared row sample, with
 /// per-column profiling fanned out over [`dve_par::default_jobs`]
 /// workers. See [`analyze_table_jobs`] for the explicit-jobs form and
@@ -92,10 +99,14 @@ pub fn analyze_table<R: Rng + ?Sized>(
 /// The row sample is drawn serially from `rng` — the sample is identical
 /// to the serial implementation's for a given RNG state. Column
 /// profiling then fans `(column × row-chunk)` counting tasks across the
-/// worker pool; each task accumulates into its own
-/// [`SpectrumBuilder`] and the per-chunk builders are merged with
-/// [`SpectrumBuilder::merge_from`]. Builder merging commutes, so the
-/// returned statistics are **bit-identical for every `jobs` value**.
+/// worker pool; each task counts into its own pre-sized
+/// [`SpectrumBuilder`] via the encoding-aware fast path
+/// ([`crate::column::Column::count_sampled_rows`]: dense dictionary-code
+/// counting for `Str`, RLE-run/dict grouping for `Int64`) and the
+/// per-chunk builders are folded with [`SpectrumBuilder::absorb`].
+/// Builder merging commutes and the fast paths produce the same
+/// observation multiset as the per-row loop, so the returned statistics
+/// are **bit-identical for every `jobs` value**.
 ///
 /// The sample is drawn without replacement, so each column's estimate is
 /// computed under [`SampleDesign::WithoutReplacement`] — design-aware
@@ -129,10 +140,17 @@ pub fn analyze_table_jobs<R: Rng + ?Sized>(
 
     // Fan (column × row-chunk) counting across the pool. Chunking rows
     // as well as columns keeps every worker busy even on narrow tables;
-    // boundaries depend only on (r, jobs), never on scheduling.
+    // boundaries depend only on (r, jobs), never on scheduling. The
+    // MIN_ROWS_PER_TASK floor stops small samples from being shredded
+    // into chunks whose dispatch overhead exceeds the counting work —
+    // the reason parallel ANALYZE used to lose to serial.
     let ncols = table.schema().len();
     let chunk_count = jobs.div_ceil(ncols).max(1);
-    let per_chunk = rows.len().div_ceil(chunk_count).max(1);
+    let per_chunk = rows
+        .len()
+        .div_ceil(chunk_count)
+        .max(MIN_ROWS_PER_TASK)
+        .max(1);
     let row_chunks: Vec<&[u64]> = rows.chunks(per_chunk).collect();
     let counted: Vec<(SpectrumBuilder, u64)> =
         dve_par::run_indexed(jobs, ncols * row_chunks.len(), |task| {
@@ -141,14 +159,14 @@ pub fn analyze_table_jobs<R: Rng + ?Sized>(
                 .detail(|| format!("col={col_idx} chunk={}", task % row_chunks.len()));
             let column = table.column(col_idx);
             let chunk = row_chunks[task % row_chunks.len()];
-            let mut builder = SpectrumBuilder::new();
-            let mut nulls = 0u64;
-            for &row in chunk {
-                match column.hash_code(row as usize) {
-                    Some(h) => builder.observe(h),
-                    None => nulls += 1,
-                }
-            }
+            // Pre-size the counting table from the encoding's distinct
+            // bound so the observe loop never reallocates; the chunk
+            // can't see more distinct values than it has rows.
+            let mut builder = match column.distinct_hint() {
+                Some(d) => SpectrumBuilder::with_capacity(d.min(chunk.len())),
+                None => SpectrumBuilder::new(),
+            };
+            let nulls = column.count_sampled_rows(chunk, &mut builder);
             (builder, nulls)
         });
 
@@ -159,7 +177,9 @@ pub fn analyze_table_jobs<R: Rng + ?Sized>(
         let mut nulls_in_sample = 0u64;
         for _ in 0..row_chunks.len() {
             let (b, nulls) = counted.next().expect("one result per counting task");
-            acc.merge_from(&b);
+            // Moves the first chunk's table instead of re-counting it —
+            // a 1-job ANALYZE pays nothing for the merge phase.
+            acc.absorb(b);
             nulls_in_sample += nulls;
         }
         let null_count_estimate = ((nulls_in_sample as f64 / r as f64) * n as f64).round() as u64;

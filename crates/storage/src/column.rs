@@ -13,6 +13,8 @@
 
 use crate::encoding::IntEncoding;
 use crate::value::{DataType, Value};
+use dve_core::hash::{hash_bytes, mix64, FastSet};
+use dve_core::spectrum::SpectrumBuilder;
 
 /// Rows per encoded chunk of an `Int64` column.
 pub const CHUNK_ROWS: usize = 65_536;
@@ -253,9 +255,11 @@ impl Column {
     }
 
     /// A deterministic 64-bit hash of the value at `row`; `None` for
-    /// NULL. Equal values hash equal; different values collide with
-    /// probability ~2⁻⁶⁴ (irrelevant next to sampling error, noted in
-    /// DESIGN.md).
+    /// NULL. Equal values hash equal. Numeric/bool values go through the
+    /// **bijective** [`dve_core::hash::mix64`], so two distinct values
+    /// never collide; strings go through [`dve_core::hash::hash_bytes`]
+    /// and collide with probability ~2⁻⁶⁴ (irrelevant next to sampling
+    /// error, noted in DESIGN.md).
     pub fn hash_code(&self, row: usize) -> Option<u64> {
         assert!(row < self.len(), "row {row} out of range");
         if self.is_null(row) {
@@ -263,25 +267,13 @@ impl Column {
         }
         Some(match self {
             Column::Int64 { chunks, .. } => {
-                splitmix64(chunks[row / CHUNK_ROWS].get(row % CHUNK_ROWS) as u64)
+                mix64(chunks[row / CHUNK_ROWS].get(row % CHUNK_ROWS) as u64)
             }
-            Column::Float64 { data, .. } => {
-                // Normalize -0.0 to 0.0 and all NaNs to one bit pattern so
-                // equal (==) floats hash equal.
-                let v = data[row];
-                let bits = if v == 0.0 {
-                    0u64
-                } else if v.is_nan() {
-                    u64::MAX
-                } else {
-                    v.to_bits()
-                };
-                splitmix64(bits)
-            }
-            // The dictionary code identifies the string within this
-            // column; fold in nothing else so equal strings hash equal.
-            Column::Str { codes, dict, .. } => fnv1a(dict[codes[row] as usize].as_bytes()),
-            Column::Bool { data, .. } => splitmix64(u64::from(data[row])),
+            Column::Float64 { data, .. } => mix64(normalize_f64_bits(data[row])),
+            // The string's bytes identify it; fold in nothing else so
+            // equal strings hash equal across columns and dictionaries.
+            Column::Str { codes, dict, .. } => hash_bytes(dict[codes[row] as usize].as_bytes()),
+            Column::Bool { data, .. } => mix64(u64::from(data[row])),
         })
     }
 
@@ -289,6 +281,104 @@ impl Column {
     /// full-scan estimation checks.
     pub fn hash_codes(&self) -> Vec<Option<u64>> {
         (0..self.len()).map(|row| self.hash_code(row)).collect()
+    }
+
+    /// A cheap upper bound on the column's distinct non-NULL values,
+    /// read off the encoding metadata: dictionary length for `Str`,
+    /// summed per-chunk encoding bounds for `Int64`, 2 for `Bool`.
+    /// `None` when nothing better than the row count is known. Used to
+    /// pre-size counting tables so the observe loop never reallocates.
+    pub fn distinct_hint(&self) -> Option<usize> {
+        match self {
+            Column::Str { dict, .. } => Some(dict.len()),
+            Column::Int64 { chunks, len, .. } => Some(
+                chunks
+                    .iter()
+                    .map(|c| c.distinct_upper_bound())
+                    .sum::<usize>()
+                    .min(*len),
+            ),
+            Column::Bool { .. } => Some(2),
+            Column::Float64 { .. } => None,
+        }
+    }
+
+    /// Counts the sampled `rows` (global row indices, any order, repeats
+    /// allowed) into `builder`, returning the number of NULL sampled
+    /// rows — the ingest hot path behind ANALYZE.
+    ///
+    /// Produces exactly the same multiset of `(hash, count)`
+    /// observations as the per-row loop over [`Column::hash_code`] /
+    /// `observe`, hence a bit-identical finished spectrum — but takes
+    /// the fastest route the storage layout allows:
+    ///
+    /// * `Str`: one dense `Vec<u64>` indexed by dictionary code — no
+    ///   hashing per row; each *distinct sampled* string is hashed once;
+    /// * `Int64`: rows are sorted (counting commutes, so reordering is
+    ///   free) and walked chunk by chunk via
+    ///   [`IntEncoding::for_each_group`] — RLE runs and dictionary codes
+    ///   become single `observe_count` calls;
+    /// * NULL rows (and whole NULL runs) are skipped, never hashed;
+    /// * `Float64`/`Bool` fall back to the per-row loop, which their
+    ///   plain layout already serves well.
+    pub fn count_sampled_rows(&self, rows: &[u64], builder: &mut SpectrumBuilder) -> u64 {
+        match self {
+            Column::Str { codes, dict, nulls } => {
+                let mut counts = vec![0u64; dict.len()];
+                let mut null_rows = 0u64;
+                for &row in rows {
+                    if nulls.is_null(row as usize) {
+                        null_rows += 1;
+                    } else {
+                        counts[codes[row as usize] as usize] += 1;
+                    }
+                }
+                for (code, &count) in counts.iter().enumerate() {
+                    if count > 0 {
+                        builder.observe_count(hash_bytes(dict[code].as_bytes()), count);
+                    }
+                }
+                null_rows
+            }
+            Column::Int64 { chunks, nulls, .. } => {
+                let mut null_rows = 0u64;
+                let mut sorted: Vec<u64> = Vec::with_capacity(rows.len());
+                for &row in rows {
+                    if nulls.is_null(row as usize) {
+                        null_rows += 1;
+                    } else {
+                        sorted.push(row);
+                    }
+                }
+                sorted.sort_unstable();
+                let mut offsets: Vec<u32> = Vec::new();
+                let mut i = 0usize;
+                while i < sorted.len() {
+                    let chunk_idx = (sorted[i] / CHUNK_ROWS as u64) as usize;
+                    let base = (chunk_idx * CHUNK_ROWS) as u64;
+                    let end = base + CHUNK_ROWS as u64;
+                    offsets.clear();
+                    while i < sorted.len() && sorted[i] < end {
+                        offsets.push((sorted[i] - base) as u32);
+                        i += 1;
+                    }
+                    chunks[chunk_idx].for_each_group(&offsets, |v, count| {
+                        builder.observe_count(mix64(v as u64), count);
+                    });
+                }
+                null_rows
+            }
+            _ => {
+                let mut null_rows = 0u64;
+                for &row in rows {
+                    match self.hash_code(row as usize) {
+                        Some(h) => builder.observe(h),
+                        None => null_rows += 1,
+                    }
+                }
+                null_rows
+            }
+        }
     }
 
     /// Exact number of distinct non-NULL values (full scan; the ground
@@ -314,18 +404,29 @@ impl Column {
                 if nulls.null_count() == 0 {
                     dict.len() as u64
                 } else {
-                    let used: std::collections::HashSet<u32> = codes
-                        .iter()
-                        .enumerate()
-                        .filter(|(row, _)| !nulls.is_null(*row))
-                        .map(|(_, &c)| c)
-                        .collect();
-                    used.len() as u64
+                    // Dense code bitmap: one byte per dictionary entry
+                    // beats hashing every row.
+                    let mut used = vec![false; dict.len()];
+                    for (row, &c) in codes.iter().enumerate() {
+                        if !nulls.is_null(row) {
+                            used[c as usize] = true;
+                        }
+                    }
+                    used.iter().filter(|&&u| u).count() as u64
                 }
             }
+            Column::Int64 { chunks, nulls, .. } if nulls.null_count() == 0 => {
+                // Union the encodings' candidate values — for RLE/dict
+                // chunks this touches runs/dictionaries, not rows.
+                let mut set: FastSet<i64> = FastSet::default();
+                for chunk in chunks {
+                    set.extend(chunk.distinct_candidates().iter().copied());
+                }
+                set.len() as u64
+            }
             _ => {
-                let set: std::collections::HashSet<u64> =
-                    self.hash_codes().into_iter().flatten().collect();
+                let mut set: FastSet<u64> = FastSet::default();
+                set.extend(self.hash_codes().into_iter().flatten());
                 set.len() as u64
             }
         }
@@ -344,22 +445,18 @@ impl Column {
     }
 }
 
-/// SplitMix64 finalizer — a strong, cheap integer hash.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
-/// FNV-1a over bytes.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+/// Normalizes a float to hashable bits: -0.0 folds into 0.0 and all
+/// NaNs into one bit pattern, so equal (`==`) floats hash equal and
+/// NaNs form a single counted class.
+#[inline]
+fn normalize_f64_bits(v: f64) -> u64 {
+    if v == 0.0 {
+        0
+    } else if v.is_nan() {
+        u64::MAX
+    } else {
+        v.to_bits()
     }
-    h
 }
 
 #[cfg(test)]
@@ -467,6 +564,128 @@ mod tests {
         let c1 = Column::from_i64(&clustered);
         let c2 = Column::from_i64(&unique);
         assert!(c1.memory_bytes() < c2.memory_bytes() / 10);
+    }
+
+    /// The reference slow path: per-row hash_code → observe.
+    fn count_slow(col: &Column, rows: &[u64]) -> (SpectrumBuilder, u64) {
+        let mut b = SpectrumBuilder::new();
+        let mut nulls = 0u64;
+        for &row in rows {
+            match col.hash_code(row as usize) {
+                Some(h) => b.observe(h),
+                None => nulls += 1,
+            }
+        }
+        (b, nulls)
+    }
+
+    /// Fast path ≡ slow path: identical finished spectrum and null count.
+    fn assert_fast_equals_slow(col: &Column, rows: &[u64]) {
+        let (slow, slow_nulls) = count_slow(col, rows);
+        let mut fast = SpectrumBuilder::new();
+        let fast_nulls = col.count_sampled_rows(rows, &mut fast);
+        assert_eq!(fast_nulls, slow_nulls);
+        assert_eq!(fast.sampled_rows(), slow.sampled_rows());
+        assert_eq!(fast.distinct_observed(), slow.distinct_observed());
+        let n = (col.len() as u64).max(fast.sampled_rows()).max(1);
+        match (
+            fast.finish_with_table_rows(n),
+            slow.finish_with_table_rows(n),
+        ) {
+            (Ok(f), Ok(s)) => assert_eq!(f, s),
+            (Err(f), Err(s)) => assert_eq!(f, s),
+            other => panic!("fast/slow disagree on error-ness: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_slow_path_on_every_column_kind() {
+        // Unsorted, repeating, boundary-crossing row picks.
+        let pick = |len: usize| -> Vec<u64> {
+            (0..len as u64)
+                .map(|i| (i * 2_654_435_761) % len as u64)
+                .chain([0, (len - 1) as u64, 0])
+                .collect()
+        };
+
+        // Int64 spanning 3 chunks with mixed encodings: sorted dup runs
+        // (RLE), low-card shuffle (dict), unique tail (plain).
+        let mut ints: Vec<i64> = (0..CHUNK_ROWS as i64).map(|i| i / 8_192).collect();
+        ints.extend((0..CHUNK_ROWS as i64).map(|i| (i * 7) % 13));
+        ints.extend((0..1_000).map(|i| 1_000_000 + i));
+        let int_col = Column::from_i64(&ints);
+        assert_fast_equals_slow(&int_col, &pick(ints.len()));
+
+        // Nullable Int64 with whole null stretches.
+        let opt: Vec<Option<i64>> = (0..20_000i64)
+            .map(|i| {
+                if (i / 100) % 3 == 0 {
+                    None
+                } else {
+                    Some(i % 50)
+                }
+            })
+            .collect();
+        let null_col = Column::from_i64_opt(&opt);
+        assert_fast_equals_slow(&null_col, &pick(opt.len()));
+
+        // Str with nulls — the dense dictionary-code path.
+        let strs: Vec<Option<&str>> = ["ny", "sf", "la", "ny"]
+            .into_iter()
+            .cycle()
+            .take(5_000)
+            .enumerate()
+            .map(|(i, s)| if i % 11 == 0 { None } else { Some(s) })
+            .collect::<Vec<_>>();
+        let str_col = Column::from_strs_opt(&strs);
+        assert_fast_equals_slow(&str_col, &pick(strs.len()));
+
+        // Float64 and Bool fall back to the per-row loop.
+        let float_col = Column::from_f64((0..3_000).map(|i| (i % 17) as f64 / 3.0).collect());
+        assert_fast_equals_slow(&float_col, &pick(3_000));
+        let bool_col = Column::from_bools((0..500).map(|i| i % 3 == 0).collect());
+        assert_fast_equals_slow(&bool_col, &pick(500));
+    }
+
+    #[test]
+    fn fast_path_handles_empty_and_all_null() {
+        let col = Column::from_i64_opt(&vec![None; 64]);
+        let mut b = SpectrumBuilder::new();
+        assert_eq!(col.count_sampled_rows(&[], &mut b), 0);
+        let rows: Vec<u64> = (0..64).collect();
+        assert_eq!(col.count_sampled_rows(&rows, &mut b), 64);
+        assert_eq!(b.sampled_rows(), 0);
+    }
+
+    #[test]
+    fn distinct_hints_bound_truth() {
+        let int_col = Column::from_i64(&(0..10_000i64).map(|i| i / 100).collect::<Vec<_>>());
+        let hint = int_col.distinct_hint().unwrap();
+        assert!(hint as u64 >= int_col.exact_distinct());
+        assert!(hint <= int_col.len());
+        let str_col = Column::from_strs(&["a", "b", "a"]);
+        assert_eq!(str_col.distinct_hint(), Some(2));
+        assert_eq!(Column::from_bools(vec![true]).distinct_hint(), Some(2));
+        assert_eq!(Column::from_f64(vec![1.0]).distinct_hint(), None);
+    }
+
+    #[test]
+    fn exact_distinct_fast_paths_agree_with_hashing() {
+        // Mixed-encoding int column, with and without nulls.
+        let mut vals: Vec<i64> = (0..70_000i64).map(|i| i / 1_000).collect();
+        vals.extend(0..5_000);
+        let col = Column::from_i64(&vals);
+        let set: std::collections::HashSet<i64> = vals.iter().copied().collect();
+        assert_eq!(col.exact_distinct(), set.len() as u64);
+
+        let opt: Vec<Option<i64>> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i % 5 == 0 { None } else { Some(v) })
+            .collect();
+        let null_col = Column::from_i64_opt(&opt);
+        let null_set: std::collections::HashSet<i64> = opt.iter().copied().flatten().collect();
+        assert_eq!(null_col.exact_distinct(), null_set.len() as u64);
     }
 
     #[test]

@@ -82,7 +82,7 @@ impl IntEncoding {
 
     fn encode_dict(values: &[i64]) -> Option<Self> {
         let mut dict: Vec<i64> = Vec::new();
-        let mut index: std::collections::HashMap<i64, u32> = std::collections::HashMap::new();
+        let mut index: dve_core::hash::FastMap<i64, u32> = dve_core::hash::FastMap::default();
         let mut codes = Vec::with_capacity(values.len());
         for &v in values {
             let code = *index.entry(v).or_insert_with(|| {
@@ -173,6 +173,92 @@ impl IntEncoding {
         }
     }
 
+    /// An O(1) upper bound on the number of distinct values in the
+    /// chunk, read straight off the encoding: run count for RLE,
+    /// dictionary length for dict, row count for plain.
+    pub fn distinct_upper_bound(&self) -> usize {
+        match self {
+            IntEncoding::Plain(v) => v.len(),
+            IntEncoding::RunLength { values, .. } => values.len(),
+            IntEncoding::Dictionary { dict, .. } => dict.len(),
+        }
+    }
+
+    /// A value slice guaranteed to contain every distinct value of the
+    /// chunk (possibly with repeats): all rows for plain, the run values
+    /// for RLE, the dictionary for dict. Lets full-scan distinct
+    /// counting skip decoding.
+    pub fn distinct_candidates(&self) -> &[i64] {
+        match self {
+            IntEncoding::Plain(v) => v,
+            IntEncoding::RunLength { values, .. } => values,
+            IntEncoding::Dictionary { dict, .. } => dict,
+        }
+    }
+
+    /// Visits the given sampled rows of this chunk **grouped by equal
+    /// value** wherever the encoding makes grouping free, calling
+    /// `f(value, count)` with `count ≥ 1`.
+    ///
+    /// `sorted_rows` must be ascending in-chunk offsets, each `< len()`.
+    /// The groups partition the sampled rows and a value may appear in
+    /// more than one group; a counting consumer that *adds* group counts
+    /// therefore sees exactly the same totals as a per-row visit, in any
+    /// order — which is all the spectrum layer needs.
+    ///
+    /// * RLE: one two-pointer walk — a run sampled `k` times is a single
+    ///   `f(value, k)`, so a sorted column costs O(runs touched), not
+    ///   O(rows);
+    /// * dictionary: a dense per-code count array — no searching, one
+    ///   `f` per distinct sampled code;
+    /// * plain: adjacent sampled rows with equal values are coalesced
+    ///   (one compare per row; clustered data still wins).
+    pub fn for_each_group(&self, sorted_rows: &[u32], mut f: impl FnMut(i64, u64)) {
+        match self {
+            IntEncoding::Plain(v) => {
+                let mut i = 0usize;
+                while i < sorted_rows.len() {
+                    let val = v[sorted_rows[i] as usize];
+                    let mut j = i + 1;
+                    while j < sorted_rows.len() && v[sorted_rows[j] as usize] == val {
+                        j += 1;
+                    }
+                    f(val, (j - i) as u64);
+                    i = j;
+                }
+            }
+            IntEncoding::RunLength { values, ends } => {
+                let mut run = 0usize;
+                let mut i = 0usize;
+                while i < sorted_rows.len() {
+                    // Advance to the run containing this row; both sides
+                    // ascend, so `run` never moves backwards.
+                    while ends[run] <= sorted_rows[i] {
+                        run += 1;
+                    }
+                    let end = ends[run];
+                    let mut j = i + 1;
+                    while j < sorted_rows.len() && sorted_rows[j] < end {
+                        j += 1;
+                    }
+                    f(values[run], (j - i) as u64);
+                    i = j;
+                }
+            }
+            IntEncoding::Dictionary { codes, dict } => {
+                let mut counts = vec![0u64; dict.len()];
+                for &row in sorted_rows {
+                    counts[codes[row as usize] as usize] += 1;
+                }
+                for (code, &count) in counts.iter().enumerate() {
+                    if count > 0 {
+                        f(dict[code], count);
+                    }
+                }
+            }
+        }
+    }
+
     /// A short label for stats/debug output.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -257,6 +343,58 @@ mod tests {
     #[should_panic]
     fn out_of_range_get_panics() {
         IntEncoding::encode(&[1, 2, 3]).get(3);
+    }
+
+    /// Collects `for_each_group` output into per-value totals.
+    fn group_totals(e: &IntEncoding, rows: &[u32]) -> std::collections::HashMap<i64, u64> {
+        let mut m = std::collections::HashMap::new();
+        e.for_each_group(rows, |v, c| {
+            assert!(c >= 1);
+            *m.entry(v).or_insert(0) += c;
+        });
+        m
+    }
+
+    #[test]
+    fn for_each_group_matches_per_row_visit_on_every_encoding() {
+        let datasets: Vec<Vec<i64>> = vec![
+            (0..500).collect(),                      // plain
+            (0..500).map(|i| i / 100).collect(),     // rle
+            (0..500).map(|i| (i * 7) % 9).collect(), // dict
+            vec![3; 500],                            // one run
+        ];
+        for data in datasets {
+            let e = IntEncoding::encode(&data);
+            for rows in [
+                (0..data.len() as u32).collect::<Vec<u32>>(), // every row
+                (0..data.len() as u32).step_by(7).collect(),  // strided
+                vec![0, 1, 2, 99, 100, 101, 499],             // boundaries
+                vec![250],                                    // singleton
+                vec![],                                       // empty
+            ] {
+                let mut want = std::collections::HashMap::new();
+                for &r in &rows {
+                    *want.entry(data[r as usize]).or_insert(0u64) += 1;
+                }
+                assert_eq!(group_totals(&e, &rows), want, "{} {:?}", e.kind(), rows);
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_upper_bound_and_candidates() {
+        let rle = IntEncoding::encode(&[1i64, 1, 1, 1, 2, 2, 2, 2, 1, 1, 1, 1]);
+        assert_eq!(rle.kind(), "rle");
+        assert_eq!(rle.distinct_upper_bound(), 3); // 3 runs, 2 distinct
+        assert_eq!(rle.distinct(), 2);
+        let set: std::collections::HashSet<i64> =
+            rle.distinct_candidates().iter().copied().collect();
+        assert_eq!(set.len(), 2);
+
+        let dict = IntEncoding::encode(&(0..100i64).map(|i| i % 5).collect::<Vec<_>>());
+        assert_eq!(dict.kind(), "dict");
+        assert_eq!(dict.distinct_upper_bound(), 5);
+        assert_eq!(dict.distinct_candidates(), &[0, 1, 2, 3, 4]);
     }
 
     #[test]

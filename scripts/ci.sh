@@ -15,11 +15,13 @@ cargo doc --no-deps --workspace
 # noise; real estimator regressions move these numbers far more).
 ./target/release/dve audit --check BENCH_accuracy.json
 
-# Parallel determinism + wall-time gate: time the audit sweep and
-# ANALYZE at jobs=1 vs jobs=N (prints the comparison table), verify the
-# parallel results are bit-identical to serial, and compare wall times
-# against the committed baseline. The speedup assertion arms only on
-# hosts with >= 4 cores; determinism is gated everywhere.
+# Parallel determinism + wall-time gate: time the audit sweep, ANALYZE,
+# spectrum ingest, and the mixed-encoding ingest/analyze scenarios at
+# jobs=1 vs jobs=N (prints the comparison table, including the
+# ingest_rows_per_sec throughput gauge), verify the parallel results
+# are bit-identical to serial, and compare wall times against the
+# committed baseline. The speedup assertion arms only on hosts with
+# >= 4 cores; determinism is gated everywhere.
 ./target/release/dve bench --quick --check BENCH_perf.json
 
 # Belt and braces for the determinism contract the bench relies on:
@@ -30,6 +32,25 @@ trap 'rm -rf "$tmpdir"' EXIT
 ./target/release/dve audit --grid quick --deterministic --jobs 1 --out "$tmpdir/j1.json"
 ./target/release/dve audit --grid quick --deterministic --jobs 4 --out "$tmpdir/j4.json"
 cmp "$tmpdir/j1.json" "$tmpdir/j4.json"
+
+# Ingest fast-path byte-identity: tables whose chunks land on the RLE,
+# dictionary, and Str encodings (sorted duplicates, low-cardinality
+# ints, categorical strings) must ANALYZE byte-identically at --jobs 1
+# and --jobs 4 — the encoding-aware counting fast paths, pre-sized
+# open-addressing builders, and the absorb merge may not move a bit.
+awk 'BEGIN{for(i=0;i<30000;i++)print int(i/64)}' >"$tmpdir/sorted.txt"
+./target/release/dve import --type int64 --out "$tmpdir/rle.dvet" "$tmpdir/sorted.txt"
+awk 'BEGIN{for(i=0;i<30000;i++)print (i*7919)%101}' >"$tmpdir/lowcard.txt"
+./target/release/dve import --type int64 --out "$tmpdir/dict.dvet" "$tmpdir/lowcard.txt"
+awk 'BEGIN{for(i=0;i<30000;i++)printf "cat%03d\n",(i*7)%57}' >"$tmpdir/cats.txt"
+./target/release/dve import --type str --out "$tmpdir/strs.dvet" "$tmpdir/cats.txt"
+for t in rle dict strs; do
+    ./target/release/dve analyze --format json --fraction 0.2 --seed 11 --jobs 1 \
+        "$tmpdir/$t.dvet" >"$tmpdir/$t-j1.json"
+    ./target/release/dve analyze --format json --fraction 0.2 --seed 11 --jobs 4 \
+        "$tmpdir/$t.dvet" >"$tmpdir/$t-j4.json"
+    cmp "$tmpdir/$t-j1.json" "$tmpdir/$t-j4.json"
+done
 
 # Serve smoke: boot the daemon on a private port, exercise every
 # endpoint through real HTTP, lint the Prometheus exposition, then

@@ -67,7 +67,9 @@
 //! dve bench [--quick|--full] [--out PATH] [--check BASELINE.json]
 //!           [--latency-factor 25] [--min-speedup 1.5]
 //!     Wall-time benchmark of the parallel execution layer: times the
-//!     audit sweep, ANALYZE, and chunked spectrum construction at
+//!     audit sweep, ANALYZE, chunked spectrum construction,
+//!     windowed-histogram ingest, mixed-encoding table ingest (reported
+//!     as rows/second), and a larger mixed-encoding ANALYZE at
 //!     jobs=1 vs jobs=N, verifies the
 //!     parallel results are bit-identical to serial, and writes
 //!     BENCH_perf.json (or, with --check, gates against the committed
@@ -816,15 +818,41 @@ fn cmd_import(args: &[String]) {
         fail(2, "import requires --out TABLE.dvet".to_string());
     };
     let column_name: String = flag_parse(&flags, "column", "value".to_string());
+    let value_type: String = flag_parse(&flags, "type", "str".to_string());
     let lines = read_lines(&positional);
     if lines.is_empty() {
         fail(1, "input is empty".to_string());
     }
-    let column = distinct_values::storage::Column::from_strs(&lines);
+    // `--type int64` parses each line as an integer; sorted input then
+    // lands on RLE chunks and low-cardinality input on dictionary
+    // chunks, so imported tables exercise the same encodings (and
+    // counting fast paths) as native ones.
+    let (column, data_type) = match value_type.as_str() {
+        "str" => (
+            distinct_values::storage::Column::from_strs(&lines),
+            distinct_values::storage::DataType::Str,
+        ),
+        "int64" => {
+            let values: Vec<i64> = lines
+                .iter()
+                .enumerate()
+                .map(|(i, line)| {
+                    line.trim().parse().unwrap_or_else(|e| {
+                        fail(1, format!("line {}: invalid int64 {line:?}: {e}", i + 1))
+                    })
+                })
+                .collect();
+            (
+                distinct_values::storage::Column::from_i64(&values),
+                distinct_values::storage::DataType::Int64,
+            )
+        }
+        other => fail(2, format!("invalid --type {other} (str|int64)")),
+    };
     let table = distinct_values::storage::Table::new(
         distinct_values::storage::Schema::new(vec![distinct_values::storage::Field::new(
             column_name,
-            distinct_values::storage::DataType::Str,
+            data_type,
         )]),
         vec![column],
     )
@@ -919,7 +947,7 @@ fn usage_and_exit(code: i32) -> ! {
          dve exact [FILE|-]\n  \
          dve sketch [--hll-p 12] [FILE|-]\n  \
          dve generate --rows N [--zipf Z] [--dup K] [--seed S]\n  \
-         dve import --out TABLE.dvet [--column NAME] [FILE|-]\n  \
+         dve import --out TABLE.dvet [--column NAME] [--type str|int64] [FILE|-]\n  \
          dve analyze TABLE.dvet [--fraction 0.01] [--estimator AE] [--seed 42]\n            \
          [--format table|json] [--trace TRACE.json]\n  \
          dve audit [--grid full|quick] [--trials N] [--seed S] [--out PATH]\n            \
