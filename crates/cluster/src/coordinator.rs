@@ -1,0 +1,544 @@
+//! The coordinator: fans an estimate sweep out to every worker, merges
+//! the partial spectra under honest per-shard WOR designs, and
+//! degrades gracefully when workers fail.
+//!
+//! ## Merge math
+//!
+//! Each worker samples each owned segment without replacement, so a
+//! partial spectrum carries `SampleDesign::wor(n_i)` semantics. Since
+//! segments are value-disjoint by deployment contract (hash or range
+//! partitioning), [`dve_core::Spectrum::merge_designed`] applies: the
+//! f-vectors add and the designs fold to `wor(Σ nᵢ)` — the same
+//! spectrum *and* design single-node estimation produces on the
+//! concatenated table at fraction 1.0, which is what pins the cluster's
+//! byte-identity gate in CI.
+//!
+//! ## Failure model
+//!
+//! Per worker: one connect/request attempt, then — for retryable
+//! failures (I/O errors, timeouts, `Internal` wire errors) — up to
+//! [`ClusterConfig::retries`] more after [`ClusterConfig::retry_backoff`].
+//! Version mismatches and bad requests never retry: the same bits would
+//! fail the same way. A worker that still fails is *skipped*: its
+//! segments are reported in [`ClusterSweep::skipped`] and the sweep
+//! completes over the survivors, because a partial estimate with an
+//! explicit coverage report beats an error for every consumer that can
+//! tolerate it (and the ones that cannot can check `skipped`).
+
+use crate::protocol::{self, Message, ProtoError, WireErrorCode, PROTOCOL_VERSION};
+use dve_core::design::SampleDesign;
+use dve_core::Spectrum;
+use dve_obs::trace;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Coordinator configuration: the worker set plus failure-handling
+/// knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Worker addresses (`host:port`).
+    pub workers: Vec<String>,
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+    /// Read/write timeout covering one request/response exchange.
+    pub request_timeout: Duration,
+    /// Extra attempts after the first failure (retryable failures
+    /// only).
+    pub retries: u32,
+    /// Pause before each retry.
+    pub retry_backoff: Duration,
+}
+
+impl ClusterConfig {
+    /// A config for `workers` with the default failure knobs: 1 s
+    /// connect, 5 s request, one retry after 100 ms.
+    pub fn new(workers: Vec<String>) -> Self {
+        ClusterConfig {
+            workers,
+            connect_timeout: Duration::from_secs(1),
+            request_timeout: Duration::from_secs(5),
+            retries: 1,
+            retry_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A worker the sweep had to skip, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedWorker {
+    /// The worker's address.
+    pub worker: String,
+    /// Segments that worker reported owning — known only if the
+    /// handshake succeeded before the failure.
+    pub segments: Option<u32>,
+    /// The final attempt's error.
+    pub error: String,
+}
+
+/// One completed cluster sweep: the merged sufficient statistic plus a
+/// coverage report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSweep {
+    /// The merged spectrum over every answering worker's segments.
+    pub spectrum: Spectrum,
+    /// The honest merged design (`wor(Σ nᵢ)` when every partial is
+    /// WOR, which worker-produced partials always are).
+    pub design: SampleDesign,
+    /// Workers configured.
+    pub workers_total: usize,
+    /// Workers that answered.
+    pub workers_answered: usize,
+    /// Non-empty segments merged into [`ClusterSweep::spectrum`].
+    pub segments: u32,
+    /// Workers skipped after retries, with their segment counts where
+    /// known. Empty on a healthy sweep.
+    pub skipped: Vec<SkippedWorker>,
+    /// Retry attempts performed during this sweep (also on the
+    /// `cluster.retries` counter).
+    pub retries: u64,
+}
+
+impl ClusterSweep {
+    /// Whether every configured worker contributed.
+    pub fn complete(&self) -> bool {
+        self.skipped.is_empty()
+    }
+}
+
+/// Why a sweep produced no estimate at all.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// The coordinator has no workers configured.
+    NoWorkers,
+    /// The sampling fraction is outside `(0, 1]`.
+    BadFraction(f64),
+    /// Every worker failed; the per-worker reports are attached.
+    AllWorkersFailed(Vec<SkippedWorker>),
+    /// Workers answered but owned no rows — nothing to estimate.
+    EmptySample,
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NoWorkers => write!(f, "no cluster workers configured"),
+            ClusterError::BadFraction(v) => {
+                write!(f, "sampling fraction must be in (0, 1], got {v}")
+            }
+            ClusterError::AllWorkersFailed(skipped) => {
+                write!(f, "all {} cluster workers failed", skipped.len())?;
+                for s in skipped {
+                    write!(f, "; {}: {}", s.worker, s.error)?;
+                }
+                Ok(())
+            }
+            ClusterError::EmptySample => {
+                write!(f, "cluster workers own no rows; nothing to estimate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// What one worker contributed to a sweep.
+struct WorkerFetch {
+    segments: u32,
+    shards: Vec<(Spectrum, SampleDesign)>,
+}
+
+/// One attempt's failure: whether a retry could help, what the worker
+/// reported owning (if the handshake got that far), and the error.
+struct FetchFailure {
+    retryable: bool,
+    segments: Option<u32>,
+    error: String,
+}
+
+impl FetchFailure {
+    fn io(e: impl std::fmt::Display) -> Self {
+        FetchFailure {
+            retryable: true,
+            segments: None,
+            error: e.to_string(),
+        }
+    }
+
+    fn fatal(error: String) -> Self {
+        FetchFailure {
+            retryable: false,
+            segments: None,
+            error,
+        }
+    }
+}
+
+/// The fan-out/merge side of the cluster.
+#[derive(Debug)]
+pub struct Coordinator {
+    config: ClusterConfig,
+}
+
+impl Coordinator {
+    /// A coordinator over `config`'s worker set.
+    pub fn new(config: ClusterConfig) -> Coordinator {
+        Coordinator { config }
+    }
+
+    /// The configured worker addresses.
+    pub fn workers(&self) -> &[String] {
+        &self.config.workers
+    }
+
+    /// Runs one sweep: ask every worker for its partial spectra at
+    /// `fraction`/`seed` (in parallel, through the `dve-par` pool so
+    /// trace spans stay causally linked), merge what answers, report
+    /// what did not.
+    pub fn sweep(&self, fraction: f64, seed: u64) -> Result<ClusterSweep, ClusterError> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(ClusterError::BadFraction(fraction));
+        }
+        let workers = &self.config.workers;
+        if workers.is_empty() {
+            return Err(ClusterError::NoWorkers);
+        }
+        let mut fanout = trace::span("cluster.fanout");
+        let results = dve_par::run_indexed(workers.len(), workers.len(), |i| {
+            self.fetch(&workers[i], fraction, seed)
+        });
+        let mut shards = Vec::new();
+        let mut skipped = Vec::new();
+        let mut segments = 0u32;
+        let mut retries = 0u64;
+        let mut answered = 0usize;
+        for (result, attempts_retried) in results {
+            retries += u64::from(attempts_retried);
+            match result {
+                Ok(fetch) => {
+                    answered += 1;
+                    segments += fetch.shards.len() as u32;
+                    shards.extend(fetch.shards);
+                }
+                Err(skip) => skipped.push(skip),
+            }
+        }
+        fanout.set_detail(|| {
+            format!(
+                "workers={} answered={answered} skipped={} retries={retries}",
+                workers.len(),
+                skipped.len()
+            )
+        });
+        drop(fanout);
+        if answered == 0 {
+            return Err(ClusterError::AllWorkersFailed(skipped));
+        }
+        let (spectrum, design) =
+            Spectrum::merge_designed(shards).ok_or(ClusterError::EmptySample)?;
+        Ok(ClusterSweep {
+            spectrum,
+            design,
+            workers_total: workers.len(),
+            workers_answered: answered,
+            segments,
+            skipped,
+            retries,
+        })
+    }
+
+    /// Fetches one worker's partials with the retry policy, returning
+    /// the outcome plus how many retries were spent.
+    fn fetch(
+        &self,
+        worker: &str,
+        fraction: f64,
+        seed: u64,
+    ) -> (Result<WorkerFetch, SkippedWorker>, u32) {
+        let obs = dve_obs::global();
+        let mut span = trace::span("cluster.worker").detail(|| worker.to_string());
+        let mut retried = 0u32;
+        loop {
+            obs.counter_labeled("cluster.worker_requests", worker).inc();
+            let started = Instant::now();
+            let attempt = self.try_fetch(worker, fraction, seed);
+            obs.histogram_labeled("cluster.worker_ns", worker)
+                .record(started.elapsed().as_nanos() as u64);
+            match attempt {
+                Ok(fetch) => {
+                    span.set_detail(|| format!("{worker} segments={}", fetch.segments));
+                    return (Ok(fetch), retried);
+                }
+                Err(failure) => {
+                    if failure.retryable && retried < self.config.retries {
+                        retried += 1;
+                        obs.counter("cluster.retries").inc();
+                        std::thread::sleep(self.config.retry_backoff);
+                        continue;
+                    }
+                    obs.counter_labeled("cluster.worker_failures", worker).inc();
+                    span.set_detail(|| format!("{worker} skipped: {}", failure.error));
+                    return (
+                        Err(SkippedWorker {
+                            worker: worker.to_string(),
+                            segments: failure.segments,
+                            error: failure.error,
+                        }),
+                        retried,
+                    );
+                }
+            }
+        }
+    }
+
+    /// One handshake + spectrum exchange with one worker.
+    fn try_fetch(
+        &self,
+        worker: &str,
+        fraction: f64,
+        seed: u64,
+    ) -> Result<WorkerFetch, FetchFailure> {
+        let addr = worker
+            .to_socket_addrs()
+            .map_err(FetchFailure::io)?
+            .next()
+            .ok_or_else(|| FetchFailure::fatal(format!("{worker} resolves to no address")))?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)
+            .map_err(FetchFailure::io)?;
+        stream
+            .set_read_timeout(Some(self.config.request_timeout))
+            .map_err(FetchFailure::io)?;
+        stream
+            .set_write_timeout(Some(self.config.request_timeout))
+            .map_err(FetchFailure::io)?;
+
+        protocol::write_message(
+            &mut stream,
+            &Message::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .map_err(proto_failure)?;
+        let segments = match protocol::read_message(&mut stream).map_err(proto_failure)? {
+            Message::HelloAck {
+                version, segments, ..
+            } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(FetchFailure::fatal(format!(
+                        "protocol version mismatch: coordinator v{PROTOCOL_VERSION}, \
+                         worker v{version}"
+                    )));
+                }
+                segments
+            }
+            Message::Error { code, message } => return Err(wire_failure(code, message)),
+            other => {
+                return Err(FetchFailure::fatal(format!(
+                    "unexpected handshake reply: {other:?}"
+                )))
+            }
+        };
+
+        protocol::write_message(&mut stream, &Message::SpectrumReq { fraction, seed })
+            .map_err(proto_failure)?;
+        let partials = match protocol::read_message(&mut stream).map_err(proto_failure)? {
+            Message::SpectrumResp { partials } => partials,
+            Message::Error { code, message } => {
+                let mut failure = wire_failure(code, message);
+                failure.segments = Some(segments);
+                return Err(failure);
+            }
+            other => {
+                return Err(FetchFailure {
+                    retryable: false,
+                    segments: Some(segments),
+                    error: format!("unexpected spectrum reply: {other:?}"),
+                })
+            }
+        };
+
+        // Validate every partial before accepting the worker's answer:
+        // one malformed shard poisons the merge, so it skips the whole
+        // worker (deterministic — no retry).
+        let mut shards = Vec::with_capacity(partials.len());
+        for (idx, partial) in partials.into_iter().enumerate() {
+            let n = partial.n;
+            let spectrum = Spectrum::from_parts(n, partial.entries).map_err(|e| FetchFailure {
+                retryable: false,
+                segments: Some(segments),
+                error: format!("invalid partial spectrum {idx}: {e}"),
+            })?;
+            // Worker contract: every partial is a WOR sample of its
+            // segment.
+            shards.push((spectrum, SampleDesign::wor(n)));
+        }
+        Ok(WorkerFetch { segments, shards })
+    }
+}
+
+/// Classifies a protocol-layer failure: I/O problems are retryable,
+/// decode problems are not (the peer is broken, not busy).
+fn proto_failure(e: ProtoError) -> FetchFailure {
+    match e {
+        ProtoError::Io(io) => FetchFailure::io(io),
+        other => FetchFailure::fatal(other.to_string()),
+    }
+}
+
+/// Classifies a typed wire error by its code's retryability.
+fn wire_failure(code: WireErrorCode, message: String) -> FetchFailure {
+    FetchFailure {
+        retryable: code.retryable(),
+        segments: None,
+        error: format!("{}: {message}", code.label()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::{Segment, Worker, WorkerConfig, WorkerHandle};
+
+    fn boot_worker(segments: Vec<Segment>) -> (String, WorkerHandle, std::thread::JoinHandle<()>) {
+        let worker = Worker::bind(
+            WorkerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                io_timeout: Duration::from_secs(2),
+            },
+            segments,
+        )
+        .unwrap();
+        let addr = worker.local_addr().unwrap().to_string();
+        let handle = worker.handle();
+        let thread = std::thread::spawn(move || worker.run().unwrap());
+        (addr, handle, thread)
+    }
+
+    fn fast_config(workers: Vec<String>) -> ClusterConfig {
+        ClusterConfig {
+            connect_timeout: Duration::from_millis(300),
+            request_timeout: Duration::from_secs(2),
+            retry_backoff: Duration::from_millis(5),
+            ..ClusterConfig::new(workers)
+        }
+    }
+
+    fn segment(name: &str, offset: u64, rows: u64, distinct: u64) -> (Segment, Vec<String>) {
+        let values: Vec<String> = (0..rows)
+            .map(|i| format!("v{}", offset + i % distinct))
+            .collect();
+        (Segment::from_values(name, &values), values)
+    }
+
+    #[test]
+    fn healthy_sweep_merges_to_the_single_node_spectrum() {
+        // Value-disjoint segments at fraction 1.0: the merged spectrum
+        // must equal the full-count spectrum of the concatenation, and
+        // the design must be wor(total rows).
+        let (seg_a, values_a) = segment("a", 0, 200, 11);
+        let (seg_b, values_b) = segment("b", 100, 300, 13);
+        let (addr_a, handle_a, thread_a) = boot_worker(vec![seg_a]);
+        let (addr_b, handle_b, thread_b) = boot_worker(vec![seg_b]);
+
+        let coordinator = Coordinator::new(fast_config(vec![addr_a, addr_b]));
+        let sweep = coordinator.sweep(1.0, 42).unwrap();
+        assert!(sweep.complete());
+        assert_eq!(sweep.workers_total, 2);
+        assert_eq!(sweep.workers_answered, 2);
+        assert_eq!(sweep.segments, 2);
+        assert_eq!(sweep.retries, 0);
+
+        let all: Vec<String> = values_a.iter().chain(&values_b).cloned().collect();
+        let expected = Spectrum::from_values(all.len() as u64, &all).unwrap();
+        assert_eq!(sweep.spectrum, expected);
+        assert_eq!(sweep.design, SampleDesign::wor(500));
+
+        handle_a.shutdown();
+        handle_b.shutdown();
+        thread_a.join().unwrap();
+        thread_b.join().unwrap();
+    }
+
+    #[test]
+    fn dead_worker_is_retried_then_skipped() {
+        let (seg, _) = segment("alive", 0, 100, 7);
+        let (addr, handle, thread) = boot_worker(vec![seg]);
+        // A bound-then-dropped listener gives a port that refuses
+        // connections.
+        let dead_addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let retries_before = dve_obs::global().counter("cluster.retries").get();
+        let coordinator = Coordinator::new(fast_config(vec![addr, dead_addr.clone()]));
+        let sweep = coordinator.sweep(1.0, 42).unwrap();
+        assert!(!sweep.complete());
+        assert_eq!(sweep.workers_answered, 1);
+        assert_eq!(sweep.skipped.len(), 1);
+        assert_eq!(sweep.skipped[0].worker, dead_addr);
+        assert_eq!(sweep.skipped[0].segments, None, "handshake never happened");
+        assert_eq!(sweep.retries, 1, "one retry for the dead worker");
+        assert_eq!(
+            dve_obs::global().counter("cluster.retries").get(),
+            retries_before + 1
+        );
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn all_workers_dead_is_an_error_not_a_degraded_answer() {
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let coordinator = Coordinator::new(ClusterConfig {
+            retries: 0,
+            ..fast_config(vec![dead])
+        });
+        match coordinator.sweep(0.5, 1) {
+            Err(ClusterError::AllWorkersFailed(skipped)) => assert_eq!(skipped.len(), 1),
+            other => panic!("expected AllWorkersFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_workers_and_bad_fractions_are_typed_errors() {
+        let coordinator = Coordinator::new(fast_config(vec![]));
+        assert_eq!(coordinator.sweep(0.5, 1), Err(ClusterError::NoWorkers));
+        let coordinator = Coordinator::new(fast_config(vec!["127.0.0.1:1".to_string()]));
+        assert_eq!(
+            coordinator.sweep(0.0, 1),
+            Err(ClusterError::BadFraction(0.0))
+        );
+        assert_eq!(
+            coordinator.sweep(1.5, 1),
+            Err(ClusterError::BadFraction(1.5))
+        );
+    }
+
+    #[test]
+    fn workers_with_no_rows_yield_empty_sample() {
+        let (addr, handle, thread) = boot_worker(vec![Segment::from_values::<&str>("e", [])]);
+        let coordinator = Coordinator::new(fast_config(vec![addr]));
+        assert_eq!(coordinator.sweep(0.5, 1), Err(ClusterError::EmptySample));
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn cluster_errors_display() {
+        assert!(!ClusterError::NoWorkers.to_string().is_empty());
+        assert!(ClusterError::BadFraction(2.0).to_string().contains("2"));
+        let failed = ClusterError::AllWorkersFailed(vec![SkippedWorker {
+            worker: "w1".to_string(),
+            segments: None,
+            error: "connection refused".to_string(),
+        }]);
+        let text = failed.to_string();
+        assert!(
+            text.contains("w1") && text.contains("connection refused"),
+            "{text}"
+        );
+        assert!(!ClusterError::EmptySample.to_string().is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! # dve-cluster — distributed distinct-value estimation
+//!
+//! The paper's estimators consume one sufficient statistic — the
+//! frequency spectrum `(n, r, f₁, f₂, …)` — and `dve_core::Spectrum`'s
+//! merge is associative and commutative over value-disjoint shards.
+//! That makes the distributed architecture almost forced: **workers**
+//! ([`Worker`]) own table segments and sample them locally; a
+//! **coordinator** ([`Coordinator`]) fans a sweep out, merges the
+//! partial spectra under honest per-shard WOR designs
+//! ([`dve_core::Spectrum::merge_designed`]), and hands one spectrum +
+//! design to the ordinary estimator pipeline. Raw values never travel;
+//! the wire carries kilobytes of sparse spectrum per segment no matter
+//! how many rows a worker scans.
+//!
+//! The wire protocol ([`protocol`]) is length-prefixed binary frames
+//! with a versioned handshake — std-only, like every transport in this
+//! workspace (no tokio, no serde). Version skew fails loudly with a
+//! typed [`protocol::WireErrorCode::VersionMismatch`] instead of
+//! corrupting an estimate.
+//!
+//! Failure is a first-class outcome: a worker that cannot be reached
+//! is retried once (configurable), then *skipped* — the sweep
+//! completes over the survivors and reports the gap in
+//! [`ClusterSweep::skipped`], because a partial estimate with an
+//! explicit coverage report beats an error for most consumers.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use dve_cluster::{ClusterConfig, Coordinator, Segment, Worker, WorkerConfig};
+//!
+//! // One worker owning one segment (normally its own process).
+//! let worker = Worker::bind(
+//!     WorkerConfig::default(),
+//!     vec![Segment::from_values("part-0", ["a", "b", "a"])],
+//! )
+//! .unwrap();
+//! let addr = worker.local_addr().unwrap().to_string();
+//! std::thread::spawn(move || worker.run());
+//!
+//! // The coordinator sweeps the cluster and merges.
+//! let coordinator = Coordinator::new(ClusterConfig::new(vec![addr]));
+//! let sweep = coordinator.sweep(1.0, 42).unwrap();
+//! println!("merged spectrum over {} segments", sweep.segments);
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod protocol;
+pub mod worker;
+
+pub use coordinator::{ClusterConfig, ClusterError, ClusterSweep, Coordinator, SkippedWorker};
+pub use protocol::{Message, PartialSpectrum, ProtoError, WireErrorCode, PROTOCOL_VERSION};
+pub use worker::{Segment, Worker, WorkerConfig, WorkerHandle};

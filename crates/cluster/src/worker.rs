@@ -1,0 +1,499 @@
+//! The segment worker: a daemon that owns table segments and answers
+//! partial-spectrum requests over the binary protocol.
+//!
+//! A worker is the distributed analogue of the values-mode pipeline's
+//! sampling phase: for each owned segment it draws a
+//! without-replacement sample of `round(fraction · n_i)` rows with a
+//! `ChaCha8` stream and ships the resulting sparse spectrum. The
+//! estimator math never runs here — workers produce sufficient
+//! statistics, the coordinator merges and estimates, so adding workers
+//! never multiplies estimator implementations.
+//!
+//! Per-segment RNG streams are derived as
+//! `mix64(seed ^ hash(segment_name))`, which is deterministic and
+//! independent of segment *order* — two workers owning the same
+//! segments in any arrangement sample identically, and a re-run with
+//! the same base seed reproduces the sweep bit-for-bit.
+//!
+//! The daemon mirrors `dve-serve`'s std-only structure: a non-blocking
+//! accept loop polling a shutdown flag, thread-per-connection handling
+//! under [`std::thread::scope`], and socket timeouts so a stalled peer
+//! can never wedge a handler. Shutdown force-closes registered
+//! connections so drain latency is bounded by the poll interval, not
+//! the I/O timeout.
+
+use crate::protocol::{
+    self, Message, PartialSpectrum, ProtoError, WireErrorCode, PROTOCOL_VERSION,
+};
+use dve_core::hash::mix64;
+use dve_obs::trace;
+use dve_sample::SamplingScheme;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One table segment a worker owns: a name (its identity for RNG
+/// stream derivation) and the pre-hashed column values.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    name: String,
+    hashes: Vec<u64>,
+}
+
+impl Segment {
+    /// Builds a segment by hashing raw values — the same
+    /// `dve_sketch::hash_bytes` chain the single-node values pipeline
+    /// uses, so a concatenation of segments hashes identically to the
+    /// whole table.
+    pub fn from_values<S: AsRef<str>>(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = S>,
+    ) -> Segment {
+        Segment {
+            name: name.into(),
+            hashes: values
+                .into_iter()
+                .map(|v| dve_sketch::hash_bytes(v.as_ref().as_bytes()))
+                .collect(),
+        }
+    }
+
+    /// A segment from already-hashed values.
+    pub fn from_hashes(name: impl Into<String>, hashes: Vec<u64>) -> Segment {
+        Segment {
+            name: name.into(),
+            hashes,
+        }
+    }
+
+    /// The segment's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rows in this segment.
+    pub fn rows(&self) -> u64 {
+        self.hashes.len() as u64
+    }
+
+    /// The per-segment RNG seed for a sweep's base `seed`: independent
+    /// of segment order and worker placement, so re-sharding segments
+    /// across workers never changes what is sampled.
+    pub fn stream_seed(&self, seed: u64) -> u64 {
+        mix64(seed ^ dve_sketch::hash_bytes(self.name.as_bytes()))
+    }
+
+    /// Samples this segment without replacement at `fraction` and
+    /// returns its sparse spectrum. Empty segments have nothing to
+    /// sample and return `None`.
+    pub fn sample(&self, fraction: f64, seed: u64) -> Result<Option<PartialSpectrum>, String> {
+        let n = self.rows();
+        if n == 0 {
+            return Ok(None);
+        }
+        let r = ((n as f64 * fraction).round() as u64).clamp(1, n);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.stream_seed(seed));
+        let profile = dve_sample::sample_profile(
+            &self.hashes,
+            r,
+            SamplingScheme::WithoutReplacement,
+            &mut rng,
+        )
+        .map_err(|e| format!("segment {}: {e}", self.name))?;
+        Ok(Some(PartialSpectrum {
+            n,
+            entries: profile.spectrum().collect(),
+        }))
+    }
+}
+
+/// Worker daemon configuration.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Listen address; port `0` binds an ephemeral port (tests).
+    pub addr: String,
+    /// Read/write timeout per connection: an idle or stalled peer is
+    /// disconnected after this long, bounding handler lifetime.
+    pub io_timeout: Duration,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            addr: "127.0.0.1:7272".to_string(),
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Remote control for a running [`Worker`].
+#[derive(Debug, Clone)]
+pub struct WorkerHandle {
+    shutdown: Arc<AtomicBool>,
+}
+
+impl WorkerHandle {
+    /// Requests shutdown: stop accepting, force-close open
+    /// connections, return from [`Worker::run`].
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A bound (but not yet serving) segment worker.
+pub struct Worker {
+    config: WorkerConfig,
+    segments: Vec<Segment>,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// How often the accept loop re-checks the shutdown flag while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+impl Worker {
+    /// Binds the listen socket; segments are fixed for the daemon's
+    /// lifetime (re-sharding is a restart).
+    pub fn bind(config: WorkerConfig, segments: Vec<Segment>) -> std::io::Result<Worker> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Worker {
+            config,
+            segments,
+            listener,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually-bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this worker from another thread.
+    pub fn handle(&self) -> WorkerHandle {
+        WorkerHandle {
+            shutdown: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Total rows across owned segments.
+    pub fn rows(&self) -> u64 {
+        self.segments.iter().map(Segment::rows).sum()
+    }
+
+    /// How many segments this worker owns.
+    pub fn segments(&self) -> u64 {
+        self.segments.len() as u64
+    }
+
+    /// Serves until [`WorkerHandle::shutdown`], then force-closes open
+    /// connections and returns once every handler thread has drained.
+    pub fn run(self) -> std::io::Result<()> {
+        // Clones of accepted streams, kept so shutdown can unblock
+        // handler threads parked in a read.
+        let conns: Mutex<Vec<TcpStream>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            loop {
+                if self.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_read_timeout(Some(self.config.io_timeout));
+                        let _ = stream.set_write_timeout(Some(self.config.io_timeout));
+                        if let Ok(clone) = stream.try_clone() {
+                            conns.lock().expect("conn registry lock").push(clone);
+                        }
+                        s.spawn(|| self.handle_conn(stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    // Transient accept errors — keep serving.
+                    Err(_) => {}
+                }
+            }
+            for conn in conns.lock().expect("conn registry lock").iter() {
+                let _ = conn.shutdown(std::net::Shutdown::Both);
+            }
+        });
+        Ok(())
+    }
+
+    /// One connection: handshake, then answer requests until the peer
+    /// hangs up, stalls past the I/O timeout, or errors.
+    fn handle_conn(&self, mut stream: TcpStream) {
+        let obs = dve_obs::global();
+        let mut handshaken = false;
+        loop {
+            let msg = match protocol::read_message(&mut stream) {
+                Ok(m) => m,
+                // EOF, timeout, reset: the conversation is over.
+                Err(ProtoError::Io(_)) => return,
+                Err(e) => {
+                    obs.counter_labeled("cluster.served", "garbled").inc();
+                    let _ = protocol::write_message(
+                        &mut stream,
+                        &Message::Error {
+                            code: WireErrorCode::BadRequest,
+                            message: e.to_string(),
+                        },
+                    );
+                    return;
+                }
+            };
+            let reply = self.reply_for(msg, &mut handshaken);
+            let fatal = matches!(reply, Message::Error { .. });
+            if protocol::write_message(&mut stream, &reply).is_err() || fatal {
+                return;
+            }
+        }
+    }
+
+    /// The worker's protocol state machine: `Hello` first (version
+    /// checked), then any number of `Ping`/`SpectrumReq`.
+    fn reply_for(&self, msg: Message, handshaken: &mut bool) -> Message {
+        let obs = dve_obs::global();
+        match msg {
+            Message::Hello { version } => {
+                obs.counter_labeled("cluster.served", "hello").inc();
+                if *handshaken {
+                    return Message::Error {
+                        code: WireErrorCode::BadRequest,
+                        message: "duplicate Hello on one connection".to_string(),
+                    };
+                }
+                if version != PROTOCOL_VERSION {
+                    return Message::Error {
+                        code: WireErrorCode::VersionMismatch,
+                        message: format!(
+                            "worker speaks protocol v{PROTOCOL_VERSION}, client sent v{version}"
+                        ),
+                    };
+                }
+                *handshaken = true;
+                Message::HelloAck {
+                    version: PROTOCOL_VERSION,
+                    segments: self.segments.len() as u32,
+                    rows: self.rows(),
+                }
+            }
+            _ if !*handshaken => Message::Error {
+                code: WireErrorCode::BadRequest,
+                message: "handshake required before any request".to_string(),
+            },
+            Message::Ping => {
+                obs.counter_labeled("cluster.served", "ping").inc();
+                Message::Pong
+            }
+            Message::SpectrumReq { fraction, seed } => {
+                obs.counter_labeled("cluster.served", "spectrum").inc();
+                if !(fraction > 0.0 && fraction <= 1.0) {
+                    return Message::Error {
+                        code: WireErrorCode::BadRequest,
+                        message: format!("sampling fraction must be in (0, 1], got {fraction}"),
+                    };
+                }
+                let mut span = trace::span("cluster.worker_sample");
+                let mut partials = Vec::with_capacity(self.segments.len());
+                for segment in &self.segments {
+                    match segment.sample(fraction, seed) {
+                        Ok(Some(partial)) => partials.push(partial),
+                        Ok(None) => {}
+                        Err(message) => {
+                            return Message::Error {
+                                code: WireErrorCode::Internal,
+                                message,
+                            }
+                        }
+                    }
+                }
+                span.set_detail(|| format!("segments={} fraction={fraction}", partials.len()));
+                drop(span);
+                Message::SpectrumResp { partials }
+            }
+            // Worker-to-coordinator message kinds have no business
+            // arriving here.
+            Message::HelloAck { .. }
+            | Message::SpectrumResp { .. }
+            | Message::Pong
+            | Message::Error { .. } => Message::Error {
+                code: WireErrorCode::BadRequest,
+                message: "unexpected message kind for a worker".to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_worker(
+        segments: Vec<Segment>,
+    ) -> (SocketAddr, WorkerHandle, std::thread::JoinHandle<()>) {
+        let worker = Worker::bind(
+            WorkerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                io_timeout: Duration::from_secs(2),
+            },
+            segments,
+        )
+        .unwrap();
+        let addr = worker.local_addr().unwrap();
+        let handle = worker.handle();
+        let thread = std::thread::spawn(move || worker.run().unwrap());
+        (addr, handle, thread)
+    }
+
+    fn exchange(stream: &mut TcpStream, msg: &Message) -> Message {
+        protocol::write_message(stream, msg).unwrap();
+        protocol::read_message(stream).unwrap()
+    }
+
+    #[test]
+    fn handshake_then_spectrum() {
+        let seg = Segment::from_values("s0", (0..100).map(|i| format!("v{}", i % 7)));
+        let (addr, handle, thread) = test_worker(vec![seg.clone()]);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let ack = exchange(
+            &mut stream,
+            &Message::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        );
+        assert_eq!(
+            ack,
+            Message::HelloAck {
+                version: PROTOCOL_VERSION,
+                segments: 1,
+                rows: 100
+            }
+        );
+        assert_eq!(exchange(&mut stream, &Message::Ping), Message::Pong);
+        let resp = exchange(
+            &mut stream,
+            &Message::SpectrumReq {
+                fraction: 1.0,
+                seed: 42,
+            },
+        );
+        let expected = seg.sample(1.0, 42).unwrap().unwrap();
+        assert_eq!(
+            resp,
+            Message::SpectrumResp {
+                partials: vec![expected]
+            }
+        );
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_with_a_typed_error() {
+        let (addr, handle, thread) = test_worker(vec![]);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let reply = exchange(&mut stream, &Message::Hello { version: 999 });
+        match reply {
+            Message::Error { code, message } => {
+                assert_eq!(code, WireErrorCode::VersionMismatch);
+                assert!(message.contains("v999"), "{message}");
+            }
+            other => panic!("expected a version error, got {other:?}"),
+        }
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn requests_before_handshake_are_refused() {
+        let (addr, handle, thread) = test_worker(vec![]);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let reply = exchange(&mut stream, &Message::Ping);
+        assert!(matches!(
+            reply,
+            Message::Error {
+                code: WireErrorCode::BadRequest,
+                ..
+            }
+        ));
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn bad_fraction_is_a_bad_request() {
+        let seg = Segment::from_values("s0", ["a", "b"]);
+        let (addr, handle, thread) = test_worker(vec![seg]);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        exchange(
+            &mut stream,
+            &Message::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        );
+        let reply = exchange(
+            &mut stream,
+            &Message::SpectrumReq {
+                fraction: 1.5,
+                seed: 0,
+            },
+        );
+        assert!(matches!(
+            reply,
+            Message::Error {
+                code: WireErrorCode::BadRequest,
+                ..
+            }
+        ));
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn segment_sampling_is_order_independent_and_deterministic() {
+        let seg = Segment::from_values("part-3", (0..500).map(|i| format!("v{}", i % 31)));
+        let a = seg.sample(0.2, 7).unwrap().unwrap();
+        let b = seg.sample(0.2, 7).unwrap().unwrap();
+        assert_eq!(a, b);
+        // The stream seed depends on the name, not on position.
+        let other = Segment::from_values("part-4", (0..500).map(|i| format!("v{}", i % 31)));
+        assert_ne!(seg.stream_seed(7), other.stream_seed(7));
+        // Empty segments sample to nothing.
+        assert_eq!(
+            Segment::from_values::<&str>("empty", []).sample(0.5, 7),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn full_fraction_sample_is_the_exact_segment_spectrum() {
+        // fraction 1.0 draws every row, so the partial must equal the
+        // full-count spectrum regardless of seed.
+        let values: Vec<String> = (0..300).map(|i| format!("v{}", i % 13)).collect();
+        let seg = Segment::from_values("s", &values);
+        let a = seg.sample(1.0, 1).unwrap().unwrap();
+        let b = seg.sample(1.0, 999).unwrap().unwrap();
+        assert_eq!(a, b);
+        let expected = dve_core::Spectrum::from_values(300, &values).unwrap();
+        let got = dve_core::Spectrum::from_parts(a.n, a.entries).unwrap();
+        assert_eq!(got, expected);
+    }
+}

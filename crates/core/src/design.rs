@@ -49,6 +49,40 @@ impl SampleDesign {
             SampleDesign::WithoutReplacement { .. } => "wor",
         }
     }
+
+    /// Combine the designs of two value-disjoint shards into the design
+    /// of their merged spectrum.
+    ///
+    /// Stratified WOR composes: a WOR sample of `r_a` rows from a
+    /// segment of `n_a` plus a WOR sample of `r_b` rows from a disjoint
+    /// segment of `n_b` is a stratified WOR sample of the `n_a + n_b`
+    /// union, and the hypergeometric correction applies per stratum with
+    /// the summed population. Any with-replacement shard poisons the
+    /// merge back to the paper's design-blind model — there is no honest
+    /// mixed form, so the merge falls back to `WithReplacement` rather
+    /// than inventing one.
+    pub fn merge(self, other: SampleDesign) -> SampleDesign {
+        match (self, other) {
+            (
+                SampleDesign::WithoutReplacement { n: a },
+                SampleDesign::WithoutReplacement { n: b },
+            ) => SampleDesign::WithoutReplacement { n: a + b },
+            _ => SampleDesign::WithReplacement,
+        }
+    }
+
+    /// Fold [`SampleDesign::merge`] over any number of shard designs.
+    ///
+    /// An empty iterator yields the paper-default `WithReplacement`;
+    /// a single design is returned unchanged.
+    pub fn merged(designs: impl IntoIterator<Item = SampleDesign>) -> SampleDesign {
+        let mut iter = designs.into_iter();
+        let first = match iter.next() {
+            Some(d) => d,
+            None => return SampleDesign::WithReplacement,
+        };
+        iter.fold(first, SampleDesign::merge)
+    }
 }
 
 #[cfg(test)]
@@ -58,6 +92,43 @@ mod tests {
     #[test]
     fn default_is_the_paper_model() {
         assert_eq!(SampleDesign::default(), SampleDesign::WithReplacement);
+    }
+
+    #[test]
+    fn wor_merge_sums_populations() {
+        assert_eq!(
+            SampleDesign::wor(300).merge(SampleDesign::wor(200)),
+            SampleDesign::wor(500)
+        );
+    }
+
+    #[test]
+    fn any_wr_shard_poisons_the_merge() {
+        assert_eq!(
+            SampleDesign::wor(300).merge(SampleDesign::WithReplacement),
+            SampleDesign::WithReplacement
+        );
+        assert_eq!(
+            SampleDesign::WithReplacement.merge(SampleDesign::wor(300)),
+            SampleDesign::WithReplacement
+        );
+    }
+
+    #[test]
+    fn merged_folds_and_defaults() {
+        assert_eq!(SampleDesign::merged([]), SampleDesign::WithReplacement);
+        assert_eq!(
+            SampleDesign::merged([SampleDesign::wor(7)]),
+            SampleDesign::wor(7)
+        );
+        assert_eq!(
+            SampleDesign::merged([
+                SampleDesign::wor(1),
+                SampleDesign::wor(2),
+                SampleDesign::wor(3)
+            ]),
+            SampleDesign::wor(6)
+        );
     }
 
     #[test]

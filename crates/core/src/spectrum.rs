@@ -25,6 +25,7 @@
 //! changes a result.
 
 use crate::counter::CountTable;
+use crate::design::SampleDesign;
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -59,6 +60,13 @@ pub enum SpectrumError {
         /// Claimed table size.
         table_rows: u64,
     },
+    /// Sparse `(i, f_i)` entries handed to [`Spectrum::from_parts`] were
+    /// malformed: a zero frequency or count, or out-of-order /
+    /// duplicated `i`. Carries the offending entry index.
+    MalformedEntries {
+        /// Index of the first bad `(i, f_i)` pair.
+        index: usize,
+    },
     /// A dense materialization was requested for a spectrum whose
     /// `max_frequency` exceeds [`DENSE_CAP`].
     DenseTooLarge {
@@ -87,6 +95,11 @@ impl std::fmt::Display for SpectrumError {
             } => write!(
                 f,
                 "sample shows {distinct} distinct values but table only has {table_rows} rows"
+            ),
+            SpectrumError::MalformedEntries { index } => write!(
+                f,
+                "sparse spectrum entry {index} is malformed \
+                 (needs i ≥ 1, f_i ≥ 1, strictly ascending i)"
             ),
             SpectrumError::DenseTooLarge { max_frequency, cap } => write!(
                 f,
@@ -153,6 +166,48 @@ impl Spectrum {
             });
         }
         Ok(Self { n, r, d, entries })
+    }
+
+    /// Builds a spectrum from untrusted sparse `(i, f_i)` entries — the
+    /// wire-decoding constructor. Unlike the internal fast path, every
+    /// entry is checked: `i ≥ 1`, `f_i ≥ 1`, and strictly ascending `i`
+    /// (no duplicates), then the usual `(n, r, d)` invariants apply.
+    ///
+    /// ```
+    /// use dve_core::Spectrum;
+    /// let s = Spectrum::from_parts(100, vec![(1, 4), (3, 2)]).unwrap();
+    /// assert_eq!(s.sample_size(), 10);
+    /// assert!(Spectrum::from_parts(100, vec![(3, 2), (1, 4)]).is_err());
+    /// ```
+    pub fn from_parts(n: u64, entries: Vec<(u64, u64)>) -> Result<Self, SpectrumError> {
+        let mut prev = 0u64;
+        for (index, &(i, f)) in entries.iter().enumerate() {
+            if i <= prev || f == 0 {
+                return Err(SpectrumError::MalformedEntries { index });
+            }
+            prev = i;
+        }
+        Self::from_sparse(n, entries)
+    }
+
+    /// Merges value-disjoint `(spectrum, design)` shards into one
+    /// spectrum under one honest combined design — **the** WOR-merge
+    /// implementation; the serve `"shards"` mode and the cluster
+    /// coordinator both route through here. Spectra add per
+    /// [`Spectrum::merge`]; designs fold per [`SampleDesign::merged`]
+    /// (all-WOR shards yield `wor(Σ nᵢ)`, any WR shard falls back to the
+    /// paper's with-replacement model). Returns `None` for an empty
+    /// shard list.
+    pub fn merge_designed(
+        shards: impl IntoIterator<Item = (Spectrum, SampleDesign)>,
+    ) -> Option<(Spectrum, SampleDesign)> {
+        let mut iter = shards.into_iter();
+        let (mut spectrum, mut design) = iter.next()?;
+        for (s, d) in iter {
+            spectrum = spectrum.merge(&s);
+            design = design.merge(d);
+        }
+        Some((spectrum, design))
     }
 
     /// Builds a spectrum from the per-class occurrence counts observed in
@@ -711,6 +766,64 @@ mod tests {
             Spectrum::merge_counts([a.clone(), b.clone()]),
             Spectrum::merge_counts([b, a])
         );
+    }
+
+    #[test]
+    fn from_parts_validates_wire_entries() {
+        let s = Spectrum::from_parts(100, vec![(1, 4), (3, 2)]).unwrap();
+        assert_eq!(s.sample_size(), 10);
+        assert_eq!(s.distinct_in_sample(), 6);
+        // Out of order, duplicated i, zero f, zero i — all rejected with
+        // the offending index.
+        assert_eq!(
+            Spectrum::from_parts(100, vec![(3, 2), (1, 4)]),
+            Err(SpectrumError::MalformedEntries { index: 1 })
+        );
+        assert_eq!(
+            Spectrum::from_parts(100, vec![(2, 1), (2, 1)]),
+            Err(SpectrumError::MalformedEntries { index: 1 })
+        );
+        assert_eq!(
+            Spectrum::from_parts(100, vec![(1, 0)]),
+            Err(SpectrumError::MalformedEntries { index: 0 })
+        );
+        assert_eq!(
+            Spectrum::from_parts(100, vec![(0, 3)]),
+            Err(SpectrumError::MalformedEntries { index: 0 })
+        );
+        assert!(!Spectrum::from_parts(100, vec![(0, 3)])
+            .unwrap_err()
+            .to_string()
+            .is_empty());
+        // Invariants still apply after the shape check.
+        assert!(matches!(
+            Spectrum::from_parts(3, vec![(2, 2)]),
+            Err(SpectrumError::SampleLargerThanTable { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_designed_is_the_canonical_shard_merge() {
+        let a = Spectrum::from_spectrum(1_000, vec![4, 0, 2]).unwrap();
+        let b = Spectrum::from_spectrum(500, vec![0, 3, 1]).unwrap();
+        let (m, design) = Spectrum::merge_designed([
+            (a.clone(), SampleDesign::wor(1_000)),
+            (b.clone(), SampleDesign::wor(500)),
+        ])
+        .unwrap();
+        assert_eq!(m, a.merge(&b));
+        assert_eq!(design, SampleDesign::wor(1_500));
+        // One WR shard downgrades the whole merge to the paper model.
+        let (_, design) = Spectrum::merge_designed([
+            (a.clone(), SampleDesign::wor(1_000)),
+            (b.clone(), SampleDesign::WithReplacement),
+        ])
+        .unwrap();
+        assert_eq!(design, SampleDesign::WithReplacement);
+        // Single shard passes through; empty list has no merge.
+        let (solo, d) = Spectrum::merge_designed([(a.clone(), SampleDesign::wor(1_000))]).unwrap();
+        assert_eq!((solo, d), (a, SampleDesign::wor(1_000)));
+        assert!(Spectrum::merge_designed(std::iter::empty()).is_none());
     }
 
     #[test]

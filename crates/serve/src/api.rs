@@ -1,11 +1,17 @@
 //! Request routing and the stable `/v1` request/response contract.
 //!
 //! Every response body is JSON except `GET /metrics` (Prometheus text
-//! exposition). Errors use one envelope everywhere:
+//! exposition). Every 4xx/5xx from every endpoint uses one envelope:
 //!
 //! ```json
-//! {"error":{"code":"unknown_estimator","message":"unknown estimator: GE (did you mean GEE?); …"}}
+//! {"error":{"code":"unknown_estimator","message":"…","hint":"GET /v1/estimators lists every valid name"}}
 //! ```
+//!
+//! `code` is the stable machine key (CLI consumers map it to an exit
+//! status via [`exit_code_for`]); `message` says what happened;
+//! `hint` says what to do about it. Versioned surfaces (`/healthz`,
+//! `/v1/estimators`) report [`API_VERSION`] so clients can detect skew
+//! before depending on a shape.
 //!
 //! Request bodies are decoded with the workspace's dependency-free
 //! [`dve_obs::minijson`] reader — the same parser the CI accuracy gates
@@ -14,6 +20,7 @@
 use crate::http::Request;
 use crate::monitor::Monitor;
 use crate::pipeline::{self, PipelineError};
+use dve_cluster::{ClusterError, ClusterSweep, Coordinator};
 use dve_core::design::SampleDesign;
 use dve_obs::minijson::{self, JsonValue};
 use dve_obs::trace;
@@ -37,6 +44,11 @@ pub struct Response {
     pub body: String,
 }
 
+/// The version of the HTTP API contract, reported by `/healthz` and
+/// `/v1/estimators`. Bump on any breaking change to a request or
+/// response shape; additive fields do not bump it.
+pub const API_VERSION: u32 = 1;
+
 impl Response {
     fn json(status: u16, body: String) -> Self {
         Response {
@@ -46,15 +58,62 @@ impl Response {
         }
     }
 
-    /// The error envelope every failure uses.
+    /// The error envelope every failure uses, with the code's default
+    /// hint attached.
     pub fn error(status: u16, code: &str, message: &str) -> Self {
-        let mut body = String::with_capacity(64 + message.len());
+        Response::error_with_hint(status, code, message, default_hint(code))
+    }
+
+    /// [`Response::error`] with an explicit hint, for the cases where
+    /// the right next step depends on the specific failure.
+    pub fn error_with_hint(status: u16, code: &str, message: &str, hint: &str) -> Self {
+        let mut body = String::with_capacity(96 + message.len() + hint.len());
         body.push_str("{\"error\":{\"code\":\"");
         body.push_str(code);
         body.push_str("\",\"message\":\"");
         escape_into(&mut body, message);
+        body.push_str("\",\"hint\":\"");
+        escape_into(&mut body, hint);
         body.push_str("\"}}");
         Response::json(status, body)
+    }
+}
+
+/// What a client should do next, per error code. Part of the error
+/// contract: every code has a hint, so consumers can always surface
+/// actionable text without a lookup table of their own.
+fn default_hint(code: &str) -> &'static str {
+    match code {
+        "malformed_json" => "send a JSON object body; DESIGN.md documents every request shape",
+        "bad_request" => "check the request shape against DESIGN.md",
+        "bad_query" => "query parameter values must parse; omit the parameter for its default",
+        "unknown_estimator" => "GET /v1/estimators lists every valid name",
+        "not_found" => "check the path; the route table is in DESIGN.md",
+        "method_not_allowed" => "check the method for this route in DESIGN.md",
+        "overloaded" => "the request queue is full; retry with backoff",
+        "deadline_exceeded" => "retry; if persistent, raise --queue-depth or --jobs",
+        "read_timeout" => "send the complete request within the read deadline",
+        "body_too_large" => "shrink the request body or raise --max-body-bytes",
+        "trace_not_found" => "GET /v1/traces lists the trace ids still buffered",
+        "cluster_not_configured" => "start the daemon with --cluster WORKER[,WORKER...]",
+        "cluster_unavailable" => "check the worker daemons; per-worker errors are in the message",
+        _ => "see DESIGN.md for the API contract",
+    }
+}
+
+/// The exit status a CLI consumer should use for an error envelope's
+/// `code`: `2` for request errors the caller can fix, `3` for
+/// capacity/availability conditions worth retrying, `1` otherwise.
+pub fn exit_code_for(code: &str) -> i32 {
+    match code {
+        "malformed_json" | "bad_request" | "bad_query" | "unknown_estimator" | "not_found"
+        | "method_not_allowed" | "body_too_large" | "trace_not_found" => 2,
+        "overloaded"
+        | "deadline_exceeded"
+        | "read_timeout"
+        | "cluster_unavailable"
+        | "cluster_not_configured" => 3,
+        _ => 1,
     }
 }
 
@@ -98,6 +157,10 @@ pub struct ServeStatus {
     pub queue_len: usize,
     /// Shadow-truth sampler + SLO tracker for this server.
     pub monitor: Arc<Monitor>,
+    /// The cluster coordinator, when the daemon was started with
+    /// `--cluster`. `None` means the `cluster` estimate source answers
+    /// `503 cluster_not_configured`.
+    pub cluster: Option<Arc<Coordinator>>,
 }
 
 impl Default for ServeStatus {
@@ -108,6 +171,7 @@ impl Default for ServeStatus {
             queue_capacity: 0,
             queue_len: 0,
             monitor: Arc::new(Monitor::disabled()),
+            cluster: None,
         }
     }
 }
@@ -128,7 +192,7 @@ pub fn handle_with_status(req: &Request, status: &ServeStatus) -> Response {
         ("GET", "/v1/slo") => Response::json(200, status.monitor.slo_json()),
         ("GET", "/v1/traces") => traces_index(req),
         ("GET", p) if p.starts_with("/v1/traces/") => trace_by_id(&p["/v1/traces/".len()..]),
-        ("POST", "/v1/estimate") => estimate(&req.body, &status.monitor),
+        ("POST", "/v1/estimate") => estimate(&req.body, status),
         ("POST", "/v1/analyze") => analyze(&req.body),
         (
             _,
@@ -147,12 +211,13 @@ fn healthz(status: &ServeStatus) -> Response {
     Response::json(
         200,
         format!(
-            "{{\"status\":\"ok\",\"version\":\"{}\",\"uptime_s\":{},\"jobs\":{},\"queue_depth\":{},\"queue_capacity\":{}}}",
+            "{{\"status\":\"ok\",\"version\":\"{}\",\"api_version\":{API_VERSION},\"uptime_s\":{},\"jobs\":{},\"queue_depth\":{},\"queue_capacity\":{},\"cluster_workers\":{}}}",
             env!("CARGO_PKG_VERSION"),
             status.started.elapsed().as_secs(),
             status.jobs,
             status.queue_len,
             status.queue_capacity,
+            status.cluster.as_ref().map_or(0, |c| c.workers().len()),
         ),
     )
 }
@@ -184,13 +249,33 @@ fn metrics(status: &ServeStatus) -> Response {
 const TRACES_LIMIT_CAP: usize = 100;
 
 /// `GET /v1/traces` — the recent-traces index, newest first. `?limit=N`
-/// trims the answer; N is capped at [`TRACES_LIMIT_CAP`].
+/// trims the answer; N is capped at [`TRACES_LIMIT_CAP`]. Malformed or
+/// unknown query parameters are a structured `400 bad_query` — a typo'd
+/// filter silently answering with the default is worse than an error.
 fn traces_index(req: &Request) -> Response {
-    let limit = req
-        .query_param("limit")
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(TRACES_LIMIT_CAP)
-        .min(TRACES_LIMIT_CAP);
+    let mut limit = TRACES_LIMIT_CAP;
+    for pair in req.query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "limit" => match value.parse::<usize>() {
+                Ok(n) => limit = n.min(TRACES_LIMIT_CAP),
+                Err(_) => {
+                    return Response::error(
+                        400,
+                        "bad_query",
+                        &format!("\"limit\" must be a non-negative integer, got {value:?}"),
+                    )
+                }
+            },
+            other => {
+                return Response::error(
+                    400,
+                    "bad_query",
+                    &format!("unknown query parameter {other:?}"),
+                )
+            }
+        }
+    }
     let mut body = String::from("{\"traces\":[");
     for (i, t) in trace::recent_traces().iter().take(limit).enumerate() {
         if i > 0 {
@@ -226,7 +311,7 @@ fn trace_by_id(id: &str) -> Response {
 }
 
 fn estimators() -> Response {
-    let mut body = String::from("{\"estimators\":[");
+    let mut body = format!("{{\"api_version\":{API_VERSION},\"estimators\":[");
     for (i, name) in dve_core::registry::ALL_ESTIMATORS.iter().enumerate() {
         if i > 0 {
             body.push(',');
@@ -311,7 +396,7 @@ fn design_knob(root: &JsonValue) -> Result<Option<&'static str>, Response> {
     }
 }
 
-/// `POST /v1/estimate` — three input modes (exactly one per request):
+/// `POST /v1/estimate` — four input modes (exactly one per request):
 ///
 /// * `{"n": 10000, "spectrum": [40, 30], "estimator": "GEE"}` — the
 ///   client sampled elsewhere and ships the frequency spectrum;
@@ -319,7 +404,11 @@ fn design_knob(root: &JsonValue) -> Result<Option<&'static str>, Response> {
 ///   spectra from a horizontally partitioned table, merged server-side
 ///   before one estimate over the union;
 /// * `{"values": ["a", "b", …], "fraction": 0.05, "seed": 7}` — raw
-///   values; the daemon samples, profiles, and estimates.
+///   values; the daemon samples, profiles, and estimates;
+/// * `{"cluster": true, "fraction": 0.05, "seed": 7}` — the daemon (a
+///   coordinator started with `--cluster`) sweeps its worker set,
+///   merges the partial spectra, estimates once over the union, and
+///   appends a `"cluster"` coverage object to the response.
 ///
 /// All modes accept `"design": "wr" | "wor"` to pick the sampling model
 /// design-aware estimators assume.
@@ -328,7 +417,8 @@ fn design_knob(root: &JsonValue) -> Result<Option<&'static str>, Response> {
 /// request, the exact distinct count is computed alongside the estimate
 /// and the observed error recorded — the response bytes are identical
 /// either way.
-fn estimate(body: &[u8], monitor: &Monitor) -> Response {
+fn estimate(body: &[u8], status: &ServeStatus) -> Response {
+    let monitor = &status.monitor;
     let root = match parse_body(body) {
         Ok(v) => v,
         Err(resp) => return resp,
@@ -342,9 +432,13 @@ fn estimate(body: &[u8], monitor: &Monitor) -> Response {
         Err(resp) => return resp,
     };
 
-    let (spectrum_v, values_v, shards_v) =
-        (root.get("spectrum"), root.get("values"), root.get("shards"));
-    if [spectrum_v, values_v, shards_v]
+    let (spectrum_v, values_v, shards_v, cluster_v) = (
+        root.get("spectrum"),
+        root.get("values"),
+        root.get("shards"),
+        root.get("cluster"),
+    );
+    if [spectrum_v, values_v, shards_v, cluster_v]
         .iter()
         .filter(|m| m.is_some())
         .count()
@@ -353,8 +447,15 @@ fn estimate(body: &[u8], monitor: &Monitor) -> Response {
         return Response::error(
             400,
             "bad_request",
-            "provide exactly one of \"spectrum\", \"values\", or \"shards\"",
+            "provide exactly one of \"spectrum\", \"values\", \"shards\", or \"cluster\"",
         );
+    }
+
+    if let Some(cluster_flag) = cluster_v {
+        if !matches!(cluster_flag, JsonValue::Bool(true)) {
+            return Response::error(400, "bad_request", "\"cluster\" must be true");
+        }
+        return estimate_cluster(status, &knobs, design);
     }
 
     let outcome = match (spectrum_v, values_v, shards_v) {
@@ -487,7 +588,7 @@ fn estimate(body: &[u8], monitor: &Monitor) -> Response {
             return Response::error(
                 400,
                 "bad_request",
-                "provide \"spectrum\" (with \"n\"), \"shards\", or \"values\"",
+                "provide \"spectrum\" (with \"n\"), \"shards\", \"values\", or \"cluster\": true",
             )
         }
     };
@@ -499,6 +600,80 @@ fn estimate(body: &[u8], monitor: &Monitor) -> Response {
         }
         Err(err) => pipeline_error(err),
     }
+}
+
+/// The `cluster` estimate source: sweep the worker set, estimate over
+/// the merged spectrum, and report coverage. The estimation object is
+/// byte-identical to what the other modes produce for the same merged
+/// statistic; the appended `"cluster"` object is additive.
+fn estimate_cluster(
+    status: &ServeStatus,
+    knobs: &CommonKnobs,
+    design: Option<&'static str>,
+) -> Response {
+    let Some(coordinator) = status.cluster.as_ref() else {
+        return Response::error(
+            503,
+            "cluster_not_configured",
+            "this daemon is not a cluster coordinator",
+        );
+    };
+    let sweep = match coordinator.sweep(knobs.fraction, knobs.seed) {
+        Ok(sweep) => sweep,
+        Err(e @ ClusterError::BadFraction(_)) => {
+            return Response::error(400, "bad_request", &e.to_string())
+        }
+        Err(e @ ClusterError::NoWorkers) => {
+            return Response::error(503, "cluster_not_configured", &e.to_string())
+        }
+        Err(e @ (ClusterError::AllWorkersFailed(_) | ClusterError::EmptySample)) => {
+            return Response::error(502, "cluster_unavailable", &e.to_string())
+        }
+    };
+    // The merged design is the honest wor(Σ nᵢ); "wr" forces the
+    // paper's with-replacement model, "wor" is what the sweep already
+    // carries.
+    let design = match design {
+        Some("wr") => SampleDesign::WithReplacement,
+        _ => sweep.design,
+    };
+    match pipeline::estimate_profile(&sweep.spectrum, &knobs.estimator, design) {
+        Ok(out) => {
+            let _serialize = trace::span("serve.serialize");
+            let mut body = out.to_json();
+            body.pop(); // splice "cluster" into the top-level object
+            body.push_str(",\"cluster\":");
+            cluster_json_into(&mut body, &sweep);
+            body.push('}');
+            Response::json(200, body)
+        }
+        Err(err) => pipeline_error(err),
+    }
+}
+
+/// Renders a sweep's coverage report:
+/// `{"workers":…,"answered":…,"segments":…,"retries":…,"skipped":[…]}`.
+fn cluster_json_into(body: &mut String, sweep: &ClusterSweep) {
+    body.push_str(&format!(
+        "{{\"workers\":{},\"answered\":{},\"segments\":{},\"retries\":{},\"skipped\":[",
+        sweep.workers_total, sweep.workers_answered, sweep.segments, sweep.retries,
+    ));
+    for (i, s) in sweep.skipped.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str("{\"worker\":\"");
+        escape_into(body, &s.worker);
+        body.push_str("\",\"segments\":");
+        match s.segments {
+            Some(n) => body.push_str(&n.to_string()),
+            None => body.push_str("null"),
+        }
+        body.push_str(",\"error\":\"");
+        escape_into(body, &s.error);
+        body.push_str("\"}");
+    }
+    body.push_str("]}");
 }
 
 /// `POST /v1/analyze` — inline rows, analyzed exactly like
@@ -618,15 +793,22 @@ mod tests {
         for needle in [
             "\"status\":\"ok\"",
             "\"version\":\"",
+            "\"api_version\":1",
             "\"uptime_s\":",
             "\"jobs\":0",
             "\"queue_depth\":0",
             "\"queue_capacity\":0",
+            "\"cluster_workers\":0",
         ] {
             assert!(health.body.contains(needle), "{needle} ∉ {}", health.body);
         }
         let resp = get("/v1/estimators");
         assert_eq!(resp.status, 200);
+        assert!(
+            resp.body.starts_with("{\"api_version\":1,"),
+            "{}",
+            resp.body
+        );
         assert!(resp.body.contains("\"GEE\""));
         assert!(resp.body.contains("\"AE\""));
     }
@@ -670,13 +852,29 @@ mod tests {
         assert_eq!(idx.status, 200);
         assert!(idx.body.contains("\"traces\":["), "{}", idx.body);
         assert!(idx.body.contains("\"dropped_spans\":"), "{}", idx.body);
-        // ?limit=N trims the index; junk falls back to the cap.
+        // ?limit=N trims the index; out-of-range clamps to the cap.
         assert_eq!(
             get("/v1/traces?limit=0").body.matches("trace_id").count(),
             0
         );
-        assert_eq!(get("/v1/traces?limit=abc").status, 200);
         assert_eq!(get("/v1/traces?limit=9999").status, 200);
+        // Malformed and unknown query parameters are structured 400s,
+        // not silent defaults.
+        let junk = get("/v1/traces?limit=abc");
+        assert_eq!(junk.status, 400, "{}", junk.body);
+        assert!(
+            junk.body.contains("\"code\":\"bad_query\""),
+            "{}",
+            junk.body
+        );
+        assert!(junk.body.contains("\"hint\":\""), "{}", junk.body);
+        let unknown = get("/v1/traces?nope=1");
+        assert_eq!(unknown.status, 400, "{}", unknown.body);
+        assert!(
+            unknown.body.contains("unknown query parameter"),
+            "{}",
+            unknown.body
+        );
         // Unknown ids are a structured 404.
         let missing = get("/v1/traces/00000000deadbeef");
         assert_eq!(missing.status, 404);
@@ -713,15 +911,22 @@ mod tests {
         }
     }
 
+    fn status_with_monitor(monitor: Monitor) -> ServeStatus {
+        ServeStatus {
+            monitor: Arc::new(monitor),
+            ..ServeStatus::default()
+        }
+    }
+
     #[test]
     fn sampled_estimate_answers_identically_and_records() {
-        let monitor = Monitor::new(1.0);
+        let sampling = status_with_monitor(Monitor::new(1.0));
         let body = br#"{"values":["a","b","a","c","b","a"],"fraction":0.5,"seed":7}"#;
-        let sampled = estimate(body, &monitor);
-        let plain = estimate(body, &Monitor::disabled());
+        let sampled = estimate(body, &sampling);
+        let plain = estimate(body, &status_with_monitor(Monitor::disabled()));
         assert_eq!(sampled.status, 200, "{}", sampled.body);
         assert_eq!(sampled.body, plain.body);
-        assert!(monitor.slo_json().contains("\"estimator\":\"AE\""));
+        assert!(sampling.monitor.slo_json().contains("\"estimator\":\"AE\""));
     }
 
     #[test]
@@ -871,5 +1076,111 @@ mod tests {
         assert_eq!(get("/nope").status, 404);
         assert_eq!(post("/healthz", "").status, 405);
         assert_eq!(get("/v1/estimate").status, 405);
+    }
+
+    #[test]
+    fn every_error_uses_the_envelope() {
+        for resp in [
+            get("/nope"),
+            post("/healthz", ""),
+            post("/v1/estimate", "{not json"),
+            post("/v1/estimate", "{}"),
+            get("/v1/traces?limit=x"),
+            post("/v1/estimate", r#"{"cluster":true}"#),
+        ] {
+            assert!(
+                resp.body.starts_with("{\"error\":{\"code\":\""),
+                "{}",
+                resp.body
+            );
+            for field in ["\"code\":\"", "\"message\":\"", "\"hint\":\""] {
+                assert!(resp.body.contains(field), "{field} ∉ {}", resp.body);
+            }
+        }
+    }
+
+    #[test]
+    fn exit_codes_partition_the_error_space() {
+        for code in ["bad_request", "malformed_json", "unknown_estimator"] {
+            assert_eq!(exit_code_for(code), 2, "{code}");
+        }
+        for code in [
+            "overloaded",
+            "cluster_unavailable",
+            "cluster_not_configured",
+        ] {
+            assert_eq!(exit_code_for(code), 3, "{code}");
+        }
+        assert_eq!(exit_code_for("internal"), 1);
+    }
+
+    #[test]
+    fn cluster_mode_without_a_coordinator_is_503() {
+        let resp = post("/v1/estimate", r#"{"cluster":true}"#);
+        assert_eq!(resp.status, 503, "{}", resp.body);
+        assert!(
+            resp.body.contains("\"code\":\"cluster_not_configured\""),
+            "{}",
+            resp.body
+        );
+        assert!(resp.body.contains("--cluster"), "{}", resp.body);
+    }
+
+    #[test]
+    fn cluster_mode_rejects_bad_shapes() {
+        let not_true = post("/v1/estimate", r#"{"cluster":"yes"}"#);
+        assert_eq!(not_true.status, 400, "{}", not_true.body);
+        let mixed = post("/v1/estimate", r#"{"cluster":true,"values":["a"]}"#);
+        assert_eq!(mixed.status, 400, "{}", mixed.body);
+        assert!(mixed.body.contains("exactly one of"), "{}", mixed.body);
+    }
+
+    #[test]
+    fn cluster_mode_estimates_and_reports_coverage() {
+        use dve_cluster::{ClusterConfig, Segment, Worker, WorkerConfig};
+        let worker = Worker::bind(
+            WorkerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                io_timeout: std::time::Duration::from_secs(2),
+            },
+            vec![Segment::from_values("s0", ["a", "b", "a", "c", "b", "a"])],
+        )
+        .unwrap();
+        let addr = worker.local_addr().unwrap().to_string();
+        let handle = worker.handle();
+        let thread = std::thread::spawn(move || worker.run().unwrap());
+
+        let status = ServeStatus {
+            cluster: Some(Arc::new(Coordinator::new(ClusterConfig::new(vec![addr])))),
+            ..ServeStatus::default()
+        };
+        let resp = estimate(
+            br#"{"cluster":true,"fraction":1.0,"seed":7,"estimator":"GEE"}"#,
+            &status,
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        // The estimation object is the ordinary contract; the cluster
+        // coverage report rides behind it.
+        assert!(resp.body.starts_with("{\"estimation\":{"), "{}", resp.body);
+        assert!(
+            resp.body.contains(
+                "\"cluster\":{\"workers\":1,\"answered\":1,\"segments\":1,\"retries\":0,\"skipped\":[]}"
+            ),
+            "{}",
+            resp.body
+        );
+        // Stripping the cluster object leaves bytes identical to the
+        // equivalent single-node spectrum estimate under the same
+        // merged design — the CI gate's contract.
+        let stripped = resp
+            .body
+            .replace(",\"cluster\":{\"workers\":1,\"answered\":1,\"segments\":1,\"retries\":0,\"skipped\":[]}", "");
+        let single =
+            pipeline::estimate_spectrum_designed(6, vec![1, 1, 1], "GEE", SampleDesign::wor(6))
+                .unwrap();
+        assert_eq!(stripped, single.to_json());
+
+        handle.shutdown();
+        thread.join().unwrap();
     }
 }

@@ -207,6 +207,8 @@ pub fn status_text(status: u16) -> &'static str {
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",
     }

@@ -102,6 +102,11 @@ pub struct ServeConfig {
     /// coin is deterministic in the request's trace id. `0.0` disables
     /// shadowing entirely (and costs nothing on the hot path).
     pub shadow_sample_rate: f64,
+    /// Cluster-coordinator configuration. `Some` makes this daemon the
+    /// coordinator for the configured workers and enables the
+    /// `{"cluster": true}` estimate source; `None` (the default) answers
+    /// that source with `503 cluster_not_configured`.
+    pub cluster: Option<dve_cluster::ClusterConfig>,
 }
 
 impl Default for ServeConfig {
@@ -116,6 +121,7 @@ impl Default for ServeConfig {
             handle_delay: Duration::ZERO,
             trace: true,
             shadow_sample_rate: monitor::DEFAULT_SHADOW_SAMPLE_RATE,
+            cluster: None,
         }
     }
 }
@@ -269,6 +275,11 @@ impl Server {
             queue_capacity: self.config.queue_depth,
             queue_len: 0,
             monitor: Arc::new(Monitor::new(self.config.shadow_sample_rate)),
+            cluster: self
+                .config
+                .cluster
+                .clone()
+                .map(|c| Arc::new(dve_cluster::Coordinator::new(c))),
         };
 
         std::thread::scope(|s| {

@@ -254,10 +254,28 @@ pub fn estimate_spectrum_designed(
     Ok(outcome(estimator.as_ref(), &profile, design))
 }
 
+/// Estimates once over an already-merged sufficient statistic — the
+/// entry point the cluster coordinator uses after
+/// [`FrequencyProfile::merge_designed`] folds worker partials into one
+/// spectrum + design, and the single implementation every other mode
+/// bottoms out in.
+pub fn estimate_profile(
+    profile: &FrequencyProfile,
+    estimator_name: &str,
+    design: SampleDesign,
+) -> Result<EstimateOutcome, PipelineError> {
+    let estimator = registry::by_name_instrumented(estimator_name)?;
+    if profile.table_size() == 0 || profile.sample_size() == 0 {
+        return Err(PipelineError::EmptyInput);
+    }
+    Ok(outcome(estimator.as_ref(), profile, design))
+}
+
 /// Estimates distinct values from **per-shard** spectra: each shard
 /// ships `(n, spectrum)` for its own partition and the daemon merges the
-/// sufficient statistics with [`FrequencyProfile::merge`] before
-/// estimating once over the union.
+/// sufficient statistics with [`FrequencyProfile::merge_designed`] —
+/// the same code path the cluster coordinator uses — before estimating
+/// once over the union.
 ///
 /// Merging sums `n`, `r`, and the f-vectors, which is exact when shards
 /// partition the table *horizontally with disjoint sampled rows* — the
@@ -271,17 +289,23 @@ pub fn estimate_shards(
     estimate_shards_designed(shards, estimator_name, SampleDesign::WithReplacement)
 }
 
-/// [`estimate_shards`] under an explicit [`SampleDesign`].
+/// [`estimate_shards`] under an explicit sampling model. A
+/// with-replacement `design` applies to every shard; a
+/// without-replacement `design` is re-derived honestly per shard as
+/// `wor(nᵢ)`, so the merged design is `wor(Σ nᵢ)` regardless of the
+/// population the caller wrote in.
 pub fn estimate_shards_designed(
     shards: Vec<(u64, Vec<u64>)>,
     estimator_name: &str,
     design: SampleDesign,
 ) -> Result<EstimateOutcome, PipelineError> {
-    let estimator = registry::by_name_instrumented(estimator_name)?;
     if shards.is_empty() {
+        // Probe the estimator name first so `NOPE` + `[]` still reports
+        // the name error the caller can actually fix.
+        registry::by_name_instrumented(estimator_name)?;
         return Err(PipelineError::EmptyInput);
     }
-    let mut merged: Option<FrequencyProfile> = None;
+    let mut designed = Vec::with_capacity(shards.len());
     for (i, (n, spectrum)) in shards.into_iter().enumerate() {
         if n == 0 || spectrum.iter().all(|&f| f == 0) {
             return Err(PipelineError::BadSpectrum(format!(
@@ -290,13 +314,15 @@ pub fn estimate_shards_designed(
         }
         let shard = FrequencyProfile::from_spectrum(n, spectrum)
             .map_err(|e| PipelineError::BadSpectrum(format!("shard {i}: {e}")))?;
-        merged = Some(match merged {
-            None => shard,
-            Some(acc) => acc.merge(&shard),
-        });
+        let shard_design = match design {
+            SampleDesign::WithReplacement => SampleDesign::WithReplacement,
+            SampleDesign::WithoutReplacement { .. } => SampleDesign::wor(n),
+        };
+        designed.push((shard, shard_design));
     }
-    let profile = merged.expect("non-empty shard list merges to a profile");
-    Ok(outcome(estimator.as_ref(), &profile, design))
+    let (profile, merged_design) = FrequencyProfile::merge_designed(designed)
+        .expect("non-empty shard list merges to a profile");
+    estimate_profile(&profile, estimator_name, merged_design)
 }
 
 #[cfg(test)]

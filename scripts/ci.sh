@@ -233,3 +233,85 @@ slo_exit=0
 wait "$slo_pid" || slo_exit=$?
 test "$slo_exit" = 0
 trap 'rm -rf "$tmpdir"' EXIT
+
+# Cluster smoke: three value-disjoint segment files behind two worker
+# daemons and a coordinator. Gate 1 (healthy): the distributed estimate
+# at fraction 1.0, minus the additive "cluster" coverage object, must
+# be byte-identical to single-node `dve estimate` on the concatenated
+# table. Gate 2 (degraded): SIGKILL one worker and the next sweep must
+# still answer 200, reporting the skipped worker and a retry — graceful
+# degradation, not an error. Then the coordinator must drain cleanly.
+awk 'BEGIN{for(i=0;i<4000;i++)printf "a%d\n",i%211}' >"$tmpdir/seg-a.txt"
+awk 'BEGIN{for(i=0;i<3000;i++)printf "b%d\n",i%107}' >"$tmpdir/seg-b.txt"
+awk 'BEGIN{for(i=0;i<5000;i++)printf "c%d\n",i%331}' >"$tmpdir/seg-c.txt"
+cat "$tmpdir/seg-a.txt" "$tmpdir/seg-b.txt" "$tmpdir/seg-c.txt" >"$tmpdir/all.txt"
+
+worker_a_port=17271
+worker_b_port=17272
+cluster_port=17173
+./target/release/dve worker --addr "127.0.0.1:$worker_a_port" \
+    --segments "$tmpdir/seg-a.txt,$tmpdir/seg-b.txt" &
+worker_a_pid=$!
+./target/release/dve worker --addr "127.0.0.1:$worker_b_port" \
+    --segments "$tmpdir/seg-c.txt" &
+worker_b_pid=$!
+./target/release/dve serve --addr "127.0.0.1:$cluster_port" \
+    --cluster "127.0.0.1:$worker_a_port,127.0.0.1:$worker_b_port" &
+cluster_pid=$!
+trap 'kill "$worker_a_pid" "$worker_b_pid" "$cluster_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+
+for _ in $(seq 1 50); do
+    if curl -sf "http://127.0.0.1:$cluster_port/healthz" >"$tmpdir/chealth.json" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+grep -q '"cluster_workers":2' "$tmpdir/chealth.json"
+
+# Healthy sweep (retried while the workers finish binding).
+for _ in $(seq 1 50); do
+    curl -s -X POST "http://127.0.0.1:$cluster_port/v1/estimate" \
+        -d '{"cluster":true,"fraction":1.0,"seed":7,"estimator":"AE"}' \
+        >"$tmpdir/cluster.json" 2>/dev/null || true
+    if grep -q '"answered":2' "$tmpdir/cluster.json"; then
+        break
+    fi
+    sleep 0.1
+done
+grep -q '"cluster":{"workers":2,"answered":2,"segments":3,"retries":0,"skipped":\[\]}' \
+    "$tmpdir/cluster.json"
+
+# Byte-identity: strip the additive coverage object, compare against
+# the single-node CLI on the concatenated table (same fraction, seed,
+# estimator, and — via the wor merge — the same sample design).
+stripped="$(sed -E 's/,"cluster":\{.*$/}/' "$tmpdir/cluster.json")"
+single="$(./target/release/dve estimate --estimator AE --fraction 1.0 --seed 7 \
+    --format json "$tmpdir/all.txt")"
+test "$stripped" = "$single"
+
+# Degraded sweep: SIGKILL worker B mid-flight; the sweep must retry,
+# skip it, and still answer with the surviving worker's segments.
+kill -9 "$worker_b_pid"
+wait "$worker_b_pid" 2>/dev/null || true
+curl -s -X POST "http://127.0.0.1:$cluster_port/v1/estimate" \
+    -d '{"cluster":true,"fraction":1.0,"seed":7,"estimator":"AE"}' >"$tmpdir/degraded.json"
+grep -q '"workers":2,"answered":1,"segments":2,"retries":1' "$tmpdir/degraded.json"
+grep -q "\"skipped\":\[{\"worker\":\"127.0.0.1:$worker_b_port\"" "$tmpdir/degraded.json"
+
+# The retry is visible on the coordinator's metrics, and the cluster
+# family passes the exposition lint.
+curl -sf "http://127.0.0.1:$cluster_port/metrics" >"$tmpdir/cluster-metrics.prom"
+lint_prom "$tmpdir/cluster-metrics.prom"
+grep -q '^cluster_retries_total [1-9]' "$tmpdir/cluster-metrics.prom"
+grep -q '^cluster_worker_failures_total' "$tmpdir/cluster-metrics.prom"
+
+# Clean drain: coordinator and the surviving worker exit 0 on SIGTERM.
+kill -TERM "$cluster_pid"
+cluster_rc=0
+wait "$cluster_pid" || cluster_rc=$?
+test "$cluster_rc" = 0
+kill -TERM "$worker_a_pid"
+worker_rc=0
+wait "$worker_a_pid" || worker_rc=$?
+test "$worker_rc" = 0
+trap 'rm -rf "$tmpdir"' EXIT

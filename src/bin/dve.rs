@@ -17,6 +17,7 @@
 //! dve serve [--addr 127.0.0.1:7171] [--queue 64] [--max-body BYTES]
 //!           [--read-timeout-ms 5000] [--handle-timeout-ms 10000]
 //!           [--trace on|off] [--shadow-sample-rate 0.01]
+//!           [--cluster WORKER[,WORKER...]] [--cluster-retries 1]
 //!     Run the estimation daemon: POST /v1/estimate, POST /v1/analyze,
 //!     GET /metrics, GET /healthz, GET /v1/estimators, GET /v1/slo,
 //!     GET /v1/traces[/{id}]. Bounded accept queue with 429 load
@@ -26,7 +27,17 @@
 //!     Chrome trace-event JSON from /v1/traces/{id}. A deterministic
 //!     fraction of values-mode requests (--shadow-sample-rate) also
 //!     computes the exact distinct count and feeds the observed error
-//!     into the /v1/slo burn-rate tracker.
+//!     into the /v1/slo burn-rate tracker. With --cluster the daemon is
+//!     also the coordinator for the listed `dve worker` daemons and
+//!     `POST /v1/estimate` accepts `{"cluster": true}`.
+//!
+//! dve worker --segments FILE[,FILE...] [--addr 127.0.0.1:7272]
+//!            [--io-timeout-ms 5000]
+//!     Run a cluster worker daemon: load one segment per FILE (one
+//!     value per line) and answer partial-spectrum requests from a
+//!     coordinator over the versioned length-prefixed binary protocol.
+//!     Raw values never leave the worker — only sparse spectra travel.
+//!     Graceful shutdown on SIGTERM.
 //!
 //! dve slo-check URL [--max-burn-rate X] [--min-coverage Y]
 //!               [--timeout-ms 5000]
@@ -129,6 +140,7 @@ fn main() {
         "import" => cmd_import(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "worker" => cmd_worker(&args[1..]),
         "slo-check" => cmd_slo_check(&args[1..]),
         "trace-check" => cmd_trace_check(&args[1..]),
         "estimators" => {
@@ -401,6 +413,19 @@ fn cmd_serve(args: &[String]) {
             Some(other) => fail(2, format!("invalid --trace {other} (on|off)")),
         },
         shadow_sample_rate: flag_parse(&flags, "shadow-sample-rate", defaults.shadow_sample_rate),
+        cluster: flags.get("cluster").map(|list| {
+            let workers: Vec<String> = list
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            if workers.is_empty() {
+                fail(2, "--cluster requires WORKER[,WORKER...]".to_string());
+            }
+            let mut cluster = distinct_values::cluster::ClusterConfig::new(workers);
+            cluster.retries = flag_parse(&flags, "cluster-retries", cluster.retries);
+            cluster
+        }),
     };
     if config.queue_depth == 0 {
         fail(2, "--queue must be at least 1".to_string());
@@ -414,6 +439,7 @@ fn cmd_serve(args: &[String]) {
             ),
         );
     }
+    let cluster_workers = config.cluster.as_ref().map(|c| c.workers.len());
     let server =
         Server::bind(config).unwrap_or_else(|e| fail(1, format!("cannot bind listener: {e}")));
     let addr = server
@@ -421,15 +447,81 @@ fn cmd_serve(args: &[String]) {
         .unwrap_or_else(|e| fail(1, format!("cannot resolve listen address: {e}")));
     signal::install();
     Event::info("serve.listening")
-        .message(format!(
-            "listening on http://{addr} (SIGTERM/ctrl-c to stop)"
-        ))
+        .message(match cluster_workers {
+            Some(n) => format!(
+                "listening on http://{addr}, coordinating {n} cluster worker(s) \
+                 (SIGTERM/ctrl-c to stop)"
+            ),
+            None => format!("listening on http://{addr} (SIGTERM/ctrl-c to stop)"),
+        })
         .emit();
     server
         .run()
         .unwrap_or_else(|e| fail(1, format!("serve failed: {e}")));
     Event::info("serve.stopped")
         .message("drained in-flight requests; bye".to_string())
+        .emit();
+}
+
+/// `dve worker` — a cluster worker daemon: one [`Segment`] per
+/// `--segments` file, served over the versioned binary protocol until
+/// SIGTERM/SIGINT.
+///
+/// [`Segment`]: distinct_values::cluster::Segment
+fn cmd_worker(args: &[String]) {
+    use distinct_values::cluster::{Segment, Worker, WorkerConfig};
+    use distinct_values::serve::signal;
+    let (flags, positional) = parse_flags(args);
+    if let Some(extra) = positional.first() {
+        fail(2, format!("worker takes no positional arguments: {extra}"));
+    }
+    let Some(segment_list) = flags.get("segments") else {
+        fail(2, "worker requires --segments FILE[,FILE...]".to_string());
+    };
+    let config = WorkerConfig {
+        addr: flag_parse(&flags, "addr", "127.0.0.1:7272".to_string()),
+        io_timeout: std::time::Duration::from_millis(flag_parse(&flags, "io-timeout-ms", 5_000)),
+    };
+    let mut segments = Vec::new();
+    for path in segment_list.split(',').filter(|s| !s.is_empty()) {
+        let lines = read_lines(&[path.to_string()]);
+        // The file path is the segment name — it seeds the segment's
+        // deterministic sampling stream, so re-serving the same files
+        // reproduces the same partial spectra.
+        segments.push(Segment::from_values(path, &lines));
+    }
+    if segments.is_empty() {
+        fail(2, "worker requires --segments FILE[,FILE...]".to_string());
+    }
+    let worker = Worker::bind(config, segments)
+        .unwrap_or_else(|e| fail(1, format!("cannot bind worker listener: {e}")));
+    let addr = worker
+        .local_addr()
+        .unwrap_or_else(|e| fail(1, format!("cannot resolve listen address: {e}")));
+    signal::install();
+    // The worker loop polls its own shutdown flag; bridge the process
+    // signals to it so SIGTERM drains the worker like it drains serve.
+    let handle = worker.handle();
+    std::thread::spawn(move || loop {
+        if signal::requested() {
+            handle.shutdown();
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+    Event::info("worker.listening")
+        .message(format!(
+            "worker on {addr}: {} segment(s), {} row(s) (SIGTERM/ctrl-c to stop)",
+            worker.segments(),
+            worker.rows(),
+        ))
+        .field_u64("rows", worker.rows())
+        .emit();
+    worker
+        .run()
+        .unwrap_or_else(|e| fail(1, format!("worker failed: {e}")));
+    Event::info("worker.stopped")
+        .message("drained connections; bye".to_string())
         .emit();
 }
 
@@ -460,7 +552,22 @@ fn cmd_slo_check(args: &[String]) {
     )
     .unwrap_or_else(|e| fail(1, format!("cannot fetch http://{addr}/v1/slo: {e}")));
     if status != 200 {
-        fail(1, format!("GET /v1/slo answered {status}: {body}"));
+        // Every daemon error carries the {code, message, hint} envelope;
+        // the code picks the exit status (2 caller-fixable, 3 capacity/
+        // availability, 1 otherwise).
+        let code = minijson::parse(&body).ok().and_then(|root| {
+            root.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+        });
+        match code {
+            Some(code) => fail(
+                distinct_values::serve::api::exit_code_for(&code),
+                format!("GET /v1/slo answered {status} ({code}): {body}"),
+            ),
+            None => fail(1, format!("GET /v1/slo answered {status}: {body}")),
+        }
     }
     let root = minijson::parse(&body)
         .unwrap_or_else(|e| fail(1, format!("/v1/slo returned invalid JSON: {e}")));
@@ -942,7 +1049,10 @@ fn usage_and_exit(code: i32) -> ! {
          [--format table|json] [--trace TRACE.json] [FILE|-]\n  \
          dve serve [--addr 127.0.0.1:7171] [--queue 64] [--max-body BYTES]\n            \
          [--read-timeout-ms 5000] [--handle-timeout-ms 10000] [--trace on|off]\n            \
-         [--shadow-sample-rate 0.01]\n  \
+         [--shadow-sample-rate 0.01] [--cluster WORKER[,WORKER...]]\n            \
+         [--cluster-retries 1]\n  \
+         dve worker --segments FILE[,FILE...] [--addr 127.0.0.1:7272]\n             \
+         [--io-timeout-ms 5000]\n  \
          dve slo-check URL [--max-burn-rate X] [--min-coverage Y] [--timeout-ms 5000]\n  \
          dve exact [FILE|-]\n  \
          dve sketch [--hll-p 12] [FILE|-]\n  \

@@ -37,6 +37,11 @@
 //!   over `TcpListener` exposing `/v1/estimate`, `/v1/analyze`,
 //!   `/metrics`, `/healthz`, and `/v1/estimators`, with a bounded accept
 //!   queue, load shedding, request deadlines, and graceful shutdown.
+//! * [`cluster`] — distributed estimation: segment workers answering
+//!   partial-spectrum requests over a versioned length-prefixed binary
+//!   protocol, and a coordinator that fans out, merges per-shard WOR
+//!   spectra, and degrades gracefully (retry once, then report skipped
+//!   segments).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +56,7 @@
 //! assert!(estimate <= 1000.0);
 //! ```
 
+pub use dve_cluster as cluster;
 pub use dve_core as core;
 pub use dve_datagen as datagen;
 pub use dve_experiments as experiments;

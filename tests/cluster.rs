@@ -1,0 +1,303 @@
+//! End-to-end tests for the distributed estimation cluster: real
+//! worker daemons on real sockets, a coordinator `dve serve` daemon in
+//! front, HTTP in, merged estimates out.
+//!
+//! The acceptance criteria from the cluster design:
+//!
+//! * **Healthy**: with every worker up at fraction 1.0 over
+//!   value-disjoint segments, the coordinator's response (minus the
+//!   additive `"cluster"` coverage object) is byte-identical to
+//!   single-node estimation over the concatenated table.
+//! * **Degraded**: with a worker down, the sweep answers 200 with the
+//!   skipped worker reported — graceful degradation, not an error —
+//!   and the retry counter ticks.
+
+use distinct_values::cluster::{ClusterConfig, Segment, Worker, WorkerConfig};
+use distinct_values::serve::{pipeline, ServeConfig, Server, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+struct TestWorker {
+    addr: String,
+    handle: distinct_values::cluster::WorkerHandle,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn boot_worker(segments: Vec<Segment>) -> TestWorker {
+    let worker = Worker::bind(
+        WorkerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            io_timeout: Duration::from_secs(2),
+        },
+        segments,
+    )
+    .expect("bind worker");
+    let addr = worker.local_addr().expect("worker addr").to_string();
+    let handle = worker.handle();
+    let thread = std::thread::spawn(move || worker.run());
+    TestWorker {
+        addr,
+        handle,
+        thread,
+    }
+}
+
+impl TestWorker {
+    fn stop(self) {
+        self.handle.shutdown();
+        self.thread
+            .join()
+            .expect("worker thread exits")
+            .expect("worker run returns Ok");
+    }
+}
+
+struct TestServer {
+    addr: SocketAddr,
+    handle: ServerHandle,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn boot_coordinator(workers: Vec<String>) -> TestServer {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 2,
+        cluster: Some(ClusterConfig {
+            connect_timeout: Duration::from_millis(500),
+            request_timeout: Duration::from_secs(2),
+            retry_backoff: Duration::from_millis(10),
+            ..ClusterConfig::new(workers)
+        }),
+        ..ServeConfig::default()
+    })
+    .expect("bind coordinator");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+    TestServer {
+        addr,
+        handle,
+        thread,
+    }
+}
+
+impl TestServer {
+    fn stop(self) {
+        self.handle.shutdown();
+        self.thread
+            .join()
+            .expect("server thread exits")
+            .expect("server run returns Ok");
+    }
+}
+
+fn roundtrip(addr: SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {response:?}"));
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    roundtrip(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    roundtrip(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+/// Value-disjoint segments (distinct value spaces per segment).
+fn segment(name: &str, offset: u64, rows: u64, distinct: u64) -> (Segment, Vec<String>) {
+    let values: Vec<String> = (0..rows)
+        .map(|i| format!("v{}", offset + i % distinct))
+        .collect();
+    (Segment::from_values(name, &values), values)
+}
+
+/// Strips the additive `,"cluster":{…}` object off a cluster estimate
+/// response (the same transformation the CI smoke applies with sed).
+fn strip_cluster(body: &str) -> String {
+    match body.find(",\"cluster\":{") {
+        Some(idx) => format!("{}{}", &body[..idx], "}"),
+        None => body.to_string(),
+    }
+}
+
+#[test]
+fn healthy_cluster_is_byte_identical_to_single_node() {
+    let (seg_a, values_a) = segment("seg-a", 0, 400, 23);
+    let (seg_b, values_b) = segment("seg-b", 1_000, 300, 17);
+    let (seg_c, values_c) = segment("seg-c", 2_000, 500, 41);
+    // Three segments across two workers: one worker owns two.
+    let w1 = boot_worker(vec![seg_a, seg_b]);
+    let w2 = boot_worker(vec![seg_c]);
+    let server = boot_coordinator(vec![w1.addr.clone(), w2.addr.clone()]);
+
+    for estimator in ["GEE", "AE", "SHLOSSER"] {
+        let (status, body) = post(
+            server.addr,
+            "/v1/estimate",
+            &format!(r#"{{"cluster":true,"fraction":1.0,"seed":7,"estimator":"{estimator}"}}"#),
+        );
+        assert_eq!(status, 200, "{body}");
+        // Coverage object reports a complete sweep.
+        assert!(
+            body.contains(
+                "\"cluster\":{\"workers\":2,\"answered\":2,\"segments\":3,\"retries\":0,\"skipped\":[]}"
+            ),
+            "{body}"
+        );
+        // Byte-identity: at fraction 1.0 the merged per-segment spectra
+        // and the wor(Σnᵢ) design are exactly what single-node
+        // estimation computes on the concatenated table.
+        let all: Vec<String> = values_a
+            .iter()
+            .chain(&values_b)
+            .chain(&values_c)
+            .cloned()
+            .collect();
+        let single = pipeline::estimate_values(&all, estimator, 1.0, 7).unwrap();
+        assert_eq!(strip_cluster(&body), single.to_json(), "{estimator}");
+    }
+
+    // healthz reports the coordinator role.
+    let (status, health) = get(server.addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"cluster_workers\":2"), "{health}");
+
+    server.stop();
+    w1.stop();
+    w2.stop();
+}
+
+#[test]
+fn partial_fraction_sweep_estimates_and_is_deterministic() {
+    // At fractions < 1 the distributed sample cannot reproduce a
+    // single-node draw bit-for-bit, but it must be deterministic in the
+    // seed and estimate over the merged partial spectra.
+    let (seg_a, _) = segment("p-a", 0, 2_000, 211);
+    let (seg_b, _) = segment("p-b", 10_000, 3_000, 307);
+    let w1 = boot_worker(vec![seg_a]);
+    let w2 = boot_worker(vec![seg_b]);
+    let server = boot_coordinator(vec![w1.addr.clone(), w2.addr.clone()]);
+
+    let request = r#"{"cluster":true,"fraction":0.2,"seed":11,"estimator":"AE"}"#;
+    let (status, first) = post(server.addr, "/v1/estimate", request);
+    assert_eq!(status, 200, "{first}");
+    let (_, second) = post(server.addr, "/v1/estimate", request);
+    assert_eq!(first, second, "same seed, same bytes");
+    assert!(
+        first.contains("\"estimation\":{\"estimator\":\"AE\""),
+        "{first}"
+    );
+    assert!(first.contains("\"n\":5000"), "merged n: {first}");
+
+    server.stop();
+    w1.stop();
+    w2.stop();
+}
+
+#[test]
+fn dead_worker_degrades_gracefully_and_ticks_the_retry_counter() {
+    let (seg_a, values_a) = segment("d-a", 0, 400, 29);
+    let (seg_b, _) = segment("d-b", 1_000, 300, 19);
+    let w1 = boot_worker(vec![seg_a]);
+    let w2 = boot_worker(vec![seg_b]);
+    let dead_addr = w2.addr.clone();
+    // Kill the second worker: its port now refuses connections.
+    w2.stop();
+
+    let server = boot_coordinator(vec![w1.addr.clone(), dead_addr.clone()]);
+    let (status, body) = post(
+        server.addr,
+        "/v1/estimate",
+        r#"{"cluster":true,"fraction":1.0,"seed":7,"estimator":"GEE"}"#,
+    );
+    // Graceful degradation: 200 over the survivors, the gap reported.
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains("\"workers\":2,\"answered\":1,\"segments\":1,\"retries\":1"),
+        "{body}"
+    );
+    assert!(
+        body.contains(&format!(
+            "\"skipped\":[{{\"worker\":\"{dead_addr}\",\"segments\":null,\"error\":\""
+        )),
+        "{body}"
+    );
+    // The answer covers exactly the surviving worker's segment.
+    let single = pipeline::estimate_values(&values_a, "GEE", 1.0, 7).unwrap();
+    assert_eq!(strip_cluster(&body), single.to_json());
+
+    // The retry shows up on the coordinator's metrics endpoint.
+    let (status, prom) = get(server.addr, "/metrics");
+    assert_eq!(status, 200);
+    let retries: u64 = prom
+        .lines()
+        .find_map(|l| l.strip_prefix("cluster_retries_total "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("cluster_retries_total sample present");
+    assert!(retries >= 1, "retry counter never ticked: {retries}");
+    assert!(prom.contains("cluster_worker_failures_total"), "{prom}");
+
+    server.stop();
+    w1.stop();
+}
+
+#[test]
+fn all_workers_dead_is_502_and_no_cluster_is_503() {
+    // Every worker down → 502 cluster_unavailable with the envelope.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let server = boot_coordinator(vec![dead]);
+    let (status, body) = post(
+        server.addr,
+        "/v1/estimate",
+        r#"{"cluster":true,"fraction":1.0}"#,
+    );
+    assert_eq!(status, 502, "{body}");
+    assert!(body.contains("\"code\":\"cluster_unavailable\""), "{body}");
+    assert!(body.contains("\"hint\":\""), "{body}");
+    server.stop();
+
+    // A daemon without --cluster answers the source with 503.
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind plain server");
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+    let (status, body) = post(addr, "/v1/estimate", r#"{"cluster":true}"#);
+    assert_eq!(status, 503, "{body}");
+    assert!(
+        body.contains("\"code\":\"cluster_not_configured\""),
+        "{body}"
+    );
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
+}
