@@ -74,10 +74,10 @@ fn bench_group_by_strategies(c: &mut Criterion) {
     for (label, distinct) in [("lowcard_500", 500u64), ("highcard_500k", 500_000)] {
         let table = Table::from_generated("k", &column(distinct, 1_000_000));
         group.bench_with_input(BenchmarkId::new("hash_agg", label), &table, |b, t| {
-            b.iter(|| black_box(execute_group_by(t, "k", GroupByStrategy::HashAggregate)))
+            b.iter(|| black_box(execute_group_by(t, "k", GroupByStrategy::HashAggregate).unwrap()))
         });
         group.bench_with_input(BenchmarkId::new("sort_agg", label), &table, |b, t| {
-            b.iter(|| black_box(execute_group_by(t, "k", GroupByStrategy::SortAggregate)))
+            b.iter(|| black_box(execute_group_by(t, "k", GroupByStrategy::SortAggregate).unwrap()))
         });
     }
     group.finish();

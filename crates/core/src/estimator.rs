@@ -46,13 +46,10 @@ pub struct Estimation {
 
 /// Writes an `f64` as a JSON number (shortest round-trip formatting, so
 /// a reader parsing the text recovers the bit-identical value); clamps
-/// non-finite values to `null`.
+/// non-finite values to `null`. Delegates to the shared
+/// [`dve_obs::minijson::push_f64`].
 fn push_json_f64(out: &mut String, v: f64) {
-    if v.is_finite() {
-        out.push_str(&format!("{v}"));
-    } else {
-        out.push_str("null");
-    }
+    dve_obs::minijson::push_f64(out, v);
 }
 
 impl Estimation {
@@ -72,15 +69,9 @@ impl Estimation {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(128);
         out.push_str("{\"estimator\":\"");
-        // Registry names are plain ASCII identifiers; escape the two
-        // JSON-significant characters anyway for future-proofing.
-        for c in self.estimator.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                c => out.push(c),
-            }
-        }
+        // Registry names are plain ASCII identifiers; escape anyway for
+        // future-proofing, via the shared minijson helper.
+        dve_obs::minijson::escape_into(&mut out, &self.estimator);
         out.push_str("\",\"estimate\":");
         push_json_f64(&mut out, self.estimate);
         out.push_str(",\"interval\":");

@@ -590,6 +590,14 @@ impl SpectrumBuilder {
         self.counts.len()
     }
 
+    /// Iterates the accumulated `(value_hash, count)` pairs in table
+    /// order (deterministic for a given observation multiset, but not
+    /// sorted) — the raw material for most-common-value lists and
+    /// sketch shadows. Sort before using the order for anything stable.
+    pub fn counts(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter()
+    }
+
     /// Folds another builder's observations into this one at the value
     /// level — counts for values present in both add. Associative and
     /// commutative, so any chunking and merge order of one logical

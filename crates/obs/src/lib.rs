@@ -119,31 +119,16 @@ pub fn set_enabled(enabled: bool) {
 }
 
 /// Escapes `s` as the interior of a JSON string (shared by the snapshot
-/// writer and the JSONL sink).
+/// writer and the JSONL sink) — delegates to the one public
+/// implementation in [`minijson::escape_into`].
 pub(crate) fn json_escape_into(out: &mut String, s: &str) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
+    minijson::escape_into(out, s);
 }
 
 /// Writes an `f64` as JSON (finite numbers plainly; non-finite as null,
-/// which JSON cannot represent).
+/// which JSON cannot represent) — delegates to [`minijson::push_f64`].
 pub(crate) fn json_f64_into(out: &mut String, v: f64) {
-    if v.is_finite() {
-        out.push_str(&format!("{v}"));
-    } else {
-        out.push_str("null");
-    }
+    minijson::push_f64(out, v);
 }
 
 /// Serializes tests that toggle or depend on the global [`enabled`]

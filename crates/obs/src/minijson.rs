@@ -73,6 +73,46 @@ impl JsonValue {
     }
 }
 
+/// Escapes `s` as the interior of a JSON string — the one escape
+/// implementation every hand-rolled writer in the workspace shares
+/// (telemetry snapshots, the serve error envelope, ANALYZE statistics,
+/// the statistics catalog). Escapes `"`, `\`, the common whitespace
+/// controls by name, and every other control character as `\uXXXX`.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// [`escape_into`] returning a fresh `String`.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    escape_into(&mut out, s);
+    out
+}
+
+/// Writes an `f64` as a JSON number using Rust's shortest round-trip
+/// formatting, so [`parse`] recovers the bit-identical value — the
+/// byte-identity contract between the CLI and `dve serve` rests on
+/// this. Non-finite values (which JSON cannot represent) become `null`.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
 /// Parses a complete JSON document (trailing whitespace allowed,
 /// trailing garbage rejected).
 pub fn parse(input: &str) -> Result<JsonValue, String> {

@@ -26,11 +26,12 @@ use dve_obs::minijson::{self, JsonValue};
 use dve_obs::trace;
 use dve_storage::analyze::AnalyzeError;
 use dve_storage::{
-    analyze_table_jobs, columns_to_json, AnalyzeOptions, Column, DataType, Field, Schema, Table,
+    analyze_table_jobs, build_table_stats, columns_to_json, AnalyzeOptions, CatalogEntry, Column,
+    DataType, Field, Schema, StatsCatalog, Table,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// A fully rendered response, ready for [`crate::http::write_response`].
@@ -95,6 +96,7 @@ fn default_hint(code: &str) -> &'static str {
         "read_timeout" => "send the complete request within the read deadline",
         "body_too_large" => "shrink the request body or raise --max-body-bytes",
         "trace_not_found" => "GET /v1/traces lists the trace ids still buffered",
+        "stats_not_found" => "POST /v1/analyze?save=true&table=NAME saves statistics first",
         "cluster_not_configured" => "start the daemon with --cluster WORKER[,WORKER...]",
         "cluster_unavailable" => "check the worker daemons; per-worker errors are in the message",
         _ => "see DESIGN.md for the API contract",
@@ -107,7 +109,7 @@ fn default_hint(code: &str) -> &'static str {
 pub fn exit_code_for(code: &str) -> i32 {
     match code {
         "malformed_json" | "bad_request" | "bad_query" | "unknown_estimator" | "not_found"
-        | "method_not_allowed" | "body_too_large" | "trace_not_found" => 2,
+        | "method_not_allowed" | "body_too_large" | "trace_not_found" | "stats_not_found" => 2,
         "overloaded"
         | "deadline_exceeded"
         | "read_timeout"
@@ -118,15 +120,7 @@ pub fn exit_code_for(code: &str) -> i32 {
 }
 
 fn escape_into(out: &mut String, s: &str) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
+    minijson::escape_into(out, s);
 }
 
 /// The route label used for `serve.requests` metrics.
@@ -139,6 +133,7 @@ pub fn route_label(method: &str, path: &str) -> &'static str {
         (_, "/v1/analyze") => "analyze",
         (_, "/v1/slo") => "slo",
         (_, p) if p == "/v1/traces" || p.starts_with("/v1/traces/") => "traces",
+        (_, p) if p.starts_with("/v1/stats/") => "stats",
         _ => "other",
     }
 }
@@ -161,6 +156,9 @@ pub struct ServeStatus {
     /// `--cluster`. `None` means the `cluster` estimate source answers
     /// `503 cluster_not_configured`.
     pub cluster: Option<Arc<Coordinator>>,
+    /// The in-memory statistics catalog behind
+    /// `POST /v1/analyze?save=true` and `GET /v1/stats/{table}`.
+    pub catalog: Arc<Mutex<StatsCatalog>>,
 }
 
 impl Default for ServeStatus {
@@ -172,6 +170,7 @@ impl Default for ServeStatus {
             queue_len: 0,
             monitor: Arc::new(Monitor::disabled()),
             cluster: None,
+            catalog: Arc::new(Mutex::new(StatsCatalog::new())),
         }
     }
 }
@@ -193,12 +192,15 @@ pub fn handle_with_status(req: &Request, status: &ServeStatus) -> Response {
         ("GET", "/v1/traces") => traces_index(req),
         ("GET", p) if p.starts_with("/v1/traces/") => trace_by_id(&p["/v1/traces/".len()..]),
         ("POST", "/v1/estimate") => estimate(&req.body, status),
-        ("POST", "/v1/analyze") => analyze(&req.body),
+        ("POST", "/v1/analyze") => analyze(req, status),
+        ("GET", p) if p.starts_with("/v1/stats/") => stats_lookup(&p["/v1/stats/".len()..], status),
         (
             _,
             "/healthz" | "/metrics" | "/v1/estimators" | "/v1/estimate" | "/v1/analyze" | "/v1/slo",
         ) => Response::error(405, "method_not_allowed", "wrong method for this path"),
-        (_, p) if p == "/v1/traces" || p.starts_with("/v1/traces/") => {
+        (_, p)
+            if p == "/v1/traces" || p.starts_with("/v1/traces/") || p.starts_with("/v1/stats/") =>
+        {
             Response::error(405, "method_not_allowed", "wrong method for this path")
         }
         (_, path) => Response::error(404, "not_found", &format!("no such path: {path}")),
@@ -676,6 +678,71 @@ fn cluster_json_into(body: &mut String, sweep: &ClusterSweep) {
     body.push_str("]}");
 }
 
+/// Query knobs for `POST /v1/analyze`: `?save=true&table=NAME` saves
+/// the run's statistics into the daemon's catalog under `NAME`.
+struct AnalyzeQuery {
+    save: bool,
+    table: Option<String>,
+}
+
+fn parse_analyze_query(query: &str) -> Result<AnalyzeQuery, Response> {
+    let mut out = AnalyzeQuery {
+        save: false,
+        table: None,
+    };
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "save" => match value {
+                "true" => out.save = true,
+                "false" => out.save = false,
+                other => {
+                    return Err(Response::error(
+                        400,
+                        "bad_query",
+                        &format!("\"save\" must be true or false, got {other:?}"),
+                    ))
+                }
+            },
+            "table" => out.table = Some(value.to_string()),
+            other => {
+                return Err(Response::error(
+                    400,
+                    "bad_query",
+                    &format!("unknown query parameter {other:?}"),
+                ))
+            }
+        }
+    }
+    let named = matches!(out.table.as_deref(), Some(t) if !t.is_empty());
+    if out.save && !named {
+        return Err(Response::error(
+            400,
+            "bad_query",
+            "\"save=true\" needs a \"table\" name to save under",
+        ));
+    }
+    Ok(out)
+}
+
+/// `GET /v1/stats/{table}` — the saved statistics for a table, in the
+/// catalog's canonical JSON (byte-identical to `dve stats show` on the
+/// same statistics).
+fn stats_lookup(table: &str, status: &ServeStatus) -> Response {
+    let catalog = status.catalog.lock().expect("catalog lock");
+    match catalog.get(table) {
+        Some(entry) => {
+            let _serialize = trace::span("serve.serialize");
+            Response::json(200, entry.stats.to_json())
+        }
+        None => Response::error(
+            404,
+            "stats_not_found",
+            &format!("no saved statistics for table {table:?}"),
+        ),
+    }
+}
+
 /// `POST /v1/analyze` — inline rows, analyzed exactly like
 /// `dve analyze` analyzes a stored table:
 ///
@@ -683,7 +750,18 @@ fn cluster_json_into(body: &mut String, sweep: &ClusterSweep) {
 /// {"columns": [{"name": "city", "values": ["ann arbor", null, "troy"]}],
 ///  "estimator": "AE", "fraction": 0.5, "seed": 42}
 /// ```
-fn analyze(body: &[u8]) -> Response {
+///
+/// With `?save=true&table=NAME`, the run additionally builds the full
+/// statistics-catalog artifact (MCVs, histogram, HLL shadow, merged
+/// spectrum) and saves it in the daemon's catalog for
+/// `GET /v1/stats/NAME`; the response gains an additive
+/// `"saved":"NAME"` member. Estimates are bit-identical either way.
+fn analyze(req: &Request, status: &ServeStatus) -> Response {
+    let body: &[u8] = &req.body;
+    let query = match parse_analyze_query(&req.query) {
+        Ok(q) => q,
+        Err(resp) => return resp,
+    };
     let root = match parse_body(body) {
         Ok(v) => v,
         Err(resp) => return resp,
@@ -745,6 +823,29 @@ fn analyze(body: &[u8]) -> Response {
         sampling_fraction: knobs.fraction,
         estimator: knobs.estimator,
     };
+    if let Some(name) = query.table.filter(|_| query.save) {
+        // The catalog build runs the identical analyze (same seed, same
+        // sample) and additionally derives the catalog artifacts.
+        return match build_table_stats(&table, &name, &options, knobs.seed) {
+            Ok(built) => {
+                let column_json = columns_to_json(&built.column_statistics);
+                status
+                    .catalog
+                    .lock()
+                    .expect("catalog lock")
+                    .save(CatalogEntry::from(built));
+                let _serialize = trace::span("serve.serialize");
+                let mut out = format!("{{\"columns\":{column_json},\"saved\":\"");
+                escape_into(&mut out, &name);
+                out.push_str("\"}");
+                Response::json(200, out)
+            }
+            Err(AnalyzeError::UnknownEstimator(err)) => {
+                Response::error(400, "unknown_estimator", &err.to_string())
+            }
+            Err(e) => Response::error(400, "bad_request", &e.to_string()),
+        };
+    }
     let mut rng = ChaCha8Rng::seed_from_u64(knobs.seed);
     match analyze_table_jobs(&table, &options, 0, &mut rng) {
         Ok(stats) => {
@@ -1069,6 +1170,95 @@ mod tests {
             r#"{"columns":[{"name":"a","values":["x"]},{"name":"b","values":["x","y"]}]}"#,
         );
         assert_eq!(ragged.status, 400, "{}", ragged.body);
+    }
+
+    #[test]
+    fn analyze_save_roundtrips_through_stats_endpoint() {
+        // One shared status so the analyze save and the stats lookup
+        // see the same catalog, like requests on a running daemon do.
+        let status = ServeStatus::default();
+        let with_status = |method: &str, path: &str, body: &str| {
+            let (path, query) = match path.split_once('?') {
+                Some((p, q)) => (p.to_string(), q.to_string()),
+                None => (path.to_string(), String::new()),
+            };
+            handle_with_status(
+                &Request {
+                    method: method.to_string(),
+                    path,
+                    query,
+                    headers: Vec::new(),
+                    body: body.as_bytes().to_vec(),
+                },
+                &status,
+            )
+        };
+
+        let body =
+            r#"{"columns":[{"name":"city","values":["a",null,"b","a"]}],"fraction":1.0,"seed":7}"#;
+        // Miss before anything was saved.
+        let miss = with_status("GET", "/v1/stats/city_table", "");
+        assert_eq!(miss.status, 404, "{}", miss.body);
+        assert!(
+            miss.body.contains("\"code\":\"stats_not_found\""),
+            "{}",
+            miss.body
+        );
+
+        // Plain analyze does not save; estimates must be bit-identical
+        // to the saving run.
+        let plain = with_status("POST", "/v1/analyze", body);
+        assert_eq!(plain.status, 200, "{}", plain.body);
+        assert_eq!(with_status("GET", "/v1/stats/city_table", "").status, 404);
+
+        let saved = with_status("POST", "/v1/analyze?save=true&table=city_table", body);
+        assert_eq!(saved.status, 200, "{}", saved.body);
+        assert!(
+            saved.body.contains("\"saved\":\"city_table\""),
+            "{}",
+            saved.body
+        );
+        let plain_cols = &plain.body[..plain.body.len() - 1]; // drop closing '}'
+        assert!(
+            saved.body.starts_with(plain_cols),
+            "save must not change the estimate bytes:\n{}\n{}",
+            plain.body,
+            saved.body
+        );
+
+        let stats = with_status("GET", "/v1/stats/city_table", "");
+        assert_eq!(stats.status, 200, "{}", stats.body);
+        assert!(
+            stats.body.starts_with("{\"table\":\"city_table\""),
+            "{}",
+            stats.body
+        );
+        // The body is the catalog's canonical encoding: it reparses and
+        // re-serializes to the same bytes.
+        let parsed = dve_storage::TableStats::from_json(&stats.body).unwrap();
+        assert_eq!(parsed.to_json(), stats.body);
+        assert_eq!(parsed.row_count, 4);
+        assert_eq!(parsed.columns[0].name, "city");
+
+        // Query validation: save without a table name, bad save value,
+        // unknown parameter.
+        for bad in [
+            "/v1/analyze?save=true",
+            "/v1/analyze?save=true&table=",
+            "/v1/analyze?save=yes&table=t",
+            "/v1/analyze?shave=true",
+        ] {
+            let resp = with_status("POST", bad, body);
+            assert_eq!(resp.status, 400, "{bad}: {}", resp.body);
+            assert!(
+                resp.body.contains("\"code\":\"bad_query\""),
+                "{}",
+                resp.body
+            );
+        }
+
+        // Wrong method on the stats route is 405, not 404.
+        assert_eq!(with_status("POST", "/v1/stats/city_table", "").status, 405);
     }
 
     #[test]

@@ -280,6 +280,7 @@ impl Server {
                 .cluster
                 .clone()
                 .map(|c| Arc::new(dve_cluster::Coordinator::new(c))),
+            catalog: Arc::new(Mutex::new(dve_storage::StatsCatalog::new())),
         };
 
         std::thread::scope(|s| {

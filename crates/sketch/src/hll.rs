@@ -26,7 +26,7 @@ fn merge_count() -> &'static Arc<dve_obs::Counter> {
 }
 
 /// HyperLogLog sketch with `m = 2^p` registers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HyperLogLog {
     registers: Vec<u8>,
     p: u32,
@@ -53,6 +53,32 @@ impl HyperLogLog {
     /// Number of registers.
     pub fn registers(&self) -> usize {
         self.registers.len()
+    }
+
+    /// The precision `p` this sketch was built with.
+    pub fn precision(&self) -> u32 {
+        self.p
+    }
+
+    /// The raw register array (`2^p` bytes) — the sketch's entire
+    /// state, for persistence. Rehydrate with
+    /// [`HyperLogLog::from_registers`].
+    pub fn register_bytes(&self) -> &[u8] {
+        &self.registers
+    }
+
+    /// Rebuilds a sketch from a persisted register array. `None` when
+    /// the precision is out of range, the length is not `2^p`, or a
+    /// register exceeds the maximum rank `64 - p + 1`.
+    pub fn from_registers(p: u32, registers: Vec<u8>) -> Option<Self> {
+        if !(4..=18).contains(&p) || registers.len() != 1 << p {
+            return None;
+        }
+        let max_rank = (64 - p + 1) as u8;
+        if registers.iter().any(|&r| r > max_rank) {
+            return None;
+        }
+        Some(Self { registers, p })
     }
 
     /// The bias-correction constant `α_m`.

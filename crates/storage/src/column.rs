@@ -445,6 +445,21 @@ impl Column {
     }
 }
 
+/// The same deterministic 64-bit hash [`Column::hash_code`] computes,
+/// but for a free-standing [`Value`] — the bridge that lets the
+/// statistics catalog look a predicate's literal up in a hash-keyed
+/// MCV list. `None` for [`Value::Null`]. Guaranteed to agree with
+/// `hash_code` for every value a column can store (tested).
+pub fn value_hash(value: &Value) -> Option<u64> {
+    Some(match value {
+        Value::Null => return None,
+        Value::Int64(v) => mix64(*v as u64),
+        Value::Float64(v) => mix64(normalize_f64_bits(*v)),
+        Value::Str(s) => hash_bytes(s.as_bytes()),
+        Value::Bool(b) => mix64(u64::from(*b)),
+    })
+}
+
 /// Normalizes a float to hashable bits: -0.0 folds into 0.0 and all
 /// NaNs into one bit pattern, so equal (`==`) floats hash equal and
 /// NaNs form a single counted class.
@@ -694,5 +709,37 @@ mod tests {
         assert!(col.is_empty());
         assert_eq!(col.exact_distinct(), 0);
         assert_eq!(col.null_count(), 0);
+    }
+
+    /// [`value_hash`] must agree with [`Column::hash_code`] for every
+    /// value every column type can store — the statistics catalog uses
+    /// it to look predicate literals up in hash-keyed MCV lists built
+    /// from `hash_code` output.
+    #[test]
+    fn value_hash_agrees_with_column_hash_code() {
+        let ints: Vec<i64> = vec![i64::MIN, -7, -1, 0, 1, 42, i64::MAX];
+        let floats: Vec<f64> = vec![-0.0, 0.0, 1.5, -2.25, f64::NAN, f64::INFINITY];
+        let strs: Vec<String> = ["", "a", "répartition", "same", "same"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let bools = vec![true, false, true];
+        let columns: Vec<Column> = vec![
+            Column::from_i64(&ints),
+            Column::from_f64(floats),
+            Column::from_strs(&strs),
+            Column::from_bools(bools),
+            Column::from_i64_opt(&[Some(3), None, Some(3)]),
+        ];
+        for col in &columns {
+            for row in 0..col.len() {
+                assert_eq!(
+                    value_hash(&col.get(row)),
+                    col.hash_code(row),
+                    "row {row} of {:?} column",
+                    col.data_type()
+                );
+            }
+        }
     }
 }

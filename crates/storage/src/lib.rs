@@ -13,7 +13,13 @@
 //! * [`stats`] — optimizer-facing [`stats::ColumnStatistics`]
 //!   (distinct estimate + GEE confidence interval + selectivity helpers);
 //! * [`analyze`] — the `ANALYZE` command: one shared row sample per
-//!   table, per-column frequency profiles, any registry estimator.
+//!   table, per-column frequency profiles, any registry estimator;
+//! * [`catalog`] — the optimizer-grade statistics catalog:
+//!   [`catalog::TableStats`] with MCVs, histograms, and HLL shadows,
+//!   incremental ANALYZE refresh via the WOR shard merge, and the
+//!   staleness policy ([`catalog::RefreshPolicy`]);
+//! * [`planner`] — statistics consumers: group-by strategy choice and
+//!   scan planning driven by the catalog.
 //!
 //! ```
 //! use dve_storage::{analyze::{analyze_table, AnalyzeOptions}, table::Table};
@@ -31,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod catalog;
 pub mod column;
 pub mod encoding;
 pub mod persist;
@@ -41,9 +48,16 @@ pub mod table;
 pub mod value;
 
 pub use analyze::{analyze_partitions, analyze_table, analyze_table_jobs, AnalyzeOptions};
+pub use catalog::{
+    build_table_stats, refresh_table_stats, CatalogEntry, ColumnStats, RefreshOutcome,
+    RefreshPolicy, StatsCatalog, TableStats,
+};
 pub use column::Column;
-pub use persist::{load_table, read_table, save_table, write_table};
-pub use planner::{execute_group_by, plan_group_by, GroupByStrategy};
+pub use persist::{
+    load_table, load_table_stats, read_table, save_table, save_table_stats, stats_path_for,
+    write_table,
+};
+pub use planner::{execute_group_by, plan_group_by, plan_scan, GroupByStrategy, ScanStrategy};
 pub use query::{count_distinct, filter_rows, Filter, Predicate};
 pub use stats::{columns_to_json, ColumnStatistics};
 pub use table::{Catalog, Field, Schema, Table};

@@ -425,6 +425,102 @@ pub fn load_table(path: &std::path::Path) -> Result<Table, PersistError> {
     read_table(&mut f)
 }
 
+// ---------------------------------------------------------------------
+// Statistics catalog persistence
+// ---------------------------------------------------------------------
+//
+// Stats live in a sibling file (`t.dvet` → `t.dvet.stats.json`) so a
+// table file never changes when its statistics do. The envelope is
+// JSON rather than the binary table format — stats are small, and the
+// catalog's canonical serializer already guarantees byte-stable
+// round-trips — but it keeps the same discipline: a format marker, a
+// version, and an FNV-1a checksum over the embedded stats document.
+//
+// ```text
+// {"format":"dve-stats","version":1,"checksum":"0x<16 hex>","stats":{…}}
+// ```
+
+/// Format marker inside the stats envelope.
+pub const STATS_FORMAT: &str = "dve-stats";
+
+/// Path of the statistics file that rides alongside a table file.
+pub fn stats_path_for(table_path: &std::path::Path) -> std::path::PathBuf {
+    let mut name = table_path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".stats.json");
+    table_path.with_file_name(name)
+}
+
+/// FNV-1a over a byte string, as the stats envelope records it.
+fn stats_checksum(bytes: &[u8]) -> u64 {
+    let mut sum = Checksum::new();
+    sum.update(bytes);
+    sum.0
+}
+
+/// Writes the stats envelope for `table_path`'s sibling stats file.
+pub fn save_table_stats(
+    stats: &crate::catalog::TableStats,
+    table_path: &std::path::Path,
+) -> Result<(), PersistError> {
+    let body = stats.to_json();
+    let envelope = format!(
+        "{{\"format\":\"{STATS_FORMAT}\",\"version\":{VERSION},\"checksum\":\"{:#018x}\",\"stats\":{body}}}\n",
+        stats_checksum(body.as_bytes()),
+    );
+    std::fs::write(stats_path_for(table_path), envelope)?;
+    Ok(())
+}
+
+/// Reads and verifies the stats envelope for `table_path`.
+pub fn load_table_stats(
+    table_path: &std::path::Path,
+) -> Result<crate::catalog::TableStats, PersistError> {
+    let raw = std::fs::read_to_string(stats_path_for(table_path))?;
+    let raw = raw.trim_end();
+    // Locate the embedded stats document textually so the checksum is
+    // computed over the exact persisted bytes. The marker cannot occur
+    // earlier: the only free-form strings (table/column names, estimator)
+    // all come after the "stats" key.
+    let marker = ",\"stats\":";
+    let start = raw
+        .find(marker)
+        .ok_or_else(|| PersistError::Corrupt("stats envelope missing \"stats\" member".into()))?
+        + marker.len();
+    if !raw.ends_with('}') || start >= raw.len() {
+        return Err(PersistError::Corrupt("stats envelope truncated".into()));
+    }
+    let body = &raw[start..raw.len() - 1];
+
+    let head = dve_obs::minijson::parse(raw)
+        .map_err(|e| PersistError::Corrupt(format!("stats envelope: {e}")))?;
+    match head.get("format").and_then(|v| v.as_str()) {
+        Some(STATS_FORMAT) => {}
+        _ => return Err(PersistError::Corrupt("not a dve-stats file".into())),
+    }
+    let version = head
+        .get("version")
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| PersistError::Corrupt("stats envelope missing version".into()))?;
+    if version != VERSION as u64 {
+        return Err(PersistError::BadVersion(version as u32));
+    }
+    let stored = head
+        .get("checksum")
+        .and_then(|v| v.as_str())
+        .and_then(|s| s.strip_prefix("0x"))
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or_else(|| PersistError::Corrupt("stats envelope missing checksum".into()))?;
+    if stored != stats_checksum(body.as_bytes()) {
+        return Err(PersistError::ChecksumMismatch {
+            column: "<stats>".into(),
+        });
+    }
+    crate::catalog::TableStats::from_json(body).map_err(PersistError::Corrupt)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -570,6 +666,77 @@ mod tests {
         assert_eq!(loaded.row(1)[0], Value::Null);
         assert_eq!(loaded.row(2)[0], Value::Str(String::new()));
         assert_eq!(loaded.column(0).exact_distinct(), 2);
+    }
+
+    #[test]
+    fn stats_roundtrip_and_corruption() {
+        use crate::analyze::AnalyzeOptions;
+        use crate::catalog::build_table_stats;
+
+        let values: Vec<u64> = (0..2_000u64).map(|i| i % 77).collect();
+        let table = Table::from_generated("v", &values);
+        let built = build_table_stats(
+            &table,
+            "t",
+            &AnalyzeOptions {
+                sampling_fraction: 0.2,
+                estimator: "AE".into(),
+            },
+            42,
+        )
+        .unwrap();
+
+        let dir = std::env::temp_dir().join("dve_stats_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let table_path = dir.join("t.dvet");
+        let stats_path = stats_path_for(&table_path);
+        assert_eq!(stats_path, dir.join("t.dvet.stats.json"));
+
+        save_table_stats(&built.stats, &table_path).unwrap();
+        let loaded = load_table_stats(&table_path).unwrap();
+        assert_eq!(loaded, built.stats, "struct round-trip");
+        assert_eq!(loaded.to_json(), built.stats.to_json(), "byte round-trip");
+        // Saving the loaded stats reproduces the file bit for bit.
+        let first = std::fs::read(&stats_path).unwrap();
+        save_table_stats(&loaded, &table_path).unwrap();
+        assert_eq!(std::fs::read(&stats_path).unwrap(), first);
+
+        // Corrupting a payload byte trips the checksum.
+        let mut bytes = first.clone();
+        let idx = bytes.len() - 20;
+        bytes[idx] = if bytes[idx] == b'1' { b'2' } else { b'1' };
+        std::fs::write(&stats_path, &bytes).unwrap();
+        assert!(matches!(
+            load_table_stats(&table_path),
+            Err(PersistError::ChecksumMismatch { .. }) | Err(PersistError::Corrupt(_))
+        ));
+
+        // Wrong version is rejected as such.
+        let versioned = String::from_utf8(first.clone())
+            .unwrap()
+            .replace("\"version\":1", "\"version\":9");
+        std::fs::write(&stats_path, versioned).unwrap();
+        assert!(matches!(
+            load_table_stats(&table_path),
+            Err(PersistError::BadVersion(9))
+        ));
+
+        // Wrong format marker is rejected.
+        let reformatted = String::from_utf8(first)
+            .unwrap()
+            .replace("dve-stats", "not-stats");
+        std::fs::write(&stats_path, reformatted).unwrap();
+        assert!(matches!(
+            load_table_stats(&table_path),
+            Err(PersistError::Corrupt(_))
+        ));
+
+        // Missing file surfaces as I/O.
+        std::fs::remove_file(&stats_path).unwrap();
+        assert!(matches!(
+            load_table_stats(&table_path),
+            Err(PersistError::Io(_))
+        ));
     }
 
     #[test]

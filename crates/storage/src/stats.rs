@@ -65,15 +65,7 @@ impl ColumnStatistics {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(192);
         out.push_str("{\"column\":\"");
-        for c in self.column.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
+        dve_obs::minijson::escape_into(&mut out, &self.column);
         out.push_str(&format!(
             "\",\"null_count_estimate\":{},\"estimation\":{}}}",
             self.null_count_estimate,

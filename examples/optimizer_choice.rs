@@ -72,7 +72,7 @@ fn main() {
             GroupByStrategy::SortAggregate,
         ] {
             let start = Instant::now();
-            let result = execute_group_by(&table, &stat.column, strategy);
+            let result = execute_group_by(&table, &stat.column, strategy).expect("column exists");
             let chosen = if strategy == plan.strategy {
                 "  ← chosen"
             } else {

@@ -315,3 +315,85 @@ worker_rc=0
 wait "$worker_a_pid" || worker_rc=$?
 test "$worker_rc" = 0
 trap 'rm -rf "$tmpdir"' EXIT
+
+# Statistics-catalog smoke: the same rows analyzed through the CLI
+# (`analyze --save` → sidecar → `stats show`) and through the daemon
+# (`POST /v1/analyze?save=true` → `GET /v1/stats/{table}`) must yield
+# byte-identical TableStats JSON. Then append rows, refresh
+# incrementally, assert only the coverage fields moved, and drop.
+awk 'BEGIN{for(i=0;i<1200;i++)printf "v%d\n",i%60}' >"$tmpdir/cat.txt"
+./target/release/dve import --out "$tmpdir/cat.dvet" --column city --type str "$tmpdir/cat.txt"
+./target/release/dve analyze "$tmpdir/cat.dvet" --save --table cat \
+    --fraction 0.5 --seed 11 >/dev/null
+./target/release/dve stats show "$tmpdir/cat.dvet" >"$tmpdir/stats-cli.json"
+grep -q '"table":"cat"' "$tmpdir/stats-cli.json"
+grep -q '"row_count":1200' "$tmpdir/stats-cli.json"
+grep -q '"increments":0' "$tmpdir/stats-cli.json"
+
+cat_port=17174
+./target/release/dve serve --addr "127.0.0.1:$cat_port" &
+cat_pid=$!
+trap 'kill "$cat_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+for _ in $(seq 1 50); do
+    if curl -sf "http://127.0.0.1:$cat_port/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+
+# A lookup before anything is saved must be a structured 404 miss.
+miss_code="$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$cat_port/v1/stats/cat")"
+test "$miss_code" = 404
+
+cat_vals="$(awk 'BEGIN{for(i=0;i<1200;i++)printf "%s\"v%d\"",(i?",":""),i%60}')"
+curl -sf -X POST "http://127.0.0.1:$cat_port/v1/analyze?save=true&table=cat" \
+    -d "{\"columns\":[{\"name\":\"city\",\"values\":[$cat_vals]}],\"fraction\":0.5,\"seed\":11,\"estimator\":\"AE\"}" \
+    | grep -q '"saved":"cat"'
+curl -sf "http://127.0.0.1:$cat_port/v1/stats/cat" >"$tmpdir/stats-http.json"
+test "$(cat "$tmpdir/stats-cli.json")" = "$(cat "$tmpdir/stats-http.json")"
+
+# The catalog instruments its traffic, and the new families pass the
+# exposition lint.
+curl -sf "http://127.0.0.1:$cat_port/metrics" >"$tmpdir/catalog-metrics.prom"
+lint_prom "$tmpdir/catalog-metrics.prom"
+grep -q '^catalog_full_analyzes_total 1' "$tmpdir/catalog-metrics.prom"
+grep -q '^catalog_saves_total 1' "$tmpdir/catalog-metrics.prom"
+grep -q '^catalog_hits_total 1' "$tmpdir/catalog-metrics.prom"
+grep -q '^catalog_misses_total 1' "$tmpdir/catalog-metrics.prom"
+
+kill -TERM "$cat_pid"
+cat_rc=0
+wait "$cat_pid" || cat_rc=$?
+test "$cat_rc" = 0
+trap 'rm -rf "$tmpdir"' EXIT
+
+# Append 300 brand-new values (stale ratio 0.2 < 0.5) and refresh: the
+# increment must fold in without a resample.
+awk 'BEGIN{for(i=0;i<300;i++)printf "w%d\n",i}' >"$tmpdir/cat-new.txt"
+./target/release/dve import --out "$tmpdir/cat.dvet" --append "$tmpdir/cat-new.txt"
+./target/release/dve stats refresh "$tmpdir/cat.dvet" >"$tmpdir/refresh.out"
+grep -q 'incremental' "$tmpdir/refresh.out"
+grep -q '1500 rows' "$tmpdir/refresh.out"
+./target/release/dve stats show "$tmpdir/cat.dvet" >"$tmpdir/stats-cli2.json"
+grep -q '"row_count":1500' "$tmpdir/stats-cli2.json"
+grep -q '"increments":1' "$tmpdir/stats-cli2.json"
+grep -q '"rows_at_full_analyze":1200' "$tmpdir/stats-cli2.json"
+
+# The refresh may only move the coverage fields (row_count,
+# last_analyzed, increments) and the per-column artifacts: with those
+# normalized/stripped, the before and after JSON headers are identical
+# (same table, anchor, fraction, estimator, seed).
+normalize_stats_header() {
+    sed -E -e 's/"(row_count|last_analyzed|increments)":[0-9]+/"\1":N/g' \
+        -e 's/"columns":\[.*$//' "$1"
+}
+test "$(normalize_stats_header "$tmpdir/stats-cli.json")" \
+    = "$(normalize_stats_header "$tmpdir/stats-cli2.json")"
+
+# Drop removes the sidecar; show must then fail.
+./target/release/dve stats drop "$tmpdir/cat.dvet"
+test ! -e "$tmpdir/cat.dvet.stats.json"
+if ./target/release/dve stats show "$tmpdir/cat.dvet" >/dev/null 2>&1; then
+    echo "stats show succeeded after drop" >&2
+    exit 1
+fi

@@ -61,6 +61,33 @@
 //!     Emit a synthetic column (one value per line) with the paper's
 //!     generalized Zipfian generator.
 //!
+//! dve import --out TABLE.dvet [--column NAME] [--type str|int64]
+//!            [--append] [FILE]
+//!     Build a columnar .dvet table from one value per line. --append
+//!     rewrites an existing table with the new rows after the old ones
+//!     — the appended-segment shape `dve stats refresh` samples
+//!     incrementally.
+//!
+//! dve analyze TABLE.dvet [--fraction 0.01] [--estimator AE] [--seed 42]
+//!             [--format table|json] [--trace TRACE.json]
+//!             [--save] [--table NAME]
+//!     Sampled ANALYZE over every column of a .dvet table. --save also
+//!     builds and persists optimizer statistics (MCVs, histogram,
+//!     spectrum, HLL shadow) as TABLE.dvet.stats.json, bit-identical
+//!     with what `POST /v1/analyze?save=true` produces for the same
+//!     rows and knobs; --table overrides the catalog name (default:
+//!     the file stem).
+//!
+//! dve stats show TABLE.dvet
+//! dve stats refresh TABLE.dvet [--staleness 0.5] [--drift 0.25]
+//!                   [--full] [--format table|json]
+//! dve stats drop TABLE.dvet
+//!     Statistics-catalog surface (DESIGN.md §14): print the saved
+//!     stats JSON exactly as persisted, fold appended rows in (an
+//!     incremental without-replacement merge, escalating to a full
+//!     resample on the staleness or overlap-drift policy, or --full to
+//!     force one), or delete the stats sidecar.
+//!
 //! dve audit [--grid full|quick] [--trials N] [--seed S] [--out PATH]
 //!           [--check BASELINE.json] [--tolerance 0.25]
 //!           [--coverage-tolerance 0.15] [--latency-factor 25]
@@ -139,6 +166,7 @@ fn main() {
         "generate" => cmd_generate(&args[1..]),
         "import" => cmd_import(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "worker" => cmd_worker(&args[1..]),
         "slo-check" => cmd_slo_check(&args[1..]),
@@ -920,7 +948,9 @@ fn cmd_generate(args: &[String]) {
 }
 
 fn cmd_import(args: &[String]) {
-    let (flags, positional) = parse_flags(args);
+    let mut args = args.to_vec();
+    let append = extract_bool_flag(&mut args, "append");
+    let (flags, positional) = parse_flags(&args);
     let Some(out_path) = flags.get("out") else {
         fail(2, "import requires --out TABLE.dvet".to_string());
     };
@@ -930,6 +960,43 @@ fn cmd_import(args: &[String]) {
     if lines.is_empty() {
         fail(1, "input is empty".to_string());
     }
+    // `--append` rewrites the table with the old rows first and the new
+    // input after them — exactly the "rows appended since ANALYZE"
+    // shape `dve stats refresh` samples incrementally. Column name and
+    // type come from the existing table so appends can't fork the
+    // schema.
+    let (column_name, value_type, lines) = if append {
+        if flags.contains_key("column") || flags.contains_key("type") {
+            fail(
+                2,
+                "--append keeps the existing column name and type; drop --column/--type"
+                    .to_string(),
+            );
+        }
+        let old = distinct_values::storage::persist::load_table(std::path::Path::new(out_path))
+            .unwrap_or_else(|e| fail(1, format!("cannot load {out_path} for --append: {e}")));
+        let field = &old.schema().fields()[0];
+        let value_type = match field.data_type {
+            distinct_values::storage::DataType::Str => "str",
+            distinct_values::storage::DataType::Int64 => "int64",
+            other => fail(
+                1,
+                format!("--append supports str/int64 tables, not {other:?}"),
+            ),
+        };
+        let col = old.column(0);
+        let mut all: Vec<String> = (0..old.row_count())
+            .map(|row| match col.get(row) {
+                distinct_values::storage::Value::Str(s) => s,
+                distinct_values::storage::Value::Int64(v) => v.to_string(),
+                other => fail(1, format!("--append cannot render value {other:?}")),
+            })
+            .collect();
+        all.extend(lines);
+        (field.name.clone(), value_type.to_string(), all)
+    } else {
+        (column_name, value_type, lines)
+    };
     // `--type int64` parses each line as an integer; sorted input then
     // lands on RLE chunks and low-cardinality input on dictionary
     // chunks, so imported tables exercise the same encodings (and
@@ -978,7 +1045,9 @@ fn cmd_import(args: &[String]) {
 }
 
 fn cmd_analyze(args: &[String]) {
-    let (flags, positional) = parse_flags(args);
+    let mut args = args.to_vec();
+    let save = extract_bool_flag(&mut args, "save");
+    let (flags, positional) = parse_flags(&args);
     let Some(path) = positional.first() else {
         fail(2, "analyze requires a TABLE.dvet path".to_string());
     };
@@ -989,28 +1058,59 @@ fn cmd_analyze(args: &[String]) {
     if format != "table" && format != "json" {
         fail(2, format!("invalid --format {format} (table|json)"));
     }
+    if flags.contains_key("table") && !save {
+        fail(
+            2,
+            "--table names the saved statistics; it requires --save".to_string(),
+        );
+    }
+    let table_name: String = flag_parse(
+        &flags,
+        "table",
+        std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("table")
+            .to_string(),
+    );
     let trace_out = arm_tracer(&flags, "trace");
     let table = distinct_values::storage::persist::load_table(std::path::Path::new(path))
         .unwrap_or_else(|e| fail(1, format!("cannot load {path}: {e}")));
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let options = distinct_values::storage::AnalyzeOptions {
+        sampling_fraction: fraction,
+        estimator,
+    };
+    fn fail_analyze(e: distinct_values::storage::analyze::AnalyzeError) -> ! {
+        let code = match e {
+            distinct_values::storage::analyze::AnalyzeError::UnknownEstimator(_) => 2,
+            _ => 1,
+        };
+        fail(code, format!("analyze failed: {e}"))
+    }
     let (stats, root_ctx) = {
         let root = trace::root_span("cli.analyze");
         let ctx = root.context();
-        let stats = distinct_values::storage::analyze_table(
-            &table,
-            &distinct_values::storage::AnalyzeOptions {
-                sampling_fraction: fraction,
-                estimator,
-            },
-            &mut rng,
-        )
-        .unwrap_or_else(|e| {
-            let code = match e {
-                distinct_values::storage::analyze::AnalyzeError::UnknownEstimator(_) => 2,
-                _ => 1,
-            };
-            fail(code, format!("analyze failed: {e}"))
-        });
+        // `--save` goes through the catalog builder so the saved stats
+        // (and this command's output) are bit-identical with what
+        // `dve serve`'s `POST /v1/analyze?save=true` produces for the
+        // same rows, knobs, and seed.
+        let stats = if save {
+            let built =
+                distinct_values::storage::build_table_stats(&table, &table_name, &options, seed)
+                    .unwrap_or_else(|e| fail_analyze(e));
+            distinct_values::storage::save_table_stats(&built.stats, std::path::Path::new(path))
+                .unwrap_or_else(|e| fail(1, format!("cannot save statistics for {path}: {e}")));
+            Event::info("cli.analyze.saved")
+                .message(format!(
+                    "saved statistics for table {table_name:?} next to {path}"
+                ))
+                .emit();
+            built.column_statistics
+        } else {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            distinct_values::storage::analyze_table(&table, &options, &mut rng)
+                .unwrap_or_else(|e| fail_analyze(e))
+        };
         (stats, ctx)
     };
     if let Some(out) = trace_out {
@@ -1042,6 +1142,101 @@ fn cmd_analyze(args: &[String]) {
     }
 }
 
+/// `dve stats show|refresh|drop TABLE.dvet` — the CLI surface over the
+/// statistics catalog (DESIGN.md §14). `show` prints the saved
+/// [`TableStats`] JSON exactly as persisted (byte-identical with
+/// `GET /v1/stats/{table}` for the same build inputs); `refresh` folds
+/// appended rows in incrementally or resamples per policy and saves the
+/// result; `drop` deletes the sidecar.
+fn cmd_stats(args: &[String]) {
+    use distinct_values::storage::catalog::{full_resample, ResampleReason};
+    use distinct_values::storage::{
+        load_table_stats, refresh_table_stats, save_table_stats, stats_path_for, RefreshOutcome,
+        RefreshPolicy,
+    };
+    let Some(sub) = args.first() else {
+        fail(
+            2,
+            "stats requires a subcommand (show|refresh|drop)".to_string(),
+        );
+    };
+    match sub.as_str() {
+        "show" => {
+            let (_flags, positional) = parse_flags(&args[1..]);
+            let Some(path) = positional.first() else {
+                fail(2, "stats show requires a TABLE.dvet path".to_string());
+            };
+            let stats = load_table_stats(std::path::Path::new(path))
+                .unwrap_or_else(|e| fail(1, format!("cannot load statistics for {path}: {e}")));
+            println!("{}", stats.to_json());
+        }
+        "refresh" => {
+            let mut rest = args[1..].to_vec();
+            let full = extract_bool_flag(&mut rest, "full");
+            let (flags, positional) = parse_flags(&rest);
+            let Some(path) = positional.first() else {
+                fail(2, "stats refresh requires a TABLE.dvet path".to_string());
+            };
+            let defaults = RefreshPolicy::default();
+            let policy = RefreshPolicy {
+                staleness_threshold: flag_parse(&flags, "staleness", defaults.staleness_threshold),
+                overlap_drift_threshold: flag_parse(
+                    &flags,
+                    "drift",
+                    defaults.overlap_drift_threshold,
+                ),
+            };
+            let format: String = flag_parse(&flags, "format", "table".to_string());
+            if format != "table" && format != "json" {
+                fail(2, format!("invalid --format {format} (table|json)"));
+            }
+            let table = distinct_values::storage::persist::load_table(std::path::Path::new(path))
+                .unwrap_or_else(|e| fail(1, format!("cannot load {path}: {e}")));
+            let stats = load_table_stats(std::path::Path::new(path))
+                .unwrap_or_else(|e| fail(1, format!("cannot load statistics for {path}: {e}")));
+            let (refreshed, outcome) = if full {
+                full_resample(&table, &stats, ResampleReason::Forced)
+            } else {
+                refresh_table_stats(&table, &stats, &policy)
+            }
+            .unwrap_or_else(|e| fail(1, format!("refresh failed: {e}")));
+            save_table_stats(&refreshed, std::path::Path::new(path))
+                .unwrap_or_else(|e| fail(1, format!("cannot save statistics for {path}: {e}")));
+            if format == "json" {
+                println!("{}", refreshed.to_json());
+                return;
+            }
+            let what = match outcome {
+                RefreshOutcome::NoNewRows => "no new rows; statistics unchanged".to_string(),
+                RefreshOutcome::Incremental {
+                    new_rows,
+                    sampled_rows,
+                } => format!("incremental: merged {new_rows} new rows ({sampled_rows} sampled)"),
+                RefreshOutcome::FullResample(reason) => {
+                    format!("full resample ({})", reason.label())
+                }
+            };
+            println!("{what}; statistics now cover {} rows", refreshed.row_count);
+        }
+        "drop" => {
+            let (_flags, positional) = parse_flags(&args[1..]);
+            let Some(path) = positional.first() else {
+                fail(2, "stats drop requires a TABLE.dvet path".to_string());
+            };
+            let stats_path = stats_path_for(std::path::Path::new(path));
+            std::fs::remove_file(&stats_path)
+                .unwrap_or_else(|e| fail(1, format!("cannot drop statistics for {path}: {e}")));
+            Event::info("cli.stats.drop")
+                .message(format!("dropped statistics at {}", stats_path.display()))
+                .emit();
+        }
+        other => fail(
+            2,
+            format!("unknown stats subcommand: {other} (show|refresh|drop)"),
+        ),
+    }
+}
+
 fn usage_and_exit(code: i32) -> ! {
     println!(
         "dve — distinct-value estimation (PODS 2000 reproduction)\n\n\
@@ -1057,9 +1252,13 @@ fn usage_and_exit(code: i32) -> ! {
          dve exact [FILE|-]\n  \
          dve sketch [--hll-p 12] [FILE|-]\n  \
          dve generate --rows N [--zipf Z] [--dup K] [--seed S]\n  \
-         dve import --out TABLE.dvet [--column NAME] [--type str|int64] [FILE|-]\n  \
+         dve import --out TABLE.dvet [--column NAME] [--type str|int64] [--append] [FILE|-]\n  \
          dve analyze TABLE.dvet [--fraction 0.01] [--estimator AE] [--seed 42]\n            \
-         [--format table|json] [--trace TRACE.json]\n  \
+         [--format table|json] [--trace TRACE.json] [--save] [--table NAME]\n  \
+         dve stats show TABLE.dvet\n  \
+         dve stats refresh TABLE.dvet [--staleness 0.5] [--drift 0.25] [--full]\n            \
+         [--format table|json]\n  \
+         dve stats drop TABLE.dvet\n  \
          dve audit [--grid full|quick] [--trials N] [--seed S] [--out PATH]\n            \
          [--check BASELINE.json] [--tolerance T] [--coverage-tolerance C]\n            \
          [--latency-factor L] [--deterministic]\n  \

@@ -315,6 +315,114 @@ fn estimate_with_metrics_prom_emits_exposition() {
 }
 
 #[test]
+fn stats_show_refresh_drop_flow() {
+    let dir = std::env::temp_dir().join(format!("dve_cli_stats_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let table_path = dir.join("s.dvet");
+    let path = table_path.to_str().unwrap();
+
+    // Import 2000 rows over 50 distinct ints, then ANALYZE with --save.
+    let data: String = (0..2000).map(|i| format!("{}\n", i % 50)).collect();
+    let (_, stderr, ok) = run_with_stdin(&["import", "--out", path, "--type", "int64", "-"], &data);
+    assert!(ok, "import failed: {stderr}");
+    let out = dve()
+        .args([
+            "analyze",
+            path,
+            "--fraction",
+            "0.5",
+            "--seed",
+            "9",
+            "--save",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "analyze --save failed");
+
+    // `stats show` prints the persisted TableStats JSON; the catalog
+    // name defaults to the file stem.
+    let out = dve().args(["stats", "show", path]).output().unwrap();
+    assert!(out.status.success());
+    let shown = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(shown.starts_with("{\"table\":\"s\""), "{shown}");
+    assert!(shown.contains("\"row_count\":2000"), "{shown}");
+    assert!(shown.contains("\"increments\":0"), "{shown}");
+
+    // Append 400 brand-new values — `--append` keeps the existing
+    // column name and type — and refresh incrementally (400/2400 is
+    // well under the 0.5 staleness threshold).
+    let fresh_rows: String = (0..400).map(|i| format!("{}\n", 1_000_000 + i)).collect();
+    let (_, stderr, ok) = run_with_stdin(&["import", "--out", path, "--append", "-"], &fresh_rows);
+    assert!(ok, "append failed: {stderr}");
+    assert!(stderr.contains("450 distinct"), "{stderr}");
+    let out = dve().args(["stats", "refresh", path]).output().unwrap();
+    assert!(out.status.success());
+    let summary = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(summary.contains("incremental"), "{summary}");
+    assert!(summary.contains("2400 rows"), "{summary}");
+
+    let out = dve().args(["stats", "show", path]).output().unwrap();
+    let shown = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(shown.contains("\"row_count\":2400"), "{shown}");
+    assert!(shown.contains("\"increments\":1"), "{shown}");
+
+    // No rows appended since: refresh is a no-op.
+    let out = dve().args(["stats", "refresh", path]).output().unwrap();
+    assert!(out.status.success());
+    let summary = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(summary.contains("no new rows"), "{summary}");
+
+    // Drop removes the sidecar; show and a second drop then fail.
+    let out = dve().args(["stats", "drop", path]).output().unwrap();
+    assert!(out.status.success());
+    let out = dve().args(["stats", "show", path]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cannot load statistics"),
+        "unexpected stderr"
+    );
+    let out = dve().args(["stats", "drop", path]).output().unwrap();
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_flag_validation_fails_cleanly() {
+    // --table without --save is a usage error.
+    let out = dve()
+        .args(["analyze", "/nonexistent.dvet", "--table", "x"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("requires --save"),
+        "unexpected stderr"
+    );
+    // Unknown stats subcommand.
+    let out = dve()
+        .args(["stats", "frobnicate", "x.dvet"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // --append with --type is a usage error (type comes from the table).
+    let (_, stderr, ok) = run_with_stdin(
+        &[
+            "import",
+            "--out",
+            "/nonexistent.dvet",
+            "--append",
+            "--type",
+            "int64",
+            "-",
+        ],
+        "1\n",
+    );
+    assert!(!ok);
+    assert!(stderr.contains("--append"), "{stderr}");
+}
+
+#[test]
 fn metrics_pretty_and_off_modes() {
     let data: String = (0..500).map(|i| format!("x{}\n", i % 50)).collect();
     let (stdout, _, ok) = run_with_stdin(&["estimate", "--metrics", "pretty", "-"], &data);

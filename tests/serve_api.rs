@@ -538,3 +538,45 @@ fn graceful_shutdown_drains_queued_requests() {
     }
     server.stop();
 }
+
+#[test]
+fn analyze_save_and_stats_over_sockets() {
+    let server = boot(ServeConfig {
+        jobs: 2,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr;
+
+    // Miss before anything is saved.
+    let (status, body) = get(addr, "/v1/stats/city");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("stats_not_found"), "{body}");
+
+    let values: Vec<String> = (0..300).map(|i| format!("\"c{}\"", i % 40)).collect();
+    let request = format!(
+        "{{\"columns\":[{{\"name\":\"city\",\"values\":[{}]}}],\"estimator\":\"AE\",\"fraction\":0.25,\"seed\":11}}",
+        values.join(",")
+    );
+    let (status, body) = post(addr, "/v1/analyze?save=true&table=city", &request);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"saved\":\"city\""), "{body}");
+
+    // The saved stats come back as canonical TableStats JSON: parseable,
+    // and bit-identical under a parse → re-serialize round trip.
+    let (status, stats) = get(addr, "/v1/stats/city");
+    assert_eq!(status, 200, "{stats}");
+    assert!(stats.starts_with("{\"table\":\"city\""), "{stats}");
+    assert!(stats.contains("\"row_count\":300"), "{stats}");
+    let parsed = distinct_values::storage::TableStats::from_json(&stats).expect("valid stats");
+    assert_eq!(parsed.to_json(), stats, "round trip must be bit-identical");
+
+    // save=true without a table name is a query error; wrong method on
+    // the stats route is a 405.
+    let (status, body) = post(addr, "/v1/analyze?save=true", &request);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("bad_query"), "{body}");
+    let (status, _) = post(addr, "/v1/stats/city", "");
+    assert_eq!(status, 405);
+
+    server.stop();
+}
